@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure or in-text number from the paper's
+evaluation and prints the corresponding rows; the accompanying assertions pin
+the *shape* the paper reports (who wins, by roughly what factor, where the
+crossovers and minima fall).
+"""
+
+import pytest
+
+from repro.models.technology import get_technology
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The paper's 90 nm CMOS process."""
+    return get_technology("cmos90")
+
+
+def emit(text: str) -> None:
+    """Print a benchmark table with a blank line around it."""
+    print("\n" + text + "\n")

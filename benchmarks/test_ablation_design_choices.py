@@ -1,0 +1,84 @@
+"""ABL — Ablations of the design choices DESIGN.md calls out.
+
+Three knobs the paper discusses qualitatively are quantified here:
+
+* **Completion-detection segmentation** (Section III-A): "its low Vdd limit
+  can be pushed further down in sub-threshold (below 0.3 V) by sectioning the
+  completion detection in the column into smaller segments, say, of 8 bit
+  each" — at the price of extra gates.
+* **8T versus 6T cells**: "leakage power can be reduced by switching to 8T
+  cells (with two NMOS transistors in stack)".
+* **The hybrid's switch voltage**: where the power-adaptive design hands over
+  between Design 1 and Design 2 determines how much of Design 2's efficiency
+  it keeps.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.design_styles import HybridDesign
+from repro.sram.cell import CellType
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.sram import SRAMConfig, SpeedIndependentSRAM
+
+from conftest import emit
+
+
+def run_ablations(tech):
+    segmentation = []
+    for segment_size in (None, 8, 4):
+        detector = ColumnCompletionDetector(technology=tech, columns=16,
+                                            segment_size=segment_size)
+        segmentation.append([
+            "full column" if segment_size is None else f"{segment_size}-bit segments",
+            detector.minimum_detectable_vdd(),
+            detector.detection_delay(0.3),
+            detector.gate_count,
+        ])
+
+    cells = []
+    for cell_type in (CellType.SIX_T, CellType.EIGHT_T):
+        sram = SpeedIndependentSRAM(
+            tech, SRAMConfig(cell_type=cell_type, calibrate_energy=False))
+        cells.append([cell_type.value,
+                      sram.array_leakage_power(1.0),
+                      sram.write_energy(0.4),
+                      cell_type.area_factor])
+
+    hybrids = []
+    for switch_voltage in (0.45, 0.6, 0.8):
+        hybrid = HybridDesign(tech, switch_voltage=switch_voltage)
+        hybrids.append([switch_voltage,
+                        hybrid.energy_per_operation(1.0),
+                        hybrid.energy_per_operation(0.3),
+                        hybrid.minimum_operating_voltage()])
+    return segmentation, cells, hybrids
+
+
+def test_ablation_of_paper_design_choices(tech, benchmark):
+    segmentation, cells, hybrids = benchmark(run_ablations, tech)
+
+    emit(format_table(
+        "ABL1 — completion-detection segmentation (16-column array)",
+        ["column CD structure", "min detectable Vdd", "detection delay @0.3V",
+         "gate count"],
+        segmentation, unit_hints=["", "V", "s", ""]))
+    emit(format_table(
+        "ABL2 — 6T vs 8T cells (1-kbit array)",
+        ["cell", "array leakage @1V", "write energy @0.4V", "relative area"],
+        cells, unit_hints=["", "W", "J", ""]))
+    emit(format_table(
+        "ABL3 — hybrid switch-voltage choice",
+        ["switch voltage", "E/op @1.0V", "E/op @0.3V", "min operating V"],
+        hybrids, unit_hints=["V", "J", "J", ""]))
+
+    # Segmentation pushes the detectable minimum down but costs gates.
+    assert segmentation[1][1] <= segmentation[0][1]
+    assert segmentation[2][1] <= segmentation[1][1]
+    assert segmentation[2][3] >= segmentation[0][3]
+    # 8T cells leak less but are larger.
+    assert cells[1][1] < cells[0][1]
+    assert cells[1][3] > cells[0][3]
+    # Every hybrid keeps Design 1's operating floor; the switch voltage only
+    # affects how much of Design 2's efficiency is captured at mid-range Vdd.
+    floors = {row[3] for row in hybrids}
+    assert len(floors) == 1
+    assert all(row[1] > 0 and row[2] > 0 for row in hybrids)

@@ -1,0 +1,81 @@
+"""EXT1 — Task scheduling based on the energy-token model (reference [15]).
+
+Section IV points to energy-token Petri nets and task scheduling "according
+to the power profile" as the system-level half of energy-modulated computing.
+The benchmark schedules a sensor-node workload (sense → filter → log /
+transmit) against a bursty harvested-energy profile under four policies and
+prints the value each policy extracts from the same energy.  The
+energy-frugal (value-per-energy) policy must extract at least as much value
+as FIFO, and no policy may spend more energy than was harvested.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.scheduler import SchedulingPolicy, Task, compare_policies
+
+from conftest import emit
+
+
+def sensor_node_workload():
+    return [
+        Task("sense", energy=2e-9, duration=1, value=1.0, periodic_every=4),
+        Task("filter", energy=4e-9, duration=1, value=2.0, depends_on=("sense",)),
+        Task("log", energy=1e-9, duration=1, value=0.5, depends_on=("filter",)),
+        Task("compress", energy=8e-9, duration=2, value=3.0,
+             depends_on=("filter",)),
+        Task("transmit", energy=30e-9, duration=2, value=10.0,
+             depends_on=("compress",), deadline=30),
+        Task("housekeeping", energy=0.5e-9, duration=1, value=0.2,
+             periodic_every=8),
+    ]
+
+
+def bursty_profile(slots=40):
+    """A harvester that alternates droughts with short energetic bursts."""
+    profile = []
+    for slot in range(slots):
+        if slot % 8 in (0, 1):
+            profile.append(12e-9)
+        elif slot % 8 == 4:
+            profile.append(4e-9)
+        else:
+            profile.append(1e-9)
+    return profile
+
+
+def run_policies(_tech):
+    return compare_policies(sensor_node_workload(), bursty_profile(),
+                            joules_per_token=0.5e-9,
+                            storage_capacity=40e-9)
+
+
+def test_ext1_energy_token_scheduling(tech, benchmark):
+    results = benchmark(run_policies, tech)
+
+    rows = []
+    for policy, result in results.items():
+        rows.append([policy.value, len(result.runs), result.total_value,
+                     result.energy_offered, result.energy_spent,
+                     result.energy_utilisation,
+                     len(result.missed_deadlines),
+                     " ".join(result.unfinished_tasks) or "-"])
+    emit(format_table(
+        "EXT1 — sensor-node workload over a bursty harvest, by policy",
+        ["policy", "runs", "value", "offered", "spent", "utilisation",
+         "missed deadlines", "unfinished"],
+        rows, unit_hints=["", "", "", "J", "J", "", "", ""]))
+
+    frugal = results[SchedulingPolicy.VALUE_PER_ENERGY]
+    fifo = results[SchedulingPolicy.FIFO]
+    # Energy conservation holds under every policy.
+    for result in results.values():
+        assert result.energy_spent <= result.energy_offered + 1e-15
+        assert 0.0 <= result.energy_utilisation <= 1.0
+    # Scheduling to the power profile pays: the frugal policy extracts at
+    # least as much value from the same energy as naive FIFO.
+    assert frugal.total_value >= fifo.total_value
+    assert frugal.value_per_joule >= fifo.value_per_joule
+    # The schedule is actually exercised: every policy runs work, and the
+    # energy banked between bursts is bounded by the storage capacity.
+    assert all(len(result.runs) > 0 for result in results.values())
+    assert all(result.energy_left_stored <= 40e-9 + 1e-12
+               for result in results.values())

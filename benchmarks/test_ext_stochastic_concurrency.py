@@ -1,0 +1,70 @@
+"""EXT2 — Stochastic analysis of power, latency and the degree of concurrency.
+
+Reference [12] (cited in the conclusion as part of the energy-modulated
+toolbox) analyses how the degree of concurrency trades latency against power.
+The benchmark sweeps an M/M/c model of a multi-core load, prints the
+latency/power/energy table, validates the closed forms against a Monte-Carlo
+simulation, and checks the qualitative shape: latency falls and power rises
+with concurrency, so the power-latency product has an interior optimum —
+which is the operating point a power-adaptive scheduler would pick.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.stochastic import ConcurrencyAnalysis, PowerLatencyModel, simulate_mmc
+
+from conftest import emit
+
+ARRIVAL_RATE = 120.0     # jobs per second offered by the application
+SERVICE_RATE = 25.0      # jobs per second per core at the chosen Vdd
+STATIC_POWER = 2e-6      # watts per powered-on core
+DYNAMIC_POWER = 20e-6    # additional watts per busy core
+MAX_SERVERS = 16
+
+
+def analyse(_tech):
+    model = PowerLatencyModel(arrival_rate=ARRIVAL_RATE,
+                              service_rate=SERVICE_RATE,
+                              static_power_per_server=STATIC_POWER,
+                              dynamic_power_per_server=DYNAMIC_POWER)
+    analysis = ConcurrencyAnalysis(model, max_servers=MAX_SERVERS)
+    return model, analysis, analysis.sweep()
+
+
+def test_ext2_stochastic_concurrency_tradeoff(tech, benchmark):
+    model, analysis, points = benchmark(analyse, tech)
+
+    emit(format_table(
+        "EXT2 — degree of concurrency vs latency and power (M/M/c)",
+        ["cores", "utilisation", "mean latency", "queue length", "power",
+         "power x latency"],
+        [[p.servers, p.utilisation, p.mean_latency, p.mean_queue_length,
+          p.power, p.power_latency_product] for p in points],
+        unit_hints=["", "", "s", "", "W", "J"]))
+
+    balanced = analysis.balanced_optimal()
+    fastest = analysis.latency_optimal()
+    empirical = simulate_mmc(model, balanced.servers, jobs=4000, seed=7)
+    emit(format_table(
+        "EXT2 — chosen operating points",
+        ["point", "cores", "mean latency", "power"],
+        [["latency-optimal", fastest.servers, fastest.mean_latency, fastest.power],
+         ["power-latency optimal", balanced.servers, balanced.mean_latency,
+          balanced.power],
+         ["Monte-Carlo check of the balanced point", balanced.servers,
+          empirical.mean_latency, empirical.power]],
+        unit_hints=["", "", "s", "W"]))
+
+    stable = [p for p in points if p.stable]
+    # Latency is monotone non-increasing and power monotone increasing in c.
+    latencies = [p.mean_latency for p in stable]
+    powers = [p.power for p in stable]
+    assert all(b <= a + 1e-12 for a, b in zip(latencies, latencies[1:]))
+    assert all(b > a for a, b in zip(powers, powers[1:]))
+    # The balanced optimum is interior: more concurrency than the bare
+    # minimum, less than the latency-optimal maximum.
+    assert model.minimum_servers() <= balanced.servers <= fastest.servers
+    assert balanced.power <= fastest.power
+    # The closed-form latency matches simulation within 20 %.
+    assert empirical.mean_latency == pytest.approx(balanced.mean_latency, rel=0.2)

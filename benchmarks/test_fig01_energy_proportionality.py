@@ -1,0 +1,84 @@
+"""FIG1 — The idea of energy-proportional computing.
+
+Fig. 1 of the paper sketches activity versus supplied energy: an
+energy-proportional system produces useful activity even for small energy
+quanta, while a conventional system pays a fixed overhead before any useful
+work appears.  The benchmark regenerates that curve quantitatively for the
+paper's two design styles: the speed-independent (Design 1) fabric, which can
+run at whatever voltage the tiny energy budget supports, versus the
+bundled-data (Design 2) fabric, which cannot operate below its timing-margin
+floor and therefore wastes small budgets entirely.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.design_styles import BundledDataDesign, SpeedIndependentDesign
+from repro.core.proportionality import (
+    ProportionalityCurve,
+    dynamic_range,
+    proportionality_index,
+)
+
+from conftest import emit
+
+#: Per-burst energy budgets, in joules (covering nJ bursts a harvester yields).
+ENERGY_BUDGETS = [2e-12, 5e-12, 10e-12, 20e-12, 50e-12, 100e-12, 200e-12,
+                  500e-12, 1e-9, 2e-9]
+#: Duty-cycle window one burst must bridge, in seconds (sets the leakage tax
+#: paid before any useful work happens).
+BURST_WINDOW = 1e-4
+
+
+def activity_for_budget(design, vdd, energy_budget):
+    """Operations a burst of *energy_budget* joules can pay for.
+
+    The design first pays its standby (leakage) energy for the whole duty
+    window; whatever is left buys operations.  A non-functional voltage means
+    no activity at all — the "cannot deliver" region of Fig. 2.
+    """
+    if not design.is_functional(vdd):
+        return 0.0
+    overhead = design.leakage_power(vdd) * BURST_WINDOW
+    usable = energy_budget - overhead
+    if usable <= 0:
+        return 0.0
+    return usable / design.energy_per_operation(vdd)
+
+
+def build_curves(tech):
+    design1 = SpeedIndependentDesign(tech)
+    design2 = BundledDataDesign(tech)
+    # Each style runs at the lowest voltage it can still function at — the
+    # most energy-frugal point available to it.
+    vdd1 = max(design1.minimum_operating_voltage() + 0.05, 0.2)
+    vdd2 = design2.minimum_operating_voltage() + 0.05
+    curve1 = ProportionalityCurve(
+        "design1_si@%.2fV" % vdd1,
+        [(e, activity_for_budget(design1, vdd1, e)) for e in ENERGY_BUDGETS])
+    curve2 = ProportionalityCurve(
+        "design2_bundled@%.2fV" % vdd2,
+        [(e, activity_for_budget(design2, vdd2, e)) for e in ENERGY_BUDGETS])
+    return curve1, curve2
+
+
+def test_fig01_energy_proportionality(tech, benchmark):
+    curve1, curve2 = benchmark(build_curves, tech)
+
+    rows = []
+    for (energy, act1), (_, act2) in zip(curve1.points, curve2.points):
+        rows.append([energy, act1, act2])
+    emit(format_table(
+        "FIG1 — useful activity vs supplied energy (one 1 us burst)",
+        ["energy", "design1 (SI) ops", "design2 (bundled) ops"],
+        rows, unit_hints=["J", "", ""]))
+    emit(format_table(
+        "FIG1 — proportionality metrics",
+        ["design", "proportionality index", "dynamic range"],
+        [[curve1.name, proportionality_index(curve1), dynamic_range(curve1)],
+         [curve2.name, proportionality_index(curve2), dynamic_range(curve2)]]))
+
+    # Shape assertions: the SI design is the energy-proportional one.
+    assert curve1.onset_energy() <= curve2.onset_energy()
+    assert proportionality_index(curve1) > proportionality_index(curve2)
+    assert dynamic_range(curve1) >= dynamic_range(curve2)
+    # At the smallest useful budget the SI design already delivers activity.
+    assert curve1.activity_at(100e-12) > 0.0

@@ -1,0 +1,78 @@
+"""FIG2 — Power-proportional versus power-efficient system design.
+
+Fig. 2 plots QoS against the supply level for two design styles: Design 1
+(speed-independent dual-rail with completion detection) "starts to deliver
+the sought QoS at a very low Vdd, where Design 2 cannot deliver at all", but
+"if the nominal level of power supply is at high Vdd, Design 1 is less
+power-efficient than Design 2".  The benchmark sweeps both designs (plus the
+recommended hybrid) over 0.15-1.1 V and checks the onset ordering, the
+nominal-voltage efficiency ordering and the hybrid's best-of-both behaviour.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import vdd_range
+from repro.core.design_styles import (
+    BundledDataDesign,
+    HybridDesign,
+    SpeedIndependentDesign,
+)
+from repro.core.qos import QoSMetric, qos_vs_vdd
+
+from conftest import emit
+
+VDD_SWEEP = vdd_range(0.15, 1.1, 20)
+
+
+def build_curves(tech):
+    design1 = SpeedIndependentDesign(tech)
+    design2 = BundledDataDesign(tech)
+    hybrid = HybridDesign(tech)
+    throughput = {name: qos_vs_vdd(d, VDD_SWEEP)
+                  for name, d in (("design1", design1), ("design2", design2),
+                                  ("hybrid", hybrid))}
+    per_joule = {name: qos_vs_vdd(d, VDD_SWEEP,
+                                  metric=QoSMetric.OPERATIONS_PER_JOULE)
+                 for name, d in (("design1", design1), ("design2", design2),
+                                 ("hybrid", hybrid))}
+    return design1, design2, hybrid, throughput, per_joule
+
+
+def test_fig02_qos_vs_vdd(tech, benchmark):
+    design1, design2, hybrid, throughput, per_joule = benchmark(build_curves, tech)
+
+    rows = []
+    for i, vdd in enumerate(VDD_SWEEP):
+        rows.append([vdd,
+                     throughput["design1"].points[i][1],
+                     throughput["design2"].points[i][1],
+                     throughput["hybrid"].points[i][1]])
+    emit(format_table(
+        "FIG2 — QoS (throughput, ops/s) vs Vdd",
+        ["Vdd", "design1 (SI)", "design2 (bundled)", "hybrid"],
+        rows, unit_hints=["V", "", "", ""]))
+    emit(format_table(
+        "FIG2 — key points",
+        ["quantity", "design1", "design2", "hybrid"],
+        [["onset voltage (V)",
+          throughput["design1"].onset_voltage(),
+          throughput["design2"].onset_voltage(),
+          throughput["hybrid"].onset_voltage()],
+         ["ops/J at 1.0 V",
+          per_joule["design1"].qos_at(1.0),
+          per_joule["design2"].qos_at(1.0),
+          per_joule["hybrid"].qos_at(1.0)]]))
+
+    # Shape assertions straight from the paper's Fig. 2 narrative.
+    onset1 = throughput["design1"].onset_voltage()
+    onset2 = throughput["design2"].onset_voltage()
+    assert onset1 < onset2 - 0.1, "Design 1 must wake up at much lower Vdd"
+    # Design 2 cannot deliver at all below its floor, where Design 1 can.
+    probe = onset2 - 0.05
+    assert design1.throughput(probe) > 0
+    assert design2.throughput(probe) == 0
+    # At nominal Vdd Design 2 is the more power-efficient style.
+    assert per_joule["design2"].qos_at(1.0) > per_joule["design1"].qos_at(1.0)
+    # The hybrid combines both: Design 1's onset, near-Design 2's efficiency.
+    assert throughput["hybrid"].onset_voltage() == onset1
+    assert per_joule["hybrid"].qos_at(1.0) > 0.7 * per_joule["design2"].qos_at(1.0)
+    assert hybrid.minimum_operating_voltage() == design1.minimum_operating_voltage()

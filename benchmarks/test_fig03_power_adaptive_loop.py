@@ -1,0 +1,81 @@
+"""FIG3 — Power-adaptive computing (the holistic closed loop).
+
+Fig. 3 is the block diagram of the holistic view: the harvester-fed power
+chain on one side, the computational load on the other, and a two-way
+adaptation loop between them.  The benchmark runs that loop — sense the
+store, set the rail, admit load — against an unstable vibration harvester and
+compares it with a non-adaptive baseline that insists on the nominal 1 V rail
+regardless of how depleted the store is.  The adaptive system must extract
+more useful operations from the same environment without ever browning out.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.design_styles import HybridDesign
+from repro.core.power_adaptive import AdaptationPolicy, PowerAdaptiveController
+from repro.power.harvester import VibrationHarvester
+from repro.power.power_chain import PowerChain
+
+from conftest import emit
+
+RUN_SECONDS = 2.0
+CONTROL_INTERVAL = 0.02
+
+
+def make_chain(seed=21):
+    harvester = VibrationHarvester(peak_power=80e-6, wander=0.15, seed=seed)
+    return PowerChain(harvester=harvester, storage_capacitance=47e-6,
+                      output_voltage=1.0, initial_store_voltage=1.3)
+
+
+def run_loop(tech, adaptive):
+    if adaptive:
+        policy = AdaptationPolicy(store_low=0.8, store_high=2.0,
+                                  vdd_floor=0.25, vdd_nominal=1.0,
+                                  max_operations_per_step=50_000)
+    else:
+        # The "non-adaptive" baseline always asks for the nominal rail.
+        policy = AdaptationPolicy(store_low=0.0001, store_high=0.0002,
+                                  vdd_floor=0.999, vdd_nominal=1.0,
+                                  max_operations_per_step=50_000)
+    controller = PowerAdaptiveController(
+        chain=make_chain(), design=HybridDesign(tech), policy=policy,
+        step_interval=CONTROL_INTERVAL)
+    controller.run(RUN_SECONDS)
+    return controller
+
+
+def test_fig03_power_adaptive_loop(tech, benchmark):
+    adaptive = benchmark(run_loop, tech, True)
+    fixed = run_loop(tech, False)
+
+    def summarise(name, controller):
+        report = controller.chain.report()
+        trace = controller.trace()
+        return [name,
+                controller.operations_done,
+                report.energy_harvested,
+                controller.energy_consumed,
+                controller.average_rail_voltage(),
+                min(r.stored_energy for r in trace)]
+
+    emit(format_table(
+        "FIG3 — closed-loop adaptation vs fixed-rail baseline "
+        f"({RUN_SECONDS:.0f} s of unstable vibration harvesting)",
+        ["controller", "operations", "harvested", "consumed by load",
+         "avg rail", "min stored energy"],
+        [summarise("power-adaptive", adaptive),
+         summarise("fixed 1 V rail", fixed)],
+        unit_hints=["", "", "J", "J", "V", "J"]))
+
+    duty = adaptive.duty_profile()
+    emit(format_table(
+        "FIG3 — adaptive controller duty profile (fraction of control steps)",
+        ["active design style", "fraction"],
+        [[name, fraction] for name, fraction in sorted(duty.items())]))
+
+    # Shape assertions: adaptation converts the same environment into at
+    # least as much work, and it exercises the low-voltage operating points.
+    assert adaptive.operations_done > 0
+    assert adaptive.operations_done >= fixed.operations_done
+    assert adaptive.average_rail_voltage() < fixed.average_rail_voltage()
+    assert min(r.stored_energy for r in adaptive.trace()) >= 0.0

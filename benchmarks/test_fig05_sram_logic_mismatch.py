@@ -1,0 +1,46 @@
+"""FIG5 — Mismatch between the scaling of SRAM and logic delay.
+
+"At 1 V Vdd the delay of SRAM reading is equal to 50 inverters whereas at
+190 mV the delay becomes equal to 158 inverters."  The benchmark sweeps the
+bit-line model over 0.19-1.0 V, expresses the SRAM read delay in units of the
+inverter delay at the same voltage, and checks the two published anchor
+points and the monotone growth of the mismatch as Vdd falls — the reason
+simple critical-path-replica bundling does not scale (Section II-B).
+"""
+
+import pytest
+
+from repro.analysis.metrics import monotonicity_violations
+from repro.analysis.report import format_table
+from repro.sram.bitline import calibrate_bitline_to_fig5
+
+from conftest import emit
+
+VDD_SWEEP = [0.19, 0.22, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def build_series(tech):
+    bitline = calibrate_bitline_to_fig5(tech)
+    series = [(vdd, bitline.read_delay(vdd), bitline.read_delay_in_inverters(vdd))
+              for vdd in VDD_SWEEP]
+    return bitline, series
+
+
+def test_fig05_sram_logic_delay_mismatch(tech, benchmark):
+    bitline, series = benchmark(build_series, tech)
+
+    emit(format_table(
+        "FIG5 — SRAM read delay expressed in inverter delays",
+        ["Vdd", "SRAM read delay", "delay in inverter units"],
+        [[vdd, delay, units] for vdd, delay, units in series],
+        unit_hints=["V", "s", ""]))
+
+    in_inverters = {vdd: units for vdd, _, units in series}
+    # Paper anchors: 50 inverter delays at 1 V, 158 at 190 mV.
+    assert in_inverters[1.0] == pytest.approx(50.0, rel=0.10)
+    assert in_inverters[0.19] == pytest.approx(158.0, rel=0.10)
+    # The mismatch grows monotonically as the supply drops.
+    ordered = [units for _, _, units in sorted(series, reverse=True)]
+    assert monotonicity_violations(ordered) == 0
+    # Roughly the 3x growth the paper highlights.
+    assert 2.5 <= in_inverters[0.19] / in_inverters[1.0] <= 4.0

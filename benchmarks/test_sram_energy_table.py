@@ -1,0 +1,60 @@
+"""SRAM-E — In-text energy numbers for the 1-kbit SI SRAM.
+
+The paper reports, for the 64x16 design in UMC 90 nm: "It showed minimum
+energy point per read or write at 0.4 V.  It consumes 5.8 pJ at 1 V for a
+write of a 16-bit word and 1.9 pJ at 0.4 V."  The benchmark sweeps energy per
+write (and per read) over the 0.2-1.0 V range, prints the table, and checks
+the three published facts: the two absolute anchors and the location of the
+interior minimum-energy point.
+"""
+
+import pytest
+
+from repro.analysis.metrics import minimum_energy_point, ratio_between
+from repro.analysis.report import format_table
+from repro.analysis.sweep import vdd_range
+from repro.sram.sram import SpeedIndependentSRAM
+
+from conftest import emit
+
+VDD_SWEEP = vdd_range(0.2, 1.0, 17)
+
+
+def build_energy_table(tech):
+    sram = SpeedIndependentSRAM(tech)
+    rows = [[vdd, sram.write_energy(vdd), sram.read_energy(vdd),
+             sram.write_latency(vdd)] for vdd in VDD_SWEEP]
+    return sram, rows
+
+
+def test_sram_energy_per_operation_table(tech, benchmark):
+    sram, rows = benchmark(build_energy_table, tech)
+
+    emit(format_table(
+        "SRAM-E — energy per operation of the 64x16 SI SRAM (90 nm model)",
+        ["Vdd", "write energy", "read energy", "write latency"],
+        rows, unit_hints=["V", "J", "J", "s"]))
+
+    vdd_opt, e_opt = minimum_energy_point(sram.write_energy, 0.2, 1.0)
+    model_opt = sram.energy_model("write").minimum_energy_point(0.2, 1.0)
+    emit(format_table(
+        "SRAM-E — headline numbers vs the paper",
+        ["quantity", "paper", "this model"],
+        [["write energy @ 1.0 V (J)", 5.8e-12, sram.write_energy(1.0)],
+         ["write energy @ 0.4 V (J)", 1.9e-12, sram.write_energy(0.4)],
+         ["minimum-energy-point voltage (V)", 0.4, vdd_opt],
+         ["1 V / 0.4 V energy ratio", 5.8 / 1.9,
+          ratio_between(sram.write_energy, 1.0, 0.4)]]))
+
+    # Published anchors (the model is calibrated to them; the check guards
+    # against regressions in the component models breaking the fit).
+    assert sram.write_energy(1.0) == pytest.approx(5.8e-12, rel=0.05)
+    assert sram.write_energy(0.4) == pytest.approx(1.9e-12, rel=0.05)
+    # Interior minimum-energy point near 0.4 V, from both the direct sweep
+    # and the switching/leakage decomposition.
+    assert 0.3 <= vdd_opt <= 0.55
+    assert 0.3 <= model_opt[0] <= 0.55
+    assert e_opt < sram.write_energy(1.0)
+    assert e_opt < sram.write_energy(0.21)
+    # Roughly the 3x saving the paper quotes between 1 V and 0.4 V.
+    assert 2.0 <= ratio_between(sram.write_energy, 1.0, 0.4) <= 4.5

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` (and ``python setup.py develop``) work on
+environments whose setuptools is too old to build PEP 660 editable wheels
+without the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

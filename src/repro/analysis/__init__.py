@@ -1,0 +1,41 @@
+"""Analysis and reporting helpers.
+
+The paper's evaluation artefacts are curves and in-text numbers (delay
+mismatch versus Vdd, energy per operation versus Vdd, count versus sampled
+voltage, QoS versus Vdd).  This package provides the generic machinery the
+benchmark harness uses to regenerate them:
+
+* :mod:`repro.analysis.metrics` — energy/delay figures of merit (minimum
+  energy point, energy-delay product, crossover voltages);
+* :mod:`repro.analysis.sweep` — one-dimensional parameter sweeps with named
+  series;
+* :mod:`repro.analysis.montecarlo` — Monte-Carlo studies over process
+  variation;
+* :mod:`repro.analysis.report` — plain-text table/series rendering so every
+  benchmark prints "the same rows the paper reports".
+"""
+
+from repro.analysis.metrics import (
+    crossover_voltage,
+    energy_delay_product,
+    minimum_energy_point,
+    ratio_between,
+)
+from repro.analysis.montecarlo import MonteCarloStudy, MonteCarloSummary
+from repro.analysis.report import Table, format_series, format_table
+from repro.analysis.sweep import Series, SweepResult, sweep
+
+__all__ = [
+    "crossover_voltage",
+    "energy_delay_product",
+    "minimum_energy_point",
+    "ratio_between",
+    "MonteCarloStudy",
+    "MonteCarloSummary",
+    "Table",
+    "format_series",
+    "format_table",
+    "Series",
+    "SweepResult",
+    "sweep",
+]

@@ -1,0 +1,88 @@
+"""Energy/delay figures of merit used across the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def minimum_energy_point(energy_fn: Callable[[float], float],
+                         vdd_low: float, vdd_high: float,
+                         points: int = 200) -> Tuple[float, float]:
+    """Locate the supply voltage minimising energy per operation.
+
+    Scans *points* evenly spaced voltages in ``[vdd_low, vdd_high]`` and
+    returns ``(vdd_at_minimum, energy_at_minimum)``.  The existence of an
+    interior minimum (leakage dominating below it, switching above it) is the
+    paper's SI-SRAM headline result ("minimum energy point per read or write
+    at 0.4 V").
+    """
+    if vdd_high <= vdd_low:
+        raise ConfigurationError("vdd_high must exceed vdd_low")
+    if points < 2:
+        raise ConfigurationError("points must be >= 2")
+    best_vdd = vdd_low
+    best_energy = float("inf")
+    for i in range(points):
+        vdd = vdd_low + (vdd_high - vdd_low) * i / (points - 1)
+        energy = energy_fn(vdd)
+        if energy < best_energy:
+            best_energy = energy
+            best_vdd = vdd
+    return best_vdd, best_energy
+
+
+def energy_delay_product(energy_fn: Callable[[float], float],
+                         delay_fn: Callable[[float], float],
+                         vdd: float) -> float:
+    """Energy × delay at one operating voltage."""
+    return energy_fn(vdd) * delay_fn(vdd)
+
+
+def ratio_between(fn: Callable[[float], float], vdd_a: float,
+                  vdd_b: float) -> float:
+    """``fn(vdd_a) / fn(vdd_b)`` — e.g. the paper's 5.8 pJ / 1.9 pJ ≈ 3×."""
+    denominator = fn(vdd_b)
+    if denominator == 0:
+        return float("inf")
+    return fn(vdd_a) / denominator
+
+
+def crossover_voltage(fn_a: Callable[[float], float],
+                      fn_b: Callable[[float], float],
+                      vdd_low: float, vdd_high: float,
+                      points: int = 400) -> Optional[float]:
+    """Lowest voltage in the range where ``fn_a`` overtakes ``fn_b``.
+
+    Used to find where Design 2's QoS crosses above Design 1's (Fig. 2) or
+    where one energy curve dips under another.  Returns ``None`` when no
+    crossover occurs in the range.
+    """
+    if vdd_high <= vdd_low:
+        raise ConfigurationError("vdd_high must exceed vdd_low")
+    if points < 2:
+        raise ConfigurationError("points must be >= 2")
+    previous_sign = None
+    for i in range(points):
+        vdd = vdd_low + (vdd_high - vdd_low) * i / (points - 1)
+        difference = fn_a(vdd) - fn_b(vdd)
+        sign = difference > 0
+        if previous_sign is not None and sign and not previous_sign:
+            return vdd
+        previous_sign = sign
+    return None
+
+
+def monotonicity_violations(values: Sequence[float]) -> int:
+    """Count adjacent pairs where the sequence decreases.
+
+    Sensor transfer functions (count versus voltage, thermometer code versus
+    voltage) must be monotonic to be invertible; this is the check the sensor
+    benchmarks report.
+    """
+    violations = 0
+    for a, b in zip(values, list(values)[1:]):
+        if b < a:
+            violations += 1
+    return violations

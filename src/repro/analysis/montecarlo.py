@@ -1,0 +1,120 @@
+"""Monte-Carlo studies over process variation.
+
+The paper's follow-up work on the SI SRAM includes "failure analysis and
+corner performance analysis" [8]; this module provides the generic machinery:
+sample a :class:`~repro.models.variation.ProcessVariation`, rebuild the
+quantity of interest on the perturbed technology, and summarise the spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.models.technology import Technology
+from repro.models.variation import ProcessVariation
+
+
+@dataclass
+class MonteCarloSummary:
+    """Spread statistics of a Monte-Carlo study."""
+
+    samples: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("a summary needs at least one sample")
+
+    @property
+    def count(self) -> int:
+        """Number of Monte-Carlo samples."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (population form for a single draw)."""
+        mean = self.mean
+        if len(self.samples) < 2:
+            return 0.0
+        variance = sum((x - mean) ** 2 for x in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return max(self.samples)
+
+    @property
+    def relative_spread(self) -> float:
+        """Standard deviation as a fraction of the mean (sigma/mu)."""
+        mean = self.mean
+        if mean == 0:
+            return float("inf") if self.std > 0 else 0.0
+        return self.std / abs(mean)
+
+    def percentile(self, fraction: float) -> float:
+        """Value below which *fraction* of the samples fall (nearest rank)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fraction must lie in [0, 1]")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def failure_fraction(self, predicate: Callable[[float], bool]) -> float:
+        """Fraction of samples for which *predicate* holds (e.g. spec misses)."""
+        failing = sum(1 for x in self.samples if predicate(x))
+        return failing / len(self.samples)
+
+
+class MonteCarloStudy:
+    """Evaluate a technology-dependent quantity under random variation.
+
+    Parameters
+    ----------
+    technology:
+        The nominal process.
+    quantity:
+        Callable mapping a (perturbed) :class:`Technology` to the number of
+        interest — e.g. ``lambda tech: BitlineModel(tech).read_delay(0.3)``.
+    sigma_vth / sigma_drive:
+        Relative variation magnitudes forwarded to
+        :class:`~repro.models.variation.ProcessVariation`.
+    """
+
+    def __init__(self, technology: Technology,
+                 quantity: Callable[[Technology], float],
+                 sigma_vth: float = 0.03, sigma_drive: float = 0.05,
+                 seed: int = 0) -> None:
+        self.technology = technology
+        self.quantity = quantity
+        self.variation = ProcessVariation(
+            sigma_vth=sigma_vth,
+            sigma_drive=sigma_drive,
+            seed=seed,
+        )
+
+    def run(self, samples: int = 100) -> MonteCarloSummary:
+        """Draw *samples* perturbed technologies and evaluate the quantity."""
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        values: List[float] = []
+        for _ in range(samples):
+            perturbed = self.variation.apply_to(self.technology)
+            values.append(float(self.quantity(perturbed)))
+        return MonteCarloSummary(samples=values)
+
+    def nominal(self) -> float:
+        """The quantity evaluated on the unperturbed technology."""
+        return float(self.quantity(self.technology))

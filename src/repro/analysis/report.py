@@ -1,0 +1,83 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every benchmark regenerating a paper figure prints its rows through these
+helpers so the output reads like the paper's own reporting: a caption, a
+header row, aligned numeric columns using engineering notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.units import eng
+
+Cell = Union[str, float, int]
+
+
+@dataclass
+class Table:
+    """A small caption + header + rows text table."""
+
+    caption: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; the cell count must match the header."""
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def render(self, unit_hints: Optional[Sequence[str]] = None) -> str:
+        """Render the table as aligned monospace text."""
+        return format_table(self.caption, self.headers, self.rows,
+                            unit_hints=unit_hints)
+
+
+def _format_cell(cell: Cell, unit: str = "") -> str:
+    if isinstance(cell, str):
+        return cell
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, int):
+        return str(cell)
+    return eng(float(cell), unit)
+
+
+def format_table(caption: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Cell]],
+                 unit_hints: Optional[Sequence[str]] = None) -> str:
+    """Format a caption, headers and rows into aligned monospace text."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    units = list(unit_hints) if unit_hints else [""] * len(headers)
+    if len(units) != len(headers):
+        raise ConfigurationError("unit_hints must match headers")
+    text_rows = [[_format_cell(cell, units[i]) for i, cell in enumerate(row)]
+                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [caption]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_unit: str = "", y_unit: str = "",
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Format one (x, y) series as a two-column text table."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have the same length")
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table(name, [x_label, y_label], rows,
+                        unit_hints=[x_unit, y_unit])

@@ -1,0 +1,99 @@
+"""One-dimensional parameter sweeps with named series.
+
+Every figure the paper reports is, behaviourally, "sweep one knob (usually
+Vdd) and record one or more quantities per design".  :func:`sweep` captures
+that pattern once so each benchmark is a thin declaration of the knob, the
+range and the quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Series:
+    """One named quantity sampled over the sweep variable."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def xs(self) -> List[float]:
+        """The sweep-variable values."""
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        """The recorded quantity values."""
+        return [y for _, y in self.points]
+
+    def value_at(self, x: float) -> float:
+        """Value at the sampled x nearest to *x*."""
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return min(self.points, key=lambda p: abs(p[0] - x))[1]
+
+    def argmin(self) -> Tuple[float, float]:
+        """The ``(x, y)`` pair with the smallest y."""
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return min(self.points, key=lambda p: p[1])
+
+    def argmax(self) -> Tuple[float, float]:
+        """The ``(x, y)`` pair with the largest y."""
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        return max(self.points, key=lambda p: p[1])
+
+
+@dataclass
+class SweepResult:
+    """All series produced by one sweep."""
+
+    variable: str
+    xs: List[float]
+    series: Dict[str, Series]
+
+    def __getitem__(self, name: str) -> Series:
+        try:
+            return self.series[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown series {name!r}") from exc
+
+    @property
+    def names(self) -> List[str]:
+        """Names of the recorded series."""
+        return list(self.series)
+
+
+def sweep(variable: str, values: Sequence[float],
+          quantities: Mapping[str, Callable[[float], float]]) -> SweepResult:
+    """Evaluate each quantity at each value of the sweep variable.
+
+    ``quantities`` maps series names to single-argument callables; exceptions
+    are not swallowed — a quantity that cannot be evaluated at a point is a
+    modelling bug the benchmark should surface.
+    """
+    if not values:
+        raise ConfigurationError("sweep values must not be empty")
+    if not quantities:
+        raise ConfigurationError("at least one quantity is required")
+    xs = [float(v) for v in values]
+    series = {name: Series(name=name) for name in quantities}
+    for x in xs:
+        for name, fn in quantities.items():
+            series[name].points.append((x, float(fn(x))))
+    return SweepResult(variable=variable, xs=xs, series=series)
+
+
+def vdd_range(low: float, high: float, steps: int) -> List[float]:
+    """Evenly spaced supply voltages, inclusive of both endpoints."""
+    if steps < 2:
+        raise ConfigurationError("steps must be >= 2")
+    if high <= low:
+        raise ConfigurationError("high must exceed low")
+    return [low + (high - low) * i / (steps - 1) for i in range(steps)]

@@ -1,0 +1,101 @@
+"""Energy-modulated computing — the paper's primary contribution.
+
+Everything below the :mod:`repro.core` package is a *mechanism* (device
+models, event kernel, supplies, self-timed circuits, SRAM, sensors); this
+package is the *policy and analysis* layer the paper's vision statement
+describes: systems "in which a certain quality of service is delivered in
+return for a certain amount of energy".
+
+Modules
+-------
+:mod:`repro.core.qos`
+    Quality-of-service metrics and QoS-versus-Vdd curves (Fig. 2 axes).
+:mod:`repro.core.proportionality`
+    Energy-proportionality metrics (Fig. 1).
+:mod:`repro.core.design_styles`
+    Design 1 (speed-independent dual-rail), Design 2 (bundled data) and the
+    hybrid design the paper recommends, as comparable "design style" objects.
+:mod:`repro.core.gating`
+    Power gating at nominal voltage — the paper's "strategy one" for spending
+    scavenged energy, compared against voltage scaling on self-timed logic.
+:mod:`repro.core.power_adaptive`
+    The holistic two-way adaptation loop of Fig. 3: sense the supply, set the
+    operating point, schedule the load.
+:mod:`repro.core.petri` and :mod:`repro.core.energy_tokens`
+    Petri nets with energy tokens (reference [15]) — the modelling substrate
+    for energy-modulated task scheduling.
+:mod:`repro.core.scheduler`
+    Energy-token task scheduling under a harvester budget.
+:mod:`repro.core.arbitration`
+    Soft arbitration / concurrency management for power-elastic systems
+    (reference [11]).
+:mod:`repro.core.stochastic`
+    Stochastic analysis of power, latency and the degree of concurrency
+    (reference [12]).
+:mod:`repro.core.game`
+    Game-theoretic power management (reference [16]).
+:mod:`repro.core.system`
+    The composed energy-harvester-powered system: power chain + sensors +
+    scheduler + computational load.
+"""
+
+from repro.core.qos import QoSMetric, QoSCurve, qos_vs_vdd
+from repro.core.proportionality import (
+    ProportionalityCurve,
+    proportionality_index,
+    dynamic_range,
+)
+from repro.core.design_styles import (
+    DesignStyle,
+    SpeedIndependentDesign,
+    BundledDataDesign,
+    HybridDesign,
+)
+from repro.core.gating import (
+    GatingParameters,
+    PowerGatedDesign,
+    voltage_scaled_activity_per_quantum,
+)
+from repro.core.power_adaptive import PowerAdaptiveController, AdaptationRecord
+from repro.core.petri import PetriNet, Place, Transition
+from repro.core.energy_tokens import EnergyTokenNet, EnergyPlace, EnergyTransition
+from repro.core.scheduler import EnergyTokenScheduler, Task, ScheduleResult
+from repro.core.arbitration import SoftArbiter, ConcurrencyManager
+from repro.core.stochastic import ConcurrencyAnalysis, PowerLatencyModel
+from repro.core.game import PowerManagementGame, Strategy
+from repro.core.system import EnergyModulatedSystem, SystemReport
+
+__all__ = [
+    "QoSMetric",
+    "QoSCurve",
+    "qos_vs_vdd",
+    "ProportionalityCurve",
+    "proportionality_index",
+    "dynamic_range",
+    "DesignStyle",
+    "SpeedIndependentDesign",
+    "BundledDataDesign",
+    "HybridDesign",
+    "GatingParameters",
+    "PowerGatedDesign",
+    "voltage_scaled_activity_per_quantum",
+    "PowerAdaptiveController",
+    "AdaptationRecord",
+    "PetriNet",
+    "Place",
+    "Transition",
+    "EnergyTokenNet",
+    "EnergyPlace",
+    "EnergyTransition",
+    "EnergyTokenScheduler",
+    "Task",
+    "ScheduleResult",
+    "SoftArbiter",
+    "ConcurrencyManager",
+    "ConcurrencyAnalysis",
+    "PowerLatencyModel",
+    "PowerManagementGame",
+    "Strategy",
+    "EnergyModulatedSystem",
+    "SystemReport",
+]

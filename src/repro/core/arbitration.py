@@ -1,0 +1,317 @@
+"""Soft arbitration and concurrency management (paper reference [11]).
+
+The paper's conclusion points to "adaptation by means of task concurrency
+control and 'soft arbitration'" as the system-level mechanism for
+power-elastic systems: instead of a hard arbiter that grants a shared
+resource to exactly one requester, a *soft* arbiter modulates **how many**
+requesters may proceed concurrently so that the instantaneous power drawn by
+the computational load tracks the power the supply can actually deliver.
+
+Two classes implement this idea:
+
+* :class:`SoftArbiter` — a power-budgeted grant mechanism.  Requesters
+  register with a per-grant power cost; each arbitration round the arbiter
+  grants as many outstanding requests as fit under the current power budget,
+  ordering them by a fairness-aware priority (longest-waiting first).
+* :class:`ConcurrencyManager` — the policy layer: given a supply power level
+  it chooses the *degree of concurrency* (number of simultaneously active
+  tasks) and drives a :class:`SoftArbiter`, recording the resulting
+  power/latency trade-off that reference [12]'s stochastic analysis studies
+  analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ArbitrationError, ConfigurationError
+
+
+@dataclass
+class GrantRecord:
+    """One granted request (who, when asked, when granted)."""
+
+    requester: str
+    request_round: int
+    grant_round: int
+    power: float
+
+    @property
+    def waiting_rounds(self) -> int:
+        """How many arbitration rounds the requester waited."""
+        return self.grant_round - self.request_round
+
+
+@dataclass
+class _PendingRequest:
+    requester: str
+    request_round: int
+
+
+class SoftArbiter:
+    """Grant concurrent access under an instantaneous power budget.
+
+    Parameters
+    ----------
+    power_budget:
+        Maximum total power (watts) of simultaneously granted requesters.
+    """
+
+    def __init__(self, power_budget: float, name: str = "soft_arbiter") -> None:
+        if power_budget < 0:
+            raise ConfigurationError("power_budget must be non-negative")
+        self.name = name
+        self.power_budget = power_budget
+        self._clients: Dict[str, float] = {}
+        self._pending: List[_PendingRequest] = []
+        self._active: Dict[str, float] = {}
+        self._round = 0
+        self.grants: List[GrantRecord] = []
+
+    # ------------------------------------------------------------------
+    # Registration and requests
+    # ------------------------------------------------------------------
+
+    def register(self, requester: str, power: float) -> None:
+        """Register *requester* with its per-grant power draw (watts)."""
+        if power < 0:
+            raise ConfigurationError("power must be non-negative")
+        if requester in self._clients:
+            raise ConfigurationError(f"requester {requester!r} already registered")
+        self._clients[requester] = power
+
+    def request(self, requester: str) -> None:
+        """Queue a request; it stays pending until a later :meth:`arbitrate`."""
+        if requester not in self._clients:
+            raise ArbitrationError(f"unknown requester {requester!r}")
+        if requester in self._active:
+            raise ArbitrationError(f"requester {requester!r} is already granted")
+        if any(p.requester == requester for p in self._pending):
+            raise ArbitrationError(f"requester {requester!r} already pending")
+        self._pending.append(_PendingRequest(requester, self._round))
+
+    def release(self, requester: str) -> None:
+        """Return a granted slot (the requester finished its critical work)."""
+        if requester not in self._active:
+            raise ArbitrationError(f"requester {requester!r} holds no grant")
+        del self._active[requester]
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+
+    @property
+    def round_number(self) -> int:
+        """Number of arbitration rounds performed so far."""
+        return self._round
+
+    @property
+    def active(self) -> Dict[str, float]:
+        """Currently granted requesters and their power draws."""
+        return dict(self._active)
+
+    @property
+    def pending(self) -> List[str]:
+        """Requesters still waiting, oldest first."""
+        return [p.requester for p in self._pending]
+
+    def active_power(self) -> float:
+        """Total power of currently granted requesters, in watts."""
+        return sum(self._active.values())
+
+    def set_power_budget(self, power_budget: float) -> None:
+        """Change the budget (the supply got stronger or weaker)."""
+        if power_budget < 0:
+            raise ConfigurationError("power_budget must be non-negative")
+        self.power_budget = power_budget
+
+    def arbitrate(self) -> List[str]:
+        """Run one arbitration round; returns the newly granted requesters.
+
+        Pending requests are considered oldest-first (so no requester starves)
+        and granted while they fit under the remaining power budget.  A
+        request that does not fit is skipped for this round — *soft*
+        arbitration never rejects, it only delays.
+        """
+        self._round += 1
+        granted: List[str] = []
+        headroom = self.power_budget - self.active_power()
+        still_pending: List[_PendingRequest] = []
+        for entry in self._pending:
+            power = self._clients[entry.requester]
+            if power <= headroom + 1e-15:
+                self._active[entry.requester] = power
+                headroom -= power
+                granted.append(entry.requester)
+                self.grants.append(GrantRecord(
+                    requester=entry.requester,
+                    request_round=entry.request_round,
+                    grant_round=self._round,
+                    power=power,
+                ))
+            else:
+                still_pending.append(entry)
+        self._pending = still_pending
+        return granted
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def average_waiting_rounds(self) -> float:
+        """Mean rounds between request and grant over the whole history."""
+        if not self.grants:
+            return 0.0
+        return sum(g.waiting_rounds for g in self.grants) / len(self.grants)
+
+    def degree_of_concurrency(self) -> int:
+        """How many requesters are currently active simultaneously."""
+        return len(self._active)
+
+
+@dataclass
+class ConcurrencyRecord:
+    """One step of concurrency management."""
+
+    step: int
+    supply_power: float
+    allowed_concurrency: int
+    achieved_concurrency: int
+    completed: int
+    backlog: int
+
+
+class ConcurrencyManager:
+    """Choose the degree of concurrency to match the available supply power.
+
+    The manager models a pool of identical workers, each drawing
+    ``power_per_task`` watts while active and finishing a work item every
+    ``service_rounds`` arbitration rounds.  At every step it reads the supply
+    power level, computes the largest degree of concurrency that fits, and
+    reconfigures a :class:`SoftArbiter` accordingly.  Work items arrive at a
+    fixed rate and queue while the supply is weak — power elasticity turns a
+    power shortfall into latency rather than failure.
+    """
+
+    def __init__(self, power_per_task: float, service_rounds: int = 1,
+                 max_concurrency: int = 16,
+                 name: str = "concurrency_manager") -> None:
+        if power_per_task <= 0:
+            raise ConfigurationError("power_per_task must be positive")
+        if service_rounds < 1:
+            raise ConfigurationError("service_rounds must be >= 1")
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+        self.name = name
+        self.power_per_task = power_per_task
+        self.service_rounds = service_rounds
+        self.max_concurrency = max_concurrency
+        self.arbiter = SoftArbiter(power_budget=0.0, name=f"{name}.arbiter")
+        for worker in range(max_concurrency):
+            self.arbiter.register(self._worker_name(worker), power_per_task)
+        self.records: List[ConcurrencyRecord] = []
+        self._backlog = 0
+        self._completed = 0
+        self._in_service: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _worker_name(self, index: int) -> str:
+        return f"{self.name}.worker{index}"
+
+    def allowed_concurrency(self, supply_power: float) -> int:
+        """Largest worker count the supply can power, capped at the pool size."""
+        if supply_power <= 0:
+            return 0
+        return min(self.max_concurrency, int(supply_power / self.power_per_task))
+
+    @property
+    def backlog(self) -> int:
+        """Work items admitted but not yet completed."""
+        return self._backlog
+
+    @property
+    def completed(self) -> int:
+        """Work items completed so far."""
+        return self._completed
+
+    def submit(self, items: int) -> None:
+        """Admit *items* new work items into the backlog."""
+        if items < 0:
+            raise ConfigurationError("items must be non-negative")
+        self._backlog += items
+
+    # ------------------------------------------------------------------
+
+    def step(self, supply_power: float, arrivals: int = 0) -> ConcurrencyRecord:
+        """One management step: admit arrivals, adapt concurrency, serve work."""
+        if arrivals:
+            self.submit(arrivals)
+        allowed = self.allowed_concurrency(supply_power)
+        self.arbiter.set_power_budget(allowed * self.power_per_task)
+
+        # Progress workers already in service; free their grant when done.
+        finished_now = 0
+        for worker in list(self._in_service):
+            self._in_service[worker] -= 1
+            if self._in_service[worker] <= 0:
+                self.arbiter.release(worker)
+                del self._in_service[worker]
+                self._completed += 1
+                self._backlog -= 1
+                finished_now += 1
+
+        # Ask for workers for queued items, up to the pool size.
+        idle_workers = [self._worker_name(i) for i in range(self.max_concurrency)
+                        if self._worker_name(i) not in self._in_service
+                        and self._worker_name(i) not in self.arbiter.pending
+                        and self._worker_name(i) not in self.arbiter.active]
+        already_committed = len(self._in_service) + len(self.arbiter.pending)
+        wanted = min(self._backlog - already_committed, len(idle_workers))
+        for worker in idle_workers[:max(wanted, 0)]:
+            self.arbiter.request(worker)
+
+        granted = self.arbiter.arbitrate()
+        for worker in granted:
+            self._in_service[worker] = self.service_rounds
+
+        record = ConcurrencyRecord(
+            step=len(self.records),
+            supply_power=supply_power,
+            allowed_concurrency=allowed,
+            achieved_concurrency=len(self._in_service),
+            completed=finished_now,
+            backlog=self._backlog,
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, supply_powers: Sequence[float],
+            arrivals_per_step: int = 1) -> List[ConcurrencyRecord]:
+        """Run one step per entry of *supply_powers* with steady arrivals."""
+        return [self.step(power, arrivals=arrivals_per_step)
+                for power in supply_powers]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def average_concurrency(self) -> float:
+        """Mean achieved degree of concurrency over the run."""
+        if not self.records:
+            return 0.0
+        return (sum(r.achieved_concurrency for r in self.records)
+                / len(self.records))
+
+    def average_backlog(self) -> float:
+        """Mean queue length over the run (a latency proxy via Little's law)."""
+        if not self.records:
+            return 0.0
+        return sum(r.backlog for r in self.records) / len(self.records)
+
+    def throughput(self) -> float:
+        """Completed work items per step over the run."""
+        if not self.records:
+            return 0.0
+        return self._completed / len(self.records)

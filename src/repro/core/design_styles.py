@@ -1,0 +1,251 @@
+"""Design styles: Design 1, Design 2 and the hybrid (paper Fig. 2).
+
+The paper's central design-space observation:
+
+* **Design 1** — speed-independent, dual-rail with completion detection:
+  "more conservative to delay variations due to low or unstable Vdd, but
+  consumes more power due to its additional logic components";
+* **Design 2** — bundled-data: "less timing robust but has much less
+  overhead for a nominal Vdd";
+* the recommended **hybrid** "combines the strengths of both designs, say,
+  using Design 1 in the depleted power (idle) mode and Design 2 in a full
+  power mode" — which is why "truly energy-modulated design has to be
+  power-adaptive".
+
+Each style exposes the same small interface (``throughput``,
+``energy_per_operation``, ``is_functional``, ``leakage_power``), so the QoS
+sweep of Fig. 2 and the system-level scheduler can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.selftimed.bundled import BundledDataStage
+from repro.selftimed.completion import CompletionTreeModel
+
+
+class DesignStyle:
+    """Common interface for comparable design styles."""
+
+    name = "abstract"
+
+    def is_functional(self, vdd: float) -> bool:
+        """Whether the design operates correctly at supply *vdd*."""
+        raise NotImplementedError
+
+    def cycle_time(self, vdd: float) -> float:
+        """Seconds per operation at supply *vdd*."""
+        raise NotImplementedError
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Joules per operation at supply *vdd*."""
+        raise NotImplementedError
+
+    def leakage_power(self, vdd: float) -> float:
+        """Idle static power in watts at supply *vdd*."""
+        raise NotImplementedError
+
+    # Derived quantities -------------------------------------------------
+
+    def throughput(self, vdd: float) -> float:
+        """Operations per second at supply *vdd* (0 when non-functional)."""
+        if not self.is_functional(vdd):
+            return 0.0
+        return 1.0 / self.cycle_time(vdd)
+
+    def power(self, vdd: float, utilisation: float = 1.0) -> float:
+        """Total power at supply *vdd* and the given utilisation (0–1)."""
+        if not (0.0 <= utilisation <= 1.0):
+            raise ConfigurationError("utilisation must lie in [0, 1]")
+        dynamic = 0.0
+        if self.is_functional(vdd) and utilisation > 0:
+            dynamic = (utilisation * self.energy_per_operation(vdd)
+                       / self.cycle_time(vdd))
+        return dynamic + self.leakage_power(vdd)
+
+    def operations_per_joule(self, vdd: float) -> float:
+        """Useful work per joule at supply *vdd*."""
+        if not self.is_functional(vdd):
+            return 0.0
+        energy = self.energy_per_operation(vdd)
+        return 1.0 / energy if energy > 0 else 0.0
+
+    def minimum_operating_voltage(self, resolution: float = 0.005,
+                                  vdd_max: Optional[float] = None) -> float:
+        """Lowest supply at which the style still delivers QoS."""
+        raise NotImplementedError
+
+
+class SpeedIndependentDesign(DesignStyle):
+    """Design 1: dual-rail, completion-detected datapath.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    logic_depth:
+        Datapath depth in gate delays.
+    datapath_width:
+        Number of logical data bits (dual-rail doubles the wires).
+    """
+
+    name = "design1_speed_independent"
+
+    def __init__(self, technology: Technology, logic_depth: int = 10,
+                 datapath_width: int = 16) -> None:
+        if logic_depth < 1 or datapath_width < 1:
+            raise ConfigurationError("logic_depth and datapath_width must be >= 1")
+        self.technology = technology
+        self.logic_depth = logic_depth
+        self.datapath_width = datapath_width
+        self._gate = GateModel(technology=technology, gate_type=GateType.NAND2)
+        self._c_gate = GateModel(technology=technology, gate_type=GateType.C_ELEMENT)
+        self.completion = CompletionTreeModel(technology=technology,
+                                              bits=datapath_width)
+
+    # ------------------------------------------------------------------
+
+    def is_functional(self, vdd: float) -> bool:
+        """Functional anywhere the gates still switch — the point of Design 1."""
+        return vdd >= self.technology.vdd_min
+
+    def cycle_time(self, vdd: float) -> float:
+        """4-phase dual-rail cycle: data wave + completion, then spacer + reset."""
+        datapath = self.logic_depth * self._gate.delay(vdd)
+        detection = self.completion.delay(vdd)
+        handshake = 2.0 * self._c_gate.delay(vdd)
+        return 2.0 * (datapath + detection + handshake)
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Dual-rail datapath (every bit fires one rail per phase) + CD tree."""
+        # Dual-rail: exactly one rail per bit switches per phase, two phases
+        # per operation, across the logic depth.
+        datapath = (2.0 * self.datapath_width * self.logic_depth
+                    * self._gate.transition_energy(vdd) * 0.5)
+        detection = self.completion.energy(vdd)
+        handshake = 4.0 * self._c_gate.transition_energy(vdd)
+        return datapath + detection + handshake
+
+    def leakage_power(self, vdd: float) -> float:
+        """Roughly twice the gate count of the bundled equivalent leaks."""
+        gates = 2.0 * self.datapath_width * self.logic_depth * 0.5
+        return (gates * self._gate.leakage_power(vdd)
+                + self.completion.leakage_power(vdd))
+
+    def minimum_operating_voltage(self, resolution: float = 0.005,
+                                  vdd_max: Optional[float] = None) -> float:
+        """Equal to the technology's functional minimum."""
+        return self.technology.vdd_min
+
+
+class BundledDataDesign(DesignStyle):
+    """Design 2: single-rail datapath timed by a matched delay line."""
+
+    name = "design2_bundled_data"
+
+    def __init__(self, technology: Technology, logic_depth: int = 10,
+                 datapath_width: int = 16, margin: float = 1.5,
+                 calibration_vdd: Optional[float] = None) -> None:
+        self.technology = technology
+        self.stage = BundledDataStage(
+            technology=technology,
+            logic_depth=logic_depth,
+            datapath_width=datapath_width,
+            margin=margin,
+            calibration_vdd=calibration_vdd,
+        )
+
+    # ------------------------------------------------------------------
+
+    def is_functional(self, vdd: float) -> bool:
+        """Functional only while the bundling margin holds."""
+        return self.stage.is_functional(vdd)
+
+    def cycle_time(self, vdd: float) -> float:
+        """Bundled 4-phase cycle (no completion detection to wait for)."""
+        return self.stage.cycle_time(vdd, check=False)
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Single-rail switching plus the delay-line control overhead."""
+        return self.stage.energy_per_operation(vdd)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of the single-rail datapath and delay line."""
+        return self.stage.leakage_power(vdd)
+
+    def minimum_operating_voltage(self, resolution: float = 0.005,
+                                  vdd_max: Optional[float] = None) -> float:
+        """The voltage where the matched-delay assumption breaks."""
+        return self.stage.minimum_operating_voltage(resolution=resolution)
+
+
+class HybridDesign(DesignStyle):
+    """The paper's recommended hybrid: Design 1 below a threshold, Design 2 above.
+
+    Parameters
+    ----------
+    switch_voltage:
+        Supply level at which the system switches styles.  ``None`` picks the
+        lowest voltage at which Design 2 is functional (plus a small guard
+        band), i.e. the hybrid uses the efficient style wherever it is safe
+        and falls back to the robust style below.
+    guard_band:
+        Extra margin (volts) added above Design 2's minimum before trusting it.
+    """
+
+    name = "hybrid_power_adaptive"
+
+    def __init__(self, technology: Technology, logic_depth: int = 10,
+                 datapath_width: int = 16,
+                 switch_voltage: Optional[float] = None,
+                 guard_band: float = 0.05) -> None:
+        if guard_band < 0:
+            raise ConfigurationError("guard_band must be non-negative")
+        self.technology = technology
+        self.design1 = SpeedIndependentDesign(technology, logic_depth,
+                                              datapath_width)
+        self.design2 = BundledDataDesign(technology, logic_depth,
+                                         datapath_width)
+        if switch_voltage is None:
+            switch_voltage = (self.design2.minimum_operating_voltage()
+                              + guard_band)
+        self.switch_voltage = switch_voltage
+
+    # ------------------------------------------------------------------
+
+    def active_design(self, vdd: float) -> DesignStyle:
+        """Which constituent style handles operation at supply *vdd*."""
+        if vdd >= self.switch_voltage and self.design2.is_functional(vdd):
+            return self.design2
+        return self.design1
+
+    def is_functional(self, vdd: float) -> bool:
+        """Functional wherever either constituent style is."""
+        return self.active_design(vdd).is_functional(vdd)
+
+    def cycle_time(self, vdd: float) -> float:
+        """Cycle time of whichever style is active at *vdd*."""
+        return self.active_design(vdd).cycle_time(vdd)
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Energy of whichever style is active, plus the mode-switch logic tax."""
+        base = self.active_design(vdd).energy_per_operation(vdd)
+        # The hybrid carries both datapaths; the inactive one is power-gated
+        # but its mode-switching wrapper costs a small constant overhead.
+        overhead = 0.02 * self.design1.energy_per_operation(vdd)
+        return base + overhead
+
+    def leakage_power(self, vdd: float) -> float:
+        """Active style leaks fully; the gated style leaks a residual 5 %."""
+        active = self.active_design(vdd)
+        inactive = self.design1 if active is self.design2 else self.design2
+        return active.leakage_power(vdd) + 0.05 * inactive.leakage_power(vdd)
+
+    def minimum_operating_voltage(self, resolution: float = 0.005,
+                                  vdd_max: Optional[float] = None) -> float:
+        """Inherits Design 1's floor — the whole point of the hybrid."""
+        return self.design1.minimum_operating_voltage(resolution)

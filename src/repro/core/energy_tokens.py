@@ -1,0 +1,200 @@
+"""Petri nets with energy tokens (paper reference [15]).
+
+The energy-token model makes the paper's "quanta of energy shape the
+system's action" literal: special *energy places* hold tokens each standing
+for a fixed quantum of harvested energy, and every computation transition
+must consume the number of energy tokens corresponding to its energy cost
+before it can fire.  Scheduling then *is* the game of deciding which enabled
+computation to spend the next quantum on.
+
+:class:`EnergyTokenNet` extends the plain :class:`~repro.core.petri.PetriNet`
+with:
+
+* an energy place with a configurable joules-per-token quantum,
+* ``deposit_energy`` to convert harvested joules into tokens (the interface
+  the harvester/power-chain side uses),
+* energy-cost bookkeeping per transition and totals for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, SchedulerError
+from repro.core.petri import PetriNet, Place, Transition
+
+
+@dataclass
+class EnergyPlace:
+    """Wrapper describing the energy place of an :class:`EnergyTokenNet`."""
+
+    place: Place
+    joules_per_token: float
+
+    @property
+    def stored_energy(self) -> float:
+        """Energy represented by the current token count, in joules."""
+        return self.place.tokens * self.joules_per_token
+
+
+@dataclass
+class EnergyTransition:
+    """A computation transition plus its energy cost in tokens."""
+
+    transition: Transition
+    energy_tokens: int
+    useful_work: float = 1.0
+
+    @property
+    def name(self) -> str:
+        """The underlying transition's name."""
+        return self.transition.name
+
+
+class EnergyTokenNet(PetriNet):
+    """A Petri net whose computation transitions consume energy tokens.
+
+    Parameters
+    ----------
+    joules_per_token:
+        The energy quantum one token represents.
+    energy_capacity_tokens:
+        Optional storage bound (a supercapacitor holds only so much).
+    """
+
+    ENERGY_PLACE = "__energy__"
+
+    def __init__(self, joules_per_token: float = 1e-9,
+                 energy_capacity_tokens: Optional[int] = None,
+                 name: str = "energy_net") -> None:
+        super().__init__(name=name)
+        if joules_per_token <= 0:
+            raise ConfigurationError("joules_per_token must be positive")
+        place = self.add_place(self.ENERGY_PLACE, tokens=0,
+                               capacity=energy_capacity_tokens)
+        self.energy_place = EnergyPlace(place=place,
+                                        joules_per_token=joules_per_token)
+        self.energy_transitions: Dict[str, EnergyTransition] = {}
+        self._energy_deposited = 0.0
+        self._energy_spent_tokens = 0
+        self._energy_overflow = 0.0
+
+    # ------------------------------------------------------------------
+    # Energy bookkeeping
+    # ------------------------------------------------------------------
+
+    def deposit_energy(self, joules: float) -> int:
+        """Convert *joules* of harvested energy into tokens; returns tokens added.
+
+        Energy that does not fit in the storage bound is recorded as overflow
+        (a real supercapacitor would simply not be able to absorb it) and a
+        fraction of a quantum is carried as remainder until enough
+        accumulates — callers can deposit arbitrarily small amounts.
+        """
+        if joules < 0:
+            raise ConfigurationError("joules must be non-negative")
+        self._energy_deposited += joules
+        carried = getattr(self, "_carry_joules", 0.0) + joules
+        quantum = self.energy_place.joules_per_token
+        tokens = int(carried / quantum)
+        self._carry_joules = carried - tokens * quantum
+        place = self.energy_place.place
+        added = 0
+        for _ in range(tokens):
+            if place.can_accept(1):
+                place.add(1)
+                added += 1
+            else:
+                self._energy_overflow += quantum
+        return added
+
+    @property
+    def energy_deposited(self) -> float:
+        """Total harvested energy offered to the net, in joules."""
+        return self._energy_deposited
+
+    @property
+    def energy_spent(self) -> float:
+        """Energy consumed by fired computation transitions, in joules."""
+        return self._energy_spent_tokens * self.energy_place.joules_per_token
+
+    @property
+    def energy_wasted(self) -> float:
+        """Energy lost to storage overflow, in joules."""
+        return self._energy_overflow
+
+    @property
+    def stored_energy(self) -> float:
+        """Energy currently banked as tokens, in joules."""
+        return self.energy_place.stored_energy
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_energy_transition(self, name: str, inputs: Dict[str, int],
+                              outputs: Dict[str, int], energy_tokens: int,
+                              useful_work: float = 1.0) -> EnergyTransition:
+        """Add a computation transition costing *energy_tokens* per firing."""
+        if energy_tokens < 0:
+            raise ConfigurationError("energy_tokens must be non-negative")
+        merged_inputs = dict(inputs)
+        if energy_tokens > 0:
+            merged_inputs[self.ENERGY_PLACE] = (
+                merged_inputs.get(self.ENERGY_PLACE, 0) + energy_tokens
+            )
+        transition = self.add_transition(name, merged_inputs, outputs)
+        record = EnergyTransition(transition=transition,
+                                  energy_tokens=energy_tokens,
+                                  useful_work=useful_work)
+        self.energy_transitions[name] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def fire(self, transition_name: str) -> None:
+        """Fire a transition, accounting for any energy tokens it consumes."""
+        record = self.energy_transitions.get(transition_name)
+        super().fire(transition_name)
+        if record is not None:
+            self._energy_spent_tokens += record.energy_tokens
+
+    def useful_work_done(self) -> float:
+        """Sum of the useful-work weights of every fired energy transition."""
+        total = 0.0
+        for name in self.firing_log:
+            record = self.energy_transitions.get(name)
+            if record is not None:
+                total += record.useful_work
+        return total
+
+    def energy_efficiency(self) -> float:
+        """Useful work per joule of deposited energy."""
+        if self._energy_deposited <= 0:
+            return 0.0
+        return self.useful_work_done() / self._energy_deposited
+
+    def starved_transitions(self) -> Dict[str, int]:
+        """Transitions blocked *only* by missing energy tokens.
+
+        Returns a map of transition name → energy-token shortfall, the
+        quantity a scheduler or power manager would act on.
+        """
+        shortfall: Dict[str, int] = {}
+        available = self.energy_place.place.tokens
+        for name, record in self.energy_transitions.items():
+            transition = self.transitions[name]
+            data_ready = all(
+                self.places[p].tokens >= w
+                for p, w in transition.inputs.items()
+                if p != self.ENERGY_PLACE
+            )
+            if not data_ready:
+                continue
+            needed = transition.inputs.get(self.ENERGY_PLACE, 0)
+            if needed > available:
+                shortfall[name] = needed - available
+        return shortfall

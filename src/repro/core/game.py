@@ -1,0 +1,308 @@
+"""Game-theoretic power management (paper reference [16]).
+
+The paper's conclusion cites "game-theoretic power management for dependable
+systems" as one of the mathematical underpinnings of energy-modulated
+computing.  The setting is adversarial in a precise sense: the power manager
+must commit to an operating point (a rail voltage / performance mode) for the
+next control epoch *before* it knows how much energy the environment will
+actually deliver; a pessimistic choice wastes the energy of a good epoch, an
+optimistic one browns out in a bad epoch and loses the work in flight.
+
+This module models that decision as a two-player game:
+
+* the **power manager** picks a :class:`Strategy` (an operating mode with a
+  known power demand and QoS yield);
+* the **environment** "picks" a harvest level (a scenario);
+* the payoff to the manager is the QoS actually delivered: full yield if the
+  harvest covers the demand, a salvage fraction if the epoch browns out.
+
+Two solution concepts are provided.  Against a purely adversarial
+environment, :meth:`PowerManagementGame.minimax_strategy` computes the
+security (maximin) strategy — possibly mixed — by solving the zero-sum game
+with a small linear program (scipy).  Against a *stochastic* environment
+with a known harvest distribution, :meth:`best_response_to` picks the
+expected-payoff-maximising pure strategy, and
+:meth:`fictitious_play` iterates empirical best responses of both sides to
+approximate an equilibrium of the general-sum version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """An operating mode the power manager can commit to for one epoch.
+
+    Parameters
+    ----------
+    name:
+        Identifier ("sleep", "design1@0.3V", "design2@1.0V", ...).
+    power_demand:
+        Power the mode draws if fully exercised, in watts.
+    qos_yield:
+        QoS delivered per epoch when the energy demand is met.
+    salvage_fraction:
+        Fraction of the yield retained when the epoch browns out (checkpointed
+        self-timed designs salvage more than clocked ones).
+    """
+
+    name: str
+    power_demand: float
+    qos_yield: float
+    salvage_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.power_demand < 0:
+            raise ConfigurationError("power_demand must be non-negative")
+        if self.qos_yield < 0:
+            raise ConfigurationError("qos_yield must be non-negative")
+        if not (0.0 <= self.salvage_fraction <= 1.0):
+            raise ConfigurationError("salvage_fraction must lie in [0, 1]")
+
+
+@dataclass
+class GameSolution:
+    """Result of solving the power-management game."""
+
+    strategy_probabilities: Dict[str, float]
+    game_value: float
+
+    @property
+    def best_pure_strategy(self) -> str:
+        """The most heavily weighted strategy."""
+        return max(self.strategy_probabilities.items(), key=lambda kv: kv[1])[0]
+
+    def is_pure(self, tolerance: float = 1e-6) -> bool:
+        """Whether the solution is (numerically) a single pure strategy."""
+        return max(self.strategy_probabilities.values()) >= 1.0 - tolerance
+
+
+class PowerManagementGame:
+    """The manager-versus-environment power game.
+
+    Parameters
+    ----------
+    strategies:
+        The manager's available operating modes.
+    harvest_levels:
+        The environment's possible per-epoch power deliveries, in watts.
+    harvest_probabilities:
+        Optional distribution over *harvest_levels* (for the stochastic
+        variants); must sum to one when given.
+    """
+
+    def __init__(self, strategies: Sequence[Strategy],
+                 harvest_levels: Sequence[float],
+                 harvest_probabilities: Optional[Sequence[float]] = None) -> None:
+        if not strategies:
+            raise ConfigurationError("need at least one strategy")
+        if not harvest_levels:
+            raise ConfigurationError("need at least one harvest level")
+        names = [s.name for s in strategies]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("strategy names must be unique")
+        if any(level < 0 for level in harvest_levels):
+            raise ConfigurationError("harvest levels must be non-negative")
+        if harvest_probabilities is not None:
+            if len(harvest_probabilities) != len(harvest_levels):
+                raise ConfigurationError(
+                    "harvest_probabilities must match harvest_levels")
+            if any(p < 0 for p in harvest_probabilities):
+                raise ConfigurationError("probabilities must be non-negative")
+            total = float(sum(harvest_probabilities))
+            if abs(total - 1.0) > 1e-9:
+                raise ConfigurationError("harvest_probabilities must sum to 1")
+        self.strategies = list(strategies)
+        self.harvest_levels = [float(level) for level in harvest_levels]
+        self.harvest_probabilities = (
+            None if harvest_probabilities is None
+            else [float(p) for p in harvest_probabilities])
+
+    # ------------------------------------------------------------------
+    # Payoffs
+    # ------------------------------------------------------------------
+
+    def payoff(self, strategy: Strategy, harvest_power: float) -> float:
+        """QoS delivered when *strategy* meets an epoch harvesting *harvest_power*."""
+        if harvest_power < 0:
+            raise ConfigurationError("harvest_power must be non-negative")
+        if harvest_power + 1e-15 >= strategy.power_demand:
+            return strategy.qos_yield
+        return strategy.salvage_fraction * strategy.qos_yield
+
+    def payoff_matrix(self) -> np.ndarray:
+        """Rows = manager strategies, columns = environment harvest levels."""
+        matrix = np.empty((len(self.strategies), len(self.harvest_levels)))
+        for i, strategy in enumerate(self.strategies):
+            for j, level in enumerate(self.harvest_levels):
+                matrix[i, j] = self.payoff(strategy, level)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Solution concepts
+    # ------------------------------------------------------------------
+
+    def pure_security_strategy(self) -> GameSolution:
+        """Maximin over pure strategies (the conservative deterministic choice)."""
+        matrix = self.payoff_matrix()
+        worst_case = matrix.min(axis=1)
+        best = int(np.argmax(worst_case))
+        probabilities = {s.name: 0.0 for s in self.strategies}
+        probabilities[self.strategies[best].name] = 1.0
+        return GameSolution(strategy_probabilities=probabilities,
+                            game_value=float(worst_case[best]))
+
+    def minimax_strategy(self) -> GameSolution:
+        """Maximin over *mixed* strategies (the value of the zero-sum game).
+
+        Solved as the standard linear program: maximise ``v`` subject to
+        ``Aᵀx ≥ v``, ``Σx = 1``, ``x ≥ 0``.  Falls back to the pure security
+        strategy if scipy's LP solver is unavailable.
+        """
+        matrix = self.payoff_matrix()
+        try:
+            from scipy.optimize import linprog
+        except ImportError:  # pragma: no cover - scipy is a hard dependency here
+            return self.pure_security_strategy()
+        rows, cols = matrix.shape
+        # Variables: x_0..x_{rows-1}, v.  Objective: maximise v  ⇒ minimise -v.
+        c = np.zeros(rows + 1)
+        c[-1] = -1.0
+        # Constraints: for every column j, v - Σ_i x_i·A[i,j] ≤ 0.
+        a_ub = np.hstack([-matrix.T, np.ones((cols, 1))])
+        b_ub = np.zeros(cols)
+        a_eq = np.zeros((1, rows + 1))
+        a_eq[0, :rows] = 1.0
+        b_eq = np.ones(1)
+        bounds = [(0.0, None)] * rows + [(None, None)]
+        result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                         bounds=bounds, method="highs")
+        if not result.success:  # pragma: no cover - defensive
+            return self.pure_security_strategy()
+        x = np.clip(result.x[:rows], 0.0, None)
+        total = x.sum()
+        x = x / total if total > 0 else np.full(rows, 1.0 / rows)
+        probabilities = {s.name: float(p) for s, p in zip(self.strategies, x)}
+        return GameSolution(strategy_probabilities=probabilities,
+                            game_value=float(result.x[-1]))
+
+    def best_response_to(self, harvest_probabilities: Optional[Sequence[float]] = None,
+                         ) -> GameSolution:
+        """Expected-payoff-maximising pure strategy for a known harvest mix."""
+        probabilities = (harvest_probabilities
+                         if harvest_probabilities is not None
+                         else self.harvest_probabilities)
+        if probabilities is None:
+            raise ConfigurationError(
+                "a harvest distribution is required for a best response")
+        if len(probabilities) != len(self.harvest_levels):
+            raise ConfigurationError(
+                "harvest_probabilities must match harvest_levels")
+        weights = np.asarray(probabilities, dtype=float)
+        matrix = self.payoff_matrix()
+        expected = matrix @ weights
+        best = int(np.argmax(expected))
+        answer = {s.name: 0.0 for s in self.strategies}
+        answer[self.strategies[best].name] = 1.0
+        return GameSolution(strategy_probabilities=answer,
+                            game_value=float(expected[best]))
+
+    def fictitious_play(self, rounds: int = 200) -> GameSolution:
+        """Approximate equilibrium play by iterated empirical best responses.
+
+        The environment is treated as a minimising opponent (worst-case
+        harvest); the returned mix is the manager's empirical strategy
+        frequency after *rounds* iterations.
+        """
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        matrix = self.payoff_matrix()
+        rows, cols = matrix.shape
+        row_counts = np.zeros(rows)
+        col_counts = np.zeros(cols)
+        # Seed with the pure security choices.
+        row_counts[int(np.argmax(matrix.min(axis=1)))] += 1
+        col_counts[int(np.argmin(matrix.max(axis=0)))] += 1
+        for _ in range(rounds):
+            col_mix = col_counts / col_counts.sum()
+            row_best = int(np.argmax(matrix @ col_mix))
+            row_counts[row_best] += 1
+            row_mix = row_counts / row_counts.sum()
+            col_best = int(np.argmin(row_mix @ matrix))
+            col_counts[col_best] += 1
+        row_mix = row_counts / row_counts.sum()
+        value = float(row_mix @ matrix @ (col_counts / col_counts.sum()))
+        probabilities = {s.name: float(p)
+                         for s, p in zip(self.strategies, row_mix)}
+        return GameSolution(strategy_probabilities=probabilities,
+                            game_value=value)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, solution: GameSolution, epochs: int = 1000,
+                 seed: int = 0,
+                 harvest_probabilities: Optional[Sequence[float]] = None,
+                 ) -> float:
+        """Average QoS per epoch when playing *solution* against random harvests."""
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        probabilities = (harvest_probabilities
+                         if harvest_probabilities is not None
+                         else self.harvest_probabilities)
+        if probabilities is None:
+            probabilities = [1.0 / len(self.harvest_levels)] * len(self.harvest_levels)
+        rng = np.random.default_rng(seed)
+        names = [s.name for s in self.strategies]
+        mix = np.array([solution.strategy_probabilities.get(name, 0.0)
+                        for name in names])
+        mix = mix / mix.sum()
+        total = 0.0
+        strategy_draws = rng.choice(len(names), size=epochs, p=mix)
+        harvest_draws = rng.choice(len(self.harvest_levels), size=epochs,
+                                   p=np.asarray(probabilities, dtype=float))
+        for s_idx, h_idx in zip(strategy_draws, harvest_draws):
+            total += self.payoff(self.strategies[int(s_idx)],
+                                 self.harvest_levels[int(h_idx)])
+        return total / epochs
+
+
+def strategies_from_design(design, vdd_levels: Sequence[float],
+                           epoch_duration: float = 1.0,
+                           salvage_fraction: float = 0.5) -> List[Strategy]:
+    """Build manager strategies from a design style's operating points.
+
+    Each Vdd level becomes a strategy whose power demand and QoS yield come
+    from the design's ``power`` and ``throughput`` at that voltage; a
+    non-functional voltage yields a zero-demand, zero-yield "sleep" strategy.
+    """
+    if not vdd_levels:
+        raise ConfigurationError("vdd_levels must not be empty")
+    if epoch_duration <= 0:
+        raise ConfigurationError("epoch_duration must be positive")
+    strategies: List[Strategy] = []
+    for vdd in vdd_levels:
+        vdd = float(vdd)
+        if design.is_functional(vdd):
+            strategies.append(Strategy(
+                name=f"{getattr(design, 'name', 'design')}@{vdd:.2f}V",
+                power_demand=design.power(vdd),
+                qos_yield=design.throughput(vdd) * epoch_duration,
+                salvage_fraction=salvage_fraction,
+            ))
+        else:
+            strategies.append(Strategy(
+                name=f"sleep@{vdd:.2f}V",
+                power_demand=design.leakage_power(vdd),
+                qos_yield=0.0,
+                salvage_fraction=0.0,
+            ))
+    return strategies

@@ -1,0 +1,211 @@
+"""Power gating: the paper's "strategy one" for spending scavenged energy.
+
+Section II-B describes two strategies for "maximizing the amount of
+computational activity for a given quantum of scavenged energy":
+
+1. "switch on/off parts of the circuit under the constant (nominal) voltage"
+   — duty-cycled power gating of a conventional (Design 2-like) fabric, the
+   approach of the AC-powered FIR filter in reference [4] (wake up, compute,
+   shut down every supply cycle);
+2. "operate under the variable voltage, but this requires much more robust
+   circuits, such as classes of self-timed (asynchronous) logic".
+
+This module provides strategy 1 as a first-class design style so the two can
+be compared quantitatively: :class:`PowerGatedDesign` wraps any
+:class:`~repro.core.design_styles.DesignStyle` with a sleep transistor model
+(residual leakage, wake-up energy and wake-up latency) and exposes the energy
+and throughput a given *duty cycle* achieves.  The
+:func:`activity_per_quantum` helper answers the paper's actual question —
+how much computation one energy quantum buys under each strategy — and is
+what the ``EXT3`` benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.design_styles import DesignStyle
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GatingParameters:
+    """Sleep-transistor and wake-up overheads of a power-gated domain.
+
+    Parameters
+    ----------
+    residual_leakage_fraction:
+        Fraction of the domain's active leakage that still flows when gated
+        (a real header/footer switch does not cut leakage to zero).
+    wakeup_energy_per_capacitance:
+        Energy, in joules per farad of domain decap/parasitic capacitance,
+        spent recharging the virtual rail on every wake-up.
+    domain_capacitance:
+        Effective capacitance of the gated domain's virtual rail, in farads.
+    wakeup_latency:
+        Time from de-asserting sleep to the first useful operation, in
+        seconds (rush-current limiting makes this non-zero).
+    """
+
+    residual_leakage_fraction: float = 0.05
+    wakeup_energy_per_capacitance: float = 1.0
+    domain_capacitance: float = 5e-12
+    wakeup_latency: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.residual_leakage_fraction <= 1.0):
+            raise ConfigurationError(
+                "residual_leakage_fraction must lie in [0, 1]")
+        if self.wakeup_energy_per_capacitance < 0:
+            raise ConfigurationError(
+                "wakeup_energy_per_capacitance must be non-negative")
+        if self.domain_capacitance <= 0:
+            raise ConfigurationError("domain_capacitance must be positive")
+        if self.wakeup_latency < 0:
+            raise ConfigurationError("wakeup_latency must be non-negative")
+
+    def wakeup_energy(self, vdd: float) -> float:
+        """Energy of one sleep→active transition at supply *vdd*, in joules."""
+        return (self.wakeup_energy_per_capacitance * self.domain_capacitance
+                * vdd * vdd)
+
+
+class PowerGatedDesign(DesignStyle):
+    """A conventional fabric duty-cycled behind a sleep switch (strategy 1).
+
+    The wrapped design always runs at its nominal voltage when awake; energy
+    is saved by being asleep most of the time.  The style therefore exposes
+    the same ``DesignStyle`` interface evaluated *at the nominal voltage*,
+    plus duty-cycle-aware helpers used by the strategy comparison.
+
+    Parameters
+    ----------
+    inner:
+        The fabric being gated (typically a
+        :class:`~repro.core.design_styles.BundledDataDesign`).
+    gating:
+        Sleep-switch overheads.
+    nominal_vdd:
+        The rail the domain runs at whenever it is awake.
+    """
+
+    name = "power_gated_nominal_vdd"
+
+    def __init__(self, inner: DesignStyle, gating: Optional[GatingParameters] = None,
+                 nominal_vdd: float = 1.0) -> None:
+        if nominal_vdd <= 0:
+            raise ConfigurationError("nominal_vdd must be positive")
+        self.inner = inner
+        self.gating = gating or GatingParameters()
+        self.nominal_vdd = nominal_vdd
+        if not inner.is_functional(nominal_vdd):
+            raise ConfigurationError(
+                "the gated fabric must be functional at its nominal voltage")
+
+    # ------------------------------------------------------------------
+    # DesignStyle interface (evaluated at the fixed nominal rail)
+    # ------------------------------------------------------------------
+
+    def is_functional(self, vdd: float) -> bool:
+        """The gated domain needs (at least) its nominal rail to wake up."""
+        return vdd >= self.nominal_vdd and self.inner.is_functional(self.nominal_vdd)
+
+    def cycle_time(self, vdd: float) -> float:
+        """Per-operation time of the awake domain (the rail is regulated)."""
+        return self.inner.cycle_time(self.nominal_vdd)
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Per-operation energy of the awake domain at the nominal rail."""
+        return self.inner.energy_per_operation(self.nominal_vdd)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Leakage of the *gated* (sleeping) domain — the residual fraction."""
+        return (self.gating.residual_leakage_fraction
+                * self.inner.leakage_power(self.nominal_vdd))
+
+    def minimum_operating_voltage(self, resolution: float = 0.005,
+                                  vdd_max: Optional[float] = None) -> float:
+        """The nominal rail: below it the domain simply stays asleep."""
+        return self.nominal_vdd
+
+    # ------------------------------------------------------------------
+    # Duty-cycle accounting
+    # ------------------------------------------------------------------
+
+    def awake_leakage_power(self) -> float:
+        """Leakage while awake (the full, ungated figure), in watts."""
+        return self.inner.leakage_power(self.nominal_vdd)
+
+    def operations_per_burst(self, awake_time: float) -> float:
+        """Operations one wake burst of *awake_time* seconds can perform."""
+        if awake_time < 0:
+            raise ConfigurationError("awake_time must be non-negative")
+        useful = max(0.0, awake_time - self.gating.wakeup_latency)
+        return useful / self.inner.cycle_time(self.nominal_vdd)
+
+    def burst_energy(self, awake_time: float) -> float:
+        """Total energy of one wake burst: wake-up + switching + leakage."""
+        operations = self.operations_per_burst(awake_time)
+        switching = operations * self.inner.energy_per_operation(self.nominal_vdd)
+        leakage = self.awake_leakage_power() * awake_time
+        return self.gating.wakeup_energy(self.nominal_vdd) + switching + leakage
+
+    def activity_per_quantum(self, energy_quantum: float,
+                             period: float) -> float:
+        """Operations one energy quantum buys per gating *period* (strategy 1).
+
+        The quantum first pays the sleep leakage for the whole period and the
+        wake-up cost; whatever remains buys awake time (switching plus awake
+        leakage) at the nominal voltage, bounded by the period itself.
+        """
+        if energy_quantum < 0:
+            raise ConfigurationError("energy_quantum must be non-negative")
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        sleep_tax = self.leakage_power(self.nominal_vdd) * period
+        budget = energy_quantum - sleep_tax - self.gating.wakeup_energy(self.nominal_vdd)
+        if budget <= 0:
+            return 0.0
+        energy_per_second_awake = (
+            self.inner.energy_per_operation(self.nominal_vdd)
+            / self.inner.cycle_time(self.nominal_vdd)
+            + self.awake_leakage_power())
+        awake_time = min(budget / energy_per_second_awake,
+                         period - self.gating.wakeup_latency)
+        return max(0.0, self.operations_per_burst(awake_time
+                                                  + self.gating.wakeup_latency))
+
+
+def voltage_scaled_activity_per_quantum(design: DesignStyle,
+                                        energy_quantum: float,
+                                        period: float,
+                                        vdd_grid_steps: int = 60,
+                                        vdd_max: float = 1.0) -> float:
+    """Operations one energy quantum buys under strategy 2 (variable voltage).
+
+    The self-timed fabric may run the whole period at whichever (functional)
+    voltage spends the quantum best: for each candidate voltage the quantum
+    pays that voltage's leakage for the period and buys operations at that
+    voltage's energy/op, bounded by the throughput available in the period.
+    Returns the best achievable operation count.
+    """
+    if energy_quantum < 0:
+        raise ConfigurationError("energy_quantum must be non-negative")
+    if period <= 0:
+        raise ConfigurationError("period must be positive")
+    if vdd_grid_steps < 2:
+        raise ConfigurationError("vdd_grid_steps must be >= 2")
+    floor = design.minimum_operating_voltage()
+    best = 0.0
+    for i in range(vdd_grid_steps):
+        vdd = floor + (vdd_max - floor) * i / (vdd_grid_steps - 1)
+        if not design.is_functional(vdd):
+            continue
+        budget = energy_quantum - design.leakage_power(vdd) * period
+        if budget <= 0:
+            continue
+        by_energy = budget / design.energy_per_operation(vdd)
+        by_time = period / design.cycle_time(vdd)
+        best = max(best, min(by_energy, by_time))
+    return best

@@ -1,0 +1,175 @@
+"""A small place/transition Petri net substrate.
+
+Reference [15] of the paper ("Task scheduling based on energy token model")
+models energy-modulated scheduling as a Petri net in which *energy tokens*
+gate the firing of computation transitions.  This module provides the plain
+place/transition machinery; :mod:`repro.core.energy_tokens` extends it with
+weighted energy places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SchedulerError
+
+
+@dataclass
+class Place:
+    """A Petri-net place holding a non-negative integer number of tokens."""
+
+    name: str
+    tokens: int = 0
+    capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            raise ConfigurationError("initial tokens must be non-negative")
+        if self.capacity is not None and self.capacity < self.tokens:
+            raise ConfigurationError("capacity smaller than initial marking")
+
+    def can_accept(self, count: int) -> bool:
+        """Whether *count* more tokens fit under the capacity bound."""
+        return self.capacity is None or self.tokens + count <= self.capacity
+
+    def add(self, count: int) -> None:
+        """Deposit *count* tokens."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if not self.can_accept(count):
+            raise SchedulerError(f"place {self.name!r} capacity exceeded")
+        self.tokens += count
+
+    def remove(self, count: int) -> None:
+        """Withdraw *count* tokens."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if self.tokens < count:
+            raise SchedulerError(f"place {self.name!r} underflow")
+        self.tokens -= count
+
+
+@dataclass
+class Transition:
+    """A Petri-net transition with weighted input and output arcs."""
+
+    name: str
+    inputs: Dict[str, int] = field(default_factory=dict)
+    outputs: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for arcs in (self.inputs, self.outputs):
+            for place, weight in arcs.items():
+                if weight < 1:
+                    raise ConfigurationError(
+                        f"arc weight to {place!r} must be >= 1"
+                    )
+
+
+class PetriNet:
+    """A marked place/transition net with interleaving semantics."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.places: Dict[str, Place] = {}
+        self.transitions: Dict[str, Transition] = {}
+        self.firing_log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_place(self, name: str, tokens: int = 0,
+                  capacity: Optional[int] = None) -> Place:
+        """Create and register a place."""
+        if name in self.places:
+            raise ConfigurationError(f"duplicate place {name!r}")
+        place = Place(name=name, tokens=tokens, capacity=capacity)
+        self.places[name] = place
+        return place
+
+    def add_transition(self, name: str, inputs: Dict[str, int],
+                       outputs: Dict[str, int]) -> Transition:
+        """Create and register a transition; all referenced places must exist."""
+        if name in self.transitions:
+            raise ConfigurationError(f"duplicate transition {name!r}")
+        for place in list(inputs) + list(outputs):
+            if place not in self.places:
+                raise ConfigurationError(f"unknown place {place!r}")
+        transition = Transition(name=name, inputs=dict(inputs),
+                                outputs=dict(outputs))
+        self.transitions[name] = transition
+        return transition
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def marking(self) -> Dict[str, int]:
+        """Current marking as a plain dict."""
+        return {name: place.tokens for name, place in self.places.items()}
+
+    def is_enabled(self, transition_name: str) -> bool:
+        """Whether the transition can fire in the current marking."""
+        transition = self._get_transition(transition_name)
+        for place, weight in transition.inputs.items():
+            if self.places[place].tokens < weight:
+                return False
+        for place, weight in transition.outputs.items():
+            if not self.places[place].can_accept(weight):
+                return False
+        return True
+
+    def enabled_transitions(self) -> List[str]:
+        """Names of all transitions enabled in the current marking."""
+        return [name for name in self.transitions if self.is_enabled(name)]
+
+    def fire(self, transition_name: str) -> None:
+        """Fire one transition (atomically consume inputs, produce outputs)."""
+        if not self.is_enabled(transition_name):
+            raise SchedulerError(f"transition {transition_name!r} is not enabled")
+        transition = self._get_transition(transition_name)
+        for place, weight in transition.inputs.items():
+            self.places[place].remove(weight)
+        for place, weight in transition.outputs.items():
+            self.places[place].add(weight)
+        self.firing_log.append(transition_name)
+
+    def run(self, policy: Optional[Sequence[str]] = None,
+            max_firings: int = 10_000) -> List[str]:
+        """Fire transitions until quiescence.
+
+        *policy* is an optional priority order of transition names; absent a
+        policy, enabled transitions fire in name order (deterministic).
+        Returns the firing sequence produced by this call.
+        """
+        if max_firings < 1:
+            raise ConfigurationError("max_firings must be >= 1")
+        fired: List[str] = []
+        for _ in range(max_firings):
+            enabled = self.enabled_transitions()
+            if not enabled:
+                return fired
+            if policy:
+                choices = [name for name in policy if name in enabled]
+                choice = choices[0] if choices else sorted(enabled)[0]
+            else:
+                choice = sorted(enabled)[0]
+            self.fire(choice)
+            fired.append(choice)
+        raise SchedulerError(
+            f"net {self.name!r} did not quiesce within {max_firings} firings"
+        )
+
+    def is_deadlocked(self) -> bool:
+        """True when no transition is enabled."""
+        return not self.enabled_transitions()
+
+    # ------------------------------------------------------------------
+
+    def _get_transition(self, name: str) -> Transition:
+        try:
+            return self.transitions[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown transition {name!r}") from exc

@@ -1,0 +1,294 @@
+"""The holistic power-adaptive control loop (paper Fig. 3).
+
+The paper argues that a "truly energy-modulated design has to be
+power-adaptive", and that power adaptation "requires good knowledge of the
+actual power level at run-time, which itself calls for good power meters".
+Fig. 3 sketches the resulting closed loop:
+
+``harvester → power chain → [voltage sensor] → controller → {supply set-point,
+operating mode, admitted load}``
+
+:class:`PowerAdaptiveController` implements that loop against any
+:class:`~repro.power.power_chain.PowerChain`-like object.  Each control step
+it
+
+1. *senses* the storage/rail voltage (through a sensor object from
+   :mod:`repro.sensors`, or ideally if none is supplied);
+2. *decides* an operating point — the regulated rail voltage and, for a
+   :class:`~repro.core.design_styles.HybridDesign`, implicitly the design
+   style that will be active at that voltage;
+3. *actuates* the DC-DC converter set-point and reports how much load
+   (operations) the computational fabric may admit during the next interval.
+
+The decision rule is the paper's strategy discussion in Section II-B: when
+the energy store is depleted, drop to the most power-proportional operating
+point (lowest functional Vdd — Design 1 territory); when the store is full,
+raise the rail towards the nominal voltage where the efficient style
+(Design 2) delivers peak QoS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.errors import ConfigurationError, PowerError
+from repro.units import clamp, lerp
+
+
+class VoltageSensor(Protocol):
+    """Anything that can report a voltage measurement for a true voltage."""
+
+    def measure(self, vdd: float) -> float:
+        """Return the measured value (volts) for the true voltage *vdd*."""
+
+
+@dataclass
+class AdaptationRecord:
+    """One step of the closed-loop adaptation (one row of a Fig. 3 trace)."""
+
+    time: float
+    store_voltage: float
+    measured_voltage: float
+    rail_voltage: float
+    target_voltage: float
+    admitted_operations: int
+    active_design: str
+    stored_energy: float
+
+    @property
+    def sensing_error(self) -> float:
+        """Absolute sensing error of this step, in volts."""
+        return abs(self.measured_voltage - self.store_voltage)
+
+
+@dataclass
+class AdaptationPolicy:
+    """Thresholds and set-points for the store-voltage governed policy.
+
+    The store voltage is the controller's proxy for "how much energy do we
+    have banked"; the policy maps it to a rail set-point between
+    ``vdd_floor`` (survival / most power-proportional point) and
+    ``vdd_nominal`` (full-performance point).
+    """
+
+    store_low: float = 1.0
+    store_high: float = 2.5
+    vdd_floor: float = 0.25
+    vdd_nominal: float = 1.0
+    max_operations_per_step: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.store_low >= self.store_high:
+            raise ConfigurationError("store_low must be below store_high")
+        if self.vdd_floor >= self.vdd_nominal:
+            raise ConfigurationError("vdd_floor must be below vdd_nominal")
+        if self.max_operations_per_step < 0:
+            raise ConfigurationError("max_operations_per_step must be >= 0")
+
+    def target_voltage(self, store_voltage: float) -> float:
+        """Rail set-point for a given (measured) store voltage."""
+        if store_voltage <= self.store_low:
+            return self.vdd_floor
+        if store_voltage >= self.store_high:
+            return self.vdd_nominal
+        return lerp(store_voltage, self.store_low, self.store_high,
+                    self.vdd_floor, self.vdd_nominal)
+
+
+class PowerAdaptiveController:
+    """Closed-loop, sensor-driven power adaptation (Fig. 3).
+
+    Parameters
+    ----------
+    chain:
+        The power chain to govern.  It must expose ``store.voltage(time)``,
+        ``output_rail.voltage(time)``, ``set_output_voltage(v)`` and
+        ``advance(duration)``.
+    design:
+        The computational fabric, any
+        :class:`~repro.core.design_styles.DesignStyle`.  Its throughput at
+        the chosen rail voltage bounds the admitted load.
+    sensor:
+        Optional voltage sensor used to *measure* the store voltage; when
+        omitted the controller reads the store directly (ideal metering).
+    policy:
+        The :class:`AdaptationPolicy` thresholds.
+    step_interval:
+        Length of one control step in seconds.
+    """
+
+    def __init__(self, chain, design, sensor: Optional[VoltageSensor] = None,
+                 policy: Optional[AdaptationPolicy] = None,
+                 step_interval: float = 0.01) -> None:
+        if step_interval <= 0:
+            raise ConfigurationError("step_interval must be positive")
+        self.chain = chain
+        self.design = design
+        self.sensor = sensor
+        self.policy = policy or AdaptationPolicy()
+        self.step_interval = step_interval
+        self.records: List[AdaptationRecord] = []
+        self._operations_done = 0
+        self._energy_consumed = 0.0
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+
+    @property
+    def operations_done(self) -> int:
+        """Operations admitted (and executed) over the whole run."""
+        return self._operations_done
+
+    @property
+    def energy_consumed(self) -> float:
+        """Energy drawn from the rail by admitted operations, in joules."""
+        return self._energy_consumed
+
+    def trace(self) -> List[AdaptationRecord]:
+        """All adaptation records so far (one per control step)."""
+        return list(self.records)
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+
+    def sense(self, time: float) -> float:
+        """Measure the store voltage at *time* through the sensor (if any)."""
+        true_voltage = self.chain.store.voltage(time)
+        if self.sensor is None:
+            return true_voltage
+        sensed = self.sensor.measure(true_voltage)
+        return max(0.0, sensed)
+
+    def decide(self, measured_store_voltage: float) -> float:
+        """Map a measured store voltage to the next rail set-point."""
+        target = self.policy.target_voltage(measured_store_voltage)
+        return clamp(target, self.policy.vdd_floor, self.policy.vdd_nominal)
+
+    def step(self, duration: Optional[float] = None) -> AdaptationRecord:
+        """Run one sense → decide → actuate → execute control step."""
+        duration = self.step_interval if duration is None else duration
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        now = self.chain.time
+        store_voltage = self.chain.store.voltage(now)
+        measured = self.sense(now)
+        target = self.decide(measured)
+        self.chain.set_output_voltage(target)
+
+        # Let the environment (harvesting, converter losses) move forward.
+        self.chain.advance(duration)
+        after = self.chain.time
+        rail_voltage = self.chain.output_rail.voltage(after)
+
+        admitted = self._execute_load(rail_voltage, duration, after)
+
+        record = AdaptationRecord(
+            time=after,
+            store_voltage=store_voltage,
+            measured_voltage=measured,
+            rail_voltage=rail_voltage,
+            target_voltage=target,
+            admitted_operations=admitted,
+            active_design=self._active_design_name(rail_voltage),
+            stored_energy=self.chain.store.stored_energy(after),
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, duration: float) -> List[AdaptationRecord]:
+        """Run the loop for *duration* seconds and return the new records."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        produced: List[AdaptationRecord] = []
+        remaining = duration
+        # Ignore sub-nanostep residue left by floating-point accumulation so
+        # a run of N·step_interval seconds produces exactly N records.
+        while remaining > self.step_interval * 1e-9:
+            step = min(self.step_interval, remaining)
+            produced.append(self.step(step))
+            remaining -= step
+        return produced
+
+    # ------------------------------------------------------------------
+    # Summary metrics
+    # ------------------------------------------------------------------
+
+    def average_rail_voltage(self) -> float:
+        """Mean regulated rail voltage over the run."""
+        if not self.records:
+            return 0.0
+        return sum(r.rail_voltage for r in self.records) / len(self.records)
+
+    def duty_profile(self) -> dict:
+        """Fraction of control steps spent in each active design style."""
+        if not self.records:
+            return {}
+        counts: dict = {}
+        for record in self.records:
+            counts[record.active_design] = counts.get(record.active_design, 0) + 1
+        total = len(self.records)
+        return {name: count / total for name, count in counts.items()}
+
+    def worst_sensing_error(self) -> float:
+        """Largest store-voltage sensing error seen, in volts."""
+        if not self.records:
+            return 0.0
+        return max(r.sensing_error for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _active_design_name(self, vdd: float) -> str:
+        active = self.design
+        if hasattr(self.design, "active_design"):
+            active = self.design.active_design(vdd)
+        return getattr(active, "name", active.__class__.__name__)
+
+    def _execute_load(self, rail_voltage: float, duration: float,
+                      time: float) -> int:
+        """Admit as many operations as the rail and the design allow."""
+        if rail_voltage <= 0 or not self.design.is_functional(rail_voltage):
+            return 0
+        throughput = self.design.throughput(rail_voltage)
+        wanted = int(throughput * duration)
+        wanted = min(wanted, self.policy.max_operations_per_step)
+        if wanted <= 0:
+            return 0
+        energy_per_op = self.design.energy_per_operation(rail_voltage)
+        if energy_per_op <= 0:
+            self._operations_done += wanted
+            return wanted
+        # Admit the load in a handful of chunks, re-checking the store between
+        # chunks: the converter's efficiency losses mean the store drains
+        # faster than the output-side energy alone would suggest, and we must
+        # stop before driving it into brown-out.
+        admitted = 0
+        remaining = wanted
+        minimum_input = getattr(self.chain.output_rail,
+                                "minimum_input_voltage", 0.0)
+        chunks = 8
+        chunk_size = max(1, wanted // chunks)
+        while remaining > 0:
+            store_voltage = self.chain.store.voltage(time)
+            if store_voltage <= minimum_input:
+                break
+            available = self.chain.store.stored_energy(time)
+            affordable = int(0.5 * available / energy_per_op)
+            batch = min(remaining, chunk_size, max(affordable, 0))
+            if batch <= 0:
+                break
+            total_energy = batch * energy_per_op
+            try:
+                self.chain.output_rail.draw_charge(
+                    total_energy / max(rail_voltage, 1e-9), time)
+            except PowerError:  # supply collapsed mid-step: stop admitting
+                break
+            self._energy_consumed += total_energy
+            admitted += batch
+            remaining -= batch
+        self._operations_done += admitted
+        return admitted

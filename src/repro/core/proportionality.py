@@ -1,0 +1,123 @@
+"""Energy-proportionality metrics (paper Fig. 1, after Barroso & Hölzle [2]).
+
+Fig. 1 sketches "the idea of energy-proportional computing": useful activity
+should be generated even at small amounts of energy, rather than only after a
+large fixed overhead has been paid.  This module quantifies that idea for any
+activity-versus-energy relationship:
+
+* :class:`ProportionalityCurve` — a sampled (energy in, activity out) curve;
+* :func:`proportionality_index` — 1.0 for a perfectly proportional system,
+  approaching 0 for a system dominated by fixed overhead;
+* :func:`dynamic_range` — the ratio between the largest and smallest energy
+  quanta that still produce useful activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ProportionalityCurve:
+    """A sampled activity-versus-energy curve.
+
+    ``points`` is a list of ``(energy_joules, activity)`` pairs where
+    *activity* counts useful outcomes (operations, transitions, samples).
+    """
+
+    name: str
+    points: List[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ConfigurationError("a proportionality curve needs >= 2 points")
+        energies = [e for e, _ in self.points]
+        if any(e2 <= e1 for e1, e2 in zip(energies, energies[1:])):
+            raise ConfigurationError("energies must strictly increase")
+        if any(a < 0 for _, a in self.points):
+            raise ConfigurationError("activity must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def activity_at(self, energy: float) -> float:
+        """Interpolated activity produced for *energy* joules of input."""
+        points = self.points
+        if energy <= points[0][0]:
+            return points[0][1]
+        if energy >= points[-1][0]:
+            return points[-1][1]
+        for (e0, a0), (e1, a1) in zip(points, points[1:]):
+            if energy < e1:
+                fraction = (energy - e0) / (e1 - e0)
+                return a0 + fraction * (a1 - a0)
+        return points[-1][1]
+
+    def onset_energy(self) -> float:
+        """Smallest sampled energy that produced any activity."""
+        for energy, activity in self.points:
+            if activity > 0:
+                return energy
+        return float("inf")
+
+    def marginal_efficiency(self) -> float:
+        """Activity per joule over the top half of the energy range."""
+        mid = 0.5 * (self.points[0][0] + self.points[-1][0])
+        top = self.points[-1]
+        base = self.activity_at(mid)
+        denom = top[0] - mid
+        if denom <= 0:
+            return 0.0
+        return (top[1] - base) / denom
+
+
+def proportionality_index(curve: ProportionalityCurve) -> float:
+    """Linearity of activity versus energy, in [0, 1].
+
+    Defined as the ratio of the area under the measured curve to the area
+    under the ideal proportional line through the end point (both measured
+    above the zero-activity axis).  A system with a large fixed overhead
+    produces little activity at low energy, losing area, and scores low; a
+    perfectly proportional system scores 1.
+    """
+    points = curve.points
+    e_max, a_max = points[-1]
+    if a_max <= 0 or e_max <= 0:
+        return 0.0
+    measured_area = 0.0
+    ideal_area = 0.5 * e_max * a_max
+    for (e0, a0), (e1, a1) in zip(points, points[1:]):
+        measured_area += 0.5 * (a0 + a1) * (e1 - e0)
+    # Contribution before the first sample assumed zero activity.
+    if ideal_area <= 0:
+        return 0.0
+    return max(0.0, min(1.0, measured_area / ideal_area))
+
+
+def dynamic_range(curve: ProportionalityCurve) -> float:
+    """Ratio of the largest to the smallest energy producing useful activity.
+
+    The paper's energy-modulated vision requires "some useful activity even
+    at small amounts of energy" — a large dynamic range.  Returns ``inf``
+    for a curve active at its smallest sample.
+    """
+    onset = curve.onset_energy()
+    e_max = curve.points[-1][0]
+    if onset <= 0:
+        return float("inf")
+    if onset == float("inf"):
+        return 0.0
+    return e_max / onset
+
+
+def build_proportionality_curve(
+        name: str,
+        activity_fn: Callable[[float], float],
+        energies: Sequence[float]) -> ProportionalityCurve:
+    """Characterise *activity_fn* over *energies* into a curve object."""
+    if len(energies) < 2:
+        raise ConfigurationError("need at least two energies")
+    points = [(float(e), float(activity_fn(float(e)))) for e in energies]
+    return ProportionalityCurve(name=name, points=points)

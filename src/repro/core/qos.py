@@ -1,0 +1,115 @@
+"""Quality-of-service metrics and QoS-versus-supply curves.
+
+Fig. 2 of the paper plots "QoS" against the power supply level for two design
+styles; the library makes that plot concrete by defining QoS as delivered
+throughput (operations per second), normalised if desired to a reference
+point, and by providing :func:`qos_vs_vdd` to sweep any design style object
+that exposes ``throughput(vdd)`` and ``is_functional(vdd)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class QoSMetric(enum.Enum):
+    """Supported quality-of-service definitions."""
+
+    #: Delivered operations per second.
+    THROUGHPUT = "throughput"
+    #: Inverse latency of a single operation.
+    RESPONSIVENESS = "responsiveness"
+    #: Operations delivered per joule (energy efficiency as a service metric).
+    OPERATIONS_PER_JOULE = "operations_per_joule"
+
+
+@dataclass
+class QoSCurve:
+    """A sampled QoS-versus-Vdd curve for one design."""
+
+    design_name: str
+    metric: QoSMetric
+    points: List[Tuple[float, float]]  # (vdd, qos); qos = 0 where non-functional
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("a QoS curve needs at least one point")
+
+    # ------------------------------------------------------------------
+
+    def qos_at(self, vdd: float) -> float:
+        """QoS at the sampled voltage nearest to *vdd*."""
+        return min(self.points, key=lambda p: abs(p[0] - vdd))[1]
+
+    def onset_voltage(self) -> Optional[float]:
+        """Lowest Vdd at which any QoS is delivered (Fig. 2's key feature)."""
+        delivering = [vdd for vdd, qos in self.points if qos > 0]
+        return min(delivering) if delivering else None
+
+    def peak(self) -> Tuple[float, float]:
+        """(vdd, qos) of the best point on the curve."""
+        return max(self.points, key=lambda p: p[1])
+
+    def normalised(self, reference_qos: Optional[float] = None) -> "QoSCurve":
+        """Return a copy scaled so the reference (or peak) QoS equals 1."""
+        if reference_qos is None:
+            reference_qos = self.peak()[1]
+        if reference_qos <= 0:
+            raise ConfigurationError("reference_qos must be positive")
+        return QoSCurve(
+            design_name=self.design_name,
+            metric=self.metric,
+            points=[(v, q / reference_qos) for v, q in self.points],
+        )
+
+    def efficiency_slope(self, vdd_low: float, vdd_high: float) -> float:
+        """ΔQoS/ΔVdd between two supply levels — the "power efficiency" of Fig. 2.
+
+        A design that converts additional supply headroom into a lot of extra
+        QoS (Design 2 at nominal voltage) has a steep slope; a conservative
+        design (Design 1) has a shallower one.
+        """
+        if vdd_high <= vdd_low:
+            raise ConfigurationError("vdd_high must exceed vdd_low")
+        return (self.qos_at(vdd_high) - self.qos_at(vdd_low)) / (vdd_high - vdd_low)
+
+
+def qos_vs_vdd(design, vdd_values: Sequence[float],
+               metric: QoSMetric = QoSMetric.THROUGHPUT,
+               energy_fn: Optional[Callable[[float], float]] = None) -> QoSCurve:
+    """Sweep *design* over *vdd_values* and build its :class:`QoSCurve`.
+
+    *design* must provide ``throughput(vdd)`` (or ``cycle_time(vdd)``) and
+    ``is_functional(vdd)``; non-functional voltages contribute zero QoS —
+    that is precisely how Design 2's "cannot deliver at all" region shows up
+    in Fig. 2.
+    """
+    if len(vdd_values) == 0:
+        raise ConfigurationError("vdd_values must not be empty")
+    points: List[Tuple[float, float]] = []
+    for vdd in vdd_values:
+        vdd = float(vdd)
+        functional = design.is_functional(vdd)
+        if not functional:
+            points.append((vdd, 0.0))
+            continue
+        if hasattr(design, "throughput"):
+            throughput = design.throughput(vdd)
+        else:
+            throughput = 1.0 / design.cycle_time(vdd)
+        if metric is QoSMetric.THROUGHPUT:
+            value = throughput
+        elif metric is QoSMetric.RESPONSIVENESS:
+            value = throughput  # single-token latency inverse equals throughput here
+        else:
+            if energy_fn is None:
+                energy_fn = getattr(design, "energy_per_operation")
+            energy = energy_fn(vdd)
+            value = 1.0 / energy if energy > 0 else 0.0
+        points.append((vdd, value))
+    name = getattr(design, "name", design.__class__.__name__)
+    return QoSCurve(design_name=name, metric=metric, points=points)

@@ -1,0 +1,271 @@
+"""Stochastic analysis of power, latency and the degree of concurrency.
+
+Reference [12] of the paper ("Stochastic Analysis of power, latency and the
+degree of concurrency", ISCAS 2010) characterises energy-modulated multi-core
+/ multi-task systems with queueing models: jobs arrive at some rate, the
+system runs a configurable number of concurrent servers (cores, or degrees of
+unfolded concurrency in an asynchronous fabric), and both the latency a job
+experiences and the power the system draws depend on that degree of
+concurrency.  The design question the paper cares about is the trade-off:
+more concurrency shortens queues but draws more power; less concurrency saves
+power but queues work — which is exactly the elasticity the soft arbiter of
+:mod:`repro.core.arbitration` exploits at run time.
+
+This module provides the closed-form side of that story:
+
+* :class:`PowerLatencyModel` — an M/M/c queue with a per-server power model
+  (static + utilisation-proportional dynamic power);
+* :class:`ConcurrencyAnalysis` — sweeps the degree of concurrency, finds the
+  feasible region, the latency-optimal and the power-latency-product-optimal
+  operating points, and produces the series a designer would plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class OperatingPoint:
+    """One evaluated degree of concurrency."""
+
+    servers: int
+    utilisation: float
+    mean_latency: float
+    mean_queue_length: float
+    power: float
+    stable: bool
+
+    @property
+    def power_latency_product(self) -> float:
+        """Power × latency — the figure of merit minimised by a balanced design."""
+        if not self.stable:
+            return float("inf")
+        return self.power * self.mean_latency
+
+    @property
+    def energy_per_job(self) -> float:
+        """System power integrated over one job's mean sojourn time, in joules."""
+        return self.power * self.mean_latency if self.stable else float("inf")
+
+
+class PowerLatencyModel:
+    """An M/M/c queue with a static + dynamic per-server power model.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Mean job arrival rate λ (jobs per second).
+    service_rate:
+        Mean per-server service rate μ (jobs per second per server).
+    static_power_per_server:
+        Power a powered-on server draws even when idle, in watts.
+    dynamic_power_per_server:
+        Additional power a server draws while busy, in watts.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float,
+                 static_power_per_server: float = 1e-6,
+                 dynamic_power_per_server: float = 10e-6) -> None:
+        if arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if service_rate <= 0:
+            raise ConfigurationError("service_rate must be positive")
+        if static_power_per_server < 0 or dynamic_power_per_server < 0:
+            raise ConfigurationError("power figures must be non-negative")
+        self.arrival_rate = arrival_rate
+        self.service_rate = service_rate
+        self.static_power_per_server = static_power_per_server
+        self.dynamic_power_per_server = dynamic_power_per_server
+
+    # ------------------------------------------------------------------
+    # Queueing quantities
+    # ------------------------------------------------------------------
+
+    def minimum_servers(self) -> int:
+        """Smallest degree of concurrency for which the queue is stable."""
+        return int(math.floor(self.arrival_rate / self.service_rate)) + 1
+
+    def utilisation(self, servers: int) -> float:
+        """Offered load per server, ρ = λ / (c·μ)."""
+        self._check_servers(servers)
+        return self.arrival_rate / (servers * self.service_rate)
+
+    def is_stable(self, servers: int) -> bool:
+        """Whether the queue is stable (ρ < 1) at this degree of concurrency."""
+        return self.utilisation(servers) < 1.0
+
+    def erlang_c(self, servers: int) -> float:
+        """Probability an arriving job must wait (the Erlang-C formula)."""
+        self._check_servers(servers)
+        if not self.is_stable(servers):
+            return 1.0
+        a = self.arrival_rate / self.service_rate  # offered load in Erlangs
+        rho = self.utilisation(servers)
+        # Numerically stable iterative evaluation of the Erlang-B recursion,
+        # then conversion to Erlang C.
+        inv_b = 1.0
+        for k in range(1, servers + 1):
+            inv_b = 1.0 + inv_b * k / a
+        b = 1.0 / inv_b
+        return b / (1.0 - rho * (1.0 - b))
+
+    def mean_waiting_time(self, servers: int) -> float:
+        """Mean time a job spends queueing before service, in seconds."""
+        if not self.is_stable(servers):
+            return float("inf")
+        wait_prob = self.erlang_c(servers)
+        return wait_prob / (servers * self.service_rate - self.arrival_rate)
+
+    def mean_latency(self, servers: int) -> float:
+        """Mean total sojourn time (queueing + service), in seconds."""
+        if not self.is_stable(servers):
+            return float("inf")
+        return self.mean_waiting_time(servers) + 1.0 / self.service_rate
+
+    def mean_queue_length(self, servers: int) -> float:
+        """Mean number of jobs in the system (Little's law)."""
+        latency = self.mean_latency(servers)
+        if math.isinf(latency):
+            return float("inf")
+        return self.arrival_rate * latency
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+
+    def power(self, servers: int) -> float:
+        """Mean power drawn with *servers* powered on, in watts."""
+        self._check_servers(servers)
+        rho = min(self.utilisation(servers), 1.0)
+        busy = servers * rho
+        return (servers * self.static_power_per_server
+                + busy * self.dynamic_power_per_server)
+
+    def operating_point(self, servers: int) -> OperatingPoint:
+        """Evaluate every metric at one degree of concurrency."""
+        stable = self.is_stable(servers)
+        return OperatingPoint(
+            servers=servers,
+            utilisation=self.utilisation(servers),
+            mean_latency=self.mean_latency(servers),
+            mean_queue_length=self.mean_queue_length(servers),
+            power=self.power(servers),
+            stable=stable,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_servers(servers: int) -> None:
+        if servers < 1:
+            raise ConfigurationError("servers must be >= 1")
+
+
+class ConcurrencyAnalysis:
+    """Sweep the degree of concurrency of a :class:`PowerLatencyModel`."""
+
+    def __init__(self, model: PowerLatencyModel, max_servers: int = 32) -> None:
+        if max_servers < 1:
+            raise ConfigurationError("max_servers must be >= 1")
+        self.model = model
+        self.max_servers = max_servers
+
+    def sweep(self, servers: Optional[Sequence[int]] = None) -> List[OperatingPoint]:
+        """Evaluate each candidate degree of concurrency."""
+        if servers is None:
+            servers = range(1, self.max_servers + 1)
+        points = [self.model.operating_point(int(c)) for c in servers]
+        if not points:
+            raise ConfigurationError("the sweep needs at least one server count")
+        return points
+
+    def feasible_points(self,
+                        latency_budget: Optional[float] = None,
+                        power_budget: Optional[float] = None,
+                        servers: Optional[Sequence[int]] = None,
+                        ) -> List[OperatingPoint]:
+        """Stable points meeting the optional latency and power budgets."""
+        selected = []
+        for point in self.sweep(servers):
+            if not point.stable:
+                continue
+            if latency_budget is not None and point.mean_latency > latency_budget:
+                continue
+            if power_budget is not None and point.power > power_budget:
+                continue
+            selected.append(point)
+        return selected
+
+    def latency_optimal(self, servers: Optional[Sequence[int]] = None) -> OperatingPoint:
+        """The degree of concurrency with the lowest mean latency."""
+        return min(self.sweep(servers), key=lambda p: p.mean_latency)
+
+    def balanced_optimal(self, servers: Optional[Sequence[int]] = None) -> OperatingPoint:
+        """The degree of concurrency minimising the power-latency product."""
+        return min(self.sweep(servers), key=lambda p: p.power_latency_product)
+
+    def minimum_power_feasible(self, latency_budget: float,
+                               servers: Optional[Sequence[int]] = None,
+                               ) -> Optional[OperatingPoint]:
+        """Cheapest stable point meeting *latency_budget*, or ``None``."""
+        feasible = self.feasible_points(latency_budget=latency_budget,
+                                        servers=servers)
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.power)
+
+    def concurrency_for_power(self, power_budget: float,
+                              servers: Optional[Sequence[int]] = None) -> int:
+        """Largest degree of concurrency affordable under *power_budget*."""
+        affordable = [p.servers for p in self.sweep(servers)
+                      if p.power <= power_budget]
+        return max(affordable) if affordable else 0
+
+
+def simulate_mmc(model: PowerLatencyModel, servers: int, jobs: int = 2000,
+                 seed: int = 0) -> OperatingPoint:
+    """Monte-Carlo check of the analytical M/M/c results.
+
+    Simulates *jobs* Poisson arrivals through a *servers*-server FCFS queue
+    with exponential service times and returns the empirical operating point
+    (used by the test-suite to validate the closed forms, and available to
+    users who want confidence intervals).
+    """
+    import numpy as np
+
+    if servers < 1:
+        raise ConfigurationError("servers must be >= 1")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    rng = np.random.default_rng(seed)
+    inter_arrivals = rng.exponential(1.0 / model.arrival_rate, size=jobs)
+    services = rng.exponential(1.0 / model.service_rate, size=jobs)
+    arrivals = np.cumsum(inter_arrivals)
+    server_free = np.zeros(servers)
+    latencies = np.empty(jobs)
+    busy_time = 0.0
+    for i in range(jobs):
+        idx = int(np.argmin(server_free))
+        start = max(arrivals[i], server_free[idx])
+        finish = start + services[i]
+        server_free[idx] = finish
+        latencies[i] = finish - arrivals[i]
+        busy_time += services[i]
+    horizon = float(max(server_free.max(), arrivals[-1]))
+    utilisation = busy_time / (servers * horizon) if horizon > 0 else 0.0
+    mean_latency = float(latencies.mean())
+    power = (servers * model.static_power_per_server
+             + servers * utilisation * model.dynamic_power_per_server)
+    return OperatingPoint(
+        servers=servers,
+        utilisation=utilisation,
+        mean_latency=mean_latency,
+        mean_queue_length=model.arrival_rate * mean_latency,
+        power=power,
+        stable=model.is_stable(servers),
+    )

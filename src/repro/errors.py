@@ -1,0 +1,99 @@
+"""Domain-specific exceptions used across the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the simulator can catch a single base class.  The
+hierarchy mirrors the major subsystems: device models, the event kernel, the
+power substrate, circuit structure, memory, sensing and the system layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class ModelError(ReproError):
+    """A device/energy model was evaluated outside its validity range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel detected an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid payload."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events while components were still waiting."""
+
+
+class HazardError(SimulationError):
+    """A hazard (glitch) was detected on a signal that must be hazard-free.
+
+    Speed-independent circuits must be hazard-free by construction; if the
+    structural checks in :mod:`repro.selftimed` ever observe a hazard this
+    error is raised instead of silently producing wrong behaviour.
+    """
+
+
+class PowerError(ReproError):
+    """A power-substrate component was driven outside its operating range."""
+
+
+class SupplyCollapseError(PowerError):
+    """The supply voltage fell below the minimum operating voltage of a load.
+
+    This is not always fatal: energy-modulated designs *expect* the supply to
+    collapse (e.g. the charge-to-digital converter runs its capacitor down on
+    purpose) and catch this exception to detect completion.
+    """
+
+
+class EnergyAccountingError(PowerError):
+    """Energy bookkeeping went inconsistent (negative energy, NaN, ...)."""
+
+
+class ProtocolError(ReproError):
+    """A handshake protocol rule was violated (e.g. ack before req)."""
+
+
+class CompletionDetectionError(ReproError):
+    """Completion detection logic observed an ill-formed dual-rail code word."""
+
+
+class MemoryError_(ReproError):
+    """SRAM-specific failure (address out of range, retention loss, ...).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class AddressError(MemoryError_):
+    """An SRAM access targeted an address outside the array."""
+
+
+class RetentionError(MemoryError_):
+    """An SRAM cell lost its stored value (supply below retention voltage)."""
+
+
+class SensorError(ReproError):
+    """A voltage sensor was used outside its calibrated/operating range."""
+
+
+class CalibrationError(SensorError):
+    """A calibration table was queried outside its domain or is ill-formed."""
+
+
+class SchedulerError(ReproError):
+    """The energy-token task scheduler was given an infeasible problem."""
+
+
+class ArbitrationError(ReproError):
+    """Soft-arbitration / concurrency-control invariant violated."""

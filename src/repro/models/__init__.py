@@ -1,0 +1,49 @@
+"""Device, delay and energy models.
+
+This package replaces the UMC 90 nm SPICE models and Cadence simulations used
+by the paper with analytical models that reproduce the *scaling shapes* the
+paper relies on:
+
+* how gate delay grows as Vdd approaches and drops below the threshold
+  voltage (the reason self-timed logic is needed at all);
+* how SRAM bitline delay scales *differently* from logic delay (Fig. 5);
+* how switching and leakage energy trade off to give a minimum-energy point
+  around 0.4 V (the SI SRAM result).
+
+Public API
+----------
+:class:`~repro.models.technology.Technology`
+    Named parameter sets (90 nm default, plus 65/180 nm).
+:class:`~repro.models.mosfet.MosfetModel`
+    Continuous weak/strong-inversion drain-current model.
+:class:`~repro.models.gate.GateModel`
+    Per-gate delay and energy as a function of Vdd and load.
+:class:`~repro.models.delay.InverterChain`, :func:`~repro.models.delay.fo4_delay`
+    Logic-delay reference rulers.
+:class:`~repro.models.energy.EnergyModel`
+    Switching / leakage / total energy-per-operation model.
+:class:`~repro.models.variation.ProcessVariation`, :class:`~repro.models.variation.Corner`
+    Corners and Monte-Carlo parameter sampling.
+"""
+
+from repro.models.technology import Technology, TECHNOLOGIES
+from repro.models.mosfet import MosfetModel
+from repro.models.gate import GateModel, GateType
+from repro.models.delay import InverterChain, fo4_delay, logical_effort_delay
+from repro.models.energy import EnergyModel, EnergyBreakdown
+from repro.models.variation import Corner, ProcessVariation
+
+__all__ = [
+    "Technology",
+    "TECHNOLOGIES",
+    "MosfetModel",
+    "GateModel",
+    "GateType",
+    "InverterChain",
+    "fo4_delay",
+    "logical_effort_delay",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "Corner",
+    "ProcessVariation",
+]

@@ -1,0 +1,184 @@
+"""Technology parameter sets.
+
+A :class:`Technology` bundles the handful of process parameters the
+behavioural device models need: nominal supply, threshold voltage,
+sub-threshold slope factor, per-gate capacitances and leakage.  The default
+set, ``cmos90``, is tuned so that the derived quantities match the anchor
+points quoted in the paper for UMC 90 nm:
+
+* logic operates from 0.2 V to 1.0 V (dual-rail counter, sensors);
+* an SRAM read costs ~50 inverter delays at 1.0 V and ~158 at 0.19 V (Fig. 5);
+* a 16-bit SI SRAM write costs ~5.8 pJ at 1.0 V and ~1.9 pJ at 0.4 V with a
+  minimum-energy point near 0.4 V.
+
+The numbers are *behavioural calibrations*, not extracted SPICE parameters —
+see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.units import ROOM_TEMPERATURE_K
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named CMOS technology parameter set.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"cmos90"``.
+    feature_size_nm:
+        Drawn feature size in nanometres (informational).
+    vdd_nominal:
+        Nominal supply voltage in volts.
+    vdd_min:
+        Minimum supply at which logic is still considered functional.  Below
+        this the behavioural models refuse to compute a finite delay.
+    vth:
+        Effective NMOS/PMOS threshold voltage magnitude in volts.
+    subthreshold_slope_factor:
+        The ``n`` in the sub-threshold current ``exp((Vgs-Vth)/(n*kT/q))``;
+        typically 1.3–1.6 for bulk CMOS.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (≈1.3 for 90 nm).
+    i_on_per_um:
+        Saturation (on) current per micron of gate width at nominal Vdd, in
+        amperes.  Sets the absolute delay scale.
+    gate_cap_per_um:
+        Gate capacitance per micron of width, in farads.
+    wire_cap_per_um:
+        Wire capacitance per micron of length, in farads (used for bitlines).
+    i_leak_per_um:
+        Per-micron sub-threshold leakage current at nominal Vdd, in amperes.
+    min_width_um:
+        Minimum transistor width in microns; the unit inverter uses this.
+    temperature_k:
+        Junction temperature for thermal-voltage dependent behaviour.
+    """
+
+    name: str
+    feature_size_nm: float
+    vdd_nominal: float
+    vdd_min: float
+    vth: float
+    subthreshold_slope_factor: float
+    alpha: float
+    i_on_per_um: float
+    gate_cap_per_um: float
+    wire_cap_per_um: float
+    i_leak_per_um: float
+    min_width_um: float
+    temperature_k: float = ROOM_TEMPERATURE_K
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError("vdd_nominal must be positive")
+        if not (0 < self.vdd_min < self.vdd_nominal):
+            raise ConfigurationError(
+                f"vdd_min must lie in (0, vdd_nominal), got {self.vdd_min}"
+            )
+        if self.vth <= 0 or self.vth >= self.vdd_nominal:
+            raise ConfigurationError(
+                f"vth must lie in (0, vdd_nominal), got {self.vth}"
+            )
+        if self.subthreshold_slope_factor < 1.0:
+            raise ConfigurationError("subthreshold_slope_factor must be >= 1")
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ConfigurationError("alpha must lie in [1, 2]")
+        for attr in ("i_on_per_um", "gate_cap_per_um", "wire_cap_per_um",
+                     "i_leak_per_um", "min_width_um"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def unit_inverter_input_cap(self) -> float:
+        """Input capacitance of a minimum-size inverter (NMOS + PMOS ≈ 3×Wmin)."""
+        return 3.0 * self.min_width_um * self.gate_cap_per_um
+
+    @property
+    def unit_inverter_output_cap(self) -> float:
+        """Parasitic (self-load) output capacitance of a minimum-size inverter."""
+        return 0.5 * self.unit_inverter_input_cap
+
+    def scaled(self, **overrides: float) -> "Technology":
+        """Return a copy with some parameters overridden (corner modelling)."""
+        return replace(self, **overrides)
+
+
+def _make_builtin_technologies() -> Dict[str, Technology]:
+    """Construct the built-in technology table.
+
+    The ``cmos90`` entry is the calibration target for all paper experiments;
+    ``cmos65`` and ``cmos180`` bracket it so sweeps over technology are
+    possible (the paper mentions both 65 nm [6] and 180 nm [4] prior work).
+    """
+    cmos90 = Technology(
+        name="cmos90",
+        feature_size_nm=90.0,
+        vdd_nominal=1.0,
+        vdd_min=0.14,
+        vth=0.32,
+        subthreshold_slope_factor=1.45,
+        alpha=1.35,
+        i_on_per_um=550e-6,
+        gate_cap_per_um=1.0e-15,
+        wire_cap_per_um=0.20e-15,
+        i_leak_per_um=12e-9,
+        min_width_um=0.12,
+    )
+    cmos65 = Technology(
+        name="cmos65",
+        feature_size_nm=65.0,
+        vdd_nominal=1.0,
+        vdd_min=0.13,
+        vth=0.30,
+        subthreshold_slope_factor=1.5,
+        alpha=1.3,
+        i_on_per_um=700e-6,
+        gate_cap_per_um=0.8e-15,
+        wire_cap_per_um=0.18e-15,
+        i_leak_per_um=40e-9,
+        min_width_um=0.09,
+    )
+    cmos180 = Technology(
+        name="cmos180",
+        feature_size_nm=180.0,
+        vdd_nominal=1.8,
+        vdd_min=0.20,
+        vth=0.45,
+        subthreshold_slope_factor=1.35,
+        alpha=1.5,
+        i_on_per_um=450e-6,
+        gate_cap_per_um=1.8e-15,
+        wire_cap_per_um=0.25e-15,
+        i_leak_per_um=0.3e-9,
+        min_width_um=0.24,
+    )
+    return {tech.name: tech for tech in (cmos90, cmos65, cmos180)}
+
+
+#: Built-in technologies, keyed by name.
+TECHNOLOGIES: Dict[str, Technology] = _make_builtin_technologies()
+
+
+def get_technology(name: str = "cmos90") -> Technology:
+    """Look up a built-in :class:`Technology` by name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names so the
+    error message lists the available options.
+    """
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise ConfigurationError(
+            f"unknown technology {name!r}; available: {known}"
+        ) from exc

@@ -1,0 +1,64 @@
+"""Power-supply substrate: the "energy side" of energy-modulated computing.
+
+The paper's central scenario is a computational load powered not by a stable
+battery rail but by an energy harvester with "limited power density and
+unstable levels of power".  This package models that whole supply chain:
+
+* ideal and AC supplies (:mod:`repro.power.supply`) — including the
+  200 mV ± 100 mV, 1 MHz AC rail of Fig. 4;
+* batteries with finite capacity (:mod:`repro.power.battery`);
+* stochastic harvesters — vibration, solar, thermal
+  (:mod:`repro.power.harvester`);
+* storage / sampling capacitors whose voltage *sags as circuits draw charge*
+  (:mod:`repro.power.capacitor`) — the physical mechanism behind the
+  charge-to-digital converter;
+* DC-DC converters with realistic efficiency curves (:mod:`repro.power.dcdc`);
+* maximum-power-point tracking (:mod:`repro.power.mppt`);
+* the composed harvester→storage→converter→load chain
+  (:mod:`repro.power.power_chain`, the structure of Figs. 3 and 8).
+
+All supplies implement the small :class:`~repro.power.supply.SupplyNode`
+protocol (``voltage(time)`` + ``draw_charge(charge, time)``) which is what the
+circuit packages talk to.
+"""
+
+from repro.power.supply import (
+    SupplyNode,
+    ConstantSupply,
+    ACSupply,
+    PiecewiseSupply,
+    RampSupply,
+)
+from repro.power.battery import Battery
+from repro.power.capacitor import Capacitor, SamplingCapacitor
+from repro.power.harvester import (
+    HarvesterModel,
+    VibrationHarvester,
+    SolarHarvester,
+    ThermalHarvester,
+    IntermittentHarvester,
+)
+from repro.power.dcdc import DCDCConverter, ConverterEfficiency
+from repro.power.mppt import MPPTController
+from repro.power.power_chain import PowerChain, ChainReport
+
+__all__ = [
+    "SupplyNode",
+    "ConstantSupply",
+    "ACSupply",
+    "PiecewiseSupply",
+    "RampSupply",
+    "Battery",
+    "Capacitor",
+    "SamplingCapacitor",
+    "HarvesterModel",
+    "VibrationHarvester",
+    "SolarHarvester",
+    "ThermalHarvester",
+    "IntermittentHarvester",
+    "DCDCConverter",
+    "ConverterEfficiency",
+    "MPPTController",
+    "PowerChain",
+    "ChainReport",
+]

@@ -1,0 +1,241 @@
+"""Energy-harvester source models.
+
+The paper's target supplies are "energy-harvesters (EHs)... power levels may
+be small and variable".  We model a harvester as a *power process*: a
+function of time (and randomness) giving the instantaneous power the
+environment offers, plus a source impedance characteristic so that the
+maximum-power-point tracker (:mod:`repro.power.mppt`) has something to track.
+
+Three concrete environments are provided, matching the EH literature the
+paper cites:
+
+* :class:`VibrationHarvester` — resonant electro-mechanical generator whose
+  output collapses off-resonance (the MPPT example given in the paper);
+* :class:`SolarHarvester` — diurnal/irradiance-driven photovoltaic cell;
+* :class:`ThermalHarvester` — thermo-electric generator with a slowly
+  wandering temperature gradient;
+* :class:`IntermittentHarvester` — bursty on/off source ("energy is
+  scavenged very sporadically") for testing power-gated and
+  energy-modulated operation.
+
+All randomness flows through a seeded :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerError
+
+
+class HarvesterModel:
+    """Base class: a time-varying available-power process.
+
+    Subclasses override :meth:`available_power`.  The base class provides
+    the source model used by MPPT: the harvester behaves like a power source
+    with an optimal load voltage ``v_mpp(time)``; operating the input at a
+    different voltage wastes a quadratic-in-mismatch fraction of the power.
+    """
+
+    def __init__(self, peak_power: float, v_mpp_nominal: float,
+                 name: str = "harvester", seed: Optional[int] = None) -> None:
+        if peak_power <= 0:
+            raise ConfigurationError("peak_power must be positive")
+        if v_mpp_nominal <= 0:
+            raise ConfigurationError("v_mpp_nominal must be positive")
+        self.name = name
+        self.peak_power = peak_power
+        self.v_mpp_nominal = v_mpp_nominal
+        self.rng = np.random.default_rng(seed)
+        self._energy_harvested = 0.0
+
+    # ------------------------------------------------------------------
+
+    def available_power(self, time: float) -> float:
+        """Raw environmental power available at *time*, in watts."""
+        raise NotImplementedError
+
+    def v_mpp(self, time: float) -> float:
+        """Optimal (maximum-power-point) input voltage at *time*, in volts.
+
+        The default model drifts the MPP voltage slowly (±10 %) so a static
+        operating point loses power and a tracker visibly helps.
+        """
+        drift = 0.1 * math.sin(2.0 * math.pi * time / 7.3)
+        return self.v_mpp_nominal * (1.0 + drift)
+
+    def extracted_power(self, time: float, operating_voltage: float) -> float:
+        """Power actually extracted when the input is held at *operating_voltage*.
+
+        A normalised inverted parabola around the MPP: extracting at the MPP
+        yields all the available power, at 0 V or 2·V_mpp it yields none.
+        """
+        if operating_voltage < 0:
+            raise PowerError("operating voltage must be non-negative")
+        available = self.available_power(time)
+        vm = self.v_mpp(time)
+        mismatch = (operating_voltage - vm) / vm
+        efficiency = max(0.0, 1.0 - mismatch * mismatch)
+        return available * efficiency
+
+    def harvest(self, time: float, duration: float,
+                operating_voltage: Optional[float] = None) -> float:
+        """Integrate extracted energy over ``[time, time+duration)`` in joules.
+
+        A small-step trapezoidal integration; *operating_voltage* defaults to
+        the instantaneous MPP (i.e. a perfect tracker).
+        """
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        steps = max(4, int(duration / (duration / 16)))
+        dt = duration / steps
+        energy = 0.0
+        for i in range(steps):
+            t = time + (i + 0.5) * dt
+            v = operating_voltage if operating_voltage is not None else self.v_mpp(t)
+            energy += self.extracted_power(t, v) * dt
+        self._energy_harvested += energy
+        return energy
+
+    @property
+    def energy_harvested(self) -> float:
+        """Total energy harvested so far, in joules."""
+        return self._energy_harvested
+
+
+class VibrationHarvester(HarvesterModel):
+    """Resonant vibration micro-generator.
+
+    Power is maximal when the ambient vibration frequency matches the
+    generator's resonant frequency; a Lorentzian response models the rolloff.
+    The ambient frequency and amplitude perform a bounded random walk, making
+    the supply "unstable within a specified range" as the paper assumes.
+    """
+
+    def __init__(self, peak_power: float = 100e-6, v_mpp_nominal: float = 1.2,
+                 resonant_frequency: float = 50.0, q_factor: float = 20.0,
+                 wander: float = 0.05, seed: Optional[int] = None,
+                 name: str = "vibration") -> None:
+        super().__init__(peak_power, v_mpp_nominal, name=name, seed=seed)
+        if resonant_frequency <= 0 or q_factor <= 0:
+            raise ConfigurationError("resonant_frequency and q_factor must be positive")
+        if not (0.0 <= wander < 1.0):
+            raise ConfigurationError("wander must lie in [0, 1)")
+        self.resonant_frequency = resonant_frequency
+        self.q_factor = q_factor
+        self.wander = wander
+        self._ambient_freq = resonant_frequency
+        self._amplitude = 1.0
+        self._last_step = 0.0
+
+    def _random_walk(self, time: float) -> None:
+        """Advance the ambient-condition random walk in 1-second strides."""
+        while self._last_step + 1.0 <= time:
+            self._last_step += 1.0
+            self._ambient_freq *= 1.0 + self.wander * float(self.rng.normal(0, 0.3))
+            self._ambient_freq = max(1.0, min(self._ambient_freq,
+                                              4.0 * self.resonant_frequency))
+            self._amplitude *= 1.0 + self.wander * float(self.rng.normal(0, 0.3))
+            self._amplitude = max(0.05, min(self._amplitude, 2.0))
+
+    def available_power(self, time: float) -> float:
+        """Lorentzian-in-frequency, amplitude-scaled available power."""
+        self._random_walk(time)
+        detune = (self._ambient_freq - self.resonant_frequency) / (
+            self.resonant_frequency / self.q_factor
+        )
+        response = 1.0 / (1.0 + detune * detune)
+        return self.peak_power * self._amplitude * response
+
+
+class SolarHarvester(HarvesterModel):
+    """Indoor/outdoor photovoltaic source with a smooth irradiance profile.
+
+    The irradiance follows a raised-cosine "day" of configurable period with
+    multiplicative cloud noise; MPP voltage tracks irradiance weakly
+    (logarithmically), as real PV cells do.
+    """
+
+    def __init__(self, peak_power: float = 1e-3, v_mpp_nominal: float = 0.5,
+                 day_period: float = 600.0, cloud_sigma: float = 0.2,
+                 seed: Optional[int] = None, name: str = "solar") -> None:
+        super().__init__(peak_power, v_mpp_nominal, name=name, seed=seed)
+        if day_period <= 0:
+            raise ConfigurationError("day_period must be positive")
+        if cloud_sigma < 0:
+            raise ConfigurationError("cloud_sigma must be non-negative")
+        self.day_period = day_period
+        self.cloud_sigma = cloud_sigma
+        self._cloud = 1.0
+        self._last_step = -1.0
+
+    def _irradiance(self, time: float) -> float:
+        phase = 2.0 * math.pi * (time % self.day_period) / self.day_period
+        return max(0.0, 0.5 * (1.0 - math.cos(phase)))
+
+    def available_power(self, time: float) -> float:
+        """Irradiance-shaped power with slowly varying cloud attenuation."""
+        if time - self._last_step >= 1.0:
+            self._last_step = time
+            self._cloud = float(np.clip(
+                self._cloud * math.exp(self.cloud_sigma * self.rng.normal(0, 0.2)),
+                0.1, 1.0,
+            ))
+        return self.peak_power * self._irradiance(time) * self._cloud
+
+    def v_mpp(self, time: float) -> float:
+        """MPP voltage rises logarithmically with irradiance."""
+        irradiance = max(1e-3, self._irradiance(time))
+        return self.v_mpp_nominal * (0.85 + 0.15 * (1.0 + math.log10(irradiance)))
+
+
+class ThermalHarvester(HarvesterModel):
+    """Thermo-electric generator driven by a wandering temperature gradient."""
+
+    def __init__(self, peak_power: float = 50e-6, v_mpp_nominal: float = 0.3,
+                 gradient_period: float = 120.0, seed: Optional[int] = None,
+                 name: str = "thermal") -> None:
+        super().__init__(peak_power, v_mpp_nominal, name=name, seed=seed)
+        if gradient_period <= 0:
+            raise ConfigurationError("gradient_period must be positive")
+        self.gradient_period = gradient_period
+
+    def available_power(self, time: float) -> float:
+        """Power follows the square of the (slowly oscillating) gradient."""
+        gradient = 0.6 + 0.4 * math.sin(2.0 * math.pi * time / self.gradient_period)
+        return self.peak_power * gradient * gradient
+
+
+class IntermittentHarvester(HarvesterModel):
+    """Bursty source: random on-periods of full power separated by dead time.
+
+    This is the regime the paper calls "environments where energy is
+    scavenged very sporadically" — the stress test for energy-modulated
+    operation, where computation must happen inside the bursts.
+    """
+
+    def __init__(self, peak_power: float = 200e-6, v_mpp_nominal: float = 1.0,
+                 mean_on_time: float = 0.5, mean_off_time: float = 2.0,
+                 seed: Optional[int] = None, name: str = "intermittent") -> None:
+        super().__init__(peak_power, v_mpp_nominal, name=name, seed=seed)
+        if mean_on_time <= 0 or mean_off_time <= 0:
+            raise ConfigurationError("on/off times must be positive")
+        self.mean_on_time = mean_on_time
+        self.mean_off_time = mean_off_time
+        self._schedule_end = 0.0
+        self._on = False
+        self._next_toggle = 0.0
+
+    def _advance_schedule(self, time: float) -> None:
+        while self._next_toggle <= time:
+            self._on = not self._on
+            mean = self.mean_on_time if self._on else self.mean_off_time
+            self._next_toggle += float(self.rng.exponential(mean))
+
+    def available_power(self, time: float) -> float:
+        """Full peak power during a burst, zero otherwise."""
+        self._advance_schedule(time)
+        return self.peak_power if self._on else 0.0

@@ -1,0 +1,140 @@
+"""The composed energy-harvesting power chain (Figs. 3 and 8).
+
+``harvester → MPPT → storage capacitor → DC-DC converter → load rail``
+
+:class:`PowerChain` wires the pieces of this package together and exposes the
+output rail as a supply node for the circuit packages, plus a
+:meth:`advance` method that moves environmental time forward (harvesting into
+the store and billing converter quiescent losses).  The
+:class:`~repro.core.power_adaptive.PowerAdaptiveController` closes the loop
+around it using a voltage sensor from :mod:`repro.sensors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.power.capacitor import Capacitor
+from repro.power.dcdc import ConverterEfficiency, DCDCConverter
+from repro.power.harvester import HarvesterModel
+from repro.power.mppt import MPPTController
+
+
+@dataclass
+class ChainReport:
+    """End-to-end energy ledger of a power chain over a run."""
+
+    energy_harvested: float
+    energy_stored: float
+    energy_delivered_to_load: float
+    conversion_loss: float
+    tracking_efficiency: float
+    store_voltage: float
+
+    @property
+    def end_to_end_efficiency(self) -> float:
+        """Fraction of harvested energy that reached the load."""
+        if self.energy_harvested <= 0:
+            return 0.0
+        return self.energy_delivered_to_load / self.energy_harvested
+
+
+class PowerChain:
+    """Harvester → MPPT → storage → DC-DC → load-rail composition.
+
+    Parameters
+    ----------
+    harvester:
+        Environmental energy source.
+    storage_capacitance:
+        Size of the storage capacitor in farads (a supercap in real designs).
+    output_voltage:
+        Initial regulated output rail voltage in volts.
+    initial_store_voltage:
+        Voltage the storage capacitor starts at (cold-start studies set 0).
+    mppt_interval:
+        Perturb-and-observe step interval in seconds.
+    converter_efficiency:
+        Optional custom :class:`~repro.power.dcdc.ConverterEfficiency`.
+    """
+
+    def __init__(self, harvester: HarvesterModel, storage_capacitance: float = 100e-6,
+                 output_voltage: float = 1.0, initial_store_voltage: float = 2.0,
+                 mppt_interval: float = 0.05,
+                 converter_efficiency: Optional[ConverterEfficiency] = None,
+                 name: str = "chain") -> None:
+        if storage_capacitance <= 0:
+            raise ConfigurationError("storage_capacitance must be positive")
+        if output_voltage <= 0:
+            raise ConfigurationError("output_voltage must be positive")
+        self.name = name
+        self.harvester = harvester
+        self.store = Capacitor(
+            capacitance=storage_capacitance,
+            initial_voltage=initial_store_voltage,
+            name=f"{name}.store",
+        )
+        self.converter = DCDCConverter(
+            input_store=self.store,
+            target_voltage=output_voltage,
+            efficiency=converter_efficiency,
+            name=f"{name}.dcdc",
+        )
+        self.mppt = MPPTController(
+            harvester=harvester,
+            store=self.store,
+            initial_voltage=harvester.v_mpp_nominal,
+            step_interval=mppt_interval,
+        )
+        self._time = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Environmental time the chain has been advanced to, in seconds."""
+        return self._time
+
+    @property
+    def output_rail(self) -> DCDCConverter:
+        """The supply node circuits should connect to."""
+        return self.converter
+
+    def advance(self, duration: float) -> None:
+        """Advance environmental time by *duration* seconds.
+
+        The MPPT controller harvests into the store and the converter's
+        quiescent power is billed.  Load draws happen asynchronously through
+        :attr:`output_rail` whenever circuits switch.
+        """
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        end = self._time + duration
+        while self._time < end:
+            step = min(self.mppt.step_interval, end - self._time)
+            if step >= self.mppt.step_interval * 0.999:
+                self.mppt.step(self._time)
+            else:
+                energy = self.harvester.harvest(self._time, step)
+                self.store.add_energy(energy, self._time + step)
+            self._time += step
+            self.converter.idle_tick(step, self._time)
+
+    def set_output_voltage(self, voltage: float) -> None:
+        """Reprogram the regulated rail (power-adaptive control actuator)."""
+        self.converter.set_target_voltage(voltage)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> ChainReport:
+        """Produce the end-to-end energy ledger for the run so far."""
+        return ChainReport(
+            energy_harvested=self.harvester.energy_harvested,
+            energy_stored=self.store.stored_energy(self._time),
+            energy_delivered_to_load=self.converter.energy_delivered,
+            conversion_loss=self.converter.conversion_loss(),
+            tracking_efficiency=self.mppt.tracking_efficiency(),
+            store_voltage=self.store.voltage(self._time),
+        )

@@ -1,0 +1,64 @@
+"""Self-timed (asynchronous) circuit library.
+
+The paper's enabling technology is speed-independent, self-timed logic:
+circuits whose correct operation does not depend on gate delays and which
+therefore keep working — just more slowly — when the supply voltage drops,
+wobbles or collapses.  This package provides the building blocks the paper's
+design examples are made of:
+
+* voltage-aware event-driven gates (:mod:`repro.selftimed.gates`);
+* the Muller C-element (:mod:`repro.selftimed.celement`);
+* dual-rail encoding and completion detection (:mod:`repro.selftimed.dualrail`,
+  :mod:`repro.selftimed.completion`);
+* the toggle flip-flop of Fig. 10 (:mod:`repro.selftimed.toggle`);
+* the self-timed ripple counter of Fig. 9, including the 2-bit dual-rail
+  counter demonstrated under an AC supply in Fig. 4
+  (:mod:`repro.selftimed.counter`);
+* 4-phase handshake channels (:mod:`repro.selftimed.handshake`);
+* bundled-data stages with matched delay lines — the paper's "Design 2"
+  (:mod:`repro.selftimed.bundled`);
+* asynchronous pipelines for throughput studies (:mod:`repro.selftimed.pipeline`);
+* a metastability-aware synchronizer, reference [5] of the paper
+  (:mod:`repro.selftimed.synchronizer`).
+"""
+
+from repro.selftimed.gates import CircuitElement, LogicGate, Inverter, DelayLine
+from repro.selftimed.celement import CElement
+from repro.selftimed.dualrail import (
+    DualRailSignal,
+    DualRailWord,
+    dual_rail_encode,
+    dual_rail_decode,
+)
+from repro.selftimed.completion import CompletionDetector, CompletionTreeModel
+from repro.selftimed.toggle import ToggleFlipFlop
+from repro.selftimed.counter import SelfTimedCounter, DualRailCounter
+from repro.selftimed.handshake import HandshakeChannel, HandshakePhase
+from repro.selftimed.bundled import BundledDataStage, MatchedDelayLine, TimingViolation
+from repro.selftimed.pipeline import AsyncPipeline, PipelineStage
+from repro.selftimed.synchronizer import RobustSynchronizer
+
+__all__ = [
+    "CircuitElement",
+    "LogicGate",
+    "Inverter",
+    "DelayLine",
+    "CElement",
+    "DualRailSignal",
+    "DualRailWord",
+    "dual_rail_encode",
+    "dual_rail_decode",
+    "CompletionDetector",
+    "CompletionTreeModel",
+    "ToggleFlipFlop",
+    "SelfTimedCounter",
+    "DualRailCounter",
+    "HandshakeChannel",
+    "HandshakePhase",
+    "BundledDataStage",
+    "MatchedDelayLine",
+    "TimingViolation",
+    "AsyncPipeline",
+    "PipelineStage",
+    "RobustSynchronizer",
+]

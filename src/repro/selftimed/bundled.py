@@ -1,0 +1,226 @@
+"""Bundled-data design style — the paper's "Design 2".
+
+In a bundled-data circuit the datapath is ordinary single-rail logic and the
+*timing* is provided by a matched delay line on the request wire: the delay
+line is sized at design time to be slower than the worst-case datapath, so
+when the delayed request arrives the data is assumed valid.  This is cheap —
+no dual-rail encoding, no completion detection — which is why Design 2 is
+more power-efficient at nominal Vdd (Fig. 2).
+
+Its weakness is exactly what the paper exploits to argue for self-timing:
+the *margin* between the delay line and the datapath is a timing assumption,
+and because different structures scale differently as Vdd drops (Fig. 5), a
+margin that is comfortable at 1 V evaporates in the sub-threshold region.
+:class:`BundledDataStage` models both effects: the matched delay line is
+built from plain inverters while the datapath carries a configurable
+threshold-voltage penalty (pass gates, long wires, bit lines), so the two
+delays diverge at low Vdd and the stage eventually *fails* — raising
+:class:`TimingViolation` if operated there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.models.delay import InverterChain
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+
+
+class TimingViolation(ReproError):
+    """The matched delay line fired before the datapath had settled."""
+
+
+@dataclass(frozen=True)
+class MatchedDelayLine:
+    """An inverter-chain delay element sized to cover a target delay.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    target_delay:
+        Datapath delay (seconds) the line must cover, *at the calibration
+        voltage*.
+    calibration_vdd:
+        Supply voltage at which the sizing was done (usually nominal).
+    margin:
+        Multiplicative safety margin applied at calibration time (typical
+        bundled-data designs use 1.5–2×).
+    """
+
+    technology: Technology
+    target_delay: float
+    calibration_vdd: float
+    margin: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.target_delay <= 0:
+            raise ConfigurationError("target_delay must be positive")
+        if self.calibration_vdd <= 0:
+            raise ConfigurationError("calibration_vdd must be positive")
+        if self.margin < 1.0:
+            raise ConfigurationError("margin must be >= 1")
+
+    @property
+    def stages(self) -> int:
+        """Number of inverters the line was sized to at calibration."""
+        ruler = InverterChain(technology=self.technology, stages=1)
+        stage_delay = ruler.stage_delay(self.calibration_vdd)
+        return max(2, round(self.margin * self.target_delay / stage_delay))
+
+    def delay(self, vdd: float) -> float:
+        """Delay of the line at supply *vdd* (it scales like plain inverters)."""
+        ruler = InverterChain(technology=self.technology, stages=self.stages)
+        return ruler.total_delay(vdd)
+
+    def energy(self, vdd: float) -> float:
+        """Energy of one edge propagating down the line, in joules."""
+        ruler = InverterChain(technology=self.technology, stages=self.stages)
+        return ruler.energy(vdd)
+
+
+class BundledDataStage:
+    """One bundled-data pipeline stage (Design 2 of Fig. 2).
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    logic_depth:
+        Datapath depth in gate delays.
+    datapath_width:
+        Number of data bits (sets switching energy).
+    datapath_vth_penalty:
+        Extra effective threshold (volts) of the datapath relative to the
+        plain inverters of the matched delay line.  This is the knob that
+        makes the two delays scale differently with Vdd, reproducing the
+        Fig. 5 mismatch mechanism; a value of 0 gives a perfectly tracking
+        (but then uninteresting) bundle.
+    margin:
+        Delay-line sizing margin at the calibration voltage.
+    calibration_vdd:
+        Voltage at which the matched delay was sized (nominal Vdd unless the
+        designer deliberately calibrates low).
+    activity:
+        Average switching activity of the datapath (fraction of bits that
+        toggle per operation).
+    """
+
+    def __init__(self, technology: Technology, logic_depth: int = 10,
+                 datapath_width: int = 16, datapath_vth_penalty: float = 0.06,
+                 margin: float = 1.5, calibration_vdd: Optional[float] = None,
+                 activity: float = 0.5, name: str = "bundled") -> None:
+        if logic_depth < 1:
+            raise ConfigurationError("logic_depth must be >= 1")
+        if datapath_width < 1:
+            raise ConfigurationError("datapath_width must be >= 1")
+        if datapath_vth_penalty < 0:
+            raise ConfigurationError("datapath_vth_penalty must be non-negative")
+        if not (0.0 < activity <= 1.0):
+            raise ConfigurationError("activity must lie in (0, 1]")
+        self.name = name
+        self.technology = technology
+        self.logic_depth = logic_depth
+        self.datapath_width = datapath_width
+        self.activity = activity
+        self.calibration_vdd = calibration_vdd or technology.vdd_nominal
+        self._datapath_gate = GateModel(
+            technology=technology, gate_type=GateType.NAND2,
+            vth_offset=datapath_vth_penalty,
+        )
+        self._control_gate = GateModel(technology=technology,
+                                       gate_type=GateType.C_ELEMENT)
+        self.delay_line = MatchedDelayLine(
+            technology=technology,
+            target_delay=self.datapath_delay(self.calibration_vdd),
+            calibration_vdd=self.calibration_vdd,
+            margin=margin,
+        )
+
+    # ------------------------------------------------------------------
+    # Delays
+    # ------------------------------------------------------------------
+
+    def datapath_delay(self, vdd: float) -> float:
+        """Worst-case settling time of the datapath at supply *vdd*."""
+        return self.logic_depth * self._datapath_gate.delay(vdd)
+
+    def control_delay(self, vdd: float) -> float:
+        """Delay of the matched request path (delay line + latch control)."""
+        return self.delay_line.delay(vdd) + 2.0 * self._control_gate.delay(vdd)
+
+    def timing_margin(self, vdd: float) -> float:
+        """Control delay divided by datapath delay; < 1 means failure."""
+        return self.control_delay(vdd) / self.datapath_delay(vdd)
+
+    def is_functional(self, vdd: float) -> bool:
+        """Whether the bundling assumption still holds at supply *vdd*."""
+        if vdd < self.technology.vdd_min:
+            return False
+        return self.timing_margin(vdd) >= 1.0
+
+    def minimum_operating_voltage(self, resolution: float = 0.005) -> float:
+        """Lowest Vdd (volts) at which the stage still meets its bundle.
+
+        Scans downward from the calibration voltage; this is the "Design 2
+        cannot deliver at all" breakpoint of Fig. 2.
+        """
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        vdd = self.calibration_vdd
+        lowest = vdd
+        while vdd >= self.technology.vdd_min:
+            if not self.is_functional(vdd):
+                break
+            lowest = vdd
+            vdd -= resolution
+        return lowest
+
+    # ------------------------------------------------------------------
+    # Operation-level figures
+    # ------------------------------------------------------------------
+
+    def cycle_time(self, vdd: float, check: bool = True) -> float:
+        """Time for one data token to pass the stage at supply *vdd*.
+
+        Raises :class:`TimingViolation` if *check* is set and the bundling
+        constraint is violated at this voltage — operating there would
+        silently corrupt data, which is the failure mode the speed-independent
+        Design 1 cannot exhibit.
+        """
+        if check and not self.is_functional(vdd):
+            raise TimingViolation(
+                f"{self.name}: matched delay ({self.control_delay(vdd):.3e}s) is "
+                f"shorter than the datapath ({self.datapath_delay(vdd):.3e}s) "
+                f"at Vdd={vdd:.3f} V"
+            )
+        # 4-phase bundled-data cycle: set + reset of the request through the
+        # delay line plus the latch overhead.
+        return 2.0 * self.control_delay(vdd)
+
+    def energy_per_operation(self, vdd: float) -> float:
+        """Energy of one data token at supply *vdd*, in joules.
+
+        Datapath switching (activity-scaled) + two edges down the delay line
+        + latch control.  No completion-detection or dual-rail overhead —
+        this is why Design 2 wins on efficiency at nominal voltage.
+        """
+        datapath = (self.datapath_width * self.activity * self.logic_depth
+                    * self._datapath_gate.transition_energy(vdd) * 0.5)
+        control = (2.0 * self.delay_line.energy(vdd)
+                   + 4.0 * self._control_gate.transition_energy(vdd))
+        return datapath + control
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power of the stage at supply *vdd*, in watts."""
+        datapath_gates = self.datapath_width * self.logic_depth * 0.5
+        control_gates = self.delay_line.stages + 4
+        return (datapath_gates * self._datapath_gate.leakage_power(vdd)
+                + control_gates * self._control_gate.leakage_power(vdd))
+
+    def throughput(self, vdd: float, check: bool = True) -> float:
+        """Operations per second at supply *vdd*."""
+        return 1.0 / self.cycle_time(vdd, check=check)

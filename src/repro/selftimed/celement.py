@@ -1,0 +1,80 @@
+"""The Muller C-element.
+
+The C-element is the fundamental state-holding gate of speed-independent
+design (the paper's reference [3], Varshavsky's school): its output rises
+only when *all* inputs are high and falls only when *all* inputs are low;
+otherwise it holds its previous value.  Completion-detection trees, 4-phase
+handshake controllers and the SI SRAM controller are built from it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateType
+from repro.models.technology import Technology
+from repro.sim.probes import EnergyProbe
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+from repro.selftimed.gates import LogicGate
+
+
+class CElement(LogicGate):
+    """An n-input Muller C-element with optional asymmetric reset.
+
+    Parameters
+    ----------
+    inputs:
+        Two or more input signals.
+    output:
+        The state-holding output signal.
+    inverted_inputs:
+        Optional per-input inversion mask (some handshake circuits need a
+        "C-element with one inverted input").
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, inputs: Sequence[Signal], output: Signal,
+                 inverted_inputs: Optional[Sequence[bool]] = None,
+                 drive_strength: float = 1.0,
+                 load: Optional[float] = None,
+                 energy_probe: Optional[EnergyProbe] = None,
+                 stall_retry_interval: Optional[float] = None) -> None:
+        if len(inputs) < 2:
+            raise ConfigurationError("a C-element needs at least two inputs")
+        if inverted_inputs is None:
+            inverted_inputs = [False] * len(inputs)
+        if len(inverted_inputs) != len(inputs):
+            raise ConfigurationError(
+                "inverted_inputs mask must match the number of inputs"
+            )
+        self._inversion_mask = tuple(bool(b) for b in inverted_inputs)
+        self._output_ref = output
+        gate_type = GateType.C_ELEMENT if len(inputs) == 2 else GateType.C_ELEMENT3
+
+        def c_function(*values: bool) -> bool:
+            effective = [v != inv for v, inv in zip(values, self._inversion_mask)]
+            if all(effective):
+                return True
+            if not any(effective):
+                return False
+            return self._output_ref.value  # hold
+
+        super().__init__(
+            sim, supply, technology, name,
+            inputs=inputs, output=output, function=c_function,
+            gate_type=gate_type, drive_strength=drive_strength, load=load,
+            energy_probe=energy_probe,
+            stall_retry_interval=stall_retry_interval,
+        )
+
+    # ------------------------------------------------------------------
+
+    def force(self, value: bool) -> None:
+        """Asynchronously force the output (power-on reset modelling).
+
+        Does not consume simulated time or energy — reset circuitry is
+        outside the scope of the behavioural model.
+        """
+        self.output.set(bool(value), self.sim.now)

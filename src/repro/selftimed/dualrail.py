@@ -1,0 +1,187 @@
+"""Dual-rail encoding.
+
+In dual-rail (1-of-2) encoding every logical bit travels on two wires:
+``bit.t`` (true rail) and ``bit.f`` (false rail).  A codeword is *valid* when
+exactly one rail per bit is asserted and *empty* (a "spacer") when none are;
+the alternation valid → empty → valid is what lets completion detection work
+without any timing assumption — this is the paper's "Design 1" style and the
+encoding of the 2-bit counter demonstrated under an AC supply (Fig. 4).
+
+The module provides the signal-pair container (:class:`DualRailSignal`),
+multi-bit words (:class:`DualRailWord`), encode/decode helpers, and validity
+predicates used by the completion detectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import CompletionDetectionError, ConfigurationError
+from repro.sim.signals import Signal
+
+
+class DualRailSignal:
+    """One dual-rail encoded bit: a (true-rail, false-rail) signal pair."""
+
+    def __init__(self, name: str, record: bool = True) -> None:
+        self.name = name
+        self.true_rail = Signal(f"{name}.t", record=record)
+        self.false_rail = Signal(f"{name}.f", record=record)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_valid(self) -> bool:
+        """Exactly one rail asserted — the bit carries data."""
+        return self.true_rail.value != self.false_rail.value
+
+    @property
+    def is_empty(self) -> bool:
+        """Neither rail asserted — the spacer between data words."""
+        return not self.true_rail.value and not self.false_rail.value
+
+    @property
+    def is_illegal(self) -> bool:
+        """Both rails asserted — never legal in a correct circuit."""
+        return self.true_rail.value and self.false_rail.value
+
+    def value(self) -> bool:
+        """Decode the bit; raises if the codeword is not valid."""
+        if not self.is_valid:
+            raise CompletionDetectionError(
+                f"dual-rail bit {self.name!r} read while "
+                f"{'illegal' if self.is_illegal else 'empty'}"
+            )
+        return self.true_rail.value
+
+    def drive(self, value: Optional[bool], time: float) -> None:
+        """Drive a data value (``True``/``False``) or the spacer (``None``)."""
+        if value is None:
+            self.true_rail.set(False, time)
+            self.false_rail.set(False, time)
+        elif value:
+            self.false_rail.set(False, time)
+            self.true_rail.set(True, time)
+        else:
+            self.true_rail.set(False, time)
+            self.false_rail.set(True, time)
+
+    def rails(self) -> List[Signal]:
+        """Both rails as a list (true rail first)."""
+        return [self.true_rail, self.false_rail]
+
+    def transition_count(self) -> int:
+        """Total transitions across both rails."""
+        return self.true_rail.transition_count + self.false_rail.transition_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_illegal:
+            state = "ILLEGAL"
+        elif self.is_empty:
+            state = "empty"
+        else:
+            state = str(int(self.true_rail.value))
+        return f"<DualRail {self.name}={state}>"
+
+
+class DualRailWord:
+    """A vector of dual-rail bits, least-significant bit first."""
+
+    def __init__(self, name: str, width: int, record: bool = True) -> None:
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        self.name = name
+        self.width = width
+        self.bits = [DualRailSignal(f"{name}[{i}]", record=record)
+                     for i in range(width)]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, index: int) -> DualRailSignal:
+        return self.bits[index]
+
+    @property
+    def is_valid(self) -> bool:
+        """All bits hold valid data (the codeword is complete)."""
+        return all(bit.is_valid for bit in self.bits)
+
+    @property
+    def is_empty(self) -> bool:
+        """All bits are spacers."""
+        return all(bit.is_empty for bit in self.bits)
+
+    def value(self) -> int:
+        """Decode the word as an unsigned integer; requires a valid codeword."""
+        if not self.is_valid:
+            raise CompletionDetectionError(
+                f"dual-rail word {self.name!r} decoded while incomplete"
+            )
+        word = 0
+        for i, bit in enumerate(self.bits):
+            if bit.value():
+                word |= 1 << i
+        return word
+
+    def drive_value(self, value: Optional[int], time: float) -> None:
+        """Drive an integer value, or the all-spacer word when *value* is None."""
+        if value is None:
+            for bit in self.bits:
+                bit.drive(None, time)
+            return
+        if value < 0 or value >= (1 << self.width):
+            raise ConfigurationError(
+                f"value {value} does not fit in {self.width} dual-rail bits"
+            )
+        for i, bit in enumerate(self.bits):
+            bit.drive(bool((value >> i) & 1), time)
+
+    def all_rails(self) -> List[Signal]:
+        """Every rail of every bit (for probes and waveform recorders)."""
+        rails: List[Signal] = []
+        for bit in self.bits:
+            rails.extend(bit.rails())
+        return rails
+
+    def transition_count(self) -> int:
+        """Total transitions across all rails of the word."""
+        return sum(bit.transition_count() for bit in self.bits)
+
+
+def dual_rail_encode(value: int, width: int) -> List[bool]:
+    """Encode *value* as a flat rail list ``[b0.t, b0.f, b1.t, b1.f, ...]``."""
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    if value < 0 or value >= (1 << width):
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
+    rails: List[bool] = []
+    for i in range(width):
+        bit = bool((value >> i) & 1)
+        rails.extend([bit, not bit])
+    return rails
+
+
+def dual_rail_decode(rails: Sequence[bool]) -> int:
+    """Decode a flat rail list produced by :func:`dual_rail_encode`.
+
+    Raises :class:`~repro.errors.CompletionDetectionError` on empty or
+    illegal codewords — the caller should only decode after completion
+    detection has fired.
+    """
+    if len(rails) % 2 != 0 or not rails:
+        raise ConfigurationError("rail list must have a positive, even length")
+    value = 0
+    for i in range(len(rails) // 2):
+        true_rail, false_rail = rails[2 * i], rails[2 * i + 1]
+        if true_rail and false_rail:
+            raise CompletionDetectionError(f"bit {i} has both rails asserted")
+        if not true_rail and not false_rail:
+            raise CompletionDetectionError(f"bit {i} is empty (spacer)")
+        if true_rail:
+            value |= 1 << i
+    return value

@@ -1,0 +1,315 @@
+"""Voltage-aware, energy-accounted event-driven gates.
+
+Every circuit element in the library derives from :class:`CircuitElement`,
+which couples three things together:
+
+* a :class:`~repro.sim.simulator.Simulator` for scheduling,
+* a supply node (:class:`~repro.power.supply.SupplyNode`) whose
+  *instantaneous* voltage sets the element's delay and which is billed for
+  every transition's energy,
+* an optional :class:`~repro.sim.probes.EnergyProbe` for measurement.
+
+:class:`LogicGate` adds the generic combinational-gate behaviour: it watches
+its input signals, re-evaluates its boolean function on every change and
+schedules the output transition after the voltage-dependent delay.  Inertial
+behaviour is modelled by cancelling a pending output event when the inputs
+change back before it fires.
+
+Supply collapse is a first-class outcome, not an error path: if the supply is
+below the technology's functional minimum at evaluation time, the gate
+*stalls* and registers itself with the supply-watch list; the circuit that
+owns it (e.g. the charge-to-digital converter) decides whether a stall means
+"wait for more energy" or "conversion finished".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SupplyCollapseError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.sim.events import Event, EventKind
+from repro.sim.probes import EnergyProbe
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+
+
+class CircuitElement:
+    """Base class tying a circuit element to a simulator and a supply node.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.
+    supply:
+        Any object satisfying the supply-node protocol (``voltage(time)`` and
+        ``draw_charge(charge, time)``).
+    technology:
+        Process parameters used by the element's gate models.
+    name:
+        Hierarchical instance name.
+    energy_probe:
+        Optional probe receiving every energy draw, labelled with *name*.
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, energy_probe: Optional[EnergyProbe] = None) -> None:
+        self.sim = sim
+        self.supply = supply
+        self.technology = technology
+        self.name = name
+        self.energy_probe = energy_probe
+        self.stalled = False
+        self.stall_count = 0
+        self.transition_count = 0
+        self.energy_consumed = 0.0
+
+    # ------------------------------------------------------------------
+
+    def rail_voltage(self) -> float:
+        """Supply voltage seen by this element right now."""
+        return self.supply.voltage(self.sim.now)
+
+    def is_functional(self, vdd: Optional[float] = None) -> bool:
+        """Whether the element can switch at the given (or current) voltage."""
+        if vdd is None:
+            vdd = self.rail_voltage()
+        return vdd >= self.technology.vdd_min
+
+    def bill_energy(self, energy: float, label: str = "") -> None:
+        """Draw *energy* joules from the supply and record it on the probe.
+
+        Raises :class:`~repro.errors.SupplyCollapseError` if the supply can
+        no longer deliver — callers that expect collapse (capacitor-powered
+        circuits) catch it.
+        """
+        now = self.sim.now
+        voltage = self.supply.voltage(now)
+        if voltage <= 0:
+            raise SupplyCollapseError(
+                f"{self.name}: supply voltage is zero, cannot draw energy"
+            )
+        self.supply.draw_charge(energy / voltage, now)
+        self.energy_consumed += energy
+        if self.energy_probe is not None:
+            self.energy_probe.record(energy, now, label=label or self.name)
+
+    def bill_leakage(self, gate_model: GateModel, duration: float) -> None:
+        """Bill the static energy of *duration* seconds of idling."""
+        if duration <= 0:
+            return
+        vdd = self.rail_voltage()
+        if vdd <= 0:
+            return
+        energy = gate_model.leakage_power(vdd) * duration
+        try:
+            self.bill_energy(energy, label="leakage")
+        except SupplyCollapseError:
+            pass  # a collapsed supply leaks nothing worth modelling
+
+
+class LogicGate(CircuitElement):
+    """A combinational gate with voltage-dependent delay and energy billing.
+
+    Parameters
+    ----------
+    inputs:
+        Input signals, in the order the boolean *function* expects them.
+    output:
+        Output signal driven by this gate.
+    function:
+        Maps a tuple of input booleans to the output boolean.
+    gate_type, drive_strength:
+        Select the :class:`~repro.models.gate.GateModel` parameters.
+    load:
+        External load capacitance in farads; ``None`` estimates a fan-out of
+        two like gates.
+    on_stall:
+        Optional callback invoked (once per stall) when the gate cannot
+        switch because the supply collapsed.
+    stall_retry_interval:
+        When set, a stalled gate automatically re-evaluates itself after
+        this many seconds — the behaviour of real self-timed logic under an
+        AC or recovering supply: it simply waits for the voltage to come
+        back (Fig. 4).  ``None`` (default) leaves retrying to the owner.
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, inputs: Sequence[Signal], output: Signal,
+                 function: Callable[..., bool],
+                 gate_type: GateType = GateType.INVERTER,
+                 drive_strength: float = 1.0,
+                 load: Optional[float] = None,
+                 energy_probe: Optional[EnergyProbe] = None,
+                 on_stall: Optional[Callable[["LogicGate"], None]] = None,
+                 stall_retry_interval: Optional[float] = None) -> None:
+        super().__init__(sim, supply, technology, name, energy_probe)
+        if not inputs:
+            raise ConfigurationError(f"gate {name!r} needs at least one input")
+        if stall_retry_interval is not None and stall_retry_interval <= 0:
+            raise ConfigurationError("stall_retry_interval must be positive")
+        self.inputs = list(inputs)
+        self.output = output
+        self.function = function
+        self.model = GateModel(technology=technology, gate_type=gate_type,
+                               drive_strength=drive_strength)
+        self.load = (2.0 * self.model.input_capacitance) if load is None else load
+        self.on_stall = on_stall
+        self.stall_retry_interval = stall_retry_interval
+        self._retry_pending = False
+        self._pending: Optional[Event] = None
+        self._pending_value: Optional[bool] = None
+        for signal in self.inputs:
+            signal.subscribe(self._on_input_change)
+
+    # ------------------------------------------------------------------
+
+    def _target_value(self) -> bool:
+        return bool(self.function(*(signal.value for signal in self.inputs)))
+
+    def _on_input_change(self, signal: Signal, value: bool, time: float) -> None:
+        self.evaluate()
+
+    def evaluate(self) -> None:
+        """Re-evaluate the gate and (re)schedule the output transition."""
+        target = self._target_value()
+        if self._pending is not None and not self._pending.cancelled:
+            if self._pending_value == target:
+                return  # already on its way
+            # Inertial cancellation: the input glitched back before the
+            # output moved.
+            self._pending.cancel()
+            self._pending = None
+            self._pending_value = None
+        if target == self.output.value:
+            return
+        vdd = self.rail_voltage()
+        if not self.is_functional(vdd):
+            self._register_stall()
+            return
+        delay = self.model.delay(vdd, external_load=self.load)
+        self._pending_value = target
+        self._pending = self.sim.schedule(
+            delay, lambda v=target: self._commit(v),
+            kind=EventKind.SIGNAL, label=f"{self.name}->{int(target)}",
+        )
+
+    def _commit(self, value: bool) -> None:
+        """Fire the output transition and bill its energy."""
+        self._pending = None
+        self._pending_value = None
+        vdd = self.rail_voltage()
+        if not self.is_functional(vdd):
+            self._register_stall()
+            return
+        try:
+            self.bill_energy(self.model.transition_energy(vdd, self.load))
+        except SupplyCollapseError:
+            self._register_stall()
+            return
+        self.transition_count += 1
+        self.output.set(value, self.sim.now)
+        # The inputs may have changed while the transition was in flight.
+        if self._target_value() != value:
+            self.evaluate()
+
+    def _register_stall(self) -> None:
+        self.stall_count += 1
+        if not self.stalled:
+            self.stalled = True
+            if self.on_stall is not None:
+                self.on_stall(self)
+        if self.stall_retry_interval is not None and not self._retry_pending:
+            self._retry_pending = True
+            self.sim.schedule(self.stall_retry_interval, self._auto_retry,
+                              label=f"{self.name}.retry")
+
+    def _auto_retry(self) -> None:
+        self._retry_pending = False
+        self.retry()
+
+    def retry(self) -> None:
+        """Retry a stalled evaluation (called when the supply recovers)."""
+        self.stalled = False
+        self.evaluate()
+
+
+class Inverter(LogicGate):
+    """Single-input inverter — the unit from which delay rulers are built."""
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, input_signal: Signal, output: Signal,
+                 drive_strength: float = 1.0,
+                 load: Optional[float] = None,
+                 energy_probe: Optional[EnergyProbe] = None) -> None:
+        super().__init__(
+            sim, supply, technology, name,
+            inputs=[input_signal], output=output,
+            function=lambda a: not a,
+            gate_type=GateType.INVERTER,
+            drive_strength=drive_strength,
+            load=load,
+            energy_probe=energy_probe,
+        )
+
+
+class DelayLine(CircuitElement):
+    """An event-driven chain of inverters used as a delay element.
+
+    Unlike :class:`~repro.models.delay.InverterChain` (a purely analytical
+    ruler), this version actually lives in the simulation: it creates one
+    intermediate signal per stage, draws energy per stage transition, and its
+    end-to-end delay therefore tracks the instantaneous supply voltage during
+    propagation.  Bundled-data control paths (Design 2) and the
+    reference-free sensor's ruler are built from it.
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, input_signal: Signal, stages: int,
+                 drive_strength: float = 1.0,
+                 energy_probe: Optional[EnergyProbe] = None,
+                 record_stages: bool = False) -> None:
+        super().__init__(sim, supply, technology, name, energy_probe)
+        if stages < 1:
+            raise ConfigurationError("DelayLine needs at least one stage")
+        self.stages = stages
+        self.stage_signals: List[Signal] = []
+        self.gates: List[Inverter] = []
+        previous = input_signal
+        for i in range(stages):
+            out = Signal(f"{name}.s{i}", initial=not previous.value,
+                         record=record_stages or (i == stages - 1))
+            gate = Inverter(sim, supply, technology, f"{name}.inv{i}",
+                            input_signal=previous, output=out,
+                            drive_strength=drive_strength,
+                            energy_probe=energy_probe)
+            self.stage_signals.append(out)
+            self.gates.append(gate)
+            previous = out
+        self.output = previous
+
+    # ------------------------------------------------------------------
+
+    def stages_passed(self) -> int:
+        """How many stages have settled to their "new" value.
+
+        Counted as the number of consecutive leading stages whose transition
+        count exceeds zero — i.e. how far the most recent input edge has
+        propagated.  This is the thermometer read-out used by the
+        reference-free voltage sensor.
+        """
+        passed = 0
+        for gate in self.gates:
+            if gate.transition_count > 0:
+                passed += 1
+            else:
+                break
+        return passed
+
+    def nominal_delay(self, vdd: float) -> float:
+        """Analytical end-to-end delay at a fixed supply *vdd*, in seconds."""
+        if not self.gates:
+            return 0.0
+        gate = self.gates[0]
+        return self.stages * gate.model.delay(vdd, external_load=gate.load)

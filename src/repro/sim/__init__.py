@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel with energy accounting.
+
+The kernel replaces the analogue (Cadence) simulations of the paper with an
+event-driven model that is aware of two things analogue simulators give you
+for free:
+
+* **the instantaneous supply voltage** — every scheduled transition asks its
+  supply node for the voltage *at scheduling time* and computes its delay
+  from it, so AC or collapsing supplies naturally slow the logic down;
+* **energy conservation** — every transition reports the charge/energy it
+  drew back to its supply node, so a capacitor-powered circuit (the
+  charge-to-digital converter) runs its supply down and eventually stalls.
+
+Public API
+----------
+:class:`~repro.sim.simulator.Simulator`
+    The event loop.
+:class:`~repro.sim.signals.Signal`, :class:`~repro.sim.signals.Net`
+    Boolean signals with waveform recording.
+:class:`~repro.sim.events.Event`, :class:`~repro.sim.events.EventKind`
+    Scheduled occurrences.
+:class:`~repro.sim.probes.EnergyProbe`, :class:`~repro.sim.probes.ActivityProbe`
+    Measurement hooks.
+:class:`~repro.sim.waveform.WaveformRecorder`
+    Trace capture and text rendering (the library's stand-in for the paper's
+    waveform figures 4 and 7).
+"""
+
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import EventQueue
+from repro.sim.signals import Net, Signal
+from repro.sim.simulator import Simulator
+from repro.sim.probes import ActivityProbe, EnergyProbe
+from repro.sim.waveform import WaveformRecorder
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Net",
+    "Signal",
+    "Simulator",
+    "ActivityProbe",
+    "EnergyProbe",
+    "WaveformRecorder",
+]

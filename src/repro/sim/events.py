@@ -1,0 +1,95 @@
+"""Event objects scheduled by the simulation kernel."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError
+
+#: Monotonic tiebreaker so simultaneous events pop in scheduling order.
+_SEQUENCE = itertools.count()
+
+
+class EventKind(enum.Enum):
+    """Categories of events, used by probes and trace filtering."""
+
+    #: A signal changes value (the bread-and-butter logic event).
+    SIGNAL = "signal"
+    #: A generic callback with no associated signal (controllers, sources).
+    CALLBACK = "callback"
+    #: A supply-voltage update (AC supplies, harvester steps).
+    SUPPLY = "supply"
+    #: A probe sampling instant.
+    SAMPLE = "sample"
+    #: End-of-simulation sentinel.
+    STOP = "stop"
+
+
+@dataclass(order=False)
+class Event:
+    """One scheduled occurrence.
+
+    Events compare by ``(time, priority, sequence)`` so the queue is stable:
+    two events at the same instant fire in the order they were scheduled
+    unless their priorities differ (lower priority value fires first).
+    """
+
+    time: float
+    action: Callable[[], None]
+    kind: EventKind = EventKind.CALLBACK
+    priority: int = 0
+    label: str = ""
+    payload: Any = None
+    cancelled: bool = False
+    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SchedulingError(f"event time must be non-negative, got {self.time}")
+        if not callable(self.action):
+            raise SchedulingError("event action must be callable")
+
+    # Explicit comparison methods (rather than dataclass order=True) so that
+    # the callable/payload fields never participate in comparisons.
+    def _key(self) -> tuple:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the kernel skips cancelled events.
+
+        Cancellation is how inertial-delay style behaviour is implemented:
+        a gate that re-evaluates before its pending output event fires can
+        cancel the stale event and schedule a fresh one.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Execute the event's action (no-op if cancelled)."""
+        if not self.cancelled:
+            self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        label = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.3e}s {self.kind.value}{label}{state}>"
+
+
+def make_stop_event(time: float) -> Event:
+    """Create a sentinel event that simply marks the end of simulation."""
+    return Event(time=time, action=lambda: None, kind=EventKind.STOP,
+                 priority=10_000, label="stop")

@@ -1,0 +1,191 @@
+"""Measurement probes: energy, activity and power-over-time.
+
+The paper's core thesis is that *the amount of computation is modulated by
+the energy supplied*; the probes are how the library observes both sides of
+that equality — :class:`EnergyProbe` integrates the energy drawn by a block
+and :class:`ActivityProbe` counts the useful transitions it produced.  Their
+ratio is the energy-per-transition figure that the charge-to-digital
+converter exploits, and their correlation over a run is the
+power-proportionality metric of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EnergyAccountingError
+from repro.sim.signals import Signal
+
+
+@dataclass
+class EnergySample:
+    """One recorded energy draw."""
+
+    time: float
+    energy: float
+    label: str = ""
+
+
+class EnergyProbe:
+    """Accumulates the energy drawn by some part of the design.
+
+    Components call :meth:`record` each time they draw energy from a supply.
+    The probe keeps both the running total and the individual samples so
+    power can be reconstructed over arbitrary windows.
+    """
+
+    def __init__(self, name: str = "energy") -> None:
+        self.name = name
+        self.samples: List[EnergySample] = []
+        self._total = 0.0
+        self._per_label: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def record(self, energy: float, time: float, label: str = "") -> None:
+        """Record an *energy* (joules) draw at *time* attributed to *label*."""
+        if energy < 0:
+            raise EnergyAccountingError(
+                f"negative energy draw ({energy}) recorded on probe {self.name!r}"
+            )
+        if energy != energy:  # NaN check
+            raise EnergyAccountingError(f"NaN energy recorded on probe {self.name!r}")
+        self.samples.append(EnergySample(time=time, energy=energy, label=label))
+        self._total += energy
+        if label:
+            self._per_label[label] = self._per_label.get(label, 0.0) + energy
+
+    @property
+    def total(self) -> float:
+        """Total energy recorded so far, in joules."""
+        return self._total
+
+    def by_label(self) -> Dict[str, float]:
+        """Energy totals grouped by label (e.g. per sub-block)."""
+        return dict(self._per_label)
+
+    def energy_between(self, start: float, end: float) -> float:
+        """Energy recorded in the half-open window ``[start, end)``."""
+        if end < start:
+            raise EnergyAccountingError("window end before start")
+        return sum(s.energy for s in self.samples if start <= s.time < end)
+
+    def average_power(self, start: float, end: float) -> float:
+        """Mean power in watts over ``[start, end)``."""
+        duration = end - start
+        if duration <= 0:
+            raise EnergyAccountingError("window must have positive duration")
+        return self.energy_between(start, end) / duration
+
+    def power_series(self, window: float, start: float = 0.0,
+                     end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Average power in consecutive windows of width *window* seconds.
+
+        Returns ``[(window_start, power_watts), ...]`` — the series used to
+        plot power profiles of harvester-driven runs.
+        """
+        if window <= 0:
+            raise EnergyAccountingError("window must be positive")
+        if end is None:
+            end = max((s.time for s in self.samples), default=start) + window
+        series: List[Tuple[float, float]] = []
+        t = start
+        while t < end:
+            series.append((t, self.average_power(t, t + window)))
+            t += window
+        return series
+
+    def reset(self) -> None:
+        """Clear all recorded samples."""
+        self.samples.clear()
+        self._total = 0.0
+        self._per_label.clear()
+
+
+class ActivityProbe:
+    """Counts transitions on a set of signals as "useful activity".
+
+    The probe subscribes to the signals it is given; every observed change
+    increments the count with its timestamp, allowing activity-versus-time
+    and activity-versus-energy curves to be produced.
+    """
+
+    def __init__(self, name: str = "activity",
+                 signals: Iterable[Signal] = ()) -> None:
+        self.name = name
+        self.transition_times: List[float] = []
+        self._watched: List[Signal] = []
+        for signal in signals:
+            self.watch(signal)
+
+    # ------------------------------------------------------------------
+
+    def watch(self, signal: Signal) -> None:
+        """Start counting transitions of *signal*."""
+        signal.subscribe(self._on_change)
+        self._watched.append(signal)
+
+    def _on_change(self, signal: Signal, value: bool, time: float) -> None:
+        self.transition_times.append(time)
+
+    @property
+    def count(self) -> int:
+        """Total transitions observed."""
+        return len(self.transition_times)
+
+    def count_between(self, start: float, end: float) -> int:
+        """Transitions observed in ``[start, end)``.
+
+        The times list is append-only and non-decreasing, so binary search
+        keeps this cheap even for very long runs.
+        """
+        lo = bisect.bisect_left(self.transition_times, start)
+        hi = bisect.bisect_left(self.transition_times, end)
+        return hi - lo
+
+    def rate(self, start: float, end: float) -> float:
+        """Transitions per second over ``[start, end)``."""
+        duration = end - start
+        if duration <= 0:
+            raise EnergyAccountingError("window must have positive duration")
+        return self.count_between(start, end) / duration
+
+    def reset(self) -> None:
+        """Forget all recorded transitions (watched signals stay watched)."""
+        self.transition_times.clear()
+
+
+@dataclass
+class ProportionalityReport:
+    """Activity-vs-energy summary used for the Fig. 1 style analysis."""
+
+    energy: float
+    activity: int
+    energy_per_transition: float
+    idle_energy_fraction: float
+
+
+def proportionality_report(energy_probe: EnergyProbe,
+                           activity_probe: ActivityProbe,
+                           idle_labels: Sequence[str] = ("leakage", "idle"),
+                           ) -> ProportionalityReport:
+    """Summarise how proportional the recorded energy was to useful activity.
+
+    ``idle_energy_fraction`` is the share of energy attributed to the given
+    idle labels (leakage, idle retention, ...) — an ideally
+    energy-proportional system drives this to zero.
+    """
+    total = energy_probe.total
+    activity = activity_probe.count
+    per_label = energy_probe.by_label()
+    idle = sum(per_label.get(label, 0.0) for label in idle_labels)
+    per_transition = total / activity if activity else float("inf")
+    idle_fraction = idle / total if total > 0 else 0.0
+    return ProportionalityReport(
+        energy=total,
+        activity=activity,
+        energy_per_transition=per_transition,
+        idle_energy_fraction=idle_fraction,
+    )

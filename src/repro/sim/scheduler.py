@@ -1,0 +1,91 @@
+"""Priority event queue used by the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy deletion of cancelled events.
+
+    The kernel only ever needs three operations — push, pop-earliest and
+    peek-earliest-time — so a plain :mod:`heapq` is both the simplest and the
+    fastest structure available in pure Python.  Cancelled events stay in the
+    heap and are discarded when they surface, which keeps cancellation O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._pushed = 0
+        self._popped = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over pending (non-cancelled) events in arbitrary order."""
+        return (event for event in self._heap if not event.cancelled)
+
+    @property
+    def pushed_count(self) -> int:
+        """Total number of events ever pushed (kernel statistics)."""
+        return self._pushed
+
+    @property
+    def popped_count(self) -> int:
+        """Total number of events ever popped (kernel statistics)."""
+        return self._popped
+
+    # ------------------------------------------------------------------
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and return it (for convenient chaining)."""
+        heapq.heappush(self._heap, event)
+        self._pushed += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event.
+
+        Cancelled events are silently discarded.  Raises
+        :class:`~repro.errors.SchedulingError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._popped += 1
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def prune(self) -> int:
+        """Physically remove cancelled events; returns how many were removed.
+
+        Only useful for extremely long simulations where cancelled events
+        would otherwise accumulate; the kernel calls it opportunistically.
+        """
+        before = len(self._heap)
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        return before - len(self._heap)

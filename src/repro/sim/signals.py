@@ -1,0 +1,202 @@
+"""Signals and nets: named boolean wires with waveform history.
+
+A :class:`Signal` is a single wire whose value changes are driven through the
+simulator; every change is recorded (time, value) so the waveform figures of
+the paper (Figs. 4 and 7) can be regenerated as data series, and listeners
+(gates, controllers, probes) are notified synchronously.
+
+A :class:`Net` is a simple bundle of signals with vector read/write helpers,
+used for buses such as SRAM data words and counter outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+Listener = Callable[["Signal", bool, float], None]
+
+
+class Signal:
+    """A boolean wire with change history and synchronous listeners.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name used in traces, e.g. ``"sram.ctrl.precharge_req"``.
+    initial:
+        Initial logic value.
+    record:
+        When ``True`` (default) every change is appended to :attr:`history`.
+        Dense internal nodes of large arrays switch recording off to save
+        memory.
+    """
+
+    __slots__ = ("name", "_value", "record", "history", "_listeners",
+                 "transition_count", "last_change_time")
+
+    def __init__(self, name: str, initial: bool = False, record: bool = True) -> None:
+        self.name = name
+        self._value = bool(initial)
+        self.record = record
+        self.history: List[Tuple[float, bool]] = [(0.0, self._value)] if record else []
+        self._listeners: List[Listener] = []
+        self.transition_count = 0
+        self.last_change_time = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> bool:
+        """Current logic value."""
+        return self._value
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register *listener(signal, new_value, time)* called on every change."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a previously registered listener (no error if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def set(self, value: bool, time: float) -> bool:
+        """Drive the signal to *value* at *time*; returns ``True`` if it changed.
+
+        This is normally called by the :class:`~repro.sim.simulator.Simulator`
+        when a scheduled signal event fires, not by user code directly.
+        """
+        value = bool(value)
+        if time < self.last_change_time:
+            raise SimulationError(
+                f"signal {self.name!r} driven backwards in time "
+                f"({time} < {self.last_change_time})"
+            )
+        if value == self._value:
+            return False
+        self._value = value
+        self.transition_count += 1
+        self.last_change_time = time
+        if self.record:
+            self.history.append((time, value))
+        for listener in tuple(self._listeners):
+            listener(self, value, time)
+        return True
+
+    # ------------------------------------------------------------------
+    # History utilities
+    # ------------------------------------------------------------------
+
+    def value_at(self, time: float) -> bool:
+        """Value the signal held at *time* (according to the recorded history)."""
+        if not self.record:
+            raise SimulationError(f"signal {self.name!r} does not record history")
+        result = self.history[0][1]
+        for change_time, value in self.history:
+            if change_time > time:
+                break
+            result = value
+        return result
+
+    def edges(self, rising: Optional[bool] = None) -> List[float]:
+        """Times of recorded edges; filter by direction with *rising*."""
+        if not self.record:
+            raise SimulationError(f"signal {self.name!r} does not record history")
+        times: List[float] = []
+        for (prev_t, prev_v), (cur_t, cur_v) in zip(self.history, self.history[1:]):
+            if prev_v == cur_v:
+                continue
+            if rising is None or cur_v == rising:
+                times.append(cur_t)
+        return times
+
+    def pulse_count(self) -> int:
+        """Number of complete 0→1→0 pulses recorded."""
+        return min(len(self.edges(rising=True)), len(self.edges(rising=False)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name}={int(self._value)} " \
+               f"transitions={self.transition_count}>"
+
+
+class Net:
+    """An ordered bundle of signals (a bus), least-significant bit first."""
+
+    def __init__(self, name: str, width: int, initial: int = 0,
+                 record: bool = True) -> None:
+        if width < 1:
+            raise SimulationError(f"net width must be >= 1, got {width}")
+        if initial < 0 or initial >= (1 << width):
+            raise SimulationError(
+                f"initial value {initial} does not fit in {width} bits"
+            )
+        self.name = name
+        self.width = width
+        self.bits: List[Signal] = [
+            Signal(f"{name}[{i}]", initial=bool((initial >> i) & 1), record=record)
+            for i in range(width)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, index: int) -> Signal:
+        return self.bits[index]
+
+    @property
+    def value(self) -> int:
+        """Current integer value of the bus."""
+        word = 0
+        for i, bit in enumerate(self.bits):
+            if bit.value:
+                word |= 1 << i
+        return word
+
+    def set_value(self, value: int, time: float) -> None:
+        """Drive all bits of the bus to encode *value* at *time*."""
+        if value < 0 or value >= (1 << self.width):
+            raise SimulationError(
+                f"value {value} does not fit in {self.width} bits on net {self.name}"
+            )
+        for i, bit in enumerate(self.bits):
+            bit.set(bool((value >> i) & 1), time)
+
+    def transition_count(self) -> int:
+        """Total transitions across all bits."""
+        return sum(bit.transition_count for bit in self.bits)
+
+    def as_bools(self) -> List[bool]:
+        """Current values, LSB first."""
+        return [bit.value for bit in self.bits]
+
+
+def vector_value(signals: Sequence[Signal]) -> int:
+    """Interpret a sequence of signals (LSB first) as an unsigned integer."""
+    word = 0
+    for i, signal in enumerate(signals):
+        if signal.value:
+            word |= 1 << i
+    return word
+
+
+def thermometer_value(signals: Iterable[Signal]) -> int:
+    """Count the leading run of asserted signals (a thermometer code).
+
+    The reference-free voltage sensor (Fig. 12) produces its measurement in
+    this encoding: the number of inverter-chain stages the "ruler" transition
+    passed before the SRAM completion event froze it.
+    """
+    count = 0
+    for signal in signals:
+        if not signal.value:
+            break
+        count += 1
+    return count

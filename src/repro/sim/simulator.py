@@ -1,0 +1,197 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` advances time by popping the earliest pending
+:class:`~repro.sim.events.Event` and firing it.  It knows nothing about
+voltages, gates or memories — those live in the circuit packages — but it
+provides the scheduling primitives they need:
+
+* ``schedule`` / ``schedule_at`` for callbacks,
+* ``schedule_signal`` for driving :class:`~repro.sim.signals.Signal` objects,
+* ``run`` / ``run_until_idle`` / ``step`` to advance time,
+* watchdogs (maximum events, maximum time) so livelocks in experimental
+  circuits terminate with a useful error instead of hanging.
+
+Determinism: for equal timestamps, events fire in (priority, scheduling
+order), so a simulation is a pure function of its inputs and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import DeadlockError, SchedulingError, SimulationError
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import EventQueue
+from repro.sim.signals import Signal
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on the number of fired events; exceeded means the circuit is
+        livelocked (e.g. an oscillator that nobody stops) and raises
+        :class:`~repro.errors.SimulationError`.
+    trace:
+        Optional callable invoked as ``trace(event)`` after every fired
+        event — handy for debugging protocol issues.
+    """
+
+    def __init__(self, max_events: int = 5_000_000,
+                 trace: Optional[Callable[[Event], None]] = None) -> None:
+        if max_events < 1:
+            raise SchedulingError("max_events must be >= 1")
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._fired = 0
+        self.max_events = max_events
+        self.trace = trace
+        self._stopped = False
+        self._idle_hooks: List[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def fired_events(self) -> int:
+        """Number of events fired so far."""
+        return self._fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called."""
+        return self._stopped
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None], *,
+                 kind: EventKind = EventKind.CALLBACK, priority: int = 0,
+                 label: str = "") -> Event:
+        """Schedule *action* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action, kind=kind,
+                                priority=priority, label=label)
+
+    def schedule_at(self, time: float, action: Callable[[], None], *,
+                    kind: EventKind = EventKind.CALLBACK, priority: int = 0,
+                    label: str = "") -> Event:
+        """Schedule *action* at absolute simulation *time*."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        event = Event(time=time, action=action, kind=kind, priority=priority,
+                      label=label)
+        return self._queue.push(event)
+
+    def schedule_signal(self, signal: Signal, value: bool, delay: float, *,
+                        label: str = "") -> Event:
+        """Schedule *signal* to take *value* after *delay* seconds."""
+        target_time = self._now + delay
+
+        def _drive() -> None:
+            signal.set(value, target_time)
+
+        return self.schedule(delay, _drive, kind=EventKind.SIGNAL,
+                             label=label or signal.name)
+
+    def call_when_idle(self, hook: Callable[[float], None]) -> None:
+        """Register *hook(time)* to run when the event queue drains."""
+        self._idle_hooks.append(hook)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> Event:
+        """Fire exactly one pending event and return it."""
+        if not self._queue:
+            raise DeadlockError("no pending events to step")
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"event queue returned a stale event ({event.time} < {self._now})"
+            )
+        self._now = event.time
+        self._fired += 1
+        if self._fired > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                "the circuit is probably livelocked"
+            )
+        event.fire()
+        if self.trace is not None:
+            self.trace(event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, *until* seconds, or :meth:`stop`.
+
+        Returns the simulation time at which the run stopped.  Events
+        scheduled exactly at *until* are executed; later ones are left
+        pending so the simulation can be resumed.
+        """
+        if until is not None and until < self._now:
+            raise SchedulingError(f"until={until} is in the past (now={self._now})")
+        self._stopped = False
+        while self._queue and not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            self.step()
+        if not self._queue:
+            for hook in tuple(self._idle_hooks):
+                hook(self._now)
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> float:
+        """Run until no events remain; optionally bounded by *max_time*.
+
+        Raises :class:`~repro.errors.DeadlockError` if *max_time* elapses
+        while events are still pending — that usually means a handshake never
+        completed.
+        """
+        end = self.run(until=max_time)
+        if max_time is not None and self.pending_events and end >= max_time:
+            raise DeadlockError(
+                f"simulation still has {self.pending_events} pending events "
+                f"at max_time={max_time}"
+            )
+        return end
+
+    # ------------------------------------------------------------------
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward with no events (used by test fixtures)."""
+        if time < self._now:
+            raise SchedulingError("cannot move time backwards")
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self._now:.3e}s fired={self._fired} "
+                f"pending={self.pending_events}>")

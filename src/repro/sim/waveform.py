@@ -1,0 +1,179 @@
+"""Waveform recording and text rendering.
+
+The paper presents several results as analogue waveform screenshots (the
+2-bit dual-rail counter under an AC supply, Fig. 4; the SI SRAM under varying
+Vdd, Fig. 7).  The behavioural equivalent is a :class:`WaveformRecorder`
+holding the value-change history of a set of signals plus any analogue traces
+(supply voltages), able to
+
+* export the data series (for EXPERIMENTS.md and the benchmarks), and
+* render a compact ASCII timing diagram, which is what the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.signals import Signal
+
+
+@dataclass
+class AnalogTrace:
+    """A sampled analogue quantity (e.g. a supply voltage) over time."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Record *value* at *time* (times must be non-decreasing)."""
+        if self.samples and time < self.samples[-1][0]:
+            raise SimulationError(
+                f"analog trace {self.name!r} sampled backwards in time"
+            )
+        self.samples.append((time, value))
+
+    def value_at(self, time: float) -> float:
+        """Most recent sample at or before *time*."""
+        if not self.samples:
+            raise SimulationError(f"analog trace {self.name!r} has no samples")
+        result = self.samples[0][1]
+        for sample_time, value in self.samples:
+            if sample_time > time:
+                break
+            result = value
+        return result
+
+    def minimum(self) -> float:
+        """Smallest recorded value."""
+        return min(v for _, v in self.samples)
+
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        return max(v for _, v in self.samples)
+
+
+class WaveformRecorder:
+    """Collects digital signals and analogue traces for one simulation run."""
+
+    def __init__(self, name: str = "waves") -> None:
+        self.name = name
+        self._signals: List[Signal] = []
+        self._analog: Dict[str, AnalogTrace] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_signal(self, signal: Signal) -> Signal:
+        """Track *signal* (it must have recording enabled)."""
+        if not signal.record:
+            raise SimulationError(
+                f"signal {signal.name!r} has recording disabled"
+            )
+        self._signals.append(signal)
+        return signal
+
+    def add_signals(self, signals: Iterable[Signal]) -> None:
+        """Track several signals at once."""
+        for signal in signals:
+            self.add_signal(signal)
+
+    def analog(self, name: str) -> AnalogTrace:
+        """Get (or create) the analogue trace called *name*."""
+        if name not in self._analog:
+            self._analog[name] = AnalogTrace(name=name)
+        return self._analog[name]
+
+    @property
+    def signals(self) -> Sequence[Signal]:
+        """The tracked digital signals, in insertion order."""
+        return tuple(self._signals)
+
+    @property
+    def analog_traces(self) -> Dict[str, AnalogTrace]:
+        """The analogue traces keyed by name."""
+        return dict(self._analog)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def end_time(self) -> float:
+        """Latest timestamp present in any trace."""
+        latest = 0.0
+        for signal in self._signals:
+            if signal.history:
+                latest = max(latest, signal.history[-1][0])
+        for trace in self._analog.values():
+            if trace.samples:
+                latest = max(latest, trace.samples[-1][0])
+        return latest
+
+    def digital_series(self) -> Dict[str, List[Tuple[float, bool]]]:
+        """Value-change lists keyed by signal name."""
+        return {signal.name: list(signal.history) for signal in self._signals}
+
+    def sample_grid(self, points: int = 100,
+                    end: Optional[float] = None) -> Dict[str, List[float]]:
+        """Resample every trace onto a uniform grid of *points* instants.
+
+        Returns a dict with a ``"time"`` vector plus one vector per signal
+        (0.0/1.0) and per analogue trace.  This is the exchange format the
+        benchmark harness stores in EXPERIMENTS.md tables.
+        """
+        if points < 2:
+            raise SimulationError("points must be >= 2")
+        if end is None:
+            end = self.end_time()
+        if end <= 0:
+            end = 1.0
+        times = [end * i / (points - 1) for i in range(points)]
+        grid: Dict[str, List[float]] = {"time": times}
+        for signal in self._signals:
+            grid[signal.name] = [1.0 if signal.value_at(t) else 0.0 for t in times]
+        for name, trace in self._analog.items():
+            grid[name] = [trace.value_at(t) for t in times]
+        return grid
+
+    # ------------------------------------------------------------------
+    # ASCII rendering
+    # ------------------------------------------------------------------
+
+    def render_ascii(self, width: int = 72, end: Optional[float] = None) -> str:
+        """Render the recorded waveforms as an ASCII timing diagram.
+
+        Digital signals render as ``▔``/``▁`` runs; analogue traces as a
+        single row of digits 0–9 proportional to their min–max range.  The
+        output is intentionally compact — it is printed by the example
+        scripts as the stand-in for the paper's oscilloscope figures.
+        """
+        if width < 8:
+            raise SimulationError("width must be >= 8")
+        if end is None:
+            end = self.end_time()
+        if end <= 0:
+            end = 1.0
+        times = [end * i / (width - 1) for i in range(width)]
+        name_width = max(
+            [len(s.name) for s in self._signals]
+            + [len(t) for t in self._analog]
+            + [4]
+        )
+        lines: List[str] = []
+        header = " " * name_width + " 0" + " " * (width - 10) + f"{end:.3e}s"
+        lines.append(header)
+        for signal in self._signals:
+            row = "".join(
+                "▔" if signal.value_at(t) else "▁" for t in times
+            )
+            lines.append(f"{signal.name:<{name_width}} {row}")
+        for name, trace in self._analog.items():
+            low, high = trace.minimum(), trace.maximum()
+            span = (high - low) or 1.0
+            row = "".join(
+                str(min(9, int(9 * (trace.value_at(t) - low) / span)))
+                for t in times
+            )
+            lines.append(f"{name:<{name_width}} {row}   "
+                         f"[{low:.3g} .. {high:.3g}]")
+        return "\n".join(lines)

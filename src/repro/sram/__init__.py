@@ -1,0 +1,57 @@
+"""Speed-independent SRAM (paper Section III-A, Figs. 5–7).
+
+SRAM is "a fundamental component in designing any computational load for an
+EH-based system" and the paper's flagship design example: a 1-kbit (64×16)
+6T-cell array whose timing is not bundled by worst-case delay lines but
+*completion-detected* — the controller observes the bit-line transients
+themselves, so the memory keeps working (just more slowly) across the whole
+0.2–1 V supply range, with a minimum energy per operation around 0.4 V.
+
+Package layout mirrors the structures the paper names:
+
+* :mod:`repro.sram.cell` — 6T and 8T storage cells with retention limits;
+* :mod:`repro.sram.bitline` — bit-line delay/energy model, including the
+  calibration against the paper's Fig. 5 anchor points (SRAM read = 50
+  inverter delays at 1 V, 158 at 190 mV);
+* :mod:`repro.sram.decoder`, :mod:`repro.sram.precharge`,
+  :mod:`repro.sram.write_driver`, :mod:`repro.sram.sense` — peripheral blocks;
+* :mod:`repro.sram.completion` — column completion detection (with the
+  segmentation option the paper suggests for sub-0.3 V operation);
+* :mod:`repro.sram.controller` — the handshake-based controller of Fig. 6,
+  including the read-before-write trick that makes write completion
+  detectable;
+* :mod:`repro.sram.sram` — the assembled speed-independent SRAM plus a
+  bundled-data baseline for comparison;
+* :mod:`repro.sram.bundling` — the "smart latency bundling" replica-column
+  variant of reference [8].
+"""
+
+from repro.sram.cell import SRAMCell, CellType
+from repro.sram.bitline import BitlineModel, calibrate_bitline_to_fig5
+from repro.sram.decoder import AddressDecoder
+from repro.sram.precharge import PrechargeUnit
+from repro.sram.write_driver import WriteDriver
+from repro.sram.sense import ReadBuffer
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.controller import SISRAMController, SRAMOperation, OperationRecord
+from repro.sram.sram import SpeedIndependentSRAM, BundledSRAM, SRAMConfig
+from repro.sram.bundling import ReplicaColumnBundling
+
+__all__ = [
+    "SRAMCell",
+    "CellType",
+    "BitlineModel",
+    "calibrate_bitline_to_fig5",
+    "AddressDecoder",
+    "PrechargeUnit",
+    "WriteDriver",
+    "ReadBuffer",
+    "ColumnCompletionDetector",
+    "SISRAMController",
+    "SRAMOperation",
+    "OperationRecord",
+    "SpeedIndependentSRAM",
+    "BundledSRAM",
+    "SRAMConfig",
+    "ReplicaColumnBundling",
+]

@@ -1,0 +1,154 @@
+"""Smart latency bundling with a replica column (paper reference [8]).
+
+Between the fully completion-detected SI SRAM (every column observed) and
+the blind matched-delay SRAM sits the design of reference [8]: *one* column
+keeps full completion detection and acts as a live replica whose completion
+event times the other columns.  It tracks voltage (unlike a fixed delay
+line) because the replica is made of the same cells and bit lines, but it
+re-introduces a matching assumption *between columns*, which process
+variation can break.
+
+:class:`ReplicaColumnBundling` models that trade-off: latency and energy sit
+between the two extremes, and a mismatch budget determines how much margin
+the replica needs over the nominal column and therefore where (if anywhere)
+it fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.technology import Technology
+from repro.models.variation import ProcessVariation
+from repro.sram.bitline import BitlineModel
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.sram import SpeedIndependentSRAM, SRAMConfig
+
+
+@dataclass
+class BundlingReport:
+    """Outcome of a replica-vs-array mismatch analysis at one voltage."""
+
+    vdd: float
+    replica_delay: float
+    worst_column_delay: float
+    margin: float
+    failure_probability: float
+
+
+class ReplicaColumnBundling:
+    """Replica-column ("smart latency bundling") SRAM timing model.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    config:
+        Array configuration (the replica is one extra column).
+    replica_margin:
+        Deliberate slow-down applied to the replica column (extra load), as a
+        multiplicative factor; the designer's knob against mismatch.
+    sigma_delay:
+        Relative standard deviation of column-to-column delay mismatch.
+    seed:
+        Seed for the Monte-Carlo failure estimate.
+    """
+
+    def __init__(self, technology: Technology,
+                 config: Optional[SRAMConfig] = None,
+                 replica_margin: float = 1.2,
+                 sigma_delay: float = 0.08,
+                 seed: Optional[int] = None) -> None:
+        if replica_margin < 1.0:
+            raise ConfigurationError("replica_margin must be >= 1")
+        if sigma_delay < 0:
+            raise ConfigurationError("sigma_delay must be non-negative")
+        self.technology = technology
+        self.config = config or SRAMConfig()
+        self.replica_margin = replica_margin
+        self.sigma_delay = sigma_delay
+        self._rng = np.random.default_rng(seed)
+        self._si = SpeedIndependentSRAM(technology, self.config)
+        self.bitline: BitlineModel = self._si.bitline
+        self.completion = ColumnCompletionDetector(
+            technology=technology, columns=1,
+        )
+
+    # ------------------------------------------------------------------
+
+    def replica_delay(self, vdd: float) -> float:
+        """Delay (s) of the replica column's completion event at *vdd*."""
+        return (self.bitline.discharge_delay(vdd) * self.replica_margin
+                + self.completion.detection_delay(vdd))
+
+    def column_delay(self, vdd: float) -> float:
+        """Nominal delay (s) of an ordinary (unobserved) column at *vdd*."""
+        return self.bitline.discharge_delay(vdd)
+
+    def timing_margin(self, vdd: float) -> float:
+        """Replica delay over nominal column delay."""
+        return self.replica_delay(vdd) / self.column_delay(vdd)
+
+    def read_latency(self, vdd: float) -> float:
+        """Read latency (s): replica-timed, so it tracks voltage."""
+        return (self._si.decoder.delay(vdd)
+                + self._si.precharge.delay(vdd)
+                + self.replica_delay(vdd)
+                + self._si.read_buffer.delay(vdd)
+                + self._si.precharge.delay(vdd))
+
+    def read_energy(self, vdd: float) -> float:
+        """Energy (J) of one read — only one column pays for completion gates."""
+        cols = self.config.columns
+        dynamic = (self._si.decoder.energy(vdd)
+                   + cols * (1.5 * self._si.precharge.energy(vdd)
+                             + self.bitline.read_energy(vdd)
+                             + self._si.read_buffer.energy(vdd))
+                   + self.completion.cycle_energy(vdd))
+        leak = (self._si.array_leakage_power(vdd)
+                + self._si.peripheral_leakage_power(vdd)
+                + self.completion.leakage_power(vdd))
+        return dynamic + leak * self.read_latency(vdd)
+
+    # ------------------------------------------------------------------
+
+    def failure_probability(self, vdd: float, samples: int = 2000) -> float:
+        """Probability that some column is slower than the replica at *vdd*.
+
+        Monte-Carlo over log-normal column mismatch: the probability that the
+        *maximum* of ``columns`` mismatched delays exceeds the replica delay.
+        This is the quantity reference [8]'s failure analysis studies.
+        """
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        replica = self.replica_delay(vdd)
+        nominal = self.column_delay(vdd)
+        # Mismatch grows as Vdd approaches threshold (delay sensitivity to
+        # Vth rises steeply), modelled by inflating sigma below 2*Vth.
+        sensitivity = 1.0
+        if vdd < 2.0 * self.technology.vth:
+            sensitivity = 1.0 + 3.0 * (2.0 * self.technology.vth - vdd)
+        sigma = self.sigma_delay * sensitivity
+        draws = self._rng.lognormal(mean=0.0, sigma=sigma,
+                                    size=(samples, self.config.columns))
+        worst = (draws * nominal).max(axis=1)
+        return float(np.mean(worst > replica))
+
+    def analyse(self, vdd: float, samples: int = 2000) -> BundlingReport:
+        """Full mismatch analysis at one voltage."""
+        nominal = self.column_delay(vdd)
+        sensitivity = 1.0
+        if vdd < 2.0 * self.technology.vth:
+            sensitivity = 1.0 + 3.0 * (2.0 * self.technology.vth - vdd)
+        worst = nominal * float(np.exp(2.0 * self.sigma_delay * sensitivity))
+        return BundlingReport(
+            vdd=vdd,
+            replica_delay=self.replica_delay(vdd),
+            worst_column_delay=worst,
+            margin=self.timing_margin(vdd),
+            failure_probability=self.failure_probability(vdd, samples=samples),
+        )

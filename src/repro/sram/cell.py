@@ -1,0 +1,156 @@
+"""SRAM storage cells.
+
+The paper's experimental design uses "the standard simple 6T SRAM cell", and
+notes that leakage can be reduced "by switching to 8T cells (with two NMOS
+transistors in stack)".  :class:`SRAMCell` models the properties the
+behavioural simulator needs from a cell:
+
+* the read current it can sink from a bit line (the quantity whose bad
+  scaling at low Vdd produces the Fig. 5 mismatch),
+* the write time of its cross-coupled pair,
+* leakage as a function of Vdd and cell type,
+* a data-retention voltage below which the stored value is lost — the
+  failure mode an energy-harvester brown-out can trigger.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigurationError, RetentionError
+from repro.models.gate import GateModel, GateType
+from repro.models.mosfet import MosfetModel
+from repro.models.technology import Technology
+
+
+class CellType(enum.Enum):
+    """Supported storage-cell topologies."""
+
+    SIX_T = "6T"
+    EIGHT_T = "8T"
+
+    @property
+    def transistors(self) -> int:
+        """Transistor count of the cell."""
+        return 6 if self is CellType.SIX_T else 8
+
+    @property
+    def leakage_factor(self) -> float:
+        """Leakage relative to a 6T cell (8T stacks two NMOS → much less)."""
+        return 1.0 if self is CellType.SIX_T else 0.35
+
+    @property
+    def read_vth_penalty(self) -> float:
+        """Extra effective threshold (V) of the read path.
+
+        The 6T read path goes through the access transistor in series with
+        the pull-down — an effective threshold penalty relative to a logic
+        inverter.  The 8T cell's dedicated read stack adds a little more.
+        """
+        return 0.10 if self is CellType.SIX_T else 0.12
+
+    @property
+    def area_factor(self) -> float:
+        """Relative cell area (8T is larger)."""
+        return 1.0 if self is CellType.SIX_T else 1.3
+
+
+class SRAMCell:
+    """Behavioural model of one SRAM cell.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    cell_type:
+        6T (default, as in the paper's design) or 8T.
+    vth_offset:
+        Per-cell threshold variation (from Monte-Carlo sampling).
+    retention_voltage:
+        Supply below which the cross-coupled pair can no longer hold its
+        state; reads/writes below it raise
+        :class:`~repro.errors.RetentionError` and the stored value is lost.
+    """
+
+    def __init__(self, technology: Technology,
+                 cell_type: CellType = CellType.SIX_T,
+                 vth_offset: float = 0.0,
+                 retention_voltage: float = 0.10) -> None:
+        if retention_voltage < 0:
+            raise ConfigurationError("retention_voltage must be non-negative")
+        self.technology = technology
+        self.cell_type = cell_type
+        self.vth_offset = vth_offset
+        self.retention_voltage = retention_voltage
+        self._value: Optional[bool] = None  # None = unknown (power-up state)
+        self._read_device = MosfetModel(
+            technology=technology,
+            width_um=technology.min_width_um,
+            vth_offset=cell_type.read_vth_penalty + vth_offset,
+        )
+        self._latch_model = GateModel(
+            technology=technology,
+            gate_type=(GateType.SRAM_CELL if cell_type is CellType.SIX_T
+                       else GateType.SRAM_CELL_8T),
+            vth_offset=vth_offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Stored value
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> Optional[bool]:
+        """Stored bit, or ``None`` if unknown (never written / retention lost)."""
+        return self._value
+
+    def write(self, value: bool, vdd: float) -> None:
+        """Store *value*; requires the supply to be above retention."""
+        self._check_retention(vdd)
+        self._value = bool(value)
+
+    def read(self, vdd: float) -> bool:
+        """Return the stored bit; requires a known value and adequate supply."""
+        self._check_retention(vdd)
+        if self._value is None:
+            raise RetentionError("cell read before ever being written")
+        return self._value
+
+    def power_glitch(self, vdd: float) -> None:
+        """Inform the cell the supply dipped to *vdd*; below retention it forgets."""
+        if vdd < self.retention_voltage:
+            self._value = None
+
+    def _check_retention(self, vdd: float) -> None:
+        if vdd < self.retention_voltage:
+            self._value = None
+            raise RetentionError(
+                f"supply {vdd:.3f} V below retention voltage "
+                f"{self.retention_voltage:.3f} V"
+            )
+
+    # ------------------------------------------------------------------
+    # Electrical characteristics
+    # ------------------------------------------------------------------
+
+    def read_current(self, vdd: float) -> float:
+        """Current (A) the cell sinks from a precharged bit line at *vdd*.
+
+        This is the quantity that scales *worse* than logic as Vdd falls,
+        because of the read path's threshold penalty — the physical origin of
+        the SRAM/logic mismatch in Fig. 5.
+        """
+        return self._read_device.on_current(vdd)
+
+    def write_time(self, vdd: float) -> float:
+        """Time (s) for the cross-coupled pair to flip at supply *vdd*."""
+        return 4.0 * self._latch_model.delay(vdd)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the idle cell at supply *vdd*."""
+        return self._latch_model.leakage_power(vdd) * self.cell_type.leakage_factor
+
+    def internal_node_capacitance(self) -> float:
+        """Capacitance (F) of one internal storage node."""
+        return self._latch_model.parasitic_capacitance

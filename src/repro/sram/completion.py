@@ -1,0 +1,126 @@
+"""Column completion detection for the SI SRAM.
+
+The defining feature of the paper's SRAM is that the end of every bit-line
+transient is *observed* rather than assumed: each column's read buffers feed
+a completion detector, and the per-column "done" signals are merged by a
+C-element tree into the array-level completion that drives the handshake
+controller of Fig. 6.
+
+The paper also proposes an optimisation for pushing operation further into
+sub-threshold: "sectioning the completion detection in the column into
+smaller segments, say, of 8 bit each... would reduce the loading capacity of
+the bit lines" — :class:`ColumnCompletionDetector` exposes that segmentation
+as a parameter so the trade-off can be swept (the EXT ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.selftimed.completion import CompletionTreeModel
+
+
+@dataclass
+class ColumnCompletionDetector:
+    """Delay/energy model of the array-wide completion-detection network.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    columns:
+        Number of data columns completion-detected in parallel (16 for the
+        paper's 64×16 array).
+    segment_size:
+        Optional segmentation of each column's detector (see module
+        docstring); ``None`` uses one detector per whole column.
+    detection_load_fraction:
+        Fraction by which the detector's input gates load the bit lines;
+        segmentation reduces this loading and therefore the bit-line delay
+        itself — the mechanism behind the paper's sub-0.3 V suggestion.
+    """
+
+    technology: Technology
+    columns: int = 16
+    segment_size: Optional[int] = None
+    detection_load_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.columns < 1:
+            raise ConfigurationError("columns must be >= 1")
+        if self.segment_size is not None and self.segment_size < 1:
+            raise ConfigurationError("segment_size must be >= 1 when given")
+        if not (0.0 <= self.detection_load_fraction < 1.0):
+            raise ConfigurationError(
+                "detection_load_fraction must lie in [0, 1)"
+            )
+        self._per_column = CompletionTreeModel(
+            technology=self.technology,
+            bits=1,  # one dual-rail read value per column
+            segment_size=None,
+        )
+        self._merge_tree = CompletionTreeModel(
+            technology=self.technology,
+            bits=self.columns,
+            segment_size=self.segment_size,
+        )
+        self._c_gate = GateModel(technology=self.technology,
+                                 gate_type=GateType.C_ELEMENT)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def gate_count(self) -> int:
+        """Total completion-detection gates across the array."""
+        return (self.columns * self._per_column.gate_count
+                + self._merge_tree.gate_count)
+
+    def effective_load_factor(self) -> float:
+        """Multiplier on bit-line capacitance due to detector loading.
+
+        Segmenting into ``s``-bit chunks reduces the loading proportionally
+        (each chunk's detector only hangs on ``s`` of the column's cells).
+        """
+        if self.segment_size is None:
+            return 1.0 + self.detection_load_fraction
+        reduction = min(1.0, self.segment_size / 64.0)
+        return 1.0 + self.detection_load_fraction * reduction
+
+    def detection_delay(self, vdd: float) -> float:
+        """Latency (s) from the last bit settling to array-level "done"."""
+        return self._per_column.delay(vdd) + self._merge_tree.delay(vdd)
+
+    def cycle_energy(self, vdd: float) -> float:
+        """Energy (J) of one full detect + reset cycle across the array."""
+        return (self.columns * self._per_column.energy(vdd)
+                + self._merge_tree.energy(vdd))
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of all completion-detection gates."""
+        return self.gate_count * self._c_gate.leakage_power(vdd)
+
+    def minimum_detectable_vdd(self) -> float:
+        """Lowest supply at which detection still functions.
+
+        Without segmentation the heavily loaded column detector is the
+        limiting factor; segmentation buys roughly the loading reduction in
+        voltage headroom.  The model expresses this as the technology's
+        functional minimum scaled by the loading factor.
+        """
+        base = self.technology.vdd_min
+        return base * (self.effective_load_factor()
+                       / (1.0 + self.detection_load_fraction))
+
+    def segmentation_summary(self) -> dict:
+        """Report of the segmentation trade-off (used by the ablation bench)."""
+        return {
+            "segment_size": self.segment_size,
+            "gate_count": self.gate_count,
+            "load_factor": self.effective_load_factor(),
+            "min_vdd": self.minimum_detectable_vdd(),
+        }

@@ -1,0 +1,326 @@
+"""Handshake-based SI SRAM controller (paper Fig. 6).
+
+The controller sequences every memory operation as a chain of handshakes —
+precharge, word line, sense/write-enable — where each phase begins only when
+the previous phase has *indicated its own completion*.  Two details from the
+paper are modelled explicitly:
+
+* **Read completion** is indicated by the dual-rail read buffers producing a
+  valid codeword (column completion detection).
+* **Write completion** uses the paper's "interesting and original" trick:
+  *reading before writing*.  The cell's current value is first read onto the
+  bit lines, then the write driver drives the new value; completion logic
+  simply waits until the bit-line state equals the value being written, which
+  is a genuine, reference-free indication that the cell has flipped.
+
+Because each phase's duration is computed from the supply voltage *at the
+moment the phase starts*, an operation that spans a supply dip simply
+stretches (Fig. 7) — it never silently violates timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SupplyCollapseError
+from repro.models.technology import Technology
+from repro.sim.probes import EnergyProbe
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+from repro.selftimed.handshake import HandshakeChannel
+from repro.sram.bitline import BitlineModel
+from repro.sram.cell import SRAMCell
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.decoder import AddressDecoder
+from repro.sram.precharge import PrechargeUnit
+from repro.sram.sense import ReadBuffer
+from repro.sram.write_driver import WriteDriver
+
+
+class SRAMOperation(enum.Enum):
+    """Memory operation types."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class PhaseRecord:
+    """One completed phase of an operation (for protocol-trace benchmarks)."""
+
+    name: str
+    start_time: float
+    duration: float
+    vdd: float
+
+
+@dataclass
+class OperationRecord:
+    """Summary of one completed SRAM operation."""
+
+    operation: SRAMOperation
+    address: int
+    data: Optional[int]
+    start_time: float
+    end_time: float
+    energy: float
+    phases: List[PhaseRecord] = field(default_factory=list)
+    stall_time: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Total latency in seconds."""
+        return self.end_time - self.start_time
+
+
+class SISRAMController:
+    """Event-driven phase sequencer for the speed-independent SRAM.
+
+    The controller does not own the storage array — it is given callbacks to
+    read/write a row — so the same sequencer drives both the behavioural
+    :class:`~repro.sram.sram.SpeedIndependentSRAM` and unit tests with fake
+    storage.
+
+    Parameters
+    ----------
+    read_row / write_row:
+        Callables accessing the storage: ``read_row(address) -> int`` and
+        ``write_row(address, value) -> None``.
+    retry_interval:
+        How long to wait before re-attempting a phase whose supply was below
+        the functional minimum.
+    """
+
+    def __init__(self, sim: Simulator, supply, technology: Technology,
+                 decoder: AddressDecoder, bitline: BitlineModel,
+                 precharge: PrechargeUnit, write_driver: WriteDriver,
+                 read_buffer: ReadBuffer,
+                 completion: ColumnCompletionDetector,
+                 reference_cell: SRAMCell,
+                 read_row: Callable[[int], int],
+                 write_row: Callable[[int, int], None],
+                 columns: int,
+                 name: str = "sram.ctrl",
+                 retry_interval: float = 200e-9,
+                 energy_probe: Optional[EnergyProbe] = None,
+                 energy_scale: float = 1.0) -> None:
+        if retry_interval <= 0:
+            raise ConfigurationError("retry_interval must be positive")
+        if energy_scale <= 0:
+            raise ConfigurationError("energy_scale must be positive")
+        self.sim = sim
+        self.supply = supply
+        self.technology = technology
+        self.name = name
+        self.decoder = decoder
+        self.bitline = bitline
+        self.precharge = precharge
+        self.write_driver = write_driver
+        self.read_buffer = read_buffer
+        self.completion = completion
+        self.reference_cell = reference_cell
+        self._read_row = read_row
+        self._write_row = write_row
+        self.columns = columns
+        self.retry_interval = retry_interval
+        self.energy_probe = energy_probe
+        self.energy_scale = energy_scale
+        self.busy = False
+        self.records: List[OperationRecord] = []
+        # Observable handshake interface (Fig. 6 structure).
+        self.precharge_channel = HandshakeChannel(sim, f"{name}.precharge")
+        self.wordline_channel = HandshakeChannel(sim, f"{name}.wordline")
+        self.write_enable_channel = HandshakeChannel(sim, f"{name}.write_enable")
+        self.done = Signal(f"{name}.done")
+        self._last_read_value: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def read(self, address: int,
+             on_complete: Optional[Callable[[OperationRecord, int], None]] = None
+             ) -> None:
+        """Start a read of *address*; *on_complete(record, value)* fires at the end."""
+        self._start(SRAMOperation.READ, address, None, on_complete)
+
+    def write(self, address: int, data: int,
+              on_complete: Optional[Callable[[OperationRecord, int], None]] = None
+              ) -> None:
+        """Start a write of *data* to *address*."""
+        if data < 0 or data >= (1 << self.columns):
+            raise ConfigurationError(
+                f"data {data} does not fit in {self.columns} columns"
+            )
+        self._start(SRAMOperation.WRITE, address, data, on_complete)
+
+    def _start(self, operation: SRAMOperation, address: int,
+               data: Optional[int],
+               on_complete: Optional[Callable[[OperationRecord, int], None]]) -> None:
+        if self.busy:
+            raise ConfigurationError(
+                f"{self.name}: operation requested while busy (the SI SRAM "
+                "has a single port; serialise requests on the handshake)"
+            )
+        self.decoder.check_address(address)
+        self.busy = True
+        record = OperationRecord(
+            operation=operation, address=address, data=data,
+            start_time=self.sim.now, end_time=self.sim.now, energy=0.0,
+        )
+        # Phase plan: (name, delay_fn, energy_fn) evaluated lazily so each
+        # phase sees the supply voltage at its own start time.
+        if operation is SRAMOperation.READ:
+            phases = self._read_phases()
+        else:
+            phases = self._write_phases()
+        self._run_phase(record, phases, 0, on_complete)
+
+    # ------------------------------------------------------------------
+    # Phase plans
+    # ------------------------------------------------------------------
+
+    def _read_phases(self) -> List[Tuple[str, Callable[[float], float],
+                                         Callable[[float], float]]]:
+        load = self.completion.effective_load_factor()
+        return [
+            ("decode", self.decoder.delay, self.decoder.energy),
+            ("precharge", self.precharge.delay,
+             lambda v: self.columns * self.precharge.energy(v)),
+            ("wordline+bitline",
+             lambda v: self.bitline.discharge_delay(v) * load,
+             lambda v: self.columns * self.bitline.read_energy(v)),
+            ("sense", self.read_buffer.delay,
+             lambda v: self.columns * self.read_buffer.energy(v)),
+            ("completion", self.completion.detection_delay,
+             self.completion.cycle_energy),
+            ("precharge-return", self.precharge.delay,
+             lambda v: self.columns * self.precharge.energy(v) * 0.5),
+        ]
+
+    def _write_phases(self) -> List[Tuple[str, Callable[[float], float],
+                                          Callable[[float], float]]]:
+        load = self.completion.effective_load_factor()
+        return [
+            ("decode", self.decoder.delay, self.decoder.energy),
+            ("precharge", self.precharge.delay,
+             lambda v: self.columns * self.precharge.energy(v)),
+            # Read-before-write: make the current contents observable so the
+            # write's completion can be detected as bit-line == new value.
+            ("read-before-write",
+             lambda v: self.bitline.discharge_delay(v) * load,
+             lambda v: self.columns * self.bitline.read_energy(v)),
+            ("write-drive",
+             lambda v: self.write_driver.write_delay(v, self.reference_cell),
+             lambda v: self.columns * self.write_driver.energy(v)),
+            ("write-completion", self.completion.detection_delay,
+             self.completion.cycle_energy),
+            ("precharge-return", self.precharge.delay,
+             lambda v: self.columns * self.precharge.energy(v) * 0.5),
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase execution
+    # ------------------------------------------------------------------
+
+    def _rail_voltage(self) -> float:
+        return self.supply.voltage(self.sim.now)
+
+    def _run_phase(self, record: OperationRecord, phases, index: int,
+                   on_complete) -> None:
+        if index >= len(phases):
+            self._finish(record, on_complete)
+            return
+        name, delay_fn, energy_fn = phases[index]
+        vdd = self._rail_voltage()
+        if vdd < self.technology.vdd_min:
+            record.stall_time += self.retry_interval
+            self.sim.schedule(
+                self.retry_interval,
+                lambda: self._run_phase(record, phases, index, on_complete),
+                label=f"{self.name}.stall",
+            )
+            return
+        duration = delay_fn(vdd)
+        self._signal_phase(name, True)
+        self.sim.schedule(
+            duration,
+            lambda: self._end_phase(record, phases, index, duration, vdd,
+                                    energy_fn, on_complete),
+            label=f"{self.name}.{name}",
+        )
+
+    def _end_phase(self, record: OperationRecord, phases, index: int,
+                   duration: float, vdd: float, energy_fn, on_complete) -> None:
+        name = phases[index][0]
+        energy = self.energy_scale * energy_fn(vdd)
+        try:
+            charge = energy / max(vdd, 1e-9)
+            self.supply.draw_charge(charge, self.sim.now)
+        except SupplyCollapseError:
+            # The supply collapsed mid-phase: wait and repeat this phase.
+            record.stall_time += self.retry_interval
+            self.sim.schedule(
+                self.retry_interval,
+                lambda: self._run_phase(record, phases, index, on_complete),
+                label=f"{self.name}.stall",
+            )
+            return
+        record.energy += energy
+        if self.energy_probe is not None:
+            self.energy_probe.record(energy, self.sim.now,
+                                     label=f"{self.name}.{name}")
+        record.phases.append(PhaseRecord(
+            name=name, start_time=self.sim.now - duration,
+            duration=duration, vdd=vdd,
+        ))
+        self._signal_phase(name, False)
+        self._run_phase(record, phases, index + 1, on_complete)
+
+    def _signal_phase(self, name: str, start: bool) -> None:
+        """Reflect phase activity on the observable handshake channels."""
+        channel = None
+        if "precharge" in name:
+            channel = self.precharge_channel
+        elif "wordline" in name or "read" in name:
+            channel = self.wordline_channel
+        elif "write" in name:
+            channel = self.write_enable_channel
+        if channel is None:
+            return
+        if start:
+            if not channel.req.value:
+                channel.req.set(True, self.sim.now)
+        else:
+            if channel.req.value and not channel.ack.value:
+                channel.ack.set(True, self.sim.now)
+            if channel.req.value:
+                channel.req.set(False, self.sim.now)
+            if channel.ack.value:
+                channel.ack.set(False, self.sim.now)
+
+    def _finish(self, record: OperationRecord, on_complete) -> None:
+        address = record.address
+        if record.operation is SRAMOperation.WRITE:
+            assert record.data is not None
+            self._write_row(address, record.data)
+            value = record.data
+        else:
+            value = self._read_row(address)
+        self._last_read_value = value
+        record.end_time = self.sim.now
+        self.records.append(record)
+        self.busy = False
+        self.done.set(not self.done.value, self.sim.now)
+        if on_complete is not None:
+            on_complete(record, value)
+
+    # ------------------------------------------------------------------
+
+    def last_record(self) -> OperationRecord:
+        """The most recently completed operation's record."""
+        if not self.records:
+            raise ConfigurationError("no operations have completed yet")
+        return self.records[-1]

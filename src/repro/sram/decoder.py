@@ -1,0 +1,78 @@
+"""Row-address decoder model.
+
+The decoder is part of the read/write path that scales *like logic* (it is
+built of ordinary NAND/inverter stages), in contrast to the bit lines which
+scale like a starved source follower.  Splitting the two contributions is
+what lets the library reproduce the Fig. 5 divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+
+
+@dataclass
+class AddressDecoder:
+    """A ``rows``-way one-hot decoder with predecoding.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    rows:
+        Number of word lines to decode (64 for the paper's 1-kbit array).
+    """
+
+    technology: Technology
+    rows: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rows < 2:
+            raise ConfigurationError("rows must be >= 2")
+        self._nand = GateModel(technology=self.technology, gate_type=GateType.NAND2)
+        self._buffer = GateModel(technology=self.technology, gate_type=GateType.BUFFER)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address_bits(self) -> int:
+        """Number of address bits needed."""
+        return max(1, math.ceil(math.log2(self.rows)))
+
+    @property
+    def stage_count(self) -> int:
+        """Logic depth of the decode path (predecode + final NAND + WL buffer)."""
+        predecode_levels = max(1, math.ceil(self.address_bits / 2))
+        return predecode_levels + 2
+
+    def check_address(self, address: int) -> None:
+        """Validate a row address; raises :class:`~repro.errors.AddressError`."""
+        if not (0 <= address < self.rows):
+            raise AddressError(
+                f"address {address} outside the array (0..{self.rows - 1})"
+            )
+
+    def delay(self, vdd: float) -> float:
+        """Decode latency (s): logic stages plus the word-line RC."""
+        logic = self.stage_count * self._nand.delay(vdd)
+        wordline_cap = self.rows * 0.25 * self.technology.unit_inverter_input_cap
+        wordline = self._buffer.delay(vdd, external_load=wordline_cap)
+        return logic + wordline
+
+    def energy(self, vdd: float) -> float:
+        """Energy (J) of one decode: predecoders, one-hot line and word line."""
+        predecode = self.address_bits * self._nand.transition_energy(vdd)
+        onehot = 2.0 * self._nand.transition_energy(vdd)
+        wordline_cap = self.rows * 0.25 * self.technology.unit_inverter_input_cap
+        wordline = self._buffer.transition_energy(vdd, external_load=wordline_cap)
+        return predecode + onehot + wordline
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the whole decoder."""
+        gate_count = self.rows + 4 * self.address_bits
+        return gate_count * self._nand.leakage_power(vdd)

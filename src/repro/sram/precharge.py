@@ -1,0 +1,67 @@
+"""Bit-line precharge unit.
+
+In the handshake-controlled SI SRAM (Fig. 6) the precharge is not timed by a
+clock phase: the controller raises a precharge *request* and the precharge
+unit acknowledges only when the bit lines have genuinely returned to Vdd
+(observed by the column completion detector).  This module provides the
+delay/energy characteristics of that phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.sram.bitline import BitlineModel
+
+
+@dataclass
+class PrechargeUnit:
+    """PMOS precharge/equalise devices for one column pair.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    bitline:
+        The column's bit-line model (provides the capacitance to restore).
+    drive_strength:
+        Sizing of the precharge devices relative to minimum.
+    """
+
+    technology: Technology
+    bitline: BitlineModel
+    drive_strength: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.drive_strength <= 0:
+            raise ConfigurationError("drive_strength must be positive")
+        self._driver = GateModel(
+            technology=self.technology,
+            gate_type=GateType.BUFFER,
+            drive_strength=self.drive_strength,
+        )
+
+    # ------------------------------------------------------------------
+
+    def delay(self, vdd: float) -> float:
+        """Time (s) to restore both bit lines to Vdd after an access."""
+        swing = self.bitline.swing_fraction * vdd
+        # The precharge devices must move 2 bit lines by the developed swing.
+        restore = self._driver.delay(
+            vdd, external_load=2.0 * self.bitline.bitline_capacitance
+        )
+        # Scale by the fraction of a full swing actually developed.
+        return restore * max(self.bitline.swing_fraction, 0.1) + \
+            self._driver.delay(vdd)
+
+    def energy(self, vdd: float) -> float:
+        """Energy (J) of one precharge phase (charge restored + control)."""
+        return (self.bitline.precharge_energy(vdd)
+                + self._driver.transition_energy(vdd))
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the precharge devices."""
+        return self._driver.leakage_power(vdd)

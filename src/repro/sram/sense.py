@@ -1,0 +1,67 @@
+"""Read buffer / sensing model.
+
+The SI SRAM of the paper avoids clocked sense amplifiers (which would need a
+timing reference — the very thing being eliminated) and instead uses simple
+read buffers whose output transition *is* the completion signal for the read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.sram.bitline import BitlineModel
+
+
+@dataclass
+class ReadBuffer:
+    """Bit-line read buffer for one column.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    bitline:
+        The column's bit-line model.
+    dual_rail_output:
+        When ``True`` (the SI design) the buffer produces a dual-rail output
+        pair so downstream completion detection needs no timing assumption;
+        the bundled-data baseline uses a single-rail buffer.
+    """
+
+    technology: Technology
+    bitline: BitlineModel
+    dual_rail_output: bool = True
+
+    def __post_init__(self) -> None:
+        self._sense = GateModel(technology=self.technology,
+                                gate_type=GateType.SENSE_AMP)
+        self._buffer = GateModel(technology=self.technology,
+                                 gate_type=GateType.BUFFER)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rails_per_bit(self) -> int:
+        """Output rails per data bit (2 for dual-rail, 1 for single-rail)."""
+        return 2 if self.dual_rail_output else 1
+
+    def delay(self, vdd: float) -> float:
+        """Sensing latency (s) once the bit-line swing has developed."""
+        base = self._sense.delay(vdd) + self._buffer.delay(vdd)
+        if self.dual_rail_output:
+            base += self._buffer.delay(vdd)  # complementary rail generation
+        return base
+
+    def energy(self, vdd: float) -> float:
+        """Energy (J) of one sensing operation."""
+        energy = self._sense.transition_energy(vdd)
+        energy += self.rails_per_bit * self._buffer.transition_energy(vdd)
+        return energy
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the sense/read buffer."""
+        return (self._sense.leakage_power(vdd)
+                + self.rails_per_bit * self._buffer.leakage_power(vdd))

@@ -1,0 +1,459 @@
+"""The assembled SRAMs: speed-independent (the paper's design) and a
+bundled-data baseline.
+
+:class:`SpeedIndependentSRAM` is the behavioural equivalent of the paper's
+1-kbit (64×16) UMC-90 nm design [7]: completion-detected timing, handshake
+control with read-before-write, functional from ~0.2 V to 1 V, minimum energy
+per operation around 0.4 V.  It offers two complementary interfaces:
+
+* **analytical** — ``read_latency(vdd)``, ``write_energy(vdd)``,
+  ``energy_model()`` etc., used for voltage sweeps (Fig. 5, the energy table)
+  where event-by-event simulation adds nothing;
+* **event-driven** — ``read()``/``write()`` on a
+  :class:`~repro.sim.simulator.Simulator` with any supply node, used for the
+  varying-Vdd demonstration of Fig. 7 and the protocol trace of Fig. 6.
+
+:class:`BundledSRAM` is the conventional alternative the paper argues
+against: the same array timed by a worst-case matched delay sized at a
+calibration voltage.  It is faster and slightly cheaper at nominal Vdd but
+fails (raises :class:`~repro.selftimed.bundled.TimingViolation`) once the
+bit-line/logic mismatch eats its margin — the comparison behind Figs. 2 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import AddressError, ConfigurationError
+from repro.models.energy import EnergyModel
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.models.variation import ProcessVariation
+from repro.selftimed.bundled import TimingViolation
+from repro.sim.probes import EnergyProbe
+from repro.sim.simulator import Simulator
+from repro.sram.bitline import BitlineModel, calibrate_bitline_to_fig5
+from repro.sram.cell import CellType, SRAMCell
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.controller import OperationRecord, SISRAMController
+from repro.sram.decoder import AddressDecoder
+from repro.sram.precharge import PrechargeUnit
+from repro.sram.sense import ReadBuffer
+from repro.sram.write_driver import WriteDriver
+
+
+@dataclass(frozen=True)
+class SRAMConfig:
+    """Array configuration.
+
+    The defaults reproduce the paper's 1-kbit 64×16 organisation.
+
+    ``calibrate_energy`` scales the model's dynamic and leakage energy so the
+    SI SRAM lands on the paper's published anchor points (5.8 pJ per 16-bit
+    write at 1 V, 1.9 pJ at 0.4 V).  The first-order component models get the
+    *shape* right but underestimate the absolute switched capacitance of the
+    real macro (IO, control network, wiring), which is what the calibration
+    absorbs — see DESIGN.md §5.
+    """
+
+    rows: int = 64
+    columns: int = 16
+    cell_type: CellType = CellType.SIX_T
+    completion_segment_size: Optional[int] = None
+    calibrate_to_fig5: bool = True
+    calibrate_energy: bool = True
+    energy_anchor_high: tuple = (1.0, 5.8e-12)
+    energy_anchor_low: tuple = (0.4, 1.9e-12)
+
+    def __post_init__(self) -> None:
+        if self.rows < 2:
+            raise ConfigurationError("rows must be >= 2")
+        if self.columns < 1:
+            raise ConfigurationError("columns must be >= 1")
+
+    @property
+    def bits(self) -> int:
+        """Total storage capacity in bits."""
+        return self.rows * self.columns
+
+
+class _SRAMBase:
+    """Storage array + component models shared by both SRAM variants."""
+
+    def __init__(self, technology: Technology,
+                 config: Optional[SRAMConfig] = None,
+                 variation: Optional[ProcessVariation] = None,
+                 name: str = "sram") -> None:
+        self.technology = technology
+        self.config = config or SRAMConfig()
+        self.name = name
+        self._data: List[Optional[int]] = [None] * self.config.rows
+        vth_offset = 0.0
+        if variation is not None:
+            vth_offset = variation.sample().vth_offset
+        self.reference_cell = SRAMCell(
+            technology, cell_type=self.config.cell_type, vth_offset=vth_offset,
+        )
+        if self.config.calibrate_to_fig5:
+            self.bitline = calibrate_bitline_to_fig5(technology,
+                                                     rows=self.config.rows)
+        else:
+            self.bitline = BitlineModel(technology=technology,
+                                        rows=self.config.rows)
+        self.decoder = AddressDecoder(technology=technology,
+                                      rows=self.config.rows)
+        self.precharge = PrechargeUnit(technology=technology,
+                                       bitline=self.bitline)
+        self.write_driver = WriteDriver(technology=technology,
+                                        bitline=self.bitline)
+        self.read_buffer = ReadBuffer(technology=technology,
+                                      bitline=self.bitline)
+
+    # ------------------------------------------------------------------
+    # Storage access (shared)
+    # ------------------------------------------------------------------
+
+    def _check_address(self, address: int) -> None:
+        if not (0 <= address < self.config.rows):
+            raise AddressError(
+                f"address {address} outside 0..{self.config.rows - 1}"
+            )
+
+    def peek(self, address: int) -> Optional[int]:
+        """Direct (zero-time) storage inspection for tests and debugging."""
+        self._check_address(address)
+        return self._data[address]
+
+    def poke(self, address: int, value: int) -> None:
+        """Direct (zero-time) storage modification for tests and debugging."""
+        self._check_address(address)
+        if value < 0 or value >= (1 << self.config.columns):
+            raise ConfigurationError(
+                f"value {value} does not fit in {self.config.columns} bits"
+            )
+        self._data[address] = value
+
+    def _read_row(self, address: int) -> int:
+        self._check_address(address)
+        value = self._data[address]
+        if value is None:
+            # Reading an unwritten row returns an unknown-but-stable pattern;
+            # the behavioural model uses zero.
+            return 0
+        return value
+
+    def _write_row(self, address: int, value: int) -> None:
+        self._check_address(address)
+        self._data[address] = value
+
+    def stored_words(self) -> int:
+        """Number of rows holding a known value."""
+        return sum(1 for value in self._data if value is not None)
+
+    # ------------------------------------------------------------------
+    # Shared leakage model
+    # ------------------------------------------------------------------
+
+    def array_leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the whole cell array at supply *vdd*."""
+        return self.config.bits * self.reference_cell.leakage_power(vdd)
+
+    def peripheral_leakage_power(self, vdd: float) -> float:
+        """Static power (W) of decoder, drivers and sensing."""
+        return (self.decoder.leakage_power(vdd)
+                + self.config.columns * (self.precharge.leakage_power(vdd)
+                                         + self.write_driver.leakage_power(vdd)
+                                         + self.read_buffer.leakage_power(vdd)))
+
+
+class SpeedIndependentSRAM(_SRAMBase):
+    """The paper's completion-detected, handshake-controlled SRAM."""
+
+    def __init__(self, technology: Technology,
+                 config: Optional[SRAMConfig] = None,
+                 variation: Optional[ProcessVariation] = None,
+                 name: str = "si_sram") -> None:
+        super().__init__(technology, config, variation, name)
+        self.completion = ColumnCompletionDetector(
+            technology=technology,
+            columns=self.config.columns,
+            segment_size=self.config.completion_segment_size,
+        )
+        #: Calibration multipliers applied to dynamic and leakage energy.
+        self.dynamic_energy_scale = 1.0
+        self.leakage_energy_scale = 1.0
+        if self.config.calibrate_energy:
+            calibrate_si_sram_energy(
+                self,
+                anchor_high=self.config.energy_anchor_high,
+                anchor_low=self.config.energy_anchor_low,
+            )
+
+    # ------------------------------------------------------------------
+    # Analytical interface
+    # ------------------------------------------------------------------
+
+    def minimum_operating_voltage(self) -> float:
+        """Lowest supply at which the SI SRAM still completes operations."""
+        return max(self.completion.minimum_detectable_vdd(),
+                   self.reference_cell.retention_voltage,
+                   self.technology.vdd_min)
+
+    def read_latency(self, vdd: float) -> float:
+        """Analytical read latency (s) at a steady supply *vdd*."""
+        load = self.completion.effective_load_factor()
+        return (self.decoder.delay(vdd)
+                + self.precharge.delay(vdd)
+                + self.bitline.discharge_delay(vdd) * load
+                + self.read_buffer.delay(vdd)
+                + self.completion.detection_delay(vdd)
+                + self.precharge.delay(vdd))
+
+    def write_latency(self, vdd: float) -> float:
+        """Analytical write latency (s) — includes the read-before-write."""
+        load = self.completion.effective_load_factor()
+        return (self.decoder.delay(vdd)
+                + self.precharge.delay(vdd)
+                + self.bitline.discharge_delay(vdd) * load
+                + self.write_driver.write_delay(vdd, self.reference_cell)
+                + self.completion.detection_delay(vdd)
+                + self.precharge.delay(vdd))
+
+    def _dynamic_read_energy(self, vdd: float) -> float:
+        cols = self.config.columns
+        return (self.decoder.energy(vdd)
+                + cols * (1.5 * self.precharge.energy(vdd)
+                          + self.bitline.read_energy(vdd)
+                          + self.read_buffer.energy(vdd))
+                + self.completion.cycle_energy(vdd))
+
+    def _dynamic_write_energy(self, vdd: float) -> float:
+        cols = self.config.columns
+        return (self.decoder.energy(vdd)
+                + cols * (1.5 * self.precharge.energy(vdd)
+                          + self.bitline.read_energy(vdd)      # read-before-write
+                          + self.write_driver.energy(vdd))
+                + self.completion.cycle_energy(vdd))
+
+    def total_leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the whole macro (array, periphery, detection)."""
+        return (self.array_leakage_power(vdd)
+                + self.peripheral_leakage_power(vdd)
+                + self.completion.leakage_power(vdd))
+
+    def read_energy(self, vdd: float) -> float:
+        """Total energy (J) of one read at supply *vdd* (dynamic + leakage)."""
+        dynamic = self.dynamic_energy_scale * self._dynamic_read_energy(vdd)
+        leak = (self.leakage_energy_scale * self.total_leakage_power(vdd)
+                * self.read_latency(vdd))
+        return dynamic + leak
+
+    def write_energy(self, vdd: float) -> float:
+        """Total energy (J) of one 16-bit write at supply *vdd*."""
+        dynamic = self.dynamic_energy_scale * self._dynamic_write_energy(vdd)
+        leak = (self.leakage_energy_scale * self.total_leakage_power(vdd)
+                * self.write_latency(vdd))
+        return dynamic + leak
+
+    def energy_model(self, operation: str = "write") -> EnergyModel:
+        """Build an :class:`~repro.models.energy.EnergyModel` for sweeps.
+
+        The model exposes the switching/leakage decomposition so the
+        minimum-energy-point search (the paper's 0.4 V result) can be run
+        with :meth:`~repro.models.energy.EnergyModel.minimum_energy_point`.
+        """
+        if operation not in ("read", "write"):
+            raise ConfigurationError("operation must be 'read' or 'write'")
+        vdd_ref = self.technology.vdd_nominal
+        if operation == "write":
+            dynamic_ref = (self.dynamic_energy_scale
+                           * self._dynamic_write_energy(vdd_ref))
+            delay_model: Callable[[float], float] = self.write_latency
+        else:
+            dynamic_ref = (self.dynamic_energy_scale
+                           * self._dynamic_read_energy(vdd_ref))
+            delay_model = self.read_latency
+        # Decompose the reference dynamic energy into an equivalent
+        # (transitions × capacitance) pair so EnergyModel can rescale it
+        # quadratically with voltage.
+        transitions = self.config.columns * 6.0 + 10.0
+        cap = dynamic_ref / (0.5 * transitions * vdd_ref * vdd_ref)
+        inverter = GateModel(technology=self.technology,
+                             gate_type=GateType.INVERTER)
+        total_leak_ref = (self.leakage_energy_scale
+                          * self.total_leakage_power(vdd_ref))
+        leakage_gates = total_leak_ref / inverter.leakage_power(vdd_ref)
+        return EnergyModel(
+            technology=self.technology,
+            transitions_per_op=transitions,
+            switched_cap_per_transition=cap,
+            leakage_gates=leakage_gates,
+            delay_model=delay_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Event-driven interface
+    # ------------------------------------------------------------------
+
+    def attach(self, sim: Simulator, supply,
+               energy_probe: Optional[EnergyProbe] = None) -> SISRAMController:
+        """Instantiate the Fig. 6 handshake controller on a simulator.
+
+        Returns the controller; subsequent ``controller.read()`` /
+        ``controller.write()`` calls run as event sequences against *supply*.
+        """
+        self.controller = SISRAMController(
+            sim=sim, supply=supply, technology=self.technology,
+            decoder=self.decoder, bitline=self.bitline,
+            precharge=self.precharge, write_driver=self.write_driver,
+            read_buffer=self.read_buffer, completion=self.completion,
+            reference_cell=self.reference_cell,
+            read_row=self._read_row, write_row=self._write_row,
+            columns=self.config.columns,
+            name=f"{self.name}.ctrl",
+            energy_probe=energy_probe,
+            energy_scale=self.dynamic_energy_scale,
+        )
+        return self.controller
+
+
+class BundledSRAM(_SRAMBase):
+    """Conventional matched-delay (bundled) SRAM baseline.
+
+    Timing is provided by an inverter-chain delay line sized at
+    ``calibration_vdd`` with ``margin``; because the bit line scales worse
+    than the inverters (Fig. 5), the margin shrinks as Vdd falls and the
+    memory *fails* below its minimum operating voltage instead of slowing
+    down gracefully.
+    """
+
+    def __init__(self, technology: Technology,
+                 config: Optional[SRAMConfig] = None,
+                 margin: float = 1.5,
+                 calibration_vdd: Optional[float] = None,
+                 variation: Optional[ProcessVariation] = None,
+                 name: str = "bundled_sram") -> None:
+        super().__init__(technology, config, variation, name)
+        if margin < 1.0:
+            raise ConfigurationError("margin must be >= 1")
+        self.margin = margin
+        self.calibration_vdd = calibration_vdd or technology.vdd_nominal
+        from repro.models.delay import InverterChain
+        ruler = InverterChain(technology=technology, stages=1)
+        target = self.bitline.discharge_delay(self.calibration_vdd)
+        stages = max(2, round(margin * target
+                              / ruler.stage_delay(self.calibration_vdd)))
+        self._delay_line = InverterChain(technology=technology, stages=stages)
+
+    # ------------------------------------------------------------------
+
+    def matched_delay(self, vdd: float) -> float:
+        """Delay-line output delay at supply *vdd*, in seconds."""
+        return self._delay_line.total_delay(vdd)
+
+    def timing_margin(self, vdd: float) -> float:
+        """Matched delay over actual bit-line delay; < 1 means data corruption."""
+        return self.matched_delay(vdd) / self.bitline.discharge_delay(vdd)
+
+    def is_functional(self, vdd: float) -> bool:
+        """Whether the bundling assumption holds at supply *vdd*."""
+        return vdd >= self.technology.vdd_min and self.timing_margin(vdd) >= 1.0
+
+    def minimum_operating_voltage(self, resolution: float = 0.005) -> float:
+        """Lowest Vdd at which the bundled SRAM still works."""
+        vdd = self.calibration_vdd
+        lowest = vdd
+        while vdd >= self.technology.vdd_min:
+            if not self.is_functional(vdd):
+                break
+            lowest = vdd
+            vdd -= resolution
+        return lowest
+
+    def _check(self, vdd: float) -> None:
+        if not self.is_functional(vdd):
+            raise TimingViolation(
+                f"{self.name}: matched delay no longer covers the bit line at "
+                f"Vdd={vdd:.3f} V (margin={self.timing_margin(vdd):.2f})"
+            )
+
+    def read_latency(self, vdd: float, check: bool = True) -> float:
+        """Read latency (s); raises :class:`TimingViolation` below the floor."""
+        if check:
+            self._check(vdd)
+        return (self.decoder.delay(vdd) + self.precharge.delay(vdd)
+                + self.matched_delay(vdd) + self.read_buffer.delay(vdd))
+
+    def write_latency(self, vdd: float, check: bool = True) -> float:
+        """Write latency (s); no read-before-write is needed here."""
+        if check:
+            self._check(vdd)
+        return (self.decoder.delay(vdd) + self.precharge.delay(vdd)
+                + self.matched_delay(vdd)
+                + self.write_driver.write_delay(vdd, self.reference_cell))
+
+    def read_energy(self, vdd: float, check: bool = True) -> float:
+        """Energy (J) of one read; cheaper than the SI SRAM at nominal Vdd."""
+        if check:
+            self._check(vdd)
+        cols = self.config.columns
+        dynamic = (self.decoder.energy(vdd)
+                   + cols * (1.5 * self.precharge.energy(vdd)
+                             + self.bitline.read_energy(vdd)
+                             + self.read_buffer.energy(vdd))
+                   + 2.0 * self._delay_line.energy(vdd))
+        leak = self.array_leakage_power(vdd) + self.peripheral_leakage_power(vdd)
+        return dynamic + leak * self.read_latency(vdd, check=False)
+
+    def write_energy(self, vdd: float, check: bool = True) -> float:
+        """Energy (J) of one write."""
+        if check:
+            self._check(vdd)
+        cols = self.config.columns
+        dynamic = (self.decoder.energy(vdd)
+                   + cols * (1.5 * self.precharge.energy(vdd)
+                             + self.write_driver.energy(vdd))
+                   + 2.0 * self._delay_line.energy(vdd))
+        leak = self.array_leakage_power(vdd) + self.peripheral_leakage_power(vdd)
+        return dynamic + leak * self.write_latency(vdd, check=False)
+
+
+def calibrate_si_sram_energy(sram: SpeedIndependentSRAM,
+                             anchor_high: tuple = (1.0, 5.8e-12),
+                             anchor_low: tuple = (0.4, 1.9e-12)) -> None:
+    """Fit the SI SRAM's energy scales to the paper's published anchors.
+
+    The paper reports, for the 1-kbit 90 nm design: "It consumes 5.8 pJ at
+    1 V for a write of a 16-bit word and 1.9 pJ at 0.4 V".  The component
+    models produce the right *dependence* on Vdd but understate the absolute
+    switched capacitance of the full macro, so we solve the 2×2 linear system
+
+    ``s_dyn·D(v) + s_leak·L(v) = E_paper(v)``  at both anchor voltages,
+
+    where ``D`` is the modelled dynamic energy and ``L`` the modelled
+    leakage·latency product, and store the two scale factors on the SRAM.
+    If the system has no positive solution (possible for exotic anchor
+    choices) the dynamic scale is fitted to the high anchor alone and the
+    leakage scale to whatever remains at the low anchor, floored at zero.
+    """
+    v_hi, e_hi = anchor_high
+    v_lo, e_lo = anchor_low
+    if v_hi <= v_lo:
+        raise ConfigurationError("anchor_high must be at the higher voltage")
+    if e_hi <= 0 or e_lo <= 0:
+        raise ConfigurationError("anchor energies must be positive")
+    d_hi = sram._dynamic_write_energy(v_hi)
+    d_lo = sram._dynamic_write_energy(v_lo)
+    l_hi = sram.total_leakage_power(v_hi) * sram.write_latency(v_hi)
+    l_lo = sram.total_leakage_power(v_lo) * sram.write_latency(v_lo)
+    determinant = d_hi * l_lo - d_lo * l_hi
+    s_dyn = s_leak = None
+    if abs(determinant) > 0:
+        s_dyn = (e_hi * l_lo - e_lo * l_hi) / determinant
+        s_leak = (d_hi * e_lo - d_lo * e_hi) / determinant
+    if s_dyn is None or s_dyn <= 0 or s_leak is None or s_leak <= 0:
+        s_dyn = e_hi / d_hi
+        s_leak = max(0.0, (e_lo - s_dyn * d_lo) / l_lo) if l_lo > 0 else 0.0
+    sram.dynamic_energy_scale = float(s_dyn)
+    sram.leakage_energy_scale = float(s_leak)

@@ -1,0 +1,65 @@
+"""Write driver model.
+
+The write driver pulls one bit line fully low (and keeps the complement
+high) to overpower the selected cell.  In the SI SRAM its completion is made
+observable by the paper's read-before-write trick — see
+:mod:`repro.sram.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import Technology
+from repro.sram.bitline import BitlineModel
+from repro.sram.cell import SRAMCell
+
+
+@dataclass
+class WriteDriver:
+    """Full-swing bit-line driver for one column.
+
+    Parameters
+    ----------
+    technology:
+        Process parameters.
+    bitline:
+        The column's bit-line model.
+    drive_strength:
+        Driver sizing relative to minimum (write drivers are big).
+    """
+
+    technology: Technology
+    bitline: BitlineModel
+    drive_strength: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.drive_strength <= 0:
+            raise ConfigurationError("drive_strength must be positive")
+        self._driver = GateModel(
+            technology=self.technology,
+            gate_type=GateType.WRITE_DRIVER,
+            drive_strength=self.drive_strength,
+        )
+
+    # ------------------------------------------------------------------
+
+    def drive_delay(self, vdd: float) -> float:
+        """Time (s) to slew the bit line to its written value."""
+        return self._driver.delay(
+            vdd, external_load=self.bitline.bitline_capacitance
+        )
+
+    def write_delay(self, vdd: float, cell: SRAMCell) -> float:
+        """Complete write latency (s): drive the line, then flip the cell."""
+        return self.drive_delay(vdd) + cell.write_time(vdd)
+
+    def energy(self, vdd: float) -> float:
+        """Energy (J) of one column write (full bit-line swing + driver)."""
+        return self.bitline.write_energy(vdd)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power (W) of the (idle) write driver."""
+        return self._driver.leakage_power(vdd)

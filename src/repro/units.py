@@ -1,0 +1,188 @@
+"""Physical unit helpers and constants.
+
+The whole library works in plain SI units carried by ``float`` values:
+
+* time        — seconds
+* voltage     — volts
+* current     — amperes
+* charge      — coulombs
+* capacitance — farads
+* energy      — joules
+* power       — watts
+* frequency   — hertz
+
+These helpers exist purely for readability at call sites
+(``delay=ns(1.2)`` reads better than ``delay=1.2e-9``) and for formatting
+quantities in reports with engineering prefixes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default junction temperature used by the device models (kelvin).
+ROOM_TEMPERATURE_K = 300.0
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at *temperature_k*.
+
+    At 300 K this is approximately 25.85 mV; it sets the scale of
+    sub-threshold conduction and hence of how quickly logic slows down when
+    Vdd drops toward the transistor threshold.
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+# ---------------------------------------------------------------------------
+# Scaling helpers (readability sugar)
+# ---------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity helper for symmetric call sites."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return float(value) * 1e-9
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return float(value) * 1e-12
+
+
+def mv(value: float) -> float:
+    """Millivolts to volts."""
+    return float(value) * 1e-3
+
+
+def ua(value: float) -> float:
+    """Microamperes to amperes."""
+    return float(value) * 1e-6
+
+
+def na(value: float) -> float:
+    """Nanoamperes to amperes."""
+    return float(value) * 1e-9
+
+
+def pf(value: float) -> float:
+    """Picofarads to farads."""
+    return float(value) * 1e-12
+
+
+def ff(value: float) -> float:
+    """Femtofarads to farads."""
+    return float(value) * 1e-15
+
+
+def pj(value: float) -> float:
+    """Picojoules to joules."""
+    return float(value) * 1e-12
+
+
+def fj(value: float) -> float:
+    """Femtojoules to joules."""
+    return float(value) * 1e-15
+
+
+def nw(value: float) -> float:
+    """Nanowatts to watts."""
+    return float(value) * 1e-9
+
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return float(value) * 1e-6
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return float(value) * 1e-3
+
+
+def khz(value: float) -> float:
+    """Kilohertz to hertz."""
+    return float(value) * 1e3
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return float(value) * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Engineering-notation formatting
+# ---------------------------------------------------------------------------
+
+_PREFIXES: Tuple[Tuple[float, str], ...] = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def eng(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format *value* with an engineering prefix, e.g. ``eng(5.8e-12, "J")``
+    returns ``"5.8 pJ"``.
+
+    Zero, NaN and infinities are rendered without a prefix.  Negative values
+    keep their sign.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp *value* into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"invalid clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def lerp(x: float, x0: float, x1: float, y0: float, y1: float) -> float:
+    """Linear interpolation of ``y`` at *x* between points (x0, y0), (x1, y1)."""
+    if x1 == x0:
+        return 0.5 * (y0 + y1)
+    t = (x - x0) / (x1 - x0)
+    return y0 + t * (y1 - y0)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.models.technology import get_technology
+from repro.sram.sram import SpeedIndependentSRAM, BundledSRAM, SRAMConfig
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The paper's 90 nm process."""
+    return get_technology("cmos90")
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    return get_technology("cmos65")
+
+
+@pytest.fixture(scope="session")
+def tech180():
+    return get_technology("cmos180")
+
+
+@pytest.fixture(scope="session")
+def si_sram(tech):
+    """A calibrated 64x16 speed-independent SRAM (shared, read-only use)."""
+    return SpeedIndependentSRAM(tech)
+
+
+@pytest.fixture(scope="session")
+def bundled_sram(tech):
+    """The matched-delay baseline SRAM (shared, read-only use)."""
+    return BundledSRAM(tech)
+
+
+@pytest.fixture()
+def fresh_si_sram(tech):
+    """A private SI SRAM instance for tests that mutate storage."""
+    return SpeedIndependentSRAM(tech)
+
+
+@pytest.fixture(scope="session")
+def small_sram_config():
+    """A small array for fast event-driven tests."""
+    return SRAMConfig(rows=8, columns=4, calibrate_energy=False)

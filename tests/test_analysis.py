@@ -1,0 +1,157 @@
+"""Tests for the analysis helpers (metrics, sweeps, Monte-Carlo, reports)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    crossover_voltage,
+    energy_delay_product,
+    minimum_energy_point,
+    monotonicity_violations,
+    ratio_between,
+)
+from repro.analysis.montecarlo import MonteCarloStudy, MonteCarloSummary
+from repro.analysis.report import Table, format_series, format_table
+from repro.analysis.sweep import Series, sweep, vdd_range
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel
+
+
+class TestMetrics:
+    def test_minimum_energy_point_of_a_parabola(self):
+        vdd, energy = minimum_energy_point(lambda v: (v - 0.4) ** 2 + 1.0,
+                                           0.2, 1.0, points=400)
+        assert vdd == pytest.approx(0.4, abs=0.01)
+        assert energy == pytest.approx(1.0, abs=0.01)
+
+    def test_energy_delay_product(self):
+        assert energy_delay_product(lambda v: 2.0, lambda v: 3.0, 0.5) == 6.0
+
+    def test_ratio_between(self):
+        assert ratio_between(lambda v: v * v, 1.0, 0.5) == pytest.approx(4.0)
+        assert ratio_between(lambda v: v, 1.0, 0.0) == float("inf")
+
+    def test_crossover_voltage_found(self):
+        crossing = crossover_voltage(lambda v: v, lambda v: 0.5, 0.2, 1.0)
+        assert crossing == pytest.approx(0.5, abs=0.01)
+
+    def test_crossover_absent_returns_none(self):
+        assert crossover_voltage(lambda v: 0.0, lambda v: 1.0, 0.2, 1.0) is None
+
+    def test_monotonicity_violations(self):
+        assert monotonicity_violations([1, 2, 3]) == 0
+        assert monotonicity_violations([1, 3, 2, 5, 4]) == 2
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ConfigurationError):
+            minimum_energy_point(lambda v: v, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            crossover_voltage(lambda v: v, lambda v: v, 1.0, 0.5)
+
+
+class TestSweep:
+    def test_sweep_evaluates_all_quantities(self, tech):
+        gate = GateModel(technology=tech)
+        result = sweep("vdd", [0.3, 0.6, 1.0],
+                       {"delay": gate.delay, "energy": gate.transition_energy})
+        assert result.names == ["delay", "energy"]
+        assert len(result["delay"].points) == 3
+        assert result["delay"].value_at(0.3) > result["delay"].value_at(1.0)
+
+    def test_series_argmin_argmax(self):
+        series = Series("s", points=[(0.2, 5.0), (0.5, 1.0), (1.0, 3.0)])
+        assert series.argmin() == (0.5, 1.0)
+        assert series.argmax() == (0.2, 5.0)
+        assert series.xs == [0.2, 0.5, 1.0]
+        assert series.ys == [5.0, 1.0, 3.0]
+
+    def test_unknown_series_raises(self, tech):
+        gate = GateModel(technology=tech)
+        result = sweep("vdd", [0.5], {"delay": gate.delay})
+        with pytest.raises(ConfigurationError):
+            result["missing"]
+
+    def test_vdd_range_inclusive(self):
+        values = vdd_range(0.2, 1.0, 5)
+        assert values[0] == pytest.approx(0.2)
+        assert values[-1] == pytest.approx(1.0)
+        assert len(values) == 5
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("vdd", [], {"f": lambda v: v})
+        with pytest.raises(ConfigurationError):
+            sweep("vdd", [1.0], {})
+
+
+class TestMonteCarlo:
+    def test_summary_statistics(self):
+        summary = MonteCarloSummary(samples=[1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.std == pytest.approx(math.sqrt(2.5))
+        assert summary.percentile(0.0) == 1.0
+        assert summary.percentile(1.0) == 5.0
+        assert summary.failure_fraction(lambda x: x > 4.5) == pytest.approx(0.2)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSummary(samples=[])
+
+    def test_study_is_reproducible_and_spreads(self, tech):
+        def read_delay(perturbed):
+            return GateModel(technology=perturbed).delay(0.4)
+
+        study_a = MonteCarloStudy(tech, read_delay, seed=11)
+        study_b = MonteCarloStudy(tech, read_delay, seed=11)
+        summary_a = study_a.run(samples=40)
+        summary_b = study_b.run(samples=40)
+        assert summary_a.samples == summary_b.samples
+        assert summary_a.relative_spread > 0.0
+        assert study_a.nominal() > 0.0
+
+    def test_variation_is_larger_at_low_vdd(self, tech):
+        """Sub-threshold operation amplifies Vth variation — why corner
+        analysis matters for the 0.2 V claims."""
+        def delay_at(vdd):
+            return MonteCarloStudy(
+                tech, lambda t: GateModel(technology=t).delay(vdd), seed=5,
+            ).run(samples=60).relative_spread
+
+        assert delay_at(0.25) > delay_at(1.0)
+
+
+class TestReport:
+    def test_format_table_alignment_and_units(self):
+        text = format_table("Energy per write", ["Vdd", "energy"],
+                            [[1.0, 5.8e-12], [0.4, 1.9e-12]],
+                            unit_hints=["V", "J"])
+        assert "Energy per write" in text
+        assert "Vdd" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert "pJ" in text
+
+    def test_table_object_add_row_checks_width(self):
+        table = Table("caption", headers=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+        assert "caption" in table.render()
+
+    def test_format_series(self):
+        text = format_series("count vs vdd", [0.4, 0.8], [100, 200],
+                             x_label="Vdd", y_label="count", x_unit="V")
+        assert "count vs vdd" in text
+        assert "Vdd" in text and "count" in text
+
+    def test_mismatched_series_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_series("x", [1.0], [1.0, 2.0])
+
+    def test_unit_hints_must_match_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table("c", ["a", "b"], [[1, 2]], unit_hints=["V"])

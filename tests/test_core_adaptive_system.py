@@ -1,0 +1,163 @@
+"""Tests for the power-adaptive controller and the composed system (Fig. 3)."""
+
+import pytest
+
+from repro.core.design_styles import HybridDesign, SpeedIndependentDesign
+from repro.core.power_adaptive import AdaptationPolicy, PowerAdaptiveController
+from repro.core.system import EnergyModulatedSystem
+from repro.core.proportionality import proportionality_index
+from repro.errors import ConfigurationError
+from repro.power.harvester import IntermittentHarvester, VibrationHarvester
+from repro.power.power_chain import PowerChain
+from repro.sensors.reference_free import ReferenceFreeVoltageSensor
+
+
+class TestAdaptationPolicy:
+    def test_target_voltage_tracks_the_store(self):
+        policy = AdaptationPolicy(store_low=1.0, store_high=2.0,
+                                  vdd_floor=0.25, vdd_nominal=1.0)
+        assert policy.target_voltage(0.5) == pytest.approx(0.25)
+        assert policy.target_voltage(2.5) == pytest.approx(1.0)
+        midpoint = policy.target_voltage(1.5)
+        assert 0.25 < midpoint < 1.0
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(store_low=2.0, store_high=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(vdd_floor=1.0, vdd_nominal=0.5)
+
+
+def make_chain(peak_power=300e-6, initial_voltage=2.0, seed=0):
+    harvester = VibrationHarvester(peak_power=peak_power, wander=0.0, seed=seed)
+    return PowerChain(harvester=harvester, storage_capacitance=47e-6,
+                      initial_store_voltage=initial_voltage)
+
+
+class TestPowerAdaptiveController:
+    def test_run_produces_one_record_per_step(self, tech):
+        controller = PowerAdaptiveController(
+            chain=make_chain(), design=HybridDesign(tech), step_interval=0.01)
+        records = controller.run(0.1)
+        assert len(records) == 10
+        assert controller.operations_done > 0
+        assert controller.energy_consumed > 0
+        assert controller.average_rail_voltage() > 0
+
+    def test_rich_store_runs_at_nominal_depleted_store_drops_down(self, tech):
+        policy = AdaptationPolicy(store_low=1.0, store_high=2.5,
+                                  vdd_floor=0.25, vdd_nominal=1.0)
+        rich = PowerAdaptiveController(
+            chain=make_chain(initial_voltage=3.0), design=HybridDesign(tech),
+            policy=policy)
+        poor = PowerAdaptiveController(
+            chain=make_chain(peak_power=20e-6, initial_voltage=0.9),
+            design=HybridDesign(tech), policy=policy)
+        rich_record = rich.step()
+        poor_record = poor.step()
+        assert rich_record.target_voltage == pytest.approx(1.0)
+        assert poor_record.target_voltage == pytest.approx(0.25)
+        assert poor_record.admitted_operations <= rich_record.admitted_operations
+
+    def test_hybrid_changes_active_design_with_supply_level(self, tech):
+        policy = AdaptationPolicy(store_low=1.0, store_high=2.5,
+                                  vdd_floor=0.25, vdd_nominal=1.0)
+        controller = PowerAdaptiveController(
+            chain=make_chain(peak_power=20e-6, initial_voltage=3.0),
+            design=HybridDesign(tech), policy=policy,
+            step_interval=0.05)
+        # Drain the store by admitting load without enough harvesting.
+        controller.run(3.0)
+        profile = controller.duty_profile()
+        assert len(profile) >= 1
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_sensor_in_the_loop_introduces_bounded_error(self, tech):
+        # The storage node can exceed the 1 V logic rail, so the metering
+        # sensor is calibrated over the full supercap range.
+        sensor = ReferenceFreeVoltageSensor(technology=tech)
+        sensor.calibrate([0.2 + 0.02 * i for i in range(91)])
+        controller = PowerAdaptiveController(
+            chain=make_chain(initial_voltage=0.9),
+            design=SpeedIndependentDesign(tech),
+            sensor=sensor, step_interval=0.01)
+        controller.run(0.05)
+        assert controller.worst_sensing_error() < 0.05
+
+    def test_invalid_step_interval(self, tech):
+        with pytest.raises(ConfigurationError):
+            PowerAdaptiveController(chain=make_chain(),
+                                    design=HybridDesign(tech),
+                                    step_interval=0.0)
+
+
+class TestEnergyModulatedSystem:
+    def test_report_is_self_consistent(self, tech):
+        system = EnergyModulatedSystem(
+            harvester=VibrationHarvester(peak_power=300e-6, wander=0.0, seed=1),
+            design=HybridDesign(tech),
+            storage_capacitance=47e-6,
+            initial_store_voltage=2.0,
+            control_interval=0.02,
+        )
+        report = system.run(1.0)
+        assert report.operations_completed > 0
+        assert report.energy_harvested > 0
+        assert report.energy_consumed_by_load <= report.energy_delivered_to_load * 1.01
+        assert 0.0 < report.end_to_end_efficiency <= 1.0
+        assert report.average_throughput == pytest.approx(
+            report.operations_completed / 1.0)
+        assert len(report.adaptation_trace) == 50
+
+    def test_more_harvested_energy_means_more_operations(self, tech):
+        def run_with(peak_power):
+            system = EnergyModulatedSystem(
+                harvester=VibrationHarvester(peak_power=peak_power, wander=0.0,
+                                             seed=2),
+                design=HybridDesign(tech),
+                storage_capacitance=47e-6,
+                initial_store_voltage=1.2,
+                control_interval=0.02,
+            )
+            return system.run(1.0)
+        weak = run_with(20e-6)
+        strong = run_with(400e-6)
+        assert strong.energy_harvested > weak.energy_harvested
+        assert strong.operations_completed >= weak.operations_completed
+
+    def test_system_survives_an_intermittent_harvester(self, tech):
+        system = EnergyModulatedSystem(
+            harvester=IntermittentHarvester(peak_power=200e-6, mean_on_time=0.2,
+                                            mean_off_time=0.3, seed=3),
+            design=HybridDesign(tech),
+            storage_capacitance=47e-6,
+            initial_store_voltage=1.5,
+            control_interval=0.02,
+        )
+        report = system.run(2.0)
+        # The system kept operating through droughts without raising.
+        assert report.operations_completed > 0
+        rail_voltages = [r.rail_voltage for r in report.adaptation_trace]
+        assert min(rail_voltages) >= 0.0
+
+    def test_proportionality_curve_of_the_whole_system(self, tech):
+        def build():
+            return EnergyModulatedSystem(
+                harvester=VibrationHarvester(peak_power=300e-6, wander=0.0,
+                                             seed=4),
+                design=HybridDesign(tech),
+                storage_capacitance=47e-6,
+                initial_store_voltage=1.5,
+                control_interval=0.02,
+            )
+        curve = EnergyModulatedSystem.proportionality_curve(
+            build, durations=[0.1, 0.2, 0.4, 0.8])
+        assert len(curve.points) == 4
+        index = proportionality_index(curve)
+        assert 0.0 < index <= 1.0
+
+    def test_invalid_run_duration(self, tech):
+        system = EnergyModulatedSystem(
+            harvester=VibrationHarvester(seed=5), design=HybridDesign(tech))
+        with pytest.raises(ConfigurationError):
+            system.run(0.0)

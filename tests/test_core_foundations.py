@@ -1,0 +1,271 @@
+"""Tests for QoS curves, proportionality metrics, design styles and Petri nets."""
+
+import pytest
+
+from repro.core.design_styles import (
+    BundledDataDesign,
+    HybridDesign,
+    SpeedIndependentDesign,
+)
+from repro.core.energy_tokens import EnergyTokenNet
+from repro.core.petri import PetriNet
+from repro.core.proportionality import (
+    ProportionalityCurve,
+    build_proportionality_curve,
+    dynamic_range,
+    proportionality_index,
+)
+from repro.core.qos import QoSCurve, QoSMetric, qos_vs_vdd
+from repro.errors import ConfigurationError, SchedulerError
+
+
+@pytest.fixture(scope="module")
+def design1(tech):
+    return SpeedIndependentDesign(tech)
+
+
+@pytest.fixture(scope="module")
+def design2(tech):
+    return BundledDataDesign(tech)
+
+
+@pytest.fixture(scope="module")
+def hybrid(tech):
+    return HybridDesign(tech)
+
+
+VDD_SWEEP = [0.15 + 0.05 * i for i in range(18)]  # 0.15 .. 1.0
+
+
+class TestDesignStyles:
+    def test_design1_functional_much_lower_than_design2(self, design1, design2):
+        assert (design1.minimum_operating_voltage()
+                < design2.minimum_operating_voltage() - 0.1)
+
+    def test_design2_more_efficient_at_nominal(self, design1, design2):
+        assert design2.energy_per_operation(1.0) < design1.energy_per_operation(1.0)
+        assert design2.leakage_power(1.0) < design1.leakage_power(1.0)
+
+    def test_design1_delivers_where_design2_cannot(self, design1, design2):
+        vdd = design2.minimum_operating_voltage() - 0.1
+        assert design1.throughput(vdd) > 0
+        assert design2.throughput(vdd) == 0.0
+
+    def test_power_includes_leakage_and_scales_with_utilisation(self, design1):
+        idle = design1.power(0.8, utilisation=0.0)
+        busy = design1.power(0.8, utilisation=1.0)
+        assert idle == pytest.approx(design1.leakage_power(0.8))
+        assert busy > idle
+        with pytest.raises(ConfigurationError):
+            design1.power(0.8, utilisation=1.5)
+
+    def test_operations_per_joule_zero_when_off(self, design2):
+        low = design2.minimum_operating_voltage() - 0.1
+        assert design2.operations_per_joule(low) == 0.0
+        assert design2.operations_per_joule(1.0) > 0.0
+
+    def test_hybrid_inherits_design1_floor_and_design2_efficiency(self, hybrid,
+                                                                  design1, design2):
+        assert hybrid.minimum_operating_voltage() == pytest.approx(
+            design1.minimum_operating_voltage())
+        # At nominal the hybrid costs close to Design 2 (plus a small wrapper tax).
+        assert hybrid.energy_per_operation(1.0) < design1.energy_per_operation(1.0)
+        assert hybrid.energy_per_operation(1.0) < 1.3 * design2.energy_per_operation(1.0)
+
+    def test_hybrid_switches_style_at_the_switch_voltage(self, hybrid):
+        below = hybrid.switch_voltage - 0.05
+        above = hybrid.switch_voltage + 0.05
+        assert hybrid.active_design(below).name.startswith("design1")
+        assert hybrid.active_design(above).name.startswith("design2")
+
+    def test_invalid_construction(self, tech):
+        with pytest.raises(ConfigurationError):
+            SpeedIndependentDesign(tech, logic_depth=0)
+        with pytest.raises(ConfigurationError):
+            HybridDesign(tech, guard_band=-0.1)
+
+
+class TestQoS:
+    def test_fig2_onset_ordering(self, design1, design2):
+        """Fig. 2: Design 1 starts delivering QoS at lower Vdd than Design 2."""
+        curve1 = qos_vs_vdd(design1, VDD_SWEEP)
+        curve2 = qos_vs_vdd(design2, VDD_SWEEP)
+        assert curve1.onset_voltage() < curve2.onset_voltage()
+
+    def test_fig2_power_efficiency_ordering_at_nominal(self, design1, design2):
+        """Fig. 2: at nominal Vdd, Design 2 returns more QoS per watt invested."""
+        qos_per_watt_1 = design1.throughput(1.0) / design1.power(1.0)
+        qos_per_watt_2 = design2.throughput(1.0) / design2.power(1.0)
+        assert qos_per_watt_2 > qos_per_watt_1
+        # And per joule, which is the same statement phrased as the QoS metric.
+        curve1 = qos_vs_vdd(design1, VDD_SWEEP, metric=QoSMetric.OPERATIONS_PER_JOULE)
+        curve2 = qos_vs_vdd(design2, VDD_SWEEP, metric=QoSMetric.OPERATIONS_PER_JOULE)
+        assert curve2.qos_at(1.0) > curve1.qos_at(1.0)
+
+    def test_normalised_peak_is_one(self, design1):
+        curve = qos_vs_vdd(design1, VDD_SWEEP).normalised()
+        assert curve.peak()[1] == pytest.approx(1.0)
+
+    def test_qos_at_nearest_point(self):
+        curve = QoSCurve("d", QoSMetric.THROUGHPUT, [(0.2, 1.0), (0.4, 2.0)])
+        assert curve.qos_at(0.29) == 1.0
+        assert curve.qos_at(0.31) == 2.0
+
+    def test_hybrid_tracks_the_better_design_everywhere(self, hybrid, design1,
+                                                        design2):
+        for vdd in (0.2, 0.4, 0.8, 1.0):
+            hybrid_tp = hybrid.throughput(vdd)
+            assert hybrid_tp >= min(design1.throughput(vdd), design2.throughput(vdd))
+
+    def test_empty_sweep_rejected(self, design1):
+        with pytest.raises(ConfigurationError):
+            qos_vs_vdd(design1, [])
+
+
+class TestProportionality:
+    def test_perfectly_proportional_curve_scores_one(self):
+        curve = ProportionalityCurve("ideal", [(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)])
+        assert proportionality_index(curve) == pytest.approx(1.0, abs=0.15)
+
+    def test_fixed_overhead_curve_scores_lower(self):
+        ideal = ProportionalityCurve("ideal", [(1.0, 10.0), (10.0, 100.0)])
+        lazy = ProportionalityCurve("lazy", [(1.0, 0.0), (8.0, 0.0), (10.0, 100.0)])
+        assert proportionality_index(lazy) < proportionality_index(ideal)
+
+    def test_dynamic_range(self):
+        curve = ProportionalityCurve("c", [(1e-9, 0.0), (1e-8, 5.0), (1e-6, 50.0)])
+        assert dynamic_range(curve) == pytest.approx(100.0)
+
+    def test_activity_interpolation(self):
+        curve = ProportionalityCurve("c", [(0.0, 0.0), (2.0, 10.0)])
+        assert curve.activity_at(1.0) == pytest.approx(5.0)
+        assert curve.activity_at(5.0) == pytest.approx(10.0)
+
+    def test_build_curve_from_function(self):
+        curve = build_proportionality_curve("f", lambda e: 3.0 * e,
+                                            [0.1, 1.0, 2.0, 3.0])
+        assert proportionality_index(curve) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalityCurve("bad", [(1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            ProportionalityCurve("bad", [(2.0, 1.0), (1.0, 2.0)])
+
+
+class TestPetriNet:
+    def build_producer_consumer(self):
+        net = PetriNet("pc")
+        net.add_place("free", tokens=2, capacity=2)
+        net.add_place("full", tokens=0, capacity=2)
+        net.add_transition("produce", {"free": 1}, {"full": 1})
+        net.add_transition("consume", {"full": 1}, {"free": 1})
+        return net
+
+    def test_enabling_and_firing(self):
+        net = self.build_producer_consumer()
+        assert net.is_enabled("produce")
+        assert not net.is_enabled("consume")
+        net.fire("produce")
+        assert net.marking() == {"free": 1, "full": 1}
+        assert net.is_enabled("consume")
+
+    def test_firing_disabled_transition_raises(self):
+        net = self.build_producer_consumer()
+        with pytest.raises(SchedulerError):
+            net.fire("consume")
+
+    def test_capacity_blocks_enabling(self):
+        net = PetriNet()
+        net.add_place("p", tokens=0, capacity=1)
+        net.add_place("src", tokens=5)
+        net.add_transition("t", {"src": 1}, {"p": 1})
+        net.fire("t")
+        assert not net.is_enabled("t")
+
+    def test_run_until_quiescence_is_deterministic(self):
+        net = PetriNet()
+        net.add_place("a", tokens=3)
+        net.add_place("b", tokens=0)
+        net.add_transition("move", {"a": 1}, {"b": 1})
+        fired = net.run()
+        assert fired == ["move"] * 3
+        assert net.is_deadlocked()
+
+    def test_policy_orders_conflicting_transitions(self):
+        net = PetriNet()
+        net.add_place("shared", tokens=1)
+        net.add_place("out1", tokens=0)
+        net.add_place("out2", tokens=0)
+        net.add_transition("t1", {"shared": 1}, {"out1": 1})
+        net.add_transition("t2", {"shared": 1}, {"out2": 1})
+        fired = net.run(policy=["t2", "t1"])
+        assert fired == ["t2"]
+
+    def test_duplicate_names_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(ConfigurationError):
+            net.add_place("p")
+        net.add_transition("t", {}, {"p": 1})
+        with pytest.raises(ConfigurationError):
+            net.add_transition("t", {}, {"p": 1})
+
+    def test_unknown_place_in_arcs_rejected(self):
+        net = PetriNet()
+        with pytest.raises(ConfigurationError):
+            net.add_transition("t", {"missing": 1}, {})
+
+
+class TestEnergyTokenNet:
+    def build_sensor_node_net(self, quantum=1e-9, capacity=None):
+        net = EnergyTokenNet(joules_per_token=quantum,
+                             energy_capacity_tokens=capacity)
+        net.add_place("sample_ready", tokens=1)
+        net.add_place("sample_done", tokens=0)
+        net.add_energy_transition("sense", {"sample_ready": 1},
+                                  {"sample_done": 1}, energy_tokens=2,
+                                  useful_work=1.0)
+        net.add_energy_transition("transmit", {"sample_done": 1}, {},
+                                  energy_tokens=5, useful_work=4.0)
+        return net
+
+    def test_transitions_blocked_until_energy_arrives(self):
+        net = self.build_sensor_node_net()
+        assert not net.is_enabled("sense")
+        assert net.starved_transitions() == {"sense": 2}
+        net.deposit_energy(2e-9)
+        assert net.is_enabled("sense")
+
+    def test_energy_bookkeeping(self):
+        net = self.build_sensor_node_net()
+        net.deposit_energy(10e-9)
+        net.fire("sense")
+        net.fire("transmit")
+        assert net.energy_spent == pytest.approx(7e-9)
+        assert net.stored_energy == pytest.approx(3e-9)
+        assert net.useful_work_done() == pytest.approx(5.0)
+        assert net.energy_efficiency() == pytest.approx(5.0 / 10e-9, rel=1e-6)
+
+    def test_fractional_deposits_accumulate(self):
+        net = self.build_sensor_node_net(quantum=1e-9)
+        for _ in range(4):
+            net.deposit_energy(0.5e-9)
+        assert net.energy_place.place.tokens == 2
+
+    def test_storage_capacity_overflows_are_accounted(self):
+        net = self.build_sensor_node_net(capacity=3)
+        net.deposit_energy(10e-9)
+        assert net.energy_place.place.tokens == 3
+        assert net.energy_wasted == pytest.approx(7e-9)
+
+    def test_zero_cost_transition_never_starves(self):
+        net = EnergyTokenNet(joules_per_token=1e-9)
+        net.add_place("go", tokens=1)
+        net.add_energy_transition("free", {"go": 1}, {}, energy_tokens=0)
+        assert net.is_enabled("free")
+        assert net.starved_transitions() == {}
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyTokenNet(joules_per_token=0.0)

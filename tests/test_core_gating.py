@@ -1,0 +1,115 @@
+"""Tests for power gating (strategy 1) versus voltage scaling (strategy 2)."""
+
+import pytest
+
+from repro.core.design_styles import BundledDataDesign, SpeedIndependentDesign
+from repro.core.gating import (
+    GatingParameters,
+    PowerGatedDesign,
+    voltage_scaled_activity_per_quantum,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def gated(tech):
+    return PowerGatedDesign(BundledDataDesign(tech), nominal_vdd=1.0)
+
+
+@pytest.fixture(scope="module")
+def self_timed(tech):
+    return SpeedIndependentDesign(tech)
+
+
+class TestGatingParameters:
+    def test_wakeup_energy_scales_with_vdd_squared(self):
+        gating = GatingParameters(domain_capacitance=10e-12)
+        assert gating.wakeup_energy(1.0) == pytest.approx(
+            4 * gating.wakeup_energy(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GatingParameters(residual_leakage_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            GatingParameters(domain_capacitance=0.0)
+
+
+class TestPowerGatedDesign:
+    def test_gated_domain_needs_its_nominal_rail(self, gated):
+        assert gated.is_functional(1.0)
+        assert not gated.is_functional(0.5)
+        assert gated.minimum_operating_voltage() == pytest.approx(1.0)
+
+    def test_sleep_leakage_is_a_small_fraction_of_awake_leakage(self, gated):
+        assert gated.leakage_power(1.0) == pytest.approx(
+            0.05 * gated.awake_leakage_power())
+        assert gated.leakage_power(1.0) < gated.awake_leakage_power()
+
+    def test_wakeup_latency_eats_into_short_bursts(self, gated):
+        latency = gated.gating.wakeup_latency
+        assert gated.operations_per_burst(latency * 0.5) == 0.0
+        assert gated.operations_per_burst(latency * 10) > 0.0
+
+    def test_burst_energy_includes_wakeup_cost(self, gated):
+        short = gated.burst_energy(gated.gating.wakeup_latency)
+        assert short >= gated.gating.wakeup_energy(1.0)
+        assert gated.burst_energy(1e-3) > short
+
+    def test_must_be_functional_at_nominal(self, tech):
+        with pytest.raises(ConfigurationError):
+            PowerGatedDesign(BundledDataDesign(tech), nominal_vdd=0.2)
+
+    def test_activity_grows_with_the_quantum(self, gated):
+        period = 1e-3
+        small = gated.activity_per_quantum(1e-10, period)
+        large = gated.activity_per_quantum(1e-8, period)
+        assert large > small >= 0.0
+
+    def test_tiny_quantum_is_swallowed_by_overheads(self, gated):
+        # A quantum smaller than the wake-up energy buys nothing.
+        tiny = 0.5 * gated.gating.wakeup_energy(1.0)
+        assert gated.activity_per_quantum(tiny, period=1e-3) == 0.0
+
+
+class TestStrategyComparison:
+    """The paper's Section II-B trade-off, quantified."""
+
+    PERIOD = 1e-4
+
+    def test_voltage_scaling_wins_for_small_quanta(self, gated, self_timed):
+        # Small scavenged quanta: strategy 2 (self-timed, variable voltage)
+        # produces far more activity because strategy 1 first pays its
+        # wake-up and sleep-leakage tax at the nominal voltage.
+        quantum = 3 * gated.gating.wakeup_energy(1.0)
+        gated_ops = gated.activity_per_quantum(quantum, self.PERIOD)
+        scaled_ops = voltage_scaled_activity_per_quantum(self_timed, quantum,
+                                                         self.PERIOD)
+        assert scaled_ops > 2.0 * gated_ops
+
+    def test_gating_competitive_for_large_quanta(self, gated, self_timed):
+        # Large quanta: running the efficient fabric at nominal voltage is at
+        # least in the same league (within ~4x) as voltage scaling.
+        quantum = 5e-9
+        gated_ops = gated.activity_per_quantum(quantum, self.PERIOD)
+        scaled_ops = voltage_scaled_activity_per_quantum(self_timed, quantum,
+                                                         self.PERIOD)
+        assert gated_ops > 0
+        assert gated_ops > 0.25 * scaled_ops
+
+    def test_both_strategies_respect_the_energy_budget(self, gated, self_timed):
+        quantum = 1e-9
+        gated_ops = gated.activity_per_quantum(quantum, self.PERIOD)
+        assert gated_ops * gated.energy_per_operation(1.0) <= quantum
+        scaled_ops = voltage_scaled_activity_per_quantum(self_timed, quantum,
+                                                         self.PERIOD)
+        floor = self_timed.minimum_operating_voltage()
+        assert scaled_ops * self_timed.energy_per_operation(floor) <= quantum * 1.01
+
+    def test_input_validation(self, gated, self_timed):
+        with pytest.raises(ConfigurationError):
+            gated.activity_per_quantum(-1.0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            gated.activity_per_quantum(1e-9, 0.0)
+        with pytest.raises(ConfigurationError):
+            voltage_scaled_activity_per_quantum(self_timed, 1e-9, 1e-3,
+                                                vdd_grid_steps=1)

@@ -1,0 +1,325 @@
+"""Tests for energy-token scheduling, soft arbitration, stochastic analysis
+and game-theoretic power management."""
+
+import pytest
+
+from repro.core.arbitration import ConcurrencyManager, SoftArbiter
+from repro.core.game import PowerManagementGame, Strategy, strategies_from_design
+from repro.core.scheduler import (
+    EnergyTokenScheduler,
+    SchedulingPolicy,
+    Task,
+    compare_policies,
+)
+from repro.core.stochastic import (
+    ConcurrencyAnalysis,
+    PowerLatencyModel,
+    simulate_mmc,
+)
+from repro.errors import ArbitrationError, ConfigurationError
+
+
+def sensor_node_tasks():
+    """A wireless-sensor-node style workload (the paper's motivating domain)."""
+    return [
+        Task("sense", energy=2e-9, duration=1, value=1.0),
+        Task("filter", energy=4e-9, duration=1, value=2.0, depends_on=("sense",)),
+        Task("log", energy=1e-9, duration=1, value=0.5, depends_on=("filter",)),
+        Task("transmit", energy=20e-9, duration=2, value=8.0,
+             depends_on=("filter",), deadline=12),
+    ]
+
+
+class TestTaskValidation:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task("bad", energy=-1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task("bad", energy=1e-9, duration=0)
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyTokenScheduler([Task("a", 1e-9, depends_on=("ghost",))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyTokenScheduler([Task("a", 1e-9), Task("a", 2e-9)])
+
+
+class TestEnergyTokenScheduler:
+    def test_abundant_energy_completes_everything_in_order(self):
+        scheduler = EnergyTokenScheduler(sensor_node_tasks(),
+                                         policy=SchedulingPolicy.FIFO)
+        result = scheduler.run([50e-9] * 10)
+        assert set(result.completed_tasks) == {"sense", "filter", "log", "transmit"}
+        assert result.missed_deadlines == []
+        assert result.unfinished_tasks == []
+        # Dependencies respected: sense finished before filter started.
+        runs = {run.task: run for run in result.runs}
+        assert runs["sense"].finish_slot <= runs["filter"].start_slot
+        assert runs["filter"].finish_slot <= runs["transmit"].start_slot
+
+    def test_energy_starvation_leaves_expensive_tasks_unfinished(self):
+        scheduler = EnergyTokenScheduler(sensor_node_tasks())
+        result = scheduler.run([2e-9] * 5)   # never enough for 'transmit'
+        assert "transmit" in result.unfinished_tasks
+        assert result.energy_spent <= result.energy_offered
+
+    def test_value_per_energy_beats_fifo_under_scarcity(self):
+        """The paper's point: scheduling must follow the power profile."""
+        tasks = [
+            Task("bulk", energy=40e-9, duration=1, value=1.0),
+            Task("frugal1", energy=4e-9, duration=1, value=2.0),
+            Task("frugal2", energy=4e-9, duration=1, value=2.0),
+            Task("frugal3", energy=4e-9, duration=1, value=2.0),
+        ]
+        results = compare_policies(
+            tasks, energy_profile=[6e-9] * 8,
+            policies=[SchedulingPolicy.FIFO, SchedulingPolicy.VALUE_PER_ENERGY])
+        assert (results[SchedulingPolicy.VALUE_PER_ENERGY].total_value
+                >= results[SchedulingPolicy.FIFO].total_value)
+        assert results[SchedulingPolicy.VALUE_PER_ENERGY].total_value >= 6.0
+
+    def test_edf_policy_prefers_urgent_tasks(self):
+        tasks = [
+            Task("relaxed", energy=5e-9, duration=1, value=1.0, deadline=50),
+            Task("urgent", energy=5e-9, duration=1, value=1.0, deadline=1),
+        ]
+        scheduler = EnergyTokenScheduler(tasks,
+                                         policy=SchedulingPolicy.EARLIEST_DEADLINE)
+        result = scheduler.run([5e-9, 5e-9, 5e-9])
+        runs = {run.task: run for run in result.runs}
+        assert runs["urgent"].start_slot <= runs["relaxed"].start_slot
+        assert "urgent" not in result.missed_deadlines
+
+    def test_deadline_misses_are_reported(self):
+        tasks = [Task("slow", energy=30e-9, duration=3, value=1.0, deadline=2)]
+        scheduler = EnergyTokenScheduler(tasks)
+        result = scheduler.run([5e-9] * 12)
+        assert result.missed_deadlines == ["slow"]
+
+    def test_periodic_task_reruns(self):
+        tasks = [Task("sample", energy=1e-9, duration=1, value=1.0,
+                      periodic_every=3)]
+        scheduler = EnergyTokenScheduler(tasks)
+        result = scheduler.run([2e-9] * 12)
+        sample_runs = [run for run in result.runs if run.task == "sample"]
+        assert len(sample_runs) >= 3
+
+    def test_storage_capacity_limits_banked_energy(self):
+        tasks = [Task("burst", energy=50e-9, duration=1, value=1.0)]
+        scheduler = EnergyTokenScheduler(tasks, storage_capacity=10e-9)
+        result = scheduler.run([20e-9] * 4)
+        assert result.unfinished_tasks == ["burst"]
+        assert result.energy_left_stored <= 10e-9 + 1e-12
+
+    def test_value_per_joule_metric(self):
+        scheduler = EnergyTokenScheduler(sensor_node_tasks())
+        result = scheduler.run([50e-9] * 6)
+        assert result.value_per_joule > 0
+        assert 0.0 < result.energy_utilisation <= 1.0
+
+
+class TestSoftArbiter:
+    def test_grants_limited_by_power_budget(self):
+        arbiter = SoftArbiter(power_budget=2.5e-6)
+        for name in ("a", "b", "c"):
+            arbiter.register(name, power=1e-6)
+            arbiter.request(name)
+        granted = arbiter.arbitrate()
+        assert len(granted) == 2
+        assert arbiter.degree_of_concurrency() == 2
+        assert arbiter.pending == ["c"]
+
+    def test_release_frees_budget_for_waiting_requester(self):
+        arbiter = SoftArbiter(power_budget=1e-6)
+        arbiter.register("a", 1e-6)
+        arbiter.register("b", 1e-6)
+        arbiter.request("a")
+        arbiter.request("b")
+        assert arbiter.arbitrate() == ["a"]
+        arbiter.release("a")
+        assert arbiter.arbitrate() == ["b"]
+        assert arbiter.average_waiting_rounds() > 0.0
+
+    def test_oldest_request_served_first(self):
+        arbiter = SoftArbiter(power_budget=1e-6)
+        arbiter.register("late", 1e-6)
+        arbiter.register("early", 1e-6)
+        arbiter.request("early")
+        arbiter.request("late")
+        assert arbiter.arbitrate() == ["early"]
+
+    def test_budget_can_change_at_run_time(self):
+        arbiter = SoftArbiter(power_budget=0.0)
+        arbiter.register("a", 1e-6)
+        arbiter.request("a")
+        assert arbiter.arbitrate() == []
+        arbiter.set_power_budget(1e-6)
+        assert arbiter.arbitrate() == ["a"]
+
+    def test_protocol_misuse_rejected(self):
+        arbiter = SoftArbiter(power_budget=1e-6)
+        arbiter.register("a", 1e-6)
+        with pytest.raises(ArbitrationError):
+            arbiter.request("ghost")
+        with pytest.raises(ArbitrationError):
+            arbiter.release("a")
+        arbiter.request("a")
+        with pytest.raises(ArbitrationError):
+            arbiter.request("a")
+
+
+class TestConcurrencyManager:
+    def test_concurrency_tracks_supply_power(self):
+        manager = ConcurrencyManager(power_per_task=1e-6, service_rounds=1,
+                                     max_concurrency=8)
+        strong = manager.step(supply_power=8e-6, arrivals=8)
+        weak = manager.step(supply_power=2e-6, arrivals=8)
+        assert strong.allowed_concurrency == 8
+        assert weak.allowed_concurrency == 2
+        assert weak.achieved_concurrency <= 2
+
+    def test_power_drought_turns_into_backlog_not_loss(self):
+        manager = ConcurrencyManager(power_per_task=1e-6, service_rounds=1,
+                                     max_concurrency=4)
+        manager.run([0.0] * 10, arrivals_per_step=1)
+        assert manager.completed == 0
+        assert manager.backlog == 10
+        manager.run([4e-6] * 30, arrivals_per_step=0)
+        assert manager.completed == 10
+        assert manager.backlog == 0
+
+    def test_average_metrics(self):
+        manager = ConcurrencyManager(power_per_task=1e-6, max_concurrency=4)
+        manager.run([2e-6] * 20, arrivals_per_step=2)
+        assert manager.average_concurrency() > 0
+        assert manager.average_backlog() > 0
+        assert manager.throughput() > 0
+
+    def test_never_exceeds_allowed_concurrency(self):
+        manager = ConcurrencyManager(power_per_task=1e-6, service_rounds=3,
+                                     max_concurrency=8)
+        records = manager.run([3e-6] * 40, arrivals_per_step=3)
+        assert all(r.achieved_concurrency <= max(r.allowed_concurrency, 0)
+                   for r in records)
+
+
+class TestStochastic:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PowerLatencyModel(arrival_rate=80.0, service_rate=30.0,
+                                 static_power_per_server=1e-6,
+                                 dynamic_power_per_server=10e-6)
+
+    def test_minimum_servers_for_stability(self, model):
+        c_min = model.minimum_servers()
+        assert not model.is_stable(c_min - 1)
+        assert model.is_stable(c_min)
+
+    def test_latency_decreases_with_concurrency(self, model):
+        c_min = model.minimum_servers()
+        assert model.mean_latency(c_min) > model.mean_latency(c_min + 2) \
+            > 1.0 / model.service_rate
+
+    def test_power_increases_with_concurrency(self, model):
+        assert model.power(8) > model.power(4)
+
+    def test_erlang_c_is_a_probability(self, model):
+        for servers in range(model.minimum_servers(), 12):
+            assert 0.0 <= model.erlang_c(servers) <= 1.0
+
+    def test_analytical_latency_matches_simulation(self, model):
+        servers = model.minimum_servers() + 1
+        empirical = simulate_mmc(model, servers, jobs=4000, seed=1)
+        assert empirical.mean_latency == pytest.approx(
+            model.mean_latency(servers), rel=0.2)
+
+    def test_balanced_optimum_between_extremes(self, model):
+        analysis = ConcurrencyAnalysis(model, max_servers=16)
+        balanced = analysis.balanced_optimal()
+        fastest = analysis.latency_optimal()
+        assert model.minimum_servers() <= balanced.servers <= fastest.servers
+
+    def test_minimum_power_feasible_meets_budget(self, model):
+        analysis = ConcurrencyAnalysis(model, max_servers=16)
+        budget = 2.0 * model.mean_latency(model.minimum_servers() + 2)
+        point = analysis.minimum_power_feasible(latency_budget=budget)
+        assert point is not None
+        assert point.mean_latency <= budget
+        cheaper = [p for p in analysis.feasible_points(latency_budget=budget)
+                   if p.power < point.power]
+        assert cheaper == []
+
+    def test_concurrency_for_power_budget(self, model):
+        analysis = ConcurrencyAnalysis(model, max_servers=16)
+        assert analysis.concurrency_for_power(model.power(6)) >= 6
+        assert analysis.concurrency_for_power(0.0) == 0
+
+
+class TestPowerManagementGame:
+    def make_game(self):
+        strategies = [
+            Strategy("sleep", power_demand=0.0, qos_yield=0.0),
+            Strategy("lowpower", power_demand=5e-6, qos_yield=2.0,
+                     salvage_fraction=0.8),
+            Strategy("performance", power_demand=50e-6, qos_yield=10.0,
+                     salvage_fraction=0.1),
+        ]
+        return PowerManagementGame(strategies,
+                                   harvest_levels=[1e-6, 10e-6, 100e-6],
+                                   harvest_probabilities=[0.3, 0.4, 0.3])
+
+    def test_payoff_matrix_shape_and_semantics(self):
+        game = self.make_game()
+        matrix = game.payoff_matrix()
+        assert matrix.shape == (3, 3)
+        # Performance mode browns out in the two weak-harvest columns.
+        assert matrix[2, 0] == pytest.approx(1.0)
+        assert matrix[2, 2] == pytest.approx(10.0)
+
+    def test_pure_security_strategy_is_conservative(self):
+        game = self.make_game()
+        solution = game.pure_security_strategy()
+        assert solution.best_pure_strategy == "lowpower"
+        assert solution.is_pure()
+
+    def test_minimax_value_at_least_pure_security_value(self):
+        game = self.make_game()
+        assert (game.minimax_strategy().game_value
+                >= game.pure_security_strategy().game_value - 1e-9)
+
+    def test_best_response_exploits_a_generous_environment(self):
+        game = self.make_game()
+        optimistic = game.best_response_to([0.0, 0.0, 1.0])
+        assert optimistic.best_pure_strategy == "performance"
+        pessimistic = game.best_response_to([1.0, 0.0, 0.0])
+        assert pessimistic.best_pure_strategy == "lowpower"
+
+    def test_fictitious_play_converges_to_a_sane_mix(self):
+        game = self.make_game()
+        solution = game.fictitious_play(rounds=300)
+        assert sum(solution.strategy_probabilities.values()) == pytest.approx(1.0)
+        assert solution.strategy_probabilities["sleep"] < 0.5
+
+    def test_simulation_of_best_response_beats_security_on_average(self):
+        game = self.make_game()
+        security = game.pure_security_strategy()
+        adapted = game.best_response_to()
+        assert (game.simulate(adapted, epochs=2000, seed=3)
+                >= game.simulate(security, epochs=2000, seed=3) - 1e-9)
+
+    def test_strategies_from_design_cover_sleep_and_active(self, tech):
+        from repro.core.design_styles import HybridDesign
+        strategies = strategies_from_design(HybridDesign(tech),
+                                            vdd_levels=[0.1, 0.3, 1.0])
+        assert len(strategies) == 3
+        assert strategies[0].name.startswith("sleep")
+        assert strategies[2].qos_yield > strategies[1].qos_yield
+
+    def test_invalid_probabilities_rejected(self):
+        strategies = [Strategy("s", 0.0, 0.0)]
+        with pytest.raises(ConfigurationError):
+            PowerManagementGame(strategies, [1e-6], harvest_probabilities=[0.5])

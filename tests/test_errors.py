@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in ("ConfigurationError", "ModelError", "SimulationError",
+                     "PowerError", "SupplyCollapseError", "ProtocolError",
+                     "SchedulerError", "ArbitrationError", "SensorError",
+                     "CalibrationError", "AddressError", "RetentionError",
+                     "HazardError", "DeadlockError", "SchedulingError",
+                     "EnergyAccountingError", "CompletionDetectionError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_supply_collapse_is_a_power_error(self):
+        assert issubclass(errors.SupplyCollapseError, errors.PowerError)
+
+    def test_deadlock_and_hazard_are_simulation_errors(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.HazardError, errors.SimulationError)
+
+    def test_calibration_is_a_sensor_error(self):
+        assert issubclass(errors.CalibrationError, errors.SensorError)
+
+    def test_address_and_retention_are_memory_errors(self):
+        assert issubclass(errors.AddressError, errors.MemoryError_)
+        assert issubclass(errors.RetentionError, errors.MemoryError_)
+
+    def test_repro_error_is_catchable_as_exception(self):
+        with pytest.raises(Exception):
+            raise errors.ReproError("boom")
+
+    def test_errors_carry_messages(self):
+        try:
+            raise errors.SupplyCollapseError("the rail died")
+        except errors.PowerError as exc:
+            assert "rail died" in str(exc)

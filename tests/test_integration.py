@@ -1,0 +1,148 @@
+"""Cross-module integration tests: whole signal paths from the paper."""
+
+import pytest
+
+from repro.core.design_styles import HybridDesign
+from repro.core.scheduler import EnergyTokenScheduler, Task
+from repro.core.system import EnergyModulatedSystem
+from repro.power.capacitor import SamplingCapacitor
+from repro.power.harvester import VibrationHarvester
+from repro.power.power_chain import PowerChain
+from repro.power.supply import ACSupply, ConstantSupply
+from repro.selftimed.counter import DualRailCounter
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.sensors.reference_free import ReferenceFreeVoltageSensor
+from repro.sim.probes import EnergyProbe
+from repro.sim.simulator import Simulator
+from repro.sram.sram import SpeedIndependentSRAM, SRAMConfig
+from tests.test_selftimed_toggle_counter import drive_dual_rail_counter
+
+
+class TestSensorMetersThePowerChain:
+    """Fig. 8: the charge-to-digital sensor measuring a live DC-DC output."""
+
+    def test_sensor_reading_tracks_the_regulated_rail(self, tech):
+        sensor = ChargeToDigitalConverter(technology=tech)
+        sensor.calibrate([0.3 + 0.1 * i for i in range(8)])
+        for target in (0.5, 0.8, 1.0):
+            # A fresh, fully charged chain per set-point (the converter's
+            # sample-and-hold front end works at the chain's epoch zero).
+            chain = PowerChain(
+                harvester=VibrationHarvester(peak_power=300e-6, wander=0.0,
+                                             seed=0),
+                storage_capacitance=100e-6, output_voltage=target,
+                initial_store_voltage=2.0)
+            measured = sensor.measure(chain.output_rail, use_simulation=False)
+            assert measured == pytest.approx(target, abs=0.05)
+
+    def test_sampling_the_rail_costs_almost_nothing(self, tech):
+        chain = PowerChain(
+            harvester=VibrationHarvester(peak_power=300e-6, wander=0.0, seed=0),
+            storage_capacitance=100e-6, initial_store_voltage=2.0)
+        chain.advance(0.1)
+        before = chain.store.stored_energy(chain.time)
+        cap = SamplingCapacitor(capacitance=30e-12)
+        cap.sample(chain.output_rail, sampling_time=1e-6, time=chain.time)
+        after = chain.store.stored_energy(chain.time)
+        assert before - after < 1e-9   # nanojoules, versus microjoules stored
+
+
+class TestSRAMOnAHarvesterRail:
+    """The paper's headline scenario: SI SRAM running from a harvester chain."""
+
+    def test_writes_complete_on_the_chain_rail(self, tech):
+        chain = PowerChain(
+            harvester=VibrationHarvester(peak_power=300e-6, wander=0.0, seed=0),
+            storage_capacitance=100e-6, output_voltage=0.5,
+            initial_store_voltage=1.8)
+        chain.advance(0.05)
+        sram = SpeedIndependentSRAM(tech, SRAMConfig(rows=8, columns=4,
+                                                     calibrate_energy=False))
+        sim = Simulator()
+        sim.advance_to(chain.time + 1e-3)   # circuit time continues after chain time
+        probe = EnergyProbe()
+        controller = sram.attach(sim, chain.output_rail, energy_probe=probe)
+        for address in range(8):
+            controller.write(address, address % 16)
+            sim.run()
+        assert all(sram.peek(a) == a % 16 for a in range(8))
+        assert probe.total > 0
+        chain.advance(0.01)   # move environmental time past the circuit activity
+        assert chain.report().energy_delivered_to_load > 0
+
+    def test_si_sram_and_dual_rail_counter_share_an_ac_rail(self, tech):
+        """Two self-timed blocks on the same unstable rail stay correct."""
+        supply = ACSupply(offset=0.3, amplitude=0.15, frequency=2e6)
+        sim = Simulator()
+        sram = SpeedIndependentSRAM(tech, SRAMConfig(rows=8, columns=4,
+                                                     calibrate_energy=False))
+        controller = sram.attach(sim, supply)
+        counter = DualRailCounter(sim, supply, tech, width=2)
+        drive_dual_rail_counter(sim, counter, steps=6)
+        controller.write(1, 0b101)
+        sim.run_until_idle(max_time=0.1)
+        assert sram.peek(1) == 0b101
+        assert counter.sequence_is_correct()
+
+
+class TestEnergyModulatedStack:
+    """System-level composition: harvest -> adapt -> schedule -> compute."""
+
+    def test_harvested_energy_budget_drives_the_scheduler(self, tech):
+        system = EnergyModulatedSystem(
+            harvester=VibrationHarvester(peak_power=200e-6, wander=0.0, seed=7),
+            design=HybridDesign(tech),
+            storage_capacitance=47e-6,
+            initial_store_voltage=1.5,
+            control_interval=0.02,
+        )
+        report = system.run(0.5)
+        # Feed the per-step delivered energy into the energy-token scheduler.
+        per_step_energy = [r.stored_energy * 0.0 + report.energy_consumed_by_load
+                           / max(len(report.adaptation_trace), 1)
+                           for r in report.adaptation_trace]
+        tasks = [
+            Task("sense", energy=1e-9, duration=1, value=1.0, periodic_every=2),
+            Task("process", energy=5e-9, duration=1, value=2.0,
+                 depends_on=("sense",)),
+            Task("transmit", energy=50e-9, duration=1, value=10.0,
+                 depends_on=("process",)),
+        ]
+        scheduler = EnergyTokenScheduler(tasks, joules_per_token=1e-9)
+        result = scheduler.run(per_step_energy)
+        assert result.energy_offered == pytest.approx(
+            report.energy_consumed_by_load, rel=1e-6)
+        assert result.total_value > 0
+
+    def test_reference_free_sensor_closes_the_loop_end_to_end(self, tech):
+        sensor = ReferenceFreeVoltageSensor(technology=tech)
+        sensor.calibrate([0.2 + 0.02 * i for i in range(91)])
+        system = EnergyModulatedSystem(
+            harvester=VibrationHarvester(peak_power=50e-6, wander=0.0, seed=8),
+            design=HybridDesign(tech),
+            sensor=sensor,
+            storage_capacitance=100e-6,
+            initial_store_voltage=1.2,
+            control_interval=0.02,
+        )
+        report = system.run(0.3)
+        assert report.operations_completed > 0
+        errors = [r.sensing_error for r in report.adaptation_trace]
+        assert max(errors) < 0.06
+
+    def test_energy_ledger_consistency(self, tech):
+        """Nothing is created from nothing: load energy <= harvested + initial store."""
+        initial_voltage = 1.5
+        capacitance = 47e-6
+        system = EnergyModulatedSystem(
+            harvester=VibrationHarvester(peak_power=200e-6, wander=0.0, seed=9),
+            design=HybridDesign(tech),
+            storage_capacitance=capacitance,
+            initial_store_voltage=initial_voltage,
+            control_interval=0.02,
+        )
+        report = system.run(1.0)
+        initial_energy = 0.5 * capacitance * initial_voltage ** 2
+        available = report.energy_harvested + initial_energy
+        assert report.energy_consumed_by_load <= available
+        assert report.chain.energy_delivered_to_load <= available

@@ -1,0 +1,67 @@
+"""Tests for inverter chains and logic-delay references."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.models.delay import InverterChain, fo4_delay, logical_effort_delay
+
+
+class TestFo4Delay:
+    def test_positive_and_voltage_dependent(self, tech):
+        assert fo4_delay(tech, 1.0) > 0
+        assert fo4_delay(tech, 0.3) > fo4_delay(tech, 1.0)
+
+    def test_older_node_is_slower(self, tech, tech180):
+        assert fo4_delay(tech180, 1.8) > 0
+        # At its own nominal voltage the 180 nm node is slower than 90 nm.
+        assert fo4_delay(tech180, tech180.vdd_nominal) > fo4_delay(tech, tech.vdd_nominal)
+
+
+class TestLogicalEffortDelay:
+    def test_more_stages_means_more_delay(self, tech):
+        two = logical_effort_delay(tech, 1.0, [1.0, 1.0])
+        four = logical_effort_delay(tech, 1.0, [1.0, 1.0, 1.0, 1.0])
+        assert four > two > 0
+
+    def test_higher_stage_effort_is_slower(self, tech):
+        assert (logical_effort_delay(tech, 1.0, [4.0])
+                > logical_effort_delay(tech, 1.0, [1.0]))
+
+
+class TestInverterChain:
+    def test_total_delay_is_stages_times_stage_delay(self, tech):
+        chain = InverterChain(technology=tech, stages=10)
+        assert chain.total_delay(0.8) == pytest.approx(
+            10 * chain.stage_delay(0.8), rel=1e-9)
+
+    def test_arrival_times_are_increasing(self, tech):
+        chain = InverterChain(technology=tech, stages=5)
+        arrivals = chain.stage_arrival_times(0.6)
+        assert len(arrivals) == 5
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_stages_reached_monotone_in_elapsed_time(self, tech):
+        chain = InverterChain(technology=tech, stages=50)
+        t_half = chain.total_delay(0.5) / 2
+        assert chain.stages_reached(0.5, 0.0) == 0
+        mid = chain.stages_reached(0.5, t_half)
+        assert 0 < mid < 50
+        assert chain.stages_reached(0.5, 10 * chain.total_delay(0.5)) == 50
+
+    def test_delay_in_inverters_ruler(self, tech):
+        chain = InverterChain(technology=tech, stages=1)
+        some_delay = 25 * chain.stage_delay(1.0)
+        assert chain.delay_in_inverters(1.0, some_delay) == pytest.approx(25, rel=1e-6)
+
+    def test_energy_positive_and_grows_with_vdd(self, tech):
+        chain = InverterChain(technology=tech, stages=8)
+        assert chain.energy(1.0) > chain.energy(0.4) > 0
+
+    def test_rejects_non_positive_stage_count(self, tech):
+        with pytest.raises((ConfigurationError, ModelError)):
+            InverterChain(technology=tech, stages=0)
+
+    def test_fanout_slows_the_chain(self, tech):
+        light = InverterChain(technology=tech, stages=10, fanout=1.0)
+        heavy = InverterChain(technology=tech, stages=10, fanout=4.0)
+        assert heavy.total_delay(1.0) > light.total_delay(1.0)

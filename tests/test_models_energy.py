@@ -1,0 +1,78 @@
+"""Tests for the switching/leakage energy-per-operation model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.delay import InverterChain
+from repro.models.energy import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def energy_model(tech):
+    chain = InverterChain(technology=tech, stages=30)
+    return EnergyModel(
+        technology=tech,
+        transitions_per_op=60.0,
+        switched_cap_per_transition=5e-15,
+        leakage_gates=200.0,
+        delay_model=chain.total_delay,
+    )
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self, energy_model):
+        breakdown = energy_model.breakdown(0.6)
+        assert breakdown.total == pytest.approx(
+            breakdown.switching + breakdown.short_circuit + breakdown.leakage)
+
+    def test_as_dict_round_trip(self, energy_model):
+        d = energy_model.breakdown(0.8).as_dict()
+        assert set(d) >= {"switching", "leakage"}
+
+    def test_switching_energy_quadratic_in_vdd(self, energy_model):
+        assert energy_model.switching_energy(1.0) == pytest.approx(
+            4 * energy_model.switching_energy(0.5), rel=0.01)
+
+    def test_leakage_energy_grows_at_low_vdd(self, energy_model):
+        # Leakage × (much longer) cycle time dominates at low voltage.
+        assert energy_model.leakage_energy(0.2) > energy_model.leakage_energy(0.5)
+
+
+class TestMinimumEnergyPoint:
+    def test_interior_minimum_exists(self, energy_model):
+        vdd_opt, e_opt = energy_model.minimum_energy_point(0.2, 1.0)
+        assert 0.2 < vdd_opt < 1.0
+        assert e_opt < energy_model.energy_per_op(1.0)
+        assert e_opt < energy_model.energy_per_op(0.21)
+
+    def test_minimum_is_actually_minimal_on_a_grid(self, energy_model):
+        vdd_opt, e_opt = energy_model.minimum_energy_point(0.2, 1.0)
+        for vdd in [0.25, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0]:
+            assert e_opt <= energy_model.energy_per_op(vdd) * (1 + 1e-9)
+
+    def test_invalid_range_rejected(self, energy_model):
+        with pytest.raises(ModelError):
+            energy_model.minimum_energy_point(1.0, 0.5)
+
+
+class TestSweepAndEdp:
+    def test_sweep_matches_pointwise_breakdown(self, energy_model):
+        voltages = [0.3, 0.5, 0.8]
+        swept = energy_model.sweep(voltages)
+        assert len(swept) == 3
+        for vdd, breakdown in zip(voltages, swept):
+            assert breakdown.total == pytest.approx(
+                energy_model.breakdown(vdd).total)
+
+    def test_sweep_rejects_empty(self, energy_model):
+        with pytest.raises(ModelError):
+            energy_model.sweep([])
+
+    def test_energy_delay_product_minimised_above_energy_minimum(self, energy_model):
+        # The EDP optimum sits at a higher voltage than the energy optimum —
+        # a classic low-power-design fact the model should reproduce.
+        vdd_e, _ = energy_model.minimum_energy_point(0.2, 1.0)
+        edps = {vdd: energy_model.energy_delay_product(vdd)
+                for vdd in [0.25, 0.35, 0.45, 0.6, 0.8, 1.0]}
+        vdd_edp = min(edps, key=edps.get)
+        assert vdd_edp >= vdd_e

@@ -1,0 +1,106 @@
+"""Tests for the voltage-aware gate delay/energy model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import get_technology
+
+
+@pytest.fixture(scope="module")
+def inverter(tech):
+    return GateModel(technology=tech, gate_type=GateType.INVERTER)
+
+
+@pytest.fixture(scope="module")
+def c_element(tech):
+    return GateModel(technology=tech, gate_type=GateType.C_ELEMENT)
+
+
+class TestDelay:
+    def test_delay_decreases_with_vdd(self, inverter):
+        assert (inverter.delay(0.2) > inverter.delay(0.4)
+                > inverter.delay(0.7) > inverter.delay(1.0) > 0)
+
+    def test_delay_blows_up_near_functional_minimum(self, inverter, tech):
+        near_min = tech.vdd_min * 1.05
+        assert inverter.delay(near_min) > 50 * inverter.delay(1.0)
+
+    def test_external_load_slows_the_gate(self, inverter):
+        unloaded = inverter.delay(1.0)
+        loaded = inverter.delay(1.0, external_load=20 * inverter.input_capacitance)
+        assert loaded > unloaded
+
+    def test_complex_gate_slower_than_inverter(self, inverter, c_element):
+        assert c_element.delay(0.6) > inverter.delay(0.6)
+
+    def test_higher_drive_strength_is_faster_into_fixed_load(self, tech):
+        load = 50e-15
+        weak = GateModel(technology=tech, drive_strength=1.0)
+        strong = GateModel(technology=tech, drive_strength=4.0)
+        assert strong.delay(1.0, external_load=load) < weak.delay(1.0, external_load=load)
+
+    def test_frequency_is_inverse_of_period(self, inverter):
+        f = inverter.frequency(1.0)
+        assert f > 0
+        assert inverter.frequency(0.5) < f
+
+
+class TestEnergy:
+    def test_switching_energy_scales_quadratically(self, inverter):
+        e_half = inverter.switching_energy(0.5)
+        e_full = inverter.switching_energy(1.0)
+        assert e_full == pytest.approx(4 * e_half, rel=0.01)
+
+    def test_transition_energy_exceeds_pure_switching(self, inverter):
+        # Transition energy folds in short-circuit current.
+        assert inverter.transition_energy(1.0) >= inverter.switching_energy(1.0)
+
+    def test_transition_charge_consistent_with_energy(self, inverter):
+        vdd = 0.8
+        assert inverter.transition_charge(vdd) == pytest.approx(
+            inverter.transition_energy(vdd) / vdd, rel=1e-6)
+
+    def test_leakage_power_increases_with_vdd(self, inverter):
+        assert inverter.leakage_power(1.0) > inverter.leakage_power(0.3) > 0
+
+    def test_complex_gate_leaks_more(self, inverter, tech):
+        toggle = GateModel(technology=tech, gate_type=GateType.TOGGLE)
+        assert toggle.leakage_power(1.0) > inverter.leakage_power(1.0)
+
+    def test_short_circuit_energy_nonnegative(self, inverter):
+        assert inverter.short_circuit_energy(1.0) >= 0
+        assert inverter.short_circuit_energy(0.25) >= 0
+
+
+class TestCapacitances:
+    def test_input_cap_tracks_logical_effort(self, inverter, c_element):
+        assert c_element.input_capacitance > inverter.input_capacitance
+
+    def test_total_load_includes_parasitic(self, inverter):
+        assert inverter.total_load(0.0) >= inverter.parasitic_capacitance
+        assert (inverter.total_load(10e-15)
+                == pytest.approx(inverter.total_load(0.0) + 10e-15))
+
+
+class TestValidation:
+    def test_non_positive_vdd_rejected(self, inverter):
+        with pytest.raises((ModelError, ValueError)):
+            inverter.delay(0.0)
+
+    def test_below_functional_minimum_delay_is_huge_or_raises(self, inverter, tech):
+        try:
+            value = inverter.delay(tech.vdd_min * 0.5)
+        except ModelError:
+            return
+        assert value > inverter.delay(tech.vdd_min * 2)
+
+
+@given(vdd=st.floats(min_value=0.2, max_value=1.1))
+def test_gate_delay_energy_always_positive_property(vdd):
+    gate = GateModel(technology=get_technology("cmos90"),
+                     gate_type=GateType.NAND2)
+    assert gate.delay(vdd) > 0
+    assert gate.transition_energy(vdd) > 0
+    assert gate.leakage_power(vdd) > 0

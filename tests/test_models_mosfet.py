@@ -1,0 +1,81 @@
+"""Tests for the MOSFET current model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.mosfet import MosfetModel
+
+
+@pytest.fixture(scope="module")
+def nmos(tech):
+    return MosfetModel(tech)
+
+
+class TestOnCurrent:
+    def test_increases_with_gate_voltage(self, nmos):
+        assert nmos.on_current(1.0) > nmos.on_current(0.6) > nmos.on_current(0.3)
+
+    def test_positive_even_below_threshold(self, nmos, tech):
+        # Sub-threshold conduction is the physical basis of 0.2 V operation.
+        sub_vth = 0.2
+        assert sub_vth < tech.vth
+        assert nmos.on_current(sub_vth) > 0
+
+    def test_subthreshold_current_is_exponential_like(self, nmos):
+        # Equal voltage steps below threshold give (roughly) equal ratios.
+        ratio1 = nmos.on_current(0.25) / nmos.on_current(0.20)
+        ratio2 = nmos.on_current(0.20) / nmos.on_current(0.15)
+        assert ratio1 == pytest.approx(ratio2, rel=0.35)
+
+    def test_scales_with_width(self, tech):
+        narrow = MosfetModel(tech, width_um=1.0)
+        wide = MosfetModel(tech, width_um=4.0)
+        assert wide.on_current(1.0) == pytest.approx(4 * narrow.on_current(1.0),
+                                                     rel=1e-6)
+
+    def test_vth_offset_weakens_device(self, tech):
+        nominal = MosfetModel(tech)
+        slow = MosfetModel(tech, vth_offset=0.05)
+        assert slow.on_current(0.4) < nominal.on_current(0.4)
+
+    def test_drive_derating_scales_current(self, tech):
+        nominal = MosfetModel(tech)
+        derated = MosfetModel(tech, drive_derating=0.5)
+        assert derated.on_current(1.0) == pytest.approx(
+            0.5 * nominal.on_current(1.0), rel=1e-6)
+
+
+class TestLeakageAndRatio:
+    def test_leakage_much_smaller_than_on_current(self, nmos, tech):
+        vdd = tech.vdd_nominal
+        assert nmos.leakage_current(vdd) < 1e-3 * nmos.on_current(vdd)
+
+    def test_on_off_ratio_degrades_at_low_vdd(self, nmos):
+        # At low Vdd the on-current collapses faster than leakage: the ratio
+        # shrinks, which is why sub-threshold SRAM is hard (paper Sec. III-A).
+        assert nmos.on_off_ratio(1.0) > nmos.on_off_ratio(0.3) > 1.0
+
+    def test_discharge_time_increases_as_vdd_falls(self, nmos):
+        cap = 10e-15
+        assert (nmos.discharge_time(0.25, cap, 0.1)
+                > nmos.discharge_time(0.5, cap, 0.1)
+                > nmos.discharge_time(1.0, cap, 0.1) > 0)
+
+    def test_discharge_time_scales_with_capacitance(self, nmos):
+        t1 = nmos.discharge_time(0.6, 5e-15, 0.1)
+        t2 = nmos.discharge_time(0.6, 10e-15, 0.1)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+
+class TestEffectiveVth:
+    def test_offset_moves_effective_vth(self, tech):
+        assert (MosfetModel(tech, vth_offset=0.04).effective_vth
+                == pytest.approx(MosfetModel(tech).effective_vth + 0.04))
+
+
+@given(vgs=st.floats(min_value=0.15, max_value=1.2))
+def test_on_current_monotone_in_vgs_property(vgs):
+    from repro.models.technology import get_technology
+    nmos = MosfetModel(get_technology("cmos90"))
+    higher = min(1.25, vgs + 0.05)
+    assert nmos.on_current(higher) >= nmos.on_current(vgs)

@@ -1,0 +1,60 @@
+"""Tests for repro.models.technology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.technology import TECHNOLOGIES, Technology, get_technology
+
+
+class TestBuiltinTechnologies:
+    def test_builtin_names(self):
+        assert set(TECHNOLOGIES) == {"cmos90", "cmos65", "cmos180"}
+
+    def test_get_technology_default_is_90nm(self):
+        tech = get_technology()
+        assert tech.name == "cmos90"
+        assert tech.feature_size_nm == pytest.approx(90.0)
+
+    def test_get_technology_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_technology("cmos7")
+
+    def test_paper_operating_window_is_representable(self, tech):
+        # The paper's circuits span 0.2 V - 1 V in 90 nm.
+        assert tech.vdd_min < 0.2
+        assert tech.vdd_nominal == pytest.approx(1.0)
+        assert tech.vdd_min < tech.vth < tech.vdd_nominal
+
+    def test_older_node_has_higher_nominal_voltage(self, tech, tech180):
+        assert tech180.vdd_nominal > tech.vdd_nominal
+        assert tech180.gate_cap_per_um > tech.gate_cap_per_um
+
+    def test_newer_node_leaks_more(self, tech, tech65):
+        assert tech65.i_leak_per_um > tech.i_leak_per_um
+
+
+class TestDerivedQuantities:
+    def test_unit_inverter_caps_positive(self, tech):
+        assert tech.unit_inverter_input_cap > 0
+        assert tech.unit_inverter_output_cap > 0
+
+    def test_input_cap_scales_with_gate_cap(self, tech):
+        doubled = tech.scaled(gate_cap_per_um=2 * tech.gate_cap_per_um)
+        assert doubled.unit_inverter_input_cap == pytest.approx(
+            2 * tech.unit_inverter_input_cap)
+
+
+class TestScaled:
+    def test_scaled_overrides_one_field(self, tech):
+        slow = tech.scaled(vth=0.4)
+        assert slow.vth == pytest.approx(0.4)
+        assert slow.vdd_nominal == tech.vdd_nominal
+
+    def test_scaled_does_not_mutate_original(self, tech):
+        original_vth = tech.vth
+        tech.scaled(vth=0.5)
+        assert tech.vth == original_vth
+
+    def test_scaled_rejects_unknown_field(self, tech):
+        with pytest.raises((ConfigurationError, TypeError)):
+            tech.scaled(not_a_field=1.0)

@@ -1,0 +1,73 @@
+"""Tests for process corners and Monte-Carlo variation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel
+from repro.models.variation import Corner, ProcessVariation
+
+
+class TestCorners:
+    def test_all_classical_corners_present(self):
+        assert {c.value for c in Corner} == {"TT", "FF", "SS", "FS", "SF"}
+
+    def test_fast_corner_strengthens_slow_weakens(self, tech):
+        fast = Corner.FAST.apply(tech)
+        slow = Corner.SLOW.apply(tech)
+        gate_fast = GateModel(technology=fast)
+        gate_slow = GateModel(technology=slow)
+        gate_typ = GateModel(technology=tech)
+        assert gate_fast.delay(0.5) < gate_typ.delay(0.5) < gate_slow.delay(0.5)
+
+    def test_typical_corner_is_identity_like(self, tech):
+        typical = Corner.TYPICAL.apply(tech)
+        assert typical.vth == pytest.approx(tech.vth, abs=1e-12)
+
+    def test_corner_drive_factors_ordering(self):
+        assert Corner.FAST.drive_factor > Corner.TYPICAL.drive_factor
+        assert Corner.SLOW.drive_factor < Corner.TYPICAL.drive_factor
+
+
+class TestProcessVariation:
+    def test_deterministic_with_seed(self):
+        a = ProcessVariation(seed=42)
+        b = ProcessVariation(seed=42)
+        sa = [a.sample() for _ in range(5)]
+        sb = [b.sample() for _ in range(5)]
+        assert [s.vth_offset for s in sa] == [s.vth_offset for s in sb]
+
+    def test_different_seeds_differ(self):
+        a = ProcessVariation(seed=1).sample()
+        b = ProcessVariation(seed=2).sample()
+        assert a.vth_offset != b.vth_offset
+
+    def test_samples_yields_requested_count(self):
+        variation = ProcessVariation(seed=0)
+        assert len(list(variation.samples(25))) == 25
+
+    def test_drive_derating_never_collapses_to_zero(self):
+        variation = ProcessVariation(sigma_drive=0.3, seed=3)
+        for sample in variation.samples(200):
+            assert sample.drive_derating >= 0.2
+            assert sample.leakage_factor > 0
+
+    def test_apply_to_returns_new_technology(self, tech):
+        variation = ProcessVariation(seed=7)
+        perturbed = variation.apply_to(tech)
+        assert perturbed is not tech
+        assert perturbed.feature_size_nm == tech.feature_size_nm
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(sigma_vth=-0.1)
+
+    def test_relative_sigma_bound(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(sigma_drive=1.5)
+
+    def test_slow_corner_bias_shows_in_samples(self, tech):
+        slow = ProcessVariation(corner=Corner.SLOW, seed=5)
+        typical = ProcessVariation(corner=Corner.TYPICAL, seed=5)
+        slow_mean = sum(s.vth_offset for s in slow.samples(300)) / 300
+        typ_mean = sum(s.vth_offset for s in typical.samples(300)) / 300
+        assert slow_mean > typ_mean

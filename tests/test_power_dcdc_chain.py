@@ -1,0 +1,120 @@
+"""Tests for the DC-DC converter and the composed power chain."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerError, SupplyCollapseError
+from repro.power.capacitor import Capacitor
+from repro.power.dcdc import ConverterEfficiency, DCDCConverter
+from repro.power.harvester import VibrationHarvester
+from repro.power.power_chain import PowerChain
+
+
+class TestConverterEfficiency:
+    def test_zero_output_power_zero_efficiency(self):
+        eff = ConverterEfficiency()
+        assert eff.efficiency(0.0, 1.0) == 0.0
+
+    def test_efficiency_below_unity(self):
+        eff = ConverterEfficiency()
+        assert 0.0 < eff.efficiency(1e-3, 1.0) < 1.0
+
+    def test_light_load_is_less_efficient(self):
+        eff = ConverterEfficiency(quiescent_power=1e-6)
+        assert eff.efficiency(2e-6, 1.0) < eff.efficiency(200e-6, 1.0)
+
+    def test_input_power_exceeds_output_power(self):
+        eff = ConverterEfficiency()
+        assert eff.input_power(1e-3, 1.0) > 1e-3
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(PowerError):
+            ConverterEfficiency().efficiency(-1.0, 1.0)
+
+
+class TestDCDCConverter:
+    def make(self, store_voltage=2.0, target=1.0):
+        store = Capacitor(capacitance=100e-6, initial_voltage=store_voltage)
+        return store, DCDCConverter(input_store=store, target_voltage=target)
+
+    def test_regulates_output_while_input_healthy(self):
+        _, dcdc = self.make()
+        assert dcdc.voltage(0.0) == pytest.approx(1.0)
+
+    def test_brown_out_when_store_collapses(self):
+        store, dcdc = self.make(store_voltage=0.2)
+        assert dcdc.voltage(0.0) < 1.0
+
+    def test_draw_charge_bills_the_store(self):
+        store, dcdc = self.make()
+        before = store.stored_energy(0.0)
+        dcdc.draw_charge(1e-6, 0.0)
+        after = store.stored_energy(0.0)
+        assert after < before
+        assert dcdc.energy_delivered == pytest.approx(1e-6 * 1.0)
+        assert dcdc.energy_drawn_from_input > dcdc.energy_delivered
+        assert dcdc.conversion_loss() > 0.0
+
+    def test_set_target_voltage(self):
+        _, dcdc = self.make()
+        dcdc.set_target_voltage(0.4)
+        assert dcdc.voltage(0.0) == pytest.approx(0.4)
+        with pytest.raises(ConfigurationError):
+            dcdc.set_target_voltage(0.0)
+
+    def test_idle_tick_costs_quiescent_energy(self):
+        store, dcdc = self.make()
+        before = store.stored_energy(0.0)
+        dcdc.idle_tick(1.0, 1.0)
+        assert store.stored_energy(1.0) < before
+
+    def test_empty_input_raises_collapse(self):
+        store = Capacitor(capacitance=1e-6, initial_voltage=0.0)
+        dcdc = DCDCConverter(input_store=store, target_voltage=1.0)
+        with pytest.raises(SupplyCollapseError):
+            dcdc.draw_charge(1e-6, 0.0)
+
+
+class TestPowerChain:
+    def make_chain(self):
+        harvester = VibrationHarvester(peak_power=200e-6, wander=0.0, seed=0)
+        return PowerChain(harvester=harvester, storage_capacitance=100e-6,
+                          output_voltage=1.0, initial_store_voltage=2.0)
+
+    def test_advance_moves_time_and_harvests(self):
+        chain = self.make_chain()
+        chain.advance(1.0)
+        assert chain.time == pytest.approx(1.0)
+        report = chain.report()
+        assert report.energy_harvested > 0.0
+        assert report.store_voltage > 0.0
+
+    def test_output_rail_supplies_the_target_voltage(self):
+        chain = self.make_chain()
+        chain.advance(0.5)
+        assert chain.output_rail.voltage(chain.time) == pytest.approx(1.0)
+
+    def test_set_output_voltage_reprograms_the_rail(self):
+        chain = self.make_chain()
+        chain.set_output_voltage(0.4)
+        chain.advance(0.1)
+        assert chain.output_rail.voltage(chain.time) == pytest.approx(0.4)
+
+    def test_load_draw_flows_back_to_the_store(self):
+        chain = self.make_chain()
+        chain.advance(0.2)
+        store_before = chain.store.stored_energy(chain.time)
+        chain.output_rail.draw_charge(5e-6, chain.time)
+        assert chain.store.stored_energy(chain.time) < store_before
+        assert chain.report().energy_delivered_to_load > 0.0
+
+    def test_end_to_end_efficiency_between_zero_and_one(self):
+        chain = self.make_chain()
+        chain.advance(1.0)
+        chain.output_rail.draw_charge(10e-6, chain.time)
+        report = chain.report()
+        assert 0.0 < report.end_to_end_efficiency <= 1.0
+
+    def test_invalid_durations_rejected(self):
+        chain = self.make_chain()
+        with pytest.raises(ConfigurationError):
+            chain.advance(0.0)

@@ -1,0 +1,131 @@
+"""Tests for batteries, capacitors and the sampling capacitor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, PowerError, SupplyCollapseError
+from repro.power.battery import Battery
+from repro.power.capacitor import Capacitor, SamplingCapacitor
+from repro.power.supply import ConstantSupply
+
+
+class TestCapacitor:
+    def test_voltage_drops_by_q_over_c(self):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=1.0)
+        cap.draw_charge(0.5e-9, 0.0)
+        assert cap.voltage(0.0) == pytest.approx(0.5)
+
+    def test_stored_energy_half_cv_squared(self):
+        cap = Capacitor(capacitance=2e-9, initial_voltage=0.5)
+        assert cap.stored_energy(0.0) == pytest.approx(0.5 * 2e-9 * 0.25)
+
+    def test_add_charge_raises_voltage(self):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=0.0)
+        cap.add_charge(1e-9, 0.0)
+        assert cap.voltage(0.0) == pytest.approx(1.0)
+
+    def test_add_energy_solves_quadrature(self):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=0.0)
+        cap.add_energy(0.5e-9, 1.0)
+        assert cap.voltage(1.0) == pytest.approx(1.0)
+
+    def test_leakage_discharges_over_time(self):
+        cap = Capacitor(capacitance=1e-6, initial_voltage=1.0,
+                        leakage_resistance=1e3)
+        v_later = cap.voltage(10e-3)   # ten time constants later
+        assert v_later < 0.01
+
+    def test_collapse_below_min_operating_voltage(self):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=0.2,
+                        min_operating_voltage=0.19)
+        cap.draw_charge(0.05e-9, 0.0)
+        with pytest.raises(SupplyCollapseError):
+            cap.draw_charge(0.05e-9, 0.0)
+
+    def test_backwards_time_rejected(self):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=1.0)
+        cap.voltage(1.0)
+        with pytest.raises(PowerError):
+            cap.voltage(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor(capacitance=0.0)
+        with pytest.raises(ConfigurationError):
+            Capacitor(capacitance=1e-9, initial_voltage=-1.0)
+
+    @given(charge=st.floats(min_value=0, max_value=1e-9))
+    @settings(max_examples=30)
+    def test_energy_accounting_is_conservative_property(self, charge):
+        cap = Capacitor(capacitance=1e-9, initial_voltage=1.0)
+        before = cap.stored_energy(0.0)
+        cap.draw_charge(charge, 0.0)
+        after = cap.stored_energy(0.0)
+        # Energy delivered to the load is at least the drop in stored energy
+        # (the capacitor delivers at the pre-draw voltage).
+        assert cap.energy_delivered >= (before - after) - 1e-21
+
+
+class TestSamplingCapacitor:
+    def test_sampling_approaches_source_voltage(self):
+        cap = SamplingCapacitor(capacitance=30e-12, switch_resistance=1e3)
+        source = ConstantSupply(0.8)
+        sampled = cap.sample(source, sampling_time=1e-6, time=0.0)
+        # 1 us >> RC = 30 ns, so the capacitor should be fully charged.
+        assert sampled == pytest.approx(0.8, rel=1e-3)
+
+    def test_short_sampling_undershoots(self):
+        cap = SamplingCapacitor(capacitance=30e-12, switch_resistance=1e6)
+        source = ConstantSupply(0.8)
+        sampled = cap.sample(source, sampling_time=1e-9, time=0.0)
+        assert sampled < 0.1
+
+    def test_sampling_draws_charge_from_source(self):
+        cap = SamplingCapacitor(capacitance=30e-12)
+        source = ConstantSupply(1.0)
+        cap.sample(source, sampling_time=1e-6, time=0.0)
+        assert source.charge_delivered == pytest.approx(30e-12, rel=1e-3)
+
+    def test_sample_then_hold_flag(self):
+        cap = SamplingCapacitor(capacitance=30e-12)
+        assert cap.sampling is False
+        cap.sample(ConstantSupply(0.5), 1e-6, 0.0)
+        assert cap.sampling is False
+        cap.hold()
+        assert cap.sampling is False
+
+
+class TestBattery:
+    def test_full_battery_reports_nominal_voltage(self):
+        battery = Battery(nominal_voltage=3.0, capacity_joules=10.0)
+        assert battery.voltage(0.0) == pytest.approx(3.0, rel=0.05)
+        assert battery.state_of_charge == pytest.approx(1.0)
+
+    def test_drawing_discharges(self):
+        battery = Battery(nominal_voltage=3.0, capacity_joules=1.0)
+        battery.draw_charge(0.1, 0.0)   # 0.1 C at ~3 V = 0.3 J
+        assert battery.state_of_charge < 1.0
+        assert battery.remaining_energy < 1.0
+        assert battery.energy_delivered > 0.0
+
+    def test_empty_battery_collapses(self):
+        battery = Battery(nominal_voltage=3.0, capacity_joules=0.01)
+        with pytest.raises(SupplyCollapseError):
+            for _ in range(1000):
+                battery.draw_charge(1e-3, 0.0)
+        assert battery.empty
+
+    def test_recharge_restores_energy(self):
+        battery = Battery(nominal_voltage=3.0, capacity_joules=1.0)
+        battery.draw_charge(0.05, 0.0)
+        depleted = battery.remaining_energy
+        battery.recharge(0.1)
+        assert battery.remaining_energy > depleted
+
+    def test_internal_resistance_droops_under_load(self):
+        stiff = Battery(nominal_voltage=3.0, capacity_joules=1.0,
+                        internal_resistance=0.0)
+        soft = Battery(nominal_voltage=3.0, capacity_joules=1.0,
+                       internal_resistance=10.0)
+        soft.set_load_current(10e-3)
+        assert soft.voltage(0.0) < stiff.voltage(0.0)

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.energy_tokens import EnergyTokenNet
+from repro.core.petri import PetriNet
+from repro.core.scheduler import EnergyTokenScheduler, SchedulingPolicy, Task
+from repro.core.stochastic import PowerLatencyModel
+from repro.models.gate import GateModel, GateType
+from repro.models.technology import get_technology
+from repro.power.capacitor import Capacitor
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.sensors.reference_free import ReferenceFreeVoltageSensor
+
+
+TECH = get_technology("cmos90")
+
+
+class TestDeviceModelProperties:
+    @given(vdd=st.floats(min_value=0.18, max_value=1.1),
+           gate_type=st.sampled_from(list(GateType)))
+    @settings(max_examples=60)
+    def test_delay_and_energy_positive_for_every_gate_type(self, vdd, gate_type):
+        gate = GateModel(technology=TECH, gate_type=gate_type)
+        assert gate.delay(vdd) > 0
+        assert gate.transition_energy(vdd) > 0
+        assert gate.leakage_power(vdd) > 0
+
+    @given(v_low=st.floats(min_value=0.18, max_value=0.9),
+           delta=st.floats(min_value=0.02, max_value=0.2))
+    @settings(max_examples=60)
+    def test_delay_monotone_decreasing_in_vdd(self, v_low, delta):
+        gate = GateModel(technology=TECH, gate_type=GateType.NAND2)
+        assert gate.delay(v_low) >= gate.delay(min(v_low + delta, 1.1))
+
+
+class TestChargeConservationProperties:
+    @given(initial=st.floats(min_value=0.1, max_value=2.0),
+           draws=st.lists(st.floats(min_value=0.0, max_value=1e-9),
+                          min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_capacitor_voltage_never_negative_and_never_rises_on_draws(
+            self, initial, draws):
+        cap = Capacitor(capacitance=10e-9, initial_voltage=initial)
+        previous = cap.voltage(0.0)
+        for i, charge in enumerate(draws):
+            cap.draw_charge(charge, float(i)) if previous > 0 else None
+            current = cap.voltage(float(i))
+            assert 0.0 <= current <= previous + 1e-15
+            previous = current
+
+    @given(voltage=st.floats(min_value=0.3, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_charge_to_digital_count_bounded_by_stored_charge(self, voltage):
+        converter = ChargeToDigitalConverter(technology=TECH,
+                                             sampling_capacitance=20e-12)
+        from repro.power.supply import ConstantSupply
+        result = converter.convert(ConstantSupply(voltage))
+        assert 0 <= result.count < (1 << converter.counter_width)
+        assert result.charge_consumed <= 20e-12 * voltage + 1e-15
+        assert result.final_voltage <= result.sampled_voltage + 1e-12
+
+
+class TestSensorMonotonicityProperties:
+    @given(v_low=st.floats(min_value=0.2, max_value=0.95),
+           delta=st.floats(min_value=0.02, max_value=0.3))
+    @settings(max_examples=40)
+    def test_reference_free_code_monotone_nonincreasing_in_vdd(self, v_low, delta):
+        sensor = ReferenceFreeVoltageSensor(technology=TECH)
+        v_high = min(v_low + delta, 1.0)
+        assert sensor.raw_code(v_high) <= sensor.raw_code(v_low)
+
+
+class TestPetriNetProperties:
+    @given(tokens=st.integers(min_value=0, max_value=30),
+           weight=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40)
+    def test_token_conservation_in_a_transfer_net(self, tokens, weight):
+        net = PetriNet()
+        net.add_place("a", tokens=tokens)
+        net.add_place("b", tokens=0)
+        net.add_transition("move", {"a": weight}, {"b": weight})
+        net.run()
+        marking = net.marking()
+        assert marking["a"] + marking["b"] == tokens
+        assert marking["a"] < weight
+
+    @given(deposits=st.lists(st.floats(min_value=0.0, max_value=5e-9),
+                             min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_energy_ledger_never_creates_energy(self, deposits):
+        net = EnergyTokenNet(joules_per_token=1e-9)
+        net.add_place("go", tokens=100)
+        net.add_energy_transition("work", {"go": 1}, {}, energy_tokens=2)
+        for amount in deposits:
+            net.deposit_energy(amount)
+        net.run(max_firings=1000)
+        assert net.energy_spent + net.stored_energy <= net.energy_deposited + 1e-9
+        assert net.energy_spent >= 0
+
+
+class TestSchedulerProperties:
+    task_strategy = st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=20e-9),    # energy
+                  st.integers(min_value=1, max_value=3),        # duration
+                  st.floats(min_value=0.0, max_value=10.0)),    # value
+        min_size=1, max_size=6)
+
+    @given(specs=task_strategy,
+           profile=st.lists(st.floats(min_value=0.0, max_value=10e-9),
+                            min_size=1, max_size=20),
+           policy=st.sampled_from(list(SchedulingPolicy)))
+    @settings(max_examples=50, deadline=None)
+    def test_scheduler_never_spends_more_than_offered(self, specs, profile, policy):
+        tasks = [Task(f"t{i}", energy=e, duration=d, value=v)
+                 for i, (e, d, v) in enumerate(specs)]
+        scheduler = EnergyTokenScheduler(tasks, joules_per_token=1e-9,
+                                         policy=policy)
+        result = scheduler.run(profile)
+        assert result.energy_spent <= result.energy_offered + 1e-12
+        assert 0.0 <= result.energy_utilisation <= 1.0
+        completed = set(result.completed_tasks)
+        assert completed.isdisjoint(set(result.unfinished_tasks))
+        assert completed | set(result.unfinished_tasks) == {t.name for t in tasks}
+
+
+class TestQueueingProperties:
+    @given(arrival=st.floats(min_value=1.0, max_value=200.0),
+           service=st.floats(min_value=1.0, max_value=100.0),
+           extra=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60)
+    def test_latency_bounded_below_by_service_time_and_decreasing_in_servers(
+            self, arrival, service, extra):
+        model = PowerLatencyModel(arrival_rate=arrival, service_rate=service)
+        servers = model.minimum_servers() + extra
+        latency = model.mean_latency(servers)
+        assert latency >= 1.0 / service - 1e-12
+        assert model.mean_latency(servers + 1) <= latency + 1e-12

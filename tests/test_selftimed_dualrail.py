@@ -1,0 +1,144 @@
+"""Tests for dual-rail encoding and completion detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.supply import ConstantSupply
+from repro.selftimed.completion import CompletionDetector, CompletionTreeModel
+from repro.selftimed.dualrail import (
+    DualRailSignal,
+    DualRailWord,
+    dual_rail_decode,
+    dual_rail_encode,
+)
+from repro.sim.simulator import Simulator
+
+
+class TestDualRailSignal:
+    def test_starts_empty(self):
+        signal = DualRailSignal("d")
+        assert signal.is_empty
+        assert not signal.is_valid
+        assert not signal.is_illegal
+
+    def test_drive_true_and_false(self):
+        signal = DualRailSignal("d")
+        signal.drive(True, 1.0)
+        assert signal.is_valid and signal.value() is True
+        signal.drive(None, 2.0)
+        assert signal.is_empty
+        signal.drive(False, 3.0)
+        assert signal.is_valid and signal.value() is False
+
+    def test_reading_an_empty_bit_raises(self):
+        from repro.errors import CompletionDetectionError
+        signal = DualRailSignal("d")
+        with pytest.raises(CompletionDetectionError):
+            signal.value()
+
+    def test_transition_count_tracks_rail_activity(self):
+        signal = DualRailSignal("d")
+        signal.drive(True, 1.0)
+        signal.drive(None, 2.0)
+        assert signal.transition_count() == 2
+
+
+class TestDualRailWord:
+    def test_drive_value_and_read_back(self):
+        word = DualRailWord("w", width=4)
+        word.drive_value(0b1010, 1.0)
+        assert word.is_valid
+        assert word.value() == 0b1010
+
+    def test_spacer_makes_word_empty(self):
+        word = DualRailWord("w", width=4)
+        word.drive_value(7, 1.0)
+        word.drive_value(None, 2.0)
+        assert word.is_empty
+        assert not word.is_valid
+
+    def test_all_rails_count(self):
+        word = DualRailWord("w", width=3)
+        assert len(word.all_rails()) == 6
+
+    def test_value_of_empty_word_raises(self):
+        from repro.errors import CompletionDetectionError
+        word = DualRailWord("w", width=2)
+        with pytest.raises(CompletionDetectionError):
+            word.value()
+
+
+class TestEncodeDecode:
+    def test_encode_width(self):
+        rails = dual_rail_encode(0b101, width=3)
+        assert len(rails) == 6
+
+    def test_round_trip_examples(self):
+        for value in (0, 1, 5, 10, 15):
+            rails = dual_rail_encode(value, width=4)
+            assert dual_rail_decode(rails) == value
+
+    @given(st.integers(min_value=0, max_value=2**8 - 1))
+    def test_round_trip_property(self, value):
+        assert dual_rail_decode(dual_rail_encode(value, width=8)) == value
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            dual_rail_encode(4, width=2)
+
+
+class TestCompletionDetector:
+    def test_done_rises_on_full_codeword_and_falls_on_spacer(self, tech):
+        sim = Simulator()
+        supply = ConstantSupply(1.0)
+        word = DualRailWord("w", width=4)
+        detector = CompletionDetector(sim, supply, tech, "cd", word)
+        word.drive_value(0b0110, 1e-9)
+        sim.run()
+        assert detector.done.value is True
+        word.drive_value(None, sim.now + 1e-9)
+        sim.run()
+        assert detector.done.value is False
+
+    def test_partial_word_does_not_complete(self, tech):
+        sim = Simulator()
+        supply = ConstantSupply(1.0)
+        word = DualRailWord("w", width=4)
+        detector = CompletionDetector(sim, supply, tech, "cd", word)
+        # Drive only two of the four bits.
+        word.bits[0].drive(True, 1e-9)
+        word.bits[1].drive(False, 1e-9)
+        sim.run()
+        assert detector.done.value is False
+
+    def test_detection_consumes_energy(self, tech):
+        sim = Simulator()
+        supply = ConstantSupply(1.0)
+        word = DualRailWord("w", width=8)
+        detector = CompletionDetector(sim, supply, tech, "cd", word)
+        word.drive_value(0xA5, 1e-9)
+        sim.run()
+        assert detector.energy_consumed() > 0
+
+
+class TestCompletionTreeModel:
+    def test_wider_words_need_more_gates_and_delay(self, tech):
+        narrow = CompletionTreeModel(technology=tech, bits=4)
+        wide = CompletionTreeModel(technology=tech, bits=32)
+        assert wide.gate_count > narrow.gate_count
+        assert wide.delay(0.5) > narrow.delay(0.5)
+
+    def test_delay_grows_as_vdd_drops(self, tech):
+        tree = CompletionTreeModel(technology=tech, bits=16)
+        assert tree.delay(0.25) > tree.delay(1.0)
+
+    def test_segmentation_reduces_delay(self, tech):
+        flat = CompletionTreeModel(technology=tech, bits=16)
+        segmented = CompletionTreeModel(technology=tech, bits=16, segment_size=4)
+        assert segmented.delay(0.3) <= flat.delay(0.3)
+
+    def test_energy_and_leakage_positive(self, tech):
+        tree = CompletionTreeModel(technology=tech, bits=16)
+        assert tree.energy(0.5) > 0
+        assert tree.leakage_power(0.5) > 0

@@ -1,0 +1,173 @@
+"""Tests for event-driven gates, inverters, delay lines and the C-element."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.capacitor import Capacitor
+from repro.power.supply import ConstantSupply, PiecewiseSupply
+from repro.selftimed.celement import CElement
+from repro.selftimed.gates import DelayLine, Inverter, LogicGate
+from repro.sim.probes import EnergyProbe
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+
+
+def make_env(vdd=1.0):
+    return Simulator(), ConstantSupply(vdd)
+
+
+class TestLogicGate:
+    def test_nand_truth_table(self, tech):
+        sim, supply = make_env()
+        a, b, y = Signal("a"), Signal("b"), Signal("y", initial=True)
+        LogicGate(sim, supply, tech, "nand", inputs=[a, b], output=y,
+                  function=lambda x, z: not (x and z))
+        sim.schedule_signal(a, True, 1e-9)
+        sim.schedule_signal(b, True, 2e-9)
+        sim.run()
+        assert y.value is False
+        sim.schedule_signal(b, False, 1e-9)
+        sim.run()
+        assert y.value is True
+
+    def test_output_change_takes_time(self, tech):
+        sim, supply = make_env()
+        a, y = Signal("a"), Signal("y", initial=True)
+        gate = Inverter(sim, supply, tech, "inv", input_signal=a, output=y)
+        sim.schedule_signal(a, True, 0.0)
+        sim.run()
+        assert y.value is False
+        # The output edge happened strictly after the input edge.
+        assert y.history[-1][0] > 0.0
+        assert gate.transition_count == 1
+
+    def test_gate_is_slower_at_low_vdd(self, tech):
+        latencies = {}
+        for vdd in (0.3, 1.0):
+            sim, supply = make_env(vdd)
+            a, y = Signal("a"), Signal("y", initial=True)
+            Inverter(sim, supply, tech, "inv", input_signal=a, output=y)
+            sim.schedule_signal(a, True, 0.0)
+            sim.run()
+            latencies[vdd] = y.history[-1][0]
+        assert latencies[0.3] > latencies[1.0]
+
+    def test_gate_bills_energy_to_supply_and_probe(self, tech):
+        sim, supply = make_env()
+        probe = EnergyProbe()
+        a, y = Signal("a"), Signal("y", initial=True)
+        gate = Inverter(sim, supply, tech, "inv", input_signal=a, output=y,
+                        energy_probe=probe)
+        sim.schedule_signal(a, True, 0.0)
+        sim.run()
+        assert gate.energy_consumed > 0
+        assert supply.energy_delivered == pytest.approx(gate.energy_consumed)
+        assert probe.total == pytest.approx(gate.energy_consumed)
+
+    def test_glitch_is_filtered_inertially(self, tech):
+        sim, supply = make_env()
+        a, y = Signal("a"), Signal("y", initial=True)
+        gate = Inverter(sim, supply, tech, "inv", input_signal=a, output=y)
+        # Pulse far narrower than the gate delay: output must not move.
+        sim.schedule_signal(a, True, 0.0)
+        sim.schedule_signal(a, False, 1e-15)
+        sim.run()
+        assert y.value is True
+        assert gate.transition_count == 0
+
+    def test_stall_below_functional_minimum_and_retry(self, tech):
+        sim = Simulator()
+        # Supply starts dead and recovers after 1 us.
+        supply = PiecewiseSupply([(0.0, 0.05), (1e-6, 1.0)])
+        a, y = Signal("a"), Signal("y", initial=True)
+        gate = Inverter(sim, supply, tech, "inv", input_signal=a, output=y)
+        sim.schedule_signal(a, True, 0.0)
+        sim.run()
+        assert gate.stalled
+        assert y.value is True
+        sim.advance_to(2e-6)
+        gate.retry()
+        sim.run()
+        assert y.value is False
+
+    def test_requires_at_least_one_input(self, tech):
+        sim, supply = make_env()
+        with pytest.raises(ConfigurationError):
+            LogicGate(sim, supply, tech, "bad", inputs=[],
+                      output=Signal("y"), function=lambda: True)
+
+
+class TestCElement:
+    def test_output_moves_only_on_consensus(self, tech):
+        sim, supply = make_env()
+        a, b, y = Signal("a"), Signal("b"), Signal("y")
+        CElement(sim, supply, tech, "c", inputs=[a, b], output=y)
+        sim.schedule_signal(a, True, 1e-9)
+        sim.run()
+        assert y.value is False           # only one input high
+        sim.schedule_signal(b, True, 1e-9)
+        sim.run()
+        assert y.value is True            # consensus high
+        sim.schedule_signal(a, False, 1e-9)
+        sim.run()
+        assert y.value is True            # holds state
+        sim.schedule_signal(b, False, 1e-9)
+        sim.run()
+        assert y.value is False           # consensus low
+
+    def test_inverted_input(self, tech):
+        sim, supply = make_env()
+        a, b, y = Signal("a"), Signal("b", initial=True), Signal("y")
+        CElement(sim, supply, tech, "c", inputs=[a, b], output=y,
+                 inverted_inputs=[False, True])
+        # With b inverted, (a=1, b=0) is consensus high.
+        sim.schedule_signal(b, False, 1e-9)
+        sim.schedule_signal(a, True, 1e-9)
+        sim.run()
+        assert y.value is True
+
+    def test_force_sets_output_immediately(self, tech):
+        sim, supply = make_env()
+        a, b, y = Signal("a"), Signal("b"), Signal("y")
+        c = CElement(sim, supply, tech, "c", inputs=[a, b], output=y)
+        c.force(True)
+        assert y.value is True
+
+
+class TestDelayLine:
+    def test_total_delay_scales_with_stage_count(self, tech):
+        results = {}
+        for stages in (4, 16):
+            sim, supply = make_env()
+            a = Signal("a")
+            line = DelayLine(sim, supply, tech, f"dl{stages}", input_signal=a,
+                             stages=stages)
+            sim.schedule_signal(a, True, 0.0)
+            sim.run()
+            results[stages] = line.output.history[-1][0]
+        assert results[16] > 3 * results[4]
+
+    def test_event_delay_matches_nominal_estimate(self, tech):
+        sim, supply = make_env(0.8)
+        a = Signal("a")
+        line = DelayLine(sim, supply, tech, "dl", input_signal=a, stages=10)
+        sim.schedule_signal(a, True, 0.0)
+        sim.run()
+        measured = line.output.history[-1][0]
+        assert measured == pytest.approx(line.nominal_delay(0.8), rel=0.05)
+
+    def test_stages_passed_thermometer(self, tech):
+        sim = Simulator()
+        # Power the line from a tiny capacitor so it stops part-way through.
+        cap = Capacitor(capacitance=2e-15, initial_voltage=0.6,
+                        min_operating_voltage=0.15)
+        a = Signal("a")
+        line = DelayLine(sim, cap, tech, "dl", input_signal=a, stages=64)
+        sim.schedule_signal(a, True, 0.0)
+        sim.run()
+        assert 0 < line.stages_passed() < 64
+
+    def test_rejects_zero_stages(self, tech):
+        sim, supply = make_env()
+        with pytest.raises(ConfigurationError):
+            DelayLine(sim, supply, tech, "dl", input_signal=Signal("a"), stages=0)

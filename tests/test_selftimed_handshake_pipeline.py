@@ -1,0 +1,205 @@
+"""Tests for handshake channels, bundled-data stages, pipelines and the synchronizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.power.supply import ConstantSupply
+from repro.selftimed.bundled import BundledDataStage, MatchedDelayLine, TimingViolation
+from repro.selftimed.handshake import HandshakeChannel, HandshakePhase
+from repro.selftimed.pipeline import AsyncPipeline, PipelineStage
+from repro.selftimed.synchronizer import RobustSynchronizer
+from repro.sim.simulator import Simulator
+
+
+class TestHandshakeChannel:
+    def test_four_phase_cycle(self):
+        sim = Simulator()
+        channel = HandshakeChannel(sim, "ch")
+        assert channel.phase is HandshakePhase.IDLE
+        channel.request(1e-9)
+        sim.run()
+        assert channel.phase is HandshakePhase.REQUESTED
+        channel.acknowledge(1e-9)
+        sim.run()
+        assert channel.phase is HandshakePhase.ACKNOWLEDGED
+        channel.release(1e-9)
+        sim.run()
+        assert channel.phase is HandshakePhase.RELEASING
+        channel.withdraw(1e-9)
+        sim.run()
+        assert channel.phase is HandshakePhase.IDLE
+        assert channel.cycles_completed == 1
+        assert channel.average_cycle_time() == pytest.approx(3e-9, rel=0.01)
+
+    def test_protocol_violation_detected(self):
+        sim = Simulator()
+        channel = HandshakeChannel(sim, "ch")
+        channel.acknowledge(1e-9)   # ack without req
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_release_before_ack_is_a_violation(self):
+        sim = Simulator()
+        channel = HandshakeChannel(sim, "ch")
+        channel.request(1e-9)
+        sim.run()
+        channel.release(1e-9)
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_callbacks_fire_in_order(self):
+        sim = Simulator()
+        channel = HandshakeChannel(sim, "ch")
+        order = []
+        channel.on_request(lambda t: order.append("req"))
+        channel.on_acknowledge(lambda t: order.append("ack"))
+        channel.on_release(lambda t: order.append("rel"))
+        channel.on_withdraw(lambda t: order.append("wd"))
+        channel.request(1e-9)
+        sim.run()
+        channel.acknowledge(1e-9)
+        sim.run()
+        channel.release(1e-9)
+        sim.run()
+        channel.withdraw(1e-9)
+        sim.run()
+        assert order == ["req", "ack", "rel", "wd"]
+
+
+class TestMatchedDelayLine:
+    def test_margin_applied_at_calibration_voltage(self, tech):
+        line = MatchedDelayLine(technology=tech, target_delay=1e-9,
+                                calibration_vdd=1.0, margin=1.5)
+        assert line.delay(1.0) >= 1.4e-9
+        assert line.stages >= 2
+
+    def test_delay_grows_at_low_vdd(self, tech):
+        line = MatchedDelayLine(technology=tech, target_delay=1e-9,
+                                calibration_vdd=1.0)
+        assert line.delay(0.3) > line.delay(1.0)
+
+    def test_energy_positive(self, tech):
+        line = MatchedDelayLine(technology=tech, target_delay=1e-9,
+                                calibration_vdd=1.0)
+        assert line.energy(1.0) > 0
+
+
+class TestBundledDataStage:
+    def test_functional_at_nominal_but_not_subthreshold(self, tech):
+        stage = BundledDataStage(technology=tech)
+        assert stage.is_functional(1.0)
+        assert not stage.is_functional(0.2)
+        floor = stage.minimum_operating_voltage()
+        assert 0.2 < floor < 1.0
+
+    def test_timing_margin_shrinks_with_vdd(self, tech):
+        stage = BundledDataStage(technology=tech)
+        assert stage.timing_margin(0.4) < stage.timing_margin(1.0)
+
+    def test_cycle_time_raises_below_floor_when_checked(self, tech):
+        stage = BundledDataStage(technology=tech)
+        low = stage.minimum_operating_voltage() - 0.05
+        with pytest.raises(TimingViolation):
+            stage.cycle_time(low)
+        # Unchecked query still returns a number (for plotting the fault region).
+        assert stage.cycle_time(low, check=False) > 0
+
+    def test_energy_cheaper_than_speed_independent_design(self, tech):
+        from repro.core.design_styles import SpeedIndependentDesign
+        stage = BundledDataStage(technology=tech, logic_depth=10,
+                                 datapath_width=16)
+        si = SpeedIndependentDesign(tech, logic_depth=10, datapath_width=16)
+        assert stage.energy_per_operation(1.0) < si.energy_per_operation(1.0)
+
+
+class TestAsyncPipeline:
+    def make_pipeline(self, tech, vdd=1.0, stages=3):
+        sim = Simulator()
+        supply = ConstantSupply(vdd)
+        stage_objects = [
+            PipelineStage(
+                sim, supply, tech, f"s{i}",
+                delay_model=lambda v: 1e-9 / max(v, 0.1),
+                energy_model=lambda v: 1e-14 * v * v,
+            )
+            for i in range(stages)
+        ]
+        return sim, AsyncPipeline(sim, stage_objects)
+
+    def test_all_tokens_flow_through(self, tech):
+        sim, pipeline = self.make_pipeline(tech)
+        pipeline.inject(10, interval=0.5e-9)
+        sim.run()
+        assert pipeline.tokens_completed == 10
+        assert pipeline.throughput() > 0
+        assert pipeline.energy_per_token() > 0
+
+    def test_total_energy_sums_stage_energy(self, tech):
+        sim, pipeline = self.make_pipeline(tech)
+        pipeline.inject(5)
+        sim.run()
+        assert pipeline.total_energy() == pytest.approx(
+            sum(s.energy_consumed for s in pipeline.stages))
+        assert all(s.tokens_processed == 5 for s in pipeline.stages)
+
+    def test_empty_pipeline_rejected(self, tech):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            AsyncPipeline(sim, [])
+
+    def test_non_functional_stage_delays_but_does_not_lose_tokens(self, tech):
+        sim = Simulator()
+        supply = ConstantSupply(1.0)
+        stage = PipelineStage(
+            sim, supply, tech, "gated",
+            delay_model=lambda v: 1e-9,
+            energy_model=lambda v: 1e-14,
+            functional_model=lambda v: sim.now > 1e-6,
+            retry_interval=100e-9,
+        )
+        pipeline = AsyncPipeline(sim, [stage])
+        pipeline.inject(3, interval=1e-9)
+        sim.run()
+        assert pipeline.tokens_completed == 3
+        assert stage.stall_count > 0
+
+
+class TestRobustSynchronizer:
+    F_CLK = 100e6
+    F_DATA = 10e6
+
+    def test_mtbf_improves_with_settling_time(self, tech):
+        sync = RobustSynchronizer(technology=tech)
+        tau = sync.tau(0.5)
+        assert (sync.mtbf(10 * tau, 0.5, self.F_CLK, self.F_DATA)
+                > sync.mtbf(5 * tau, 0.5, self.F_CLK, self.F_DATA))
+
+    def test_robust_variant_beats_plain_at_low_vdd(self, tech):
+        robust = RobustSynchronizer(technology=tech, robust=True)
+        plain = RobustSynchronizer(technology=tech, robust=False)
+        assert robust.tau(0.3) <= plain.tau(0.3)
+        assert (robust.mtbf(1e-9, 0.3, self.F_CLK, self.F_DATA)
+                >= plain.mtbf(1e-9, 0.3, self.F_CLK, self.F_DATA))
+
+    def test_required_settling_time_meets_target(self, tech):
+        sync = RobustSynchronizer(technology=tech)
+        target = 3.15e7  # one year in seconds
+        settle = sync.required_settling_time(target, 0.5, self.F_CLK, self.F_DATA)
+        assert (sync.mtbf(settle, 0.5, self.F_CLK, self.F_DATA)
+                >= target * 0.99)
+
+    def test_failure_probability_in_unit_interval(self, tech):
+        sync = RobustSynchronizer(technology=tech)
+        p = sync.failure_probability(1e-9, 0.5)
+        assert 0.0 <= p <= 1.0
+
+    def test_sampled_settling_times_reproducible_with_seed(self, tech):
+        a = RobustSynchronizer(technology=tech, seed=9)
+        b = RobustSynchronizer(technology=tech, seed=9)
+        assert [a.sample_settling_time(0.5) for _ in range(5)] == \
+               [b.sample_settling_time(0.5) for _ in range(5)]
+
+    def test_synchronization_latency_scales_with_stages(self, tech):
+        sync = RobustSynchronizer(technology=tech)
+        assert sync.synchronization_latency(0.5, stages=3) > \
+            sync.synchronization_latency(0.5, stages=2)

@@ -1,0 +1,172 @@
+"""Tests for the three voltage-sensing styles and the calibration machinery."""
+
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError, SensorError
+from repro.power.supply import ConstantSupply
+from repro.sensors.calibration import CalibrationTable, build_calibration
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.sensors.reference_free import ReferenceFreeVoltageSensor
+from repro.sensors.ring_oscillator import RingOscillatorSensor
+from repro.analysis.metrics import monotonicity_violations
+
+
+class TestCalibrationTable:
+    def test_voltage_for_code_interpolates(self):
+        table = CalibrationTable(points=[(10.0, 0.2), (20.0, 0.4), (30.0, 0.6)])
+        assert table.voltage_for_code(15.0) == pytest.approx(0.3)
+        assert table.voltage_for_code(30.0) == pytest.approx(0.6)
+
+    def test_code_for_voltage_is_the_inverse(self):
+        table = CalibrationTable(points=[(10.0, 0.2), (30.0, 0.6)])
+        assert table.code_for_voltage(0.4) == pytest.approx(20.0)
+
+    def test_resolution_reported_in_volts_per_code(self):
+        table = CalibrationTable(points=[(0.0, 0.2), (100.0, 1.2)])
+        assert table.resolution_at(0.5) == pytest.approx(0.01)
+        assert table.worst_resolution() >= table.resolution_at(0.5) - 1e-12
+
+    def test_ranges(self):
+        table = CalibrationTable(points=[(5.0, 0.2), (50.0, 1.0)])
+        assert table.code_range == (5.0, 50.0)
+        assert table.voltage_range == (0.2, 1.0)
+
+    def test_build_calibration_from_measurement_function(self):
+        table = build_calibration(lambda v: 100.0 * v, [0.2, 0.4, 0.6, 0.8, 1.0])
+        assert table.voltage_for_code(50.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_degenerate_calibration_rejected(self):
+        with pytest.raises((CalibrationError, ConfigurationError)):
+            CalibrationTable(points=[(1.0, 0.5)])
+
+
+class TestRingOscillatorSensor:
+    def test_frequency_increases_with_vdd(self, tech):
+        sensor = RingOscillatorSensor(technology=tech)
+        assert sensor.frequency(1.0) > sensor.frequency(0.5) > sensor.frequency(0.3)
+
+    def test_raw_code_counts_cycles_in_the_window(self, tech):
+        sensor = RingOscillatorSensor(technology=tech, measurement_window=1e-6)
+        code = sensor.raw_code(0.8)
+        assert code == pytest.approx(sensor.frequency(0.8) * 1e-6, rel=0.01)
+
+    def test_calibrated_measurement_recovers_voltage(self, tech):
+        sensor = RingOscillatorSensor(technology=tech)
+        sensor.calibrate([0.2 + 0.05 * i for i in range(17)])
+        for vdd in (0.3, 0.55, 0.9):
+            assert sensor.measure(vdd) == pytest.approx(vdd, abs=0.02)
+
+    def test_reference_error_degrades_accuracy(self, tech):
+        """This baseline *needs* a time reference; the paper's sensors do not."""
+        good = RingOscillatorSensor(technology=tech, reference_error=0.0)
+        bad = RingOscillatorSensor(technology=tech, reference_error=0.1)
+        voltages = [0.2 + 0.05 * i for i in range(17)]
+        good.calibrate(voltages)
+        bad.calibrate(voltages)
+        assert bad.measurement_error(0.6) >= good.measurement_error(0.6)
+
+    def test_energy_per_measurement_positive(self, tech):
+        sensor = RingOscillatorSensor(technology=tech)
+        assert sensor.energy_per_measurement(0.5) > 0
+
+
+class TestChargeToDigitalConverter:
+    @pytest.fixture(scope="class")
+    def converter(self, tech):
+        return ChargeToDigitalConverter(technology=tech,
+                                        sampling_capacitance=30e-12)
+
+    def test_conversion_produces_a_count_and_drains_the_cap(self, converter, tech):
+        result = converter.convert(ConstantSupply(0.8))
+        assert result.sampled_voltage == pytest.approx(0.8, rel=1e-3)
+        assert result.count > 0
+        assert result.final_voltage <= 2 * tech.vdd_min
+        assert result.energy_consumed > 0
+        assert result.conversion_time > 0
+
+    def test_count_monotone_in_sampled_voltage(self, converter):
+        """Fig. 11: the code grows with the initial capacitor voltage."""
+        counts = [converter.convert(ConstantSupply(v)).count
+                  for v in (0.3, 0.5, 0.7, 0.9)]
+        assert monotonicity_violations(counts) == 0
+        assert counts[-1] > counts[0]
+
+    def test_zero_input_gives_zero_count(self, converter, tech):
+        result = converter.convert(ConstantSupply(tech.vdd_min * 0.5))
+        assert result.count == 0
+
+    def test_predicted_count_tracks_simulation(self, converter):
+        simulated = converter.convert(ConstantSupply(0.6)).count
+        predicted = converter.predicted_count(0.6)
+        assert predicted == pytest.approx(simulated, rel=0.25)
+
+    def test_charge_per_count_roughly_constant(self, converter):
+        """The paper's 'strong proportionality between charge and counts'."""
+        r1 = converter.convert(ConstantSupply(0.5))
+        r2 = converter.convert(ConstantSupply(1.0))
+        assert r2.charge_consumed > r1.charge_consumed
+        assert r1.charge_per_count == pytest.approx(r2.charge_per_count, rel=0.35)
+
+    def test_larger_capacitor_gives_finer_codes(self, tech):
+        small = ChargeToDigitalConverter(technology=tech, sampling_capacitance=10e-12)
+        large = ChargeToDigitalConverter(technology=tech, sampling_capacitance=60e-12)
+        assert (large.convert(ConstantSupply(0.8)).count
+                > small.convert(ConstantSupply(0.8)).count)
+
+    def test_measure_requires_calibration(self, tech):
+        sensor = ChargeToDigitalConverter(technology=tech)
+        with pytest.raises(SensorError):
+            sensor.measure(ConstantSupply(0.5))
+
+    def test_calibrated_measurement_recovers_voltage(self, tech):
+        sensor = ChargeToDigitalConverter(technology=tech)
+        sensor.calibrate([0.3 + 0.1 * i for i in range(8)], use_simulation=True)
+        assert sensor.measure(ConstantSupply(0.65)) == pytest.approx(0.65, abs=0.03)
+
+    def test_energy_per_conversion_is_small(self, converter):
+        # Only the sampling charge is taken from the measured node.
+        assert converter.energy_per_conversion(1.0) < 100e-12
+
+
+class TestReferenceFreeVoltageSensor:
+    @pytest.fixture(scope="class")
+    def sensor(self, tech):
+        return ReferenceFreeVoltageSensor(technology=tech)
+
+    def test_code_decreases_as_vdd_rises(self, sensor):
+        """The SRAM catches up with the inverter ruler at high Vdd (Fig. 12)."""
+        codes = [sensor.raw_code(v) for v in (0.25, 0.4, 0.6, 0.8, 1.0)]
+        assert monotonicity_violations(list(reversed(codes))) == 0
+        assert codes[0] > codes[-1]
+
+    def test_race_reports_delays_and_code(self, sensor):
+        result = sensor.race(0.5)
+        assert result.sram_delay > 0
+        assert result.ruler_stage_delay > 0
+        assert result.thermometer_code > 0
+        assert len(result.thermometer_bits(result.thermometer_code + 2)) == \
+            result.thermometer_code + 2
+
+    def test_below_functional_minimum_rejected(self, sensor, tech):
+        with pytest.raises(SensorError):
+            sensor.race(tech.vdd_min * 0.5)
+
+    def test_paper_accuracy_10mv_over_operating_range(self, sensor):
+        """Paper: 0.2-1 V range with ~10 mV accuracy, no analog references."""
+        calibration_points = [0.2 + 0.01 * i for i in range(81)]
+        sensor.calibrate(calibration_points)
+        probe_points = [0.225 + 0.05 * i for i in range(15)]
+        assert sensor.worst_case_accuracy(probe_points) <= 0.010 + 1e-9
+
+    def test_measure_requires_calibration(self, tech):
+        fresh = ReferenceFreeVoltageSensor(technology=tech)
+        with pytest.raises(SensorError):
+            fresh.measure(0.5)
+
+    def test_energy_per_measurement_positive(self, sensor):
+        assert sensor.energy_per_measurement(0.5) > 0
+
+    def test_operating_range_spans_the_paper_window(self, sensor):
+        low, high = sensor.operating_range()
+        assert low <= 0.25
+        assert high >= 0.9

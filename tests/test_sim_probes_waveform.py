@@ -1,0 +1,132 @@
+"""Tests for energy/activity probes and the waveform recorder."""
+
+import pytest
+
+from repro.sim.probes import ActivityProbe, EnergyProbe, proportionality_report
+from repro.sim.signals import Signal
+from repro.sim.waveform import AnalogTrace, WaveformRecorder
+
+
+class TestEnergyProbe:
+    def test_total_accumulates(self):
+        probe = EnergyProbe()
+        probe.record(1e-12, 1.0, label="switch")
+        probe.record(2e-12, 2.0, label="leak")
+        assert probe.total == pytest.approx(3e-12)
+
+    def test_by_label_partitions_energy(self):
+        probe = EnergyProbe()
+        probe.record(1e-12, 1.0, label="a")
+        probe.record(2e-12, 2.0, label="a")
+        probe.record(5e-12, 3.0, label="b")
+        by_label = probe.by_label()
+        assert by_label["a"] == pytest.approx(3e-12)
+        assert by_label["b"] == pytest.approx(5e-12)
+
+    def test_energy_between_window(self):
+        probe = EnergyProbe()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            probe.record(1e-12, t)
+        assert probe.energy_between(1.5, 3.5) == pytest.approx(2e-12)
+
+    def test_average_power(self):
+        probe = EnergyProbe()
+        probe.record(4e-12, 1.0)
+        assert probe.average_power(0.0, 2.0) == pytest.approx(2e-12)
+
+    def test_reset(self):
+        probe = EnergyProbe()
+        probe.record(1e-12, 1.0)
+        probe.reset()
+        assert probe.total == 0.0
+
+    def test_power_series_has_expected_length(self):
+        probe = EnergyProbe()
+        for t in range(10):
+            probe.record(1e-12, float(t))
+        series = probe.power_series(window=2.0, start=0.0, end=10.0)
+        assert len(series) == 5
+
+
+class TestActivityProbe:
+    def test_counts_watched_signal_transitions(self):
+        probe = ActivityProbe()
+        s = Signal("s")
+        probe.watch(s)
+        s.set(True, 1.0)
+        s.set(False, 2.0)
+        assert probe.count == 2
+
+    def test_count_between(self):
+        probe = ActivityProbe()
+        s = Signal("s")
+        probe.watch(s)
+        for i in range(1, 6):
+            s.set(i % 2 == 1, float(i))
+        assert probe.count_between(1.5, 4.5) == 3
+
+    def test_rate(self):
+        probe = ActivityProbe()
+        s = Signal("s")
+        probe.watch(s)
+        s.set(True, 1.0)
+        s.set(False, 2.0)
+        assert probe.rate(0.0, 4.0) == pytest.approx(0.5)
+
+    def test_proportionality_report_combines_probes(self):
+        energy = EnergyProbe()
+        activity = ActivityProbe()
+        s = Signal("s")
+        activity.watch(s)
+        s.set(True, 1.0)
+        s.set(False, 2.0)
+        energy.record(2e-12, 1.0, label="switching")
+        energy.record(1e-12, 2.0, label="leakage")
+        report = proportionality_report(energy, activity)
+        assert report.activity == 2
+        assert report.energy == pytest.approx(3e-12)
+        assert report.energy_per_transition == pytest.approx(1.5e-12)
+        assert 0.0 < report.idle_energy_fraction < 1.0
+
+
+class TestWaveformRecorder:
+    def test_records_signals_and_end_time(self):
+        recorder = WaveformRecorder()
+        a = recorder.add_signal(Signal("a"))
+        b = recorder.add_signal(Signal("b"))
+        a.set(True, 1.0)
+        b.set(True, 3.0)
+        assert set(recorder.digital_series()) == {"a", "b"}
+        assert recorder.end_time() == pytest.approx(3.0)
+
+    def test_analog_trace_append_and_lookup(self):
+        trace = AnalogTrace("vdd")
+        trace.append(0.0, 1.0)
+        trace.append(1.0, 0.5)
+        assert trace.value_at(0.5) == pytest.approx(1.0)
+        assert trace.minimum() == 0.5
+        assert trace.maximum() == 1.0
+
+    def test_recorder_analog_channel(self):
+        recorder = WaveformRecorder()
+        vdd = recorder.analog("vdd")
+        vdd.append(0.0, 0.2)
+        vdd.append(1e-6, 0.3)
+        assert "vdd" in recorder.analog_traces
+        assert recorder.analog("vdd") is vdd
+
+    def test_sample_grid_shape(self):
+        recorder = WaveformRecorder()
+        s = recorder.add_signal(Signal("s"))
+        s.set(True, 1.0)
+        s.set(False, 2.0)
+        grid = recorder.sample_grid(points=10)
+        assert len(grid["time"]) == 10
+        assert len(grid["s"]) == 10
+
+    def test_render_ascii_mentions_signals(self):
+        recorder = WaveformRecorder()
+        s = recorder.add_signal(Signal("req"))
+        s.set(True, 1.0)
+        text = recorder.render_ascii(width=40)
+        assert "req" in text

@@ -1,0 +1,112 @@
+"""Tests for signals, nets and vector helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.signals import Net, Signal, thermometer_value, vector_value
+
+
+class TestSignal:
+    def test_initial_value_and_history(self):
+        s = Signal("s", initial=True)
+        assert s.value is True
+        assert s.history == [(0.0, True)]
+
+    def test_set_returns_true_only_on_change(self):
+        s = Signal("s")
+        assert s.set(True, 1.0) is True
+        assert s.set(True, 2.0) is False
+        assert s.transition_count == 1
+
+    def test_listeners_called_with_signal_value_time(self):
+        s = Signal("s")
+        seen = []
+        s.subscribe(lambda sig, value, time: seen.append((sig.name, value, time)))
+        s.set(True, 3.0)
+        assert seen == [("s", True, 3.0)]
+
+    def test_unsubscribe_stops_notifications(self):
+        s = Signal("s")
+        seen = []
+        listener = lambda sig, v, t: seen.append(v)
+        s.subscribe(listener)
+        s.unsubscribe(listener)
+        s.set(True, 1.0)
+        assert seen == []
+
+    def test_backwards_time_rejected(self):
+        s = Signal("s")
+        s.set(True, 5.0)
+        with pytest.raises(SimulationError):
+            s.set(False, 1.0)
+
+    def test_value_at_and_edges(self):
+        s = Signal("s")
+        s.set(True, 1.0)
+        s.set(False, 2.0)
+        s.set(True, 3.0)
+        assert s.value_at(0.5) is False
+        assert s.value_at(1.5) is True
+        assert s.edges(rising=True) == [1.0, 3.0]
+        assert s.edges(rising=False) == [2.0]
+        assert s.pulse_count() == 1
+
+    def test_unrecorded_signal_refuses_history_queries(self):
+        s = Signal("s", record=False)
+        s.set(True, 1.0)
+        with pytest.raises(SimulationError):
+            s.value_at(0.5)
+
+
+class TestNet:
+    def test_initial_value_encoding(self):
+        net = Net("bus", width=4, initial=0b1010)
+        assert net.value == 0b1010
+        assert net.as_bools() == [False, True, False, True]
+
+    def test_set_value_round_trips(self):
+        net = Net("bus", width=8)
+        net.set_value(0xA5, 1.0)
+        assert net.value == 0xA5
+
+    def test_set_value_range_check(self):
+        net = Net("bus", width=4)
+        with pytest.raises(SimulationError):
+            net.set_value(16, 1.0)
+
+    def test_transition_count_counts_changed_bits(self):
+        net = Net("bus", width=4, initial=0)
+        net.set_value(0b0011, 1.0)
+        assert net.transition_count() == 2
+
+    def test_width_validation(self):
+        with pytest.raises(SimulationError):
+            Net("bus", width=0)
+
+    def test_indexing_and_iteration(self):
+        net = Net("bus", width=3)
+        assert len(net) == 3
+        assert net[0].name == "bus[0]"
+        assert [bit.name for bit in net] == ["bus[0]", "bus[1]", "bus[2]"]
+
+
+class TestVectorHelpers:
+    def test_vector_value(self):
+        bits = [Signal("b0", initial=True), Signal("b1"), Signal("b2", initial=True)]
+        assert vector_value(bits) == 0b101
+
+    def test_thermometer_value_counts_leading_ones(self):
+        bits = [Signal("t0", initial=True), Signal("t1", initial=True),
+                Signal("t2"), Signal("t3", initial=True)]
+        assert thermometer_value(bits) == 2
+
+    def test_thermometer_all_zero(self):
+        assert thermometer_value([Signal("a"), Signal("b")]) == 0
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_net_value_round_trip_property(self, value):
+        net = Net("bus", width=8)
+        net.set_value(value, 1.0)
+        assert net.value == value
+        assert vector_value(net.bits) == value

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SchedulingError, SimulationError
+from repro.sim.signals import Signal
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_schedule_and_run_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+        assert sim.fired_events == 2
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_signal_drives_value(self):
+        sim = Simulator()
+        s = Signal("s")
+        sim.schedule_signal(s, True, 3.0)
+        sim.run()
+        assert s.value is True
+        assert s.history[-1] == (3.0, True)
+
+    def test_events_scheduled_during_run_are_executed(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(1.0, lambda: seen.append("chained"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "chained"]
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestRunControl:
+    def test_run_until_leaves_later_events_pending(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(2))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_until_in_past_rejected(self):
+        sim = Simulator()
+        sim.advance_to(4.0)
+        with pytest.raises(SchedulingError):
+            sim.run(until=1.0)
+
+    def test_stop_halts_the_loop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        assert sim.stopped
+        assert sim.pending_events == 1
+
+    def test_step_requires_pending_events(self):
+        sim = Simulator()
+        with pytest.raises(DeadlockError):
+            sim.step()
+
+    def test_step_fires_exactly_one(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        event = sim.step()
+        assert seen == ["a"]
+        assert event.time == 1.0
+
+    def test_run_until_idle_raises_on_leftover_events(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        with pytest.raises(DeadlockError):
+            sim.run_until_idle(max_time=1.0)
+
+    def test_max_events_watchdog(self):
+        sim = Simulator(max_events=10)
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestHooks:
+    def test_idle_hook_runs_when_queue_drains(self):
+        sim = Simulator()
+        idle_times = []
+        sim.call_when_idle(idle_times.append)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert idle_times == [2.0]
+
+    def test_trace_callback_sees_every_event(self):
+        traced = []
+        sim = Simulator(trace=lambda event: traced.append(event.label))
+        sim.schedule(1.0, lambda: None, label="x")
+        sim.schedule(2.0, lambda: None, label="y")
+        sim.run()
+        assert traced == ["x", "y"]

@@ -1,0 +1,157 @@
+"""Tests for SRAM cells, bit lines and peripheral blocks."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RetentionError
+from repro.models.delay import InverterChain
+from repro.sram.bitline import BitlineModel, calibrate_bitline_to_fig5
+from repro.sram.cell import CellType, SRAMCell
+from repro.sram.completion import ColumnCompletionDetector
+from repro.sram.decoder import AddressDecoder
+from repro.sram.precharge import PrechargeUnit
+from repro.sram.sense import ReadBuffer
+from repro.sram.write_driver import WriteDriver
+
+
+class TestSRAMCell:
+    def test_write_then_read(self, tech):
+        cell = SRAMCell(tech)
+        cell.write(True, 1.0)
+        assert cell.read(1.0) is True
+        cell.write(False, 0.4)
+        assert cell.read(0.4) is False
+
+    def test_unwritten_cell_value_is_unknown(self, tech):
+        cell = SRAMCell(tech)
+        assert cell.value is None
+
+    def test_retention_lost_below_retention_voltage(self, tech):
+        cell = SRAMCell(tech, retention_voltage=0.15)
+        cell.write(True, 1.0)
+        cell.power_glitch(0.05)
+        assert cell.value is None or isinstance(cell.value, bool)
+        # Reading after a destructive glitch must not silently return the old data.
+        try:
+            result = cell.read(1.0)
+        except RetentionError:
+            return
+        assert result in (True, False)
+
+    def test_write_time_longer_at_low_vdd(self, tech):
+        cell = SRAMCell(tech)
+        assert cell.write_time(0.3) > cell.write_time(1.0)
+
+    def test_read_current_higher_at_high_vdd(self, tech):
+        cell = SRAMCell(tech)
+        assert cell.read_current(1.0) > cell.read_current(0.4) > 0
+
+    def test_8t_cell_leaks_less_than_6t(self, tech):
+        six = SRAMCell(tech, cell_type=CellType.SIX_T)
+        eight = SRAMCell(tech, cell_type=CellType.EIGHT_T)
+        assert eight.leakage_power(1.0) < six.leakage_power(1.0)
+        assert CellType.EIGHT_T.transistors == 8
+        assert CellType.SIX_T.transistors == 6
+
+    def test_cell_types_have_area_ordering(self):
+        assert CellType.EIGHT_T.area_factor > CellType.SIX_T.area_factor
+
+
+class TestBitlineModel:
+    def test_read_delay_grows_with_rows(self, tech):
+        small = BitlineModel(technology=tech, rows=16)
+        large = BitlineModel(technology=tech, rows=256)
+        assert large.read_delay(0.5) > small.read_delay(0.5)
+
+    def test_mismatch_ratio_grows_as_vdd_falls(self, tech):
+        """The core Fig. 5 phenomenon: SRAM scales worse than logic."""
+        bitline = BitlineModel(technology=tech, rows=64)
+        assert bitline.mismatch_ratio(0.19) > bitline.mismatch_ratio(0.5) > 1.0
+
+    def test_fig5_calibration_hits_anchor_points(self, tech):
+        bitline = calibrate_bitline_to_fig5(tech)
+        assert bitline.read_delay_in_inverters(1.0) == pytest.approx(50.0, rel=0.1)
+        assert bitline.read_delay_in_inverters(0.19) == pytest.approx(158.0, rel=0.1)
+
+    def test_read_delay_in_inverters_consistent_with_ruler(self, tech):
+        bitline = calibrate_bitline_to_fig5(tech)
+        ruler = InverterChain(technology=tech, stages=1)
+        expected = bitline.read_delay(0.7) / ruler.stage_delay(0.7)
+        assert bitline.read_delay_in_inverters(0.7) == pytest.approx(expected, rel=0.05)
+
+    def test_energies_positive_and_ordered(self, tech):
+        bitline = BitlineModel(technology=tech, rows=64)
+        assert bitline.precharge_energy(1.0) > 0
+        assert bitline.read_energy(1.0) > bitline.read_energy(0.4) > 0
+        assert bitline.write_energy(1.0) > 0
+
+    def test_leakage_positive(self, tech):
+        bitline = BitlineModel(technology=tech, rows=64)
+        assert bitline.leakage_power(1.0) > 0
+
+
+class TestPeriphery:
+    def test_decoder_delay_and_energy_scale_with_rows(self, tech):
+        small = AddressDecoder(technology=tech, rows=16)
+        large = AddressDecoder(technology=tech, rows=256)
+        assert small.address_bits == 4
+        assert large.address_bits == 8
+        assert large.delay(0.5) > small.delay(0.5)
+        assert large.energy(0.5) > small.energy(0.5)
+
+    def test_decoder_address_check(self, tech):
+        decoder = AddressDecoder(technology=tech, rows=64)
+        decoder.check_address(0)
+        decoder.check_address(63)
+        with pytest.raises(Exception):
+            decoder.check_address(64)
+
+    def test_precharge_faster_with_stronger_driver(self, tech):
+        bitline = BitlineModel(technology=tech, rows=64)
+        weak = PrechargeUnit(technology=tech, bitline=bitline, drive_strength=1.0)
+        strong = PrechargeUnit(technology=tech, bitline=bitline, drive_strength=8.0)
+        assert strong.delay(0.5) < weak.delay(0.5)
+
+    def test_write_driver_delay_includes_cell_write_time(self, tech):
+        bitline = BitlineModel(technology=tech, rows=64)
+        driver = WriteDriver(technology=tech, bitline=bitline)
+        cell = SRAMCell(tech)
+        assert driver.write_delay(0.5, cell) >= driver.drive_delay(0.5)
+
+    def test_read_buffer_dual_rail_costs_more_energy(self, tech):
+        bitline = BitlineModel(technology=tech, rows=64)
+        single = ReadBuffer(technology=tech, bitline=bitline, dual_rail_output=False)
+        dual = ReadBuffer(technology=tech, bitline=bitline, dual_rail_output=True)
+        assert dual.rails_per_bit == 2
+        assert single.rails_per_bit == 1
+        assert dual.energy(1.0) > single.energy(1.0)
+
+
+class TestColumnCompletionDetector:
+    def test_detection_delay_grows_at_low_vdd(self, tech):
+        detector = ColumnCompletionDetector(technology=tech, columns=16)
+        assert detector.detection_delay(0.25) > detector.detection_delay(1.0)
+
+    def test_segmentation_lowers_minimum_voltage(self, tech):
+        """The paper's suggested sub-0.3 V improvement: segment the column CD."""
+        flat = ColumnCompletionDetector(technology=tech, columns=16)
+        segmented = ColumnCompletionDetector(technology=tech, columns=16,
+                                             segment_size=8)
+        assert segmented.minimum_detectable_vdd() <= flat.minimum_detectable_vdd()
+        assert segmented.effective_load_factor() <= flat.effective_load_factor()
+
+    def test_segmentation_summary_describes_structure(self, tech):
+        detector = ColumnCompletionDetector(technology=tech, columns=16,
+                                            segment_size=4)
+        summary = detector.segmentation_summary()
+        assert summary["segment_size"] == 4
+        assert summary["gate_count"] == detector.gate_count
+        assert summary["min_vdd"] > 0
+
+    def test_gate_count_scales_with_columns(self, tech):
+        narrow = ColumnCompletionDetector(technology=tech, columns=8)
+        wide = ColumnCompletionDetector(technology=tech, columns=32)
+        assert wide.gate_count > narrow.gate_count
+
+    def test_invalid_configuration(self, tech):
+        with pytest.raises(ConfigurationError):
+            ColumnCompletionDetector(technology=tech, columns=0)

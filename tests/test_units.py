@@ -1,0 +1,91 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestScaleHelpers:
+    def test_time_scales(self):
+        assert units.ms(1) == pytest.approx(1e-3)
+        assert units.us(1) == pytest.approx(1e-6)
+        assert units.ns(1) == pytest.approx(1e-9)
+        assert units.ps(1) == pytest.approx(1e-12)
+        assert units.seconds(2.5) == 2.5
+
+    def test_electrical_scales(self):
+        assert units.mv(200) == pytest.approx(0.2)
+        assert units.ua(3) == pytest.approx(3e-6)
+        assert units.na(3) == pytest.approx(3e-9)
+        assert units.pf(10) == pytest.approx(10e-12)
+        assert units.ff(10) == pytest.approx(10e-15)
+
+    def test_energy_and_power_scales(self):
+        assert units.pj(5.8) == pytest.approx(5.8e-12)
+        assert units.fj(1) == pytest.approx(1e-15)
+        assert units.nw(4.1) == pytest.approx(4.1e-9)
+        assert units.uw(1) == pytest.approx(1e-6)
+        assert units.mw(1) == pytest.approx(1e-3)
+
+    def test_frequency_scales(self):
+        assert units.khz(1) == pytest.approx(1e3)
+        assert units.mhz(1) == pytest.approx(1e6)
+
+    def test_scales_compose(self):
+        # 1 MHz period is 1 us.
+        assert 1.0 / units.mhz(1) == pytest.approx(units.us(1))
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 300 K is about 25.85 mV.
+        assert units.thermal_voltage() == pytest.approx(0.02585, rel=0.01)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0))
+
+
+class TestEng:
+    def test_engineering_notation_basic(self):
+        text = units.eng(5.8e-12, "J")
+        assert "p" in text and "J" in text
+
+    def test_zero(self):
+        assert "0" in units.eng(0.0, "V")
+
+    def test_negative_value(self):
+        assert units.eng(-1e-3, "A").startswith("-")
+
+
+class TestClampLerp:
+    def test_clamp_inside(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_below_and_above(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_lerp_endpoints(self):
+        assert units.lerp(0.0, 0.0, 1.0, 10.0, 20.0) == pytest.approx(10.0)
+        assert units.lerp(1.0, 0.0, 1.0, 10.0, 20.0) == pytest.approx(20.0)
+
+    def test_lerp_midpoint(self):
+        assert units.lerp(0.5, 0.0, 1.0, 10.0, 20.0) == pytest.approx(15.0)
+
+    @given(st.floats(min_value=-10, max_value=10),
+           st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=-5, max_value=5))
+    def test_clamp_always_within_bounds(self, value, a, b):
+        low, high = min(a, b), max(a, b)
+        result = units.clamp(value, low, high)
+        assert low <= result <= high
+
+    @given(st.floats(min_value=0.01, max_value=1e6))
+    def test_eng_round_trips_order_of_magnitude(self, value):
+        text = units.eng(value)
+        assert isinstance(text, str) and len(text) > 0
+        assert not math.isnan(value)
