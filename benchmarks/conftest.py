@@ -4,11 +4,43 @@ Every benchmark regenerates one figure or in-text number from the paper's
 evaluation and prints the corresponding rows; the accompanying assertions pin
 the *shape* the paper reports (who wins, by roughly what factor, where the
 crossovers and minima fall).
+
+Figure benchmarks declare :class:`~repro.analysis.runner.ExperimentPlan`
+grids and run them through a shared :class:`~repro.analysis.runner.Executor`.
+``pytest benchmarks --runner-workers N`` fans the plan points out over an
+``N``-process pool; the default (0) is the deterministic serial path, and
+both produce bit-identical figures.
 """
 
 import pytest
 
+from repro.analysis.runner import Executor
 from repro.models.technology import get_technology
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runner-workers", action="store", type=int, default=0,
+        help="process-pool size for ExperimentPlan execution "
+             "(0 = deterministic serial path)")
+
+
+@pytest.fixture(scope="session")
+def runner_workers(request):
+    """Pool size requested on the command line (0 when unavailable)."""
+    try:
+        return request.config.getoption("--runner-workers")
+    except ValueError:
+        # The option is registered by this conftest; when pytest is invoked
+        # from the repository root the registration happens too late for the
+        # command line, so fall back to the serial default.
+        return 0
+
+
+@pytest.fixture(scope="session")
+def executor(runner_workers):
+    """The experiment executor every figure benchmark runs its plan on."""
+    return Executor(workers=runner_workers)
 
 
 @pytest.fixture(scope="session")

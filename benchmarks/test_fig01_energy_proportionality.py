@@ -11,9 +11,11 @@ floor and therefore wastes small budgets entirely.
 """
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.core.design_styles import BundledDataDesign, SpeedIndependentDesign
 from repro.core.proportionality import (
     ProportionalityCurve,
+    activity_for_budget,
     dynamic_range,
     proportionality_index,
 )
@@ -28,40 +30,29 @@ ENERGY_BUDGETS = [2e-12, 5e-12, 10e-12, 20e-12, 50e-12, 100e-12, 200e-12,
 BURST_WINDOW = 1e-4
 
 
-def activity_for_budget(design, vdd, energy_budget):
-    """Operations a burst of *energy_budget* joules can pay for.
-
-    The design first pays its standby (leakage) energy for the whole duty
-    window; whatever is left buys operations.  A non-functional voltage means
-    no activity at all — the "cannot deliver" region of Fig. 2.
-    """
-    if not design.is_functional(vdd):
-        return 0.0
-    overhead = design.leakage_power(vdd) * BURST_WINDOW
-    usable = energy_budget - overhead
-    if usable <= 0:
-        return 0.0
-    return usable / design.energy_per_operation(vdd)
-
-
-def build_curves(tech):
+def build_curves(tech, executor):
     design1 = SpeedIndependentDesign(tech)
     design2 = BundledDataDesign(tech)
     # Each style runs at the lowest voltage it can still function at — the
     # most energy-frugal point available to it.
     vdd1 = max(design1.minimum_operating_voltage() + 0.05, 0.2)
     vdd2 = design2.minimum_operating_voltage() + 0.05
-    curve1 = ProportionalityCurve(
-        "design1_si@%.2fV" % vdd1,
-        [(e, activity_for_budget(design1, vdd1, e)) for e in ENERGY_BUDGETS])
-    curve2 = ProportionalityCurve(
-        "design2_bundled@%.2fV" % vdd2,
-        [(e, activity_for_budget(design2, vdd2, e)) for e in ENERGY_BUDGETS])
+    plan = ExperimentPlan.sweep("energy_budget", ENERGY_BUDGETS)
+    result = executor.run(plan, {
+        "design1": lambda e: activity_for_budget(design1, vdd1, e,
+                                                 BURST_WINDOW),
+        "design2": lambda e: activity_for_budget(design2, vdd2, e,
+                                                 BURST_WINDOW),
+    })
+    curve1 = ProportionalityCurve("design1_si@%.2fV" % vdd1,
+                                  result.series("design1").points)
+    curve2 = ProportionalityCurve("design2_bundled@%.2fV" % vdd2,
+                                  result.series("design2").points)
     return curve1, curve2
 
 
-def test_fig01_energy_proportionality(tech, benchmark):
-    curve1, curve2 = benchmark(build_curves, tech)
+def test_fig01_energy_proportionality(tech, benchmark, executor):
+    curve1, curve2 = benchmark(build_curves, tech, executor)
 
     rows = []
     for (energy, act1), (_, act2) in zip(curve1.points, curve2.points):

@@ -10,35 +10,52 @@ nominal-voltage efficiency ordering and the hybrid's best-of-both behaviour.
 """
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.analysis.sweep import vdd_range
 from repro.core.design_styles import (
     BundledDataDesign,
     HybridDesign,
     SpeedIndependentDesign,
 )
-from repro.core.qos import QoSMetric, qos_vs_vdd
+from repro.core.qos import QoSCurve, QoSMetric, qos_point
 
 from conftest import emit
 
 VDD_SWEEP = vdd_range(0.15, 1.1, 20)
 
 
-def build_curves(tech):
+def qos_quantity(design, metric):
+    """The library's per-point QoS definition, bound for one design."""
+    return lambda vdd: qos_point(design, vdd, metric)
+
+
+def build_curves(tech, executor):
     design1 = SpeedIndependentDesign(tech)
     design2 = BundledDataDesign(tech)
     hybrid = HybridDesign(tech)
-    throughput = {name: qos_vs_vdd(d, VDD_SWEEP)
-                  for name, d in (("design1", design1), ("design2", design2),
-                                  ("hybrid", hybrid))}
-    per_joule = {name: qos_vs_vdd(d, VDD_SWEEP,
-                                  metric=QoSMetric.OPERATIONS_PER_JOULE)
-                 for name, d in (("design1", design1), ("design2", design2),
-                                 ("hybrid", hybrid))}
+    designs = (("design1", design1), ("design2", design2), ("hybrid", hybrid))
+    # One declarative plan covers all six curves: two QoS metrics for each
+    # of the three design styles, evaluated at every sampled Vdd.
+    plan = ExperimentPlan.sweep("vdd", VDD_SWEEP)
+    quantities = {}
+    for name, design in designs:
+        quantities[f"{name}:throughput"] = qos_quantity(
+            design, QoSMetric.THROUGHPUT)
+        quantities[f"{name}:per_joule"] = qos_quantity(
+            design, QoSMetric.OPERATIONS_PER_JOULE)
+    result = executor.run(plan, quantities)
+    throughput = {name: QoSCurve(name, QoSMetric.THROUGHPUT,
+                                 result.series(f"{name}:throughput").points)
+                  for name, _ in designs}
+    per_joule = {name: QoSCurve(name, QoSMetric.OPERATIONS_PER_JOULE,
+                                result.series(f"{name}:per_joule").points)
+                 for name, _ in designs}
     return design1, design2, hybrid, throughput, per_joule
 
 
-def test_fig02_qos_vs_vdd(tech, benchmark):
-    design1, design2, hybrid, throughput, per_joule = benchmark(build_curves, tech)
+def test_fig02_qos_vs_vdd(tech, benchmark, executor):
+    design1, design2, hybrid, throughput, per_joule = benchmark(
+        build_curves, tech, executor)
 
     rows = []
     for i, vdd in enumerate(VDD_SWEEP):

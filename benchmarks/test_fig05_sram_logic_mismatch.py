@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.metrics import monotonicity_violations
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.sram.bitline import calibrate_bitline_to_fig5
 
 from conftest import emit
@@ -19,15 +20,21 @@ from conftest import emit
 VDD_SWEEP = [0.19, 0.22, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
 
 
-def build_series(tech):
+def build_series(tech, executor):
     bitline = calibrate_bitline_to_fig5(tech)
-    series = [(vdd, bitline.read_delay(vdd), bitline.read_delay_in_inverters(vdd))
-              for vdd in VDD_SWEEP]
+    result = executor.run(
+        ExperimentPlan.sweep("vdd", VDD_SWEEP),
+        {"read_delay": bitline.read_delay,
+         "in_inverters": bitline.read_delay_in_inverters})
+    series = [(vdd, delay, units)
+              for (vdd, delay), (_, units)
+              in zip(result.series("read_delay").points,
+                     result.series("in_inverters").points)]
     return bitline, series
 
 
-def test_fig05_sram_logic_delay_mismatch(tech, benchmark):
-    bitline, series = benchmark(build_series, tech)
+def test_fig05_sram_logic_delay_mismatch(tech, benchmark, executor):
+    bitline, series = benchmark(build_series, tech, executor)
 
     emit(format_table(
         "FIG5 — SRAM read delay expressed in inverter delays",

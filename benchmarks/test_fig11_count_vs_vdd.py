@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.metrics import monotonicity_violations
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.power.supply import ConstantSupply
 from repro.sensors.charge_to_digital import ChargeToDigitalConverter
 
@@ -21,16 +22,18 @@ SAMPLED_VOLTAGES = [0.10, 0.20, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60,
                     0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00]
 
 
-def build_transfer_function(tech):
+def build_transfer_function(tech, executor):
     converter = ChargeToDigitalConverter(technology=tech,
                                          sampling_capacitance=30e-12)
-    counts = [(v, converter.convert(ConstantSupply(v)).count)
-              for v in SAMPLED_VOLTAGES]
+    result = executor.run(
+        ExperimentPlan.sweep("sampled_vdd", SAMPLED_VOLTAGES),
+        {"count": lambda v: converter.convert(ConstantSupply(v)).count})
+    counts = [(v, int(count)) for v, count in result.series("count").points]
     return converter, counts
 
 
-def test_fig11_count_vs_initial_vdd(tech, benchmark):
-    converter, counts = benchmark(build_transfer_function, tech)
+def test_fig11_count_vs_initial_vdd(tech, benchmark, executor):
+    converter, counts = benchmark(build_transfer_function, tech, executor)
 
     emit(format_table(
         "FIG11 — count vs initial voltage of C_sample (30 pF)",

@@ -12,12 +12,16 @@ import pytest
 
 from repro.analysis.metrics import minimum_energy_point, ratio_between
 from repro.analysis.report import format_table
-from repro.analysis.sweep import vdd_range
+from repro.analysis.runner import ExperimentPlan
+from repro.analysis.sweep import sweep, vdd_range
 from repro.sram.sram import SpeedIndependentSRAM
+from repro.units import ROOM_TEMPERATURE_K
 
 from conftest import emit
 
 VDD_SWEEP = vdd_range(0.2, 1.0, 17)
+#: Junction temperatures for the 2-D (Vdd × temperature) energy grid.
+TEMPERATURES = [250.0, ROOM_TEMPERATURE_K, 350.0]
 
 
 def build_energy_table(tech):
@@ -58,3 +62,46 @@ def test_sram_energy_per_operation_table(tech, benchmark):
     assert e_opt < sram.write_energy(0.21)
     # Roughly the 3x saving the paper quotes between 1 V and 0.4 V.
     assert 2.0 <= ratio_between(sram.write_energy, 1.0, 0.4) <= 4.5
+
+
+def build_energy_grid(tech, executor):
+    srams = {}
+
+    def write_energy(vdd, temperature_k):
+        if temperature_k not in srams:
+            # The executor's keyed cache deduplicates the Technology rebuild
+            # for every Vdd point that shares this grid row.
+            warm = executor.cache.scaled(tech, temperature_k=temperature_k)
+            srams[temperature_k] = SpeedIndependentSRAM(warm)
+        return srams[temperature_k].write_energy(vdd)
+
+    plan = ExperimentPlan.grid("vdd", VDD_SWEEP,
+                               "temperature_k", TEMPERATURES)
+    return executor.run(plan, {"write_energy": write_energy})
+
+
+def test_sram_energy_grid_over_temperature(tech, benchmark, executor):
+    """SRAM-E×T — the Vdd × temperature grid the 1-D sweep cannot express."""
+    result = benchmark(build_energy_grid, tech, executor)
+
+    grid = result.value_grid("write_energy")
+    emit(format_table(
+        "SRAM-E×T — write energy over Vdd × junction temperature",
+        ["Vdd"] + [f"{t:.0f} K" for t in TEMPERATURES],
+        [[vdd] + row for vdd, row in zip(VDD_SWEEP, grid)],
+        unit_hints=["V"] + ["J"] * len(TEMPERATURES)))
+
+    assert len(grid) == len(VDD_SWEEP)
+    assert all(len(row) == len(TEMPERATURES) for row in grid)
+    # The room-temperature cut of the grid reproduces the 1-D sweep
+    # bit-identically — the grid generalises, it does not drift.
+    room = result.series_at("write_energy",
+                            temperature_k=ROOM_TEMPERATURE_K)
+    baseline = sweep("vdd", VDD_SWEEP,
+                     {"write_energy": SpeedIndependentSRAM(tech).write_energy})
+    assert room.ys == baseline["write_energy"].ys
+    # Deep in the sub-threshold regime a cold die is slower, so the
+    # leakage-dominated write costs more energy than on a hot die.
+    cold = result.series_at("write_energy", temperature_k=TEMPERATURES[0])
+    hot = result.series_at("write_energy", temperature_k=TEMPERATURES[-1])
+    assert cold.value_at(VDD_SWEEP[0]) > hot.value_at(VDD_SWEEP[0])

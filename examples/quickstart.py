@@ -16,12 +16,15 @@ Run it with:  python examples/quickstart.py
 
 from repro import get_technology
 from repro.analysis.report import format_table
+from repro.analysis.runner import Executor, ExperimentPlan
 from repro.core import (
     BundledDataDesign,
     EnergyModulatedSystem,
     HybridDesign,
+    QoSCurve,
+    QoSMetric,
     SpeedIndependentDesign,
-    qos_vs_vdd,
+    qos_point,
 )
 from repro.power import ACSupply, ConstantSupply, VibrationHarvester
 from repro.selftimed import DualRailCounter
@@ -30,22 +33,62 @@ from repro.sim import Simulator
 
 
 def step_1_design_styles(tech):
-    """Fig. 2 — power-proportional versus power-efficient design."""
+    """Fig. 2 — power-proportional versus power-efficient design.
+
+    Instead of hand-rolling a loop over Vdd, the experiment is *declared*
+    as an :class:`ExperimentPlan` and handed to an :class:`Executor` — the
+    same engine the benchmark suite uses, so the points could equally fan
+    out over a process pool (``Executor(workers=4)``) with bit-identical
+    results.
+    """
     design1 = SpeedIndependentDesign(tech)
     design2 = BundledDataDesign(tech)
-    sweep = [0.2, 0.3, 0.4, 0.5, 0.7, 1.0]
-    curve1 = qos_vs_vdd(design1, sweep)
-    curve2 = qos_vs_vdd(design2, sweep)
+    executor = Executor()
+
+    def qos(design):
+        return lambda v: qos_point(design, v)
+
+    plan = ExperimentPlan.sweep("vdd", [0.2, 0.3, 0.4, 0.5, 0.7, 1.0])
+    result = executor.run(plan, {"design1": qos(design1),
+                                 "design2": qos(design2)})
+    curve1 = QoSCurve("design1", QoSMetric.THROUGHPUT,
+                      result.series("design1").points)
+    curve2 = QoSCurve("design2", QoSMetric.THROUGHPUT,
+                      result.series("design2").points)
     print(format_table(
         "Step 1 — QoS (ops/s) versus Vdd",
         ["Vdd (V)", "Design 1 (SI dual-rail)", "Design 2 (bundled data)"],
-        [[vdd, curve1.points[i][1], curve2.points[i][1]]
-         for i, vdd in enumerate(sweep)]))
+        [[vdd, y1, y2] for (vdd, y1), (_, y2)
+         in zip(curve1.points, curve2.points)]))
     print(f"\nDesign 1 wakes up at {curve1.onset_voltage():.2f} V, "
           f"Design 2 only at {curve2.onset_voltage():.2f} V — but at 1 V "
           f"Design 2 spends "
           f"{design1.energy_per_operation(1.0) / design2.energy_per_operation(1.0):.1f}x "
           "less energy per operation.\n")
+
+    # A 2-D grid the old sweep() could not express: throughput of the SI
+    # fabric over Vdd × junction temperature (sub-threshold delay is highly
+    # temperature-sensitive).  The executor's keyed cache rebuilds each
+    # shifted technology exactly once.
+    grid_plan = ExperimentPlan.grid("vdd", [0.25, 0.4, 0.7, 1.0],
+                                    "temperature_k", [250.0, 300.0, 350.0])
+
+    def throughput(vdd, temperature_k):
+        warm = executor.cache.scaled(tech, temperature_k=temperature_k)
+        return SpeedIndependentDesign(warm).throughput(vdd)
+
+    grid = executor.run(grid_plan, {"throughput": throughput})
+    print(format_table(
+        "Step 1b — SI throughput (ops/s) over Vdd × temperature",
+        ["Vdd (V)", "250 K", "300 K", "350 K"],
+        [[vdd] + row for vdd, row
+         in zip(grid_plan.axes[0].values, grid.value_grid("throughput"))],
+        unit_hints=["V", "", "", ""]))
+    print(f"\n(grid ran {grid.provenance.points} points on the "
+          f"'{grid.provenance.executor}' executor in "
+          f"{grid.provenance.wall_time_s * 1e3:.1f} ms; technology cache "
+          f"{grid.provenance.cache_hits} hits / "
+          f"{grid.provenance.cache_misses} misses)\n")
 
 
 def step_2_counter_on_ac_supply(tech):

@@ -11,6 +11,10 @@ benchmark harness uses to regenerate them:
   series;
 * :mod:`repro.analysis.montecarlo` — Monte-Carlo studies over process
   variation;
+* :mod:`repro.analysis.runner` — the parallel experiment engine: declarative
+  :class:`~repro.analysis.runner.ExperimentPlan` grids (1-D sweeps, 2-D
+  grids, seeded Monte-Carlo batches) executed serially or over a process
+  pool with bit-identical results;
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """
@@ -21,9 +25,33 @@ from repro.analysis.metrics import (
     minimum_energy_point,
     ratio_between,
 )
-from repro.analysis.montecarlo import MonteCarloStudy, MonteCarloSummary
+from repro.analysis.montecarlo import (
+    MonteCarloStudy,
+    MonteCarloSummary,
+    run_study,
+)
 from repro.analysis.report import Table, format_series, format_table
 from repro.analysis.sweep import Series, SweepResult, sweep
+
+#: Runner names re-exported lazily (PEP 562) so ``python -m
+#: repro.analysis.runner`` does not import the module twice (once via this
+#: package, once as ``__main__``), which would trip runpy's double-import
+#: warning.
+_RUNNER_EXPORTS = frozenset({
+    "Executor",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "RunRecord",
+    "TechnologyCache",
+})
+
+
+def __getattr__(name):
+    if name in _RUNNER_EXPORTS:
+        from repro.analysis import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "crossover_voltage",
@@ -32,9 +60,15 @@ __all__ = [
     "ratio_between",
     "MonteCarloStudy",
     "MonteCarloSummary",
+    "run_study",
     "Table",
     "format_series",
     "format_table",
+    "Executor",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "RunRecord",
+    "TechnologyCache",
     "Series",
     "SweepResult",
     "sweep",

@@ -4,17 +4,27 @@ The paper's follow-up work on the SI SRAM includes "failure analysis and
 corner performance analysis" [8]; this module provides the generic machinery:
 sample a :class:`~repro.models.variation.ProcessVariation`, rebuild the
 quantity of interest on the perturbed technology, and summarise the spread.
+
+Sampling is *per-stream*: sample ``i`` of a study seeded ``seed`` is always
+drawn from its own RNG stream seeded
+:func:`~repro.analysis.runner.sample_seed` of ``(seed, i)``, so the values
+do not depend on evaluation order — serial and pool execution through
+:mod:`repro.analysis.runner` produce bit-identical summaries — and studies
+with different base seeds share no streams.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.models.technology import Technology
-from repro.models.variation import ProcessVariation
+from repro.models.variation import Corner, ProcessVariation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.runner import Executor
 
 
 @dataclass
@@ -78,6 +88,33 @@ class MonteCarloSummary:
         return failing / len(self.samples)
 
 
+def run_study(technology: Technology,
+              quantity: Callable[[Technology], float],
+              samples: int = 100, seed: int = 0,
+              sigma_vth: float = 0.03, sigma_drive: float = 0.05,
+              sigma_leak: float = 0.3, corner: Corner = Corner.TYPICAL,
+              executor: Optional["Executor"] = None) -> MonteCarloSummary:
+    """Run a seeded Monte-Carlo study and summarise the spread.
+
+    Sample ``i`` perturbs *technology* with a fresh
+    :class:`~repro.models.variation.ProcessVariation` seeded
+    :func:`~repro.analysis.runner.sample_seed` of ``(seed, i)``, so the
+    summary is a pure function of ``(technology, quantity, samples, seed,
+    sigmas, corner)`` — independent of which executor evaluated which
+    sample.  Pass an :class:`~repro.analysis.runner.Executor` with
+    ``workers >= 2`` to fan the samples out over a process pool.
+    """
+    from repro.analysis.runner import Executor, ExperimentPlan
+
+    plan = ExperimentPlan.monte_carlo(samples, technology=technology,
+                                      seed=seed, sigma_vth=sigma_vth,
+                                      sigma_drive=sigma_drive,
+                                      sigma_leak=sigma_leak, corner=corner)
+    if executor is None:
+        executor = Executor(workers=0)
+    return executor.run(plan, {"quantity": quantity}).summary("quantity")
+
+
 class MonteCarloStudy:
     """Evaluate a technology-dependent quantity under random variation.
 
@@ -91,14 +128,28 @@ class MonteCarloStudy:
     sigma_vth / sigma_drive:
         Relative variation magnitudes forwarded to
         :class:`~repro.models.variation.ProcessVariation`.
+    seed:
+        Base seed of the per-sample RNG streams (see :func:`run_study`).
+    executor:
+        Optional :class:`~repro.analysis.runner.Executor` used by
+        :meth:`run`; the default is the deterministic serial path.
+
+    The variation magnitudes live on the public ``variation`` attribute;
+    :meth:`run` reads them from there, so replacing or adjusting it between
+    runs takes effect.  Only the magnitudes are read: the sampler's own RNG
+    does not drive :meth:`run` — per-sample streams are derived from
+    ``self.seed`` via :func:`~repro.analysis.runner.sample_seed`, which is
+    what keeps repeated and parallel runs bit-identical.
     """
 
     def __init__(self, technology: Technology,
                  quantity: Callable[[Technology], float],
                  sigma_vth: float = 0.03, sigma_drive: float = 0.05,
-                 seed: int = 0) -> None:
+                 seed: int = 0, executor: Optional["Executor"] = None) -> None:
         self.technology = technology
         self.quantity = quantity
+        self.seed = seed
+        self.executor = executor
         self.variation = ProcessVariation(
             sigma_vth=sigma_vth,
             sigma_drive=sigma_drive,
@@ -107,13 +158,13 @@ class MonteCarloStudy:
 
     def run(self, samples: int = 100) -> MonteCarloSummary:
         """Draw *samples* perturbed technologies and evaluate the quantity."""
-        if samples < 1:
-            raise ConfigurationError("samples must be >= 1")
-        values: List[float] = []
-        for _ in range(samples):
-            perturbed = self.variation.apply_to(self.technology)
-            values.append(float(self.quantity(perturbed)))
-        return MonteCarloSummary(samples=values)
+        return run_study(self.technology, self.quantity, samples=samples,
+                         seed=self.seed,
+                         sigma_vth=self.variation.sigma_vth,
+                         sigma_drive=self.variation.sigma_drive,
+                         sigma_leak=self.variation.sigma_leak,
+                         corner=self.variation.corner,
+                         executor=self.executor)
 
     def nominal(self) -> float:
         """The quantity evaluated on the unperturbed technology."""

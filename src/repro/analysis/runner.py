@@ -1,0 +1,711 @@
+"""Parallel experiment engine: declarative plans over a worker pool.
+
+Every figure the paper reports is a loop over independent points — Vdd
+steps, (Vdd, temperature) grid cells or Monte-Carlo samples.  This module
+captures that loop once: an :class:`ExperimentPlan` names the axes and
+enumerates the point grid, and an :class:`Executor` fans the points out
+over a ``multiprocessing`` pool (falling back to a deterministic serial
+loop), deduplicates repeated :class:`~repro.models.technology.Technology`
+rebuilds through a keyed :class:`TechnologyCache`, streams the values into
+the existing :class:`~repro.analysis.sweep.Series` /
+:class:`~repro.analysis.montecarlo.MonteCarloSummary` types and records
+per-run provenance (seed, axes, wall time) in a :class:`RunRecord`.
+
+Usage, mirroring ``examples/quickstart.py``:
+
+    from repro import get_technology
+    from repro.analysis.runner import Executor, ExperimentPlan
+    from repro.core.design_styles import SpeedIndependentDesign
+
+    tech = get_technology("cmos90")
+    design = SpeedIndependentDesign(tech)
+    plan = ExperimentPlan.sweep("vdd", [0.3, 0.5, 0.7, 1.0])
+    result = Executor(workers=4).run(
+        plan, {"energy": design.energy_per_operation})
+    print(result.series("energy").argmin())
+
+Results are reassembled in point order, so a parallel run is bit-identical
+to the serial fallback for the same plan and seed.  ``python -m
+repro.analysis.runner --selftest`` smoke-tests exactly that equivalence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import multiprocessing
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.technology import Technology
+from repro.models.variation import Corner, ProcessVariation
+
+__all__ = [
+    "Axis",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "Executor",
+    "RunRecord",
+    "TechnologyCache",
+    "VariationSpec",
+    "sample_seed",
+]
+
+
+# ---------------------------------------------------------------------------
+# Plans
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named experiment axis and its ordered point values."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis name must not be empty")
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Process-variation magnitudes for a Monte-Carlo plan."""
+
+    sigma_vth: float = 0.03
+    sigma_drive: float = 0.05
+    sigma_leak: float = 0.3
+    corner: Corner = Corner.TYPICAL
+
+    def key(self) -> Tuple:
+        return (self.sigma_vth, self.sigma_drive, self.sigma_leak,
+                self.corner.value)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A declarative grid of experiment points.
+
+    Three kinds are supported:
+
+    * ``"sweep"`` — one axis; quantities are called as ``fn(x)``;
+    * ``"grid"`` — two axes; quantities are called as ``fn(x, y)``;
+    * ``"montecarlo"`` — one synthetic ``sample`` axis; quantities are
+      called as ``fn(perturbed_technology)`` where sample *i* is drawn from
+      its own RNG stream seeded :func:`sample_seed(seed, i) <sample_seed>`,
+      so execution order (and the serial/parallel split) cannot change the
+      values.
+    """
+
+    kind: str
+    axes: Tuple[Axis, ...]
+    seed: Optional[int] = None
+    technology: Optional[Technology] = None
+    variation: Optional[VariationSpec] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def sweep(cls, variable: str,
+              values: Sequence[float]) -> "ExperimentPlan":
+        """A 1-D sweep of *variable* over *values*."""
+        if len(values) == 0:
+            raise ConfigurationError("sweep values must not be empty")
+        return cls(kind="sweep",
+                   axes=(Axis(variable, tuple(float(v) for v in values)),))
+
+    @classmethod
+    def grid(cls, x_name: str, x_values: Sequence[float],
+             y_name: str, y_values: Sequence[float]) -> "ExperimentPlan":
+        """A 2-D grid; the second axis varies fastest (row-major order)."""
+        if x_name == y_name:
+            raise ConfigurationError("grid axes must have distinct names")
+        if len(x_values) == 0 or len(y_values) == 0:
+            raise ConfigurationError("grid axes must not be empty")
+        return cls(kind="grid",
+                   axes=(Axis(x_name, tuple(float(v) for v in x_values)),
+                         Axis(y_name, tuple(float(v) for v in y_values))))
+
+    @classmethod
+    def monte_carlo(cls, samples: int, *, technology: Technology,
+                    seed: int = 0, sigma_vth: float = 0.03,
+                    sigma_drive: float = 0.05, sigma_leak: float = 0.3,
+                    corner: Corner = Corner.TYPICAL) -> "ExperimentPlan":
+        """A seeded Monte-Carlo batch of *samples* perturbed technologies."""
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        if technology is None:
+            raise ConfigurationError("a Monte-Carlo plan needs a technology")
+        return cls(kind="montecarlo",
+                   axes=(Axis("sample", tuple(range(samples))),),
+                   seed=int(seed),
+                   technology=technology,
+                   variation=VariationSpec(sigma_vth=sigma_vth,
+                                           sigma_drive=sigma_drive,
+                                           sigma_leak=sigma_leak,
+                                           corner=corner))
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Axis lengths, outermost first."""
+        return tuple(len(axis.values) for axis in self.axes)
+
+    @property
+    def point_count(self) -> int:
+        """Total number of points in the grid."""
+        count = 1
+        for n in self.shape:
+            count *= n
+        return count
+
+    def points(self) -> List[Tuple[float, ...]]:
+        """All coordinate tuples in row-major order (last axis fastest)."""
+        return list(itertools.product(*(axis.values for axis in self.axes)))
+
+    def describe_axes(self) -> Dict[str, int]:
+        """Axis name → point count, for provenance."""
+        return {axis.name: len(axis.values) for axis in self.axes}
+
+
+# ---------------------------------------------------------------------------
+# Technology cache
+
+
+def sample_seed(seed: int, index: int) -> int:
+    """The RNG seed of Monte-Carlo sample *index* of a study seeded *seed*.
+
+    Derived through :class:`numpy.random.SeedSequence` over the ``(seed,
+    index)`` pair rather than ``seed + index``, so studies with nearby base
+    seeds do not share sample streams (``seed + index`` would make seed 1's
+    sample *i* identical to seed 0's sample *i + 1*, turning "independent
+    replications" over seeds 0, 1, 2, ... into near-copies).
+    """
+    return int(np.random.SeedSequence((seed, index)).generate_state(1,
+                                                                    np.uint64)[0])
+
+
+def _technology_key(technology: Technology) -> Tuple:
+    """A hashable identity for a (frozen, dict-bearing) Technology."""
+    parts: List = []
+    for field in dataclass_fields(technology):
+        value = getattr(technology, field.name)
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        parts.append(value)
+    return tuple(parts)
+
+
+class TechnologyCache:
+    """Keyed, bounded cache of rebuilt :class:`Technology` objects.
+
+    Rebuilding a technology — a corner shift, a temperature override or a
+    Monte-Carlo perturbation — is pure, so identical rebuild requests can
+    share one object.  Grid sweeps rebuild the same technology once per
+    row and Monte-Carlo studies rebuild the same sample once per quantity;
+    both collapse to a single construction here.  The cache is per-process:
+    pool workers each hold their own copy, so the hit counters reported in
+    provenance describe the coordinating process only.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Technology]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _get_or_build(self, key: Tuple,
+                      build: Callable[[], Technology]) -> Technology:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = build()
+            self._entries[key] = value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def scaled(self, base: Technology, **overrides: float) -> Technology:
+        """Cached equivalent of ``base.scaled(**overrides)``."""
+        key = ("scaled", _technology_key(base),
+               tuple(sorted(overrides.items())))
+        return self._get_or_build(key, lambda: base.scaled(**overrides))
+
+    def perturbed(self, base: Technology, variation: VariationSpec,
+                  stream_seed: int) -> Technology:
+        """The Monte-Carlo sample drawn from the stream seeded *stream_seed*.
+
+        The key is the (technology, variation, seed) triple, so evaluating
+        several quantities on the same sample perturbs the technology once.
+        """
+        key = ("perturbed", _technology_key(base), variation.key(),
+               stream_seed)
+
+        def build() -> Technology:
+            sampler = ProcessVariation(sigma_vth=variation.sigma_vth,
+                                       sigma_drive=variation.sigma_drive,
+                                       sigma_leak=variation.sigma_leak,
+                                       corner=variation.corner,
+                                       seed=stream_seed)
+            return sampler.apply_to(base)
+
+        return self._get_or_build(key, build)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+
+
+@dataclass
+class RunRecord:
+    """Provenance of one executed plan, for regression comparison."""
+
+    kind: str
+    axes: Dict[str, int]
+    quantities: Tuple[str, ...]
+    points: int
+    seed: Optional[int]
+    executor: str
+    workers: int
+    wall_time_s: float
+    cache_hits: int
+    cache_misses: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict view, convenient for logging or JSON dumps."""
+        return {
+            "kind": self.kind,
+            "axes": dict(self.axes),
+            "quantities": list(self.quantities),
+            "points": self.points,
+            "seed": self.seed,
+            "executor": self.executor,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Results
+
+
+@dataclass
+class ExperimentResult:
+    """Per-point values of every quantity, plus the run's provenance.
+
+    ``values[name]`` lists the quantity over the plan's points in row-major
+    order, regardless of which executor produced them.
+    """
+
+    plan: ExperimentPlan
+    values: Dict[str, List[float]]
+    provenance: RunRecord
+
+    @property
+    def names(self) -> List[str]:
+        """Names of the recorded quantities."""
+        return list(self.values)
+
+    def _values_for(self, name: str) -> List[float]:
+        try:
+            return self.values[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown quantity {name!r}") from exc
+
+    # -- 1-D views ---------------------------------------------------------
+
+    def series(self, name: str):
+        """The quantity as a :class:`Series` (sweep and MC plans only)."""
+        from repro.analysis.sweep import Series
+
+        if len(self.plan.axes) != 1:
+            raise ConfigurationError(
+                "series() needs a one-axis plan; use series_at() for grids")
+        xs = self.plan.axes[0].values
+        return Series(name=name,
+                      points=[(float(x), y)
+                              for x, y in zip(xs, self._values_for(name))])
+
+    def to_sweep_result(self):
+        """All quantities bundled as a legacy :class:`SweepResult`."""
+        from repro.analysis.sweep import SweepResult
+
+        if self.plan.kind not in ("sweep", "montecarlo"):
+            raise ConfigurationError(
+                "to_sweep_result() needs a one-axis plan")
+        axis = self.plan.axes[0]
+        return SweepResult(variable=axis.name,
+                           xs=[float(x) for x in axis.values],
+                           series={name: self.series(name)
+                                   for name in self.values})
+
+    # -- 2-D views ---------------------------------------------------------
+
+    def value_grid(self, name: str) -> List[List[float]]:
+        """Grid plans: ``grid[i][j]`` is the value at ``(x_i, y_j)``."""
+        if self.plan.kind != "grid":
+            raise ConfigurationError("value_grid() needs a grid plan")
+        n_x, n_y = self.plan.shape
+        flat = self._values_for(name)
+        return [flat[i * n_y:(i + 1) * n_y] for i in range(n_x)]
+
+    def series_at(self, name: str, **fixed: float):
+        """A 1-D cut through a grid, fixing exactly one axis by name.
+
+        ``result.series_at("energy", temperature_k=350.0)`` returns energy
+        versus the *other* axis at the fixed axis's sampled value nearest
+        350 K.
+        """
+        from repro.analysis.sweep import Series
+
+        if self.plan.kind != "grid":
+            raise ConfigurationError("series_at() needs a grid plan")
+        if len(fixed) != 1:
+            raise ConfigurationError("fix exactly one axis by name")
+        (fixed_name, fixed_value), = fixed.items()
+        names = [axis.name for axis in self.plan.axes]
+        if fixed_name not in names:
+            raise ConfigurationError(
+                f"unknown axis {fixed_name!r}; plan axes: {names}")
+        fixed_index = names.index(fixed_name)
+        free_index = 1 - fixed_index
+        fixed_axis = self.plan.axes[fixed_index]
+        free_axis = self.plan.axes[free_index]
+        nearest = min(range(len(fixed_axis.values)),
+                      key=lambda i: (abs(fixed_axis.values[i] - fixed_value),
+                                     fixed_axis.values[i]))
+        grid = self.value_grid(name)
+        if fixed_index == 0:
+            column = grid[nearest]
+        else:
+            column = [row[nearest] for row in grid]
+        label = f"{name}@{fixed_name}={fixed_axis.values[nearest]:g}"
+        return Series(name=label,
+                      points=[(float(x), y)
+                              for x, y in zip(free_axis.values, column)])
+
+    # -- Monte-Carlo views -------------------------------------------------
+
+    def summary(self, name: str):
+        """The quantity's :class:`MonteCarloSummary` (MC plans only)."""
+        from repro.analysis.montecarlo import MonteCarloSummary
+
+        if self.plan.kind != "montecarlo":
+            raise ConfigurationError("summary() needs a Monte-Carlo plan")
+        return MonteCarloSummary(samples=list(self._values_for(name)))
+
+    # -- generic -----------------------------------------------------------
+
+    def argmin(self, name: str) -> Tuple[Tuple[float, ...], float]:
+        """``(coords, value)`` of the smallest value (first hit on ties).
+
+        A NaN value raises :class:`ConfigurationError` — ``min()`` over
+        NaNs would silently return an arbitrary point.
+        """
+        flat = self._values_for(name)
+        points = self.plan.points()
+        for index, value in enumerate(flat):
+            if math.isnan(value):
+                raise ConfigurationError(
+                    f"quantity {name!r} is NaN at point {points[index]!r}; "
+                    "a quantity that produced NaN is a modelling bug")
+        best = min(range(len(flat)), key=lambda i: flat[i])
+        return tuple(float(c) for c in points[best]), flat[best]
+
+
+# ---------------------------------------------------------------------------
+# Execution
+
+
+class _Payload:
+    """Everything one point evaluation needs; inherited by forked workers."""
+
+    def __init__(self, plan: ExperimentPlan,
+                 functions: Sequence[Callable],
+                 cache: TechnologyCache) -> None:
+        self.plan = plan
+        self.functions = list(functions)
+        self.cache = cache
+        self.points = plan.points()
+
+    def evaluate(self, index: int) -> Tuple[float, ...]:
+        if self.plan.kind == "montecarlo":
+            assert self.plan.seed is not None
+            assert self.plan.technology is not None
+            assert self.plan.variation is not None
+            perturbed = self.cache.perturbed(self.plan.technology,
+                                             self.plan.variation,
+                                             sample_seed(self.plan.seed,
+                                                         index))
+            return tuple(float(fn(perturbed)) for fn in self.functions)
+        coords = self.points[index]
+        return tuple(float(fn(*coords)) for fn in self.functions)
+
+
+#: Payload of the in-flight parallel run; forked workers inherit it, so the
+#: quantities may be closures/lambdas that could never cross a pickle
+#: boundary.  Only the point *indices* travel through the pool's queues.
+#: Guarded by ``_POOL_CLAIM``: one pool run at a time per process, so a
+#: concurrent run from another thread can never fork workers that inherit
+#: the wrong plan's payload (those runs take the serial path instead).
+_ACTIVE_PAYLOAD: Optional[_Payload] = None
+_POOL_CLAIM = threading.Lock()
+
+
+def _pool_worker(index: int) -> Tuple[float, ...]:
+    assert _ACTIVE_PAYLOAD is not None, "worker started without a payload"
+    return _ACTIVE_PAYLOAD.evaluate(index)
+
+
+class Executor:
+    """Runs an :class:`ExperimentPlan` over a worker pool or serially.
+
+    Parameters
+    ----------
+    workers:
+        Number of pool processes.  ``0`` or ``1`` selects the serial path;
+        the pool also falls back to serial when the platform cannot fork.
+        Both paths enumerate points in the same order and reassemble by
+        index, so results are bit-identical.
+    cache:
+        Shared :class:`TechnologyCache`; a private one is created if omitted.
+    chunk_size:
+        Points per pool task; defaults to ``points // (4 * workers)``.
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache: Optional[TechnologyCache] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else TechnologyCache()
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+
+    def run(self, plan: ExperimentPlan,
+            quantities: Mapping[str, Callable]) -> ExperimentResult:
+        """Evaluate every quantity at every plan point.
+
+        ``quantities`` maps series names to callables taking the point
+        coordinates (sweep: ``fn(x)``, grid: ``fn(x, y)``) or, for
+        Monte-Carlo plans, the perturbed technology.  Exceptions are not
+        swallowed: a quantity that cannot be evaluated is a modelling bug
+        the experiment should surface, exactly as in the legacy loops.
+        """
+        if not quantities:
+            raise ConfigurationError("at least one quantity is required")
+        names = tuple(quantities)
+        payload = _Payload(plan, [quantities[name] for name in names],
+                           self.cache)
+        count = plan.point_count
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        started = time.perf_counter()
+        values: Dict[str, List[float]] = {name: [] for name in names}
+        mode = "serial"
+        rows: Iterable[Tuple[float, ...]]
+        if (self.workers >= 2
+                and "fork" in multiprocessing.get_all_start_methods()
+                and _POOL_CLAIM.acquire(blocking=False)):
+            # The claim is released by _parallel_rows once the pool is done.
+            rows = self._parallel_rows(payload, count)
+            mode = f"fork-pool[{self.workers}]"
+        else:
+            rows = (payload.evaluate(i) for i in range(count))
+        for row in rows:
+            for name, value in zip(names, row):
+                values[name].append(value)
+        provenance = RunRecord(
+            kind=plan.kind,
+            axes=plan.describe_axes(),
+            quantities=names,
+            points=count,
+            seed=plan.seed,
+            executor=mode,
+            workers=self.workers,
+            wall_time_s=time.perf_counter() - started,
+            # Deltas, not the shared cache's lifetime counters: an executor
+            # (and its cache) outlives many runs, and each RunRecord
+            # describes exactly one of them.
+            cache_hits=self.cache.hits - hits_before,
+            cache_misses=self.cache.misses - misses_before,
+        )
+        return ExperimentResult(plan=plan, values=values,
+                                provenance=provenance)
+
+    def _parallel_rows(self, payload: _Payload,
+                       count: int) -> Iterable[Tuple[float, ...]]:
+        """Pool evaluation; the caller must hold ``_POOL_CLAIM``."""
+        global _ACTIVE_PAYLOAD
+        context = multiprocessing.get_context("fork")
+        chunk = self.chunk_size or max(1, count // (4 * self.workers))
+        try:
+            _ACTIVE_PAYLOAD = payload
+            with context.Pool(processes=self.workers) as pool:
+                # imap preserves submission order, so the reassembled rows
+                # match the serial enumeration exactly.
+                for row in pool.imap(_pool_worker, range(count),
+                                     chunksize=chunk):
+                    yield row
+        finally:
+            _ACTIVE_PAYLOAD = None
+            _POOL_CLAIM.release()
+
+
+# ---------------------------------------------------------------------------
+# Self-test entry point (python -m repro.analysis.runner --selftest)
+
+
+def _selftest_delay(vdd: float) -> float:
+    from repro.models.gate import GateModel
+    from repro.models.technology import get_technology
+
+    return GateModel(technology=get_technology("cmos90")).delay(vdd)
+
+
+def _selftest_energy(vdd: float) -> float:
+    from repro.models.gate import GateModel
+    from repro.models.technology import get_technology
+
+    return GateModel(technology=get_technology("cmos90")).transition_energy(vdd)
+
+
+def _selftest_grid_energy(vdd: float, temperature_k: float) -> float:
+    from repro.models.gate import GateModel
+    from repro.models.technology import get_technology
+
+    base = get_technology("cmos90")
+    warm = _SELFTEST_CACHE.scaled(base, temperature_k=temperature_k)
+    return GateModel(technology=warm).transition_energy(vdd)
+
+
+def _selftest_mc_delay(technology: Technology) -> float:
+    from repro.models.gate import GateModel
+
+    return GateModel(technology=technology).delay(0.4)
+
+
+_SELFTEST_CACHE = TechnologyCache()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI used by CI to smoke-test the pool without the benchmark suite."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.runner",
+        description="Smoke-test the parallel experiment engine.")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the serial-vs-parallel equivalence checks")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool size for the parallel side (default: 2)")
+    args = parser.parse_args(argv)
+    if not args.selftest:
+        parser.print_help()
+        return 2
+    if args.workers < 2:
+        parser.error("--selftest needs --workers >= 2 to exercise the pool")
+
+    from repro.models.technology import get_technology
+
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    vdds = [0.25 + 0.05 * i for i in range(12)]
+    quantities = {"delay": _selftest_delay, "energy": _selftest_energy}
+
+    print(f"runner selftest (workers={args.workers})")
+    plan = ExperimentPlan.sweep("vdd", vdds)
+    serial = Executor(workers=0).run(plan, quantities)
+    pooled = Executor(workers=args.workers).run(plan, quantities)
+    check("1-D sweep: serial == parallel (bit-identical)",
+          serial.values == pooled.values)
+    check("1-D sweep: parallel executor engaged",
+          pooled.provenance.executor.startswith("fork-pool")
+          or "fork" not in multiprocessing.get_all_start_methods())
+
+    grid = ExperimentPlan.grid("vdd", vdds[:6], "temperature_k",
+                               [250.0, 300.0, 350.0])
+    serial_g = Executor(workers=0).run(grid,
+                                       {"energy": _selftest_grid_energy})
+    pooled_g = Executor(workers=args.workers).run(
+        grid, {"energy": _selftest_grid_energy})
+    rows = serial_g.value_grid("energy")
+    check("2-D grid: shape matches the plan",
+          len(rows) == 6 and all(len(row) == 3 for row in rows))
+    check("2-D grid: serial == parallel (bit-identical)",
+          serial_g.values == pooled_g.values)
+
+    mc = ExperimentPlan.monte_carlo(24, technology=get_technology("cmos90"),
+                                    seed=7)
+    serial_mc = Executor(workers=0).run(mc, {"delay": _selftest_mc_delay})
+    pooled_mc = Executor(workers=args.workers).run(
+        mc, {"delay": _selftest_mc_delay})
+    check("Monte-Carlo: serial == parallel for a fixed seed",
+          serial_mc.values == pooled_mc.values)
+    check("Monte-Carlo: samples spread",
+          serial_mc.summary("delay").relative_spread > 0.0)
+
+    for record in (pooled.provenance, pooled_g.provenance,
+                   pooled_mc.provenance):
+        check(f"provenance recorded ({record.kind})",
+              record.points > 0 and record.wall_time_s >= 0.0)
+
+    print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    # Under ``python -m`` this file executes as ``__main__`` while the
+    # package import created a second copy as ``repro.analysis.runner``;
+    # dispatch to that canonical copy so the pool payload and the worker
+    # function live in one module.
+    from repro.analysis.runner import main as _canonical_main
+
+    sys.exit(_canonical_main())

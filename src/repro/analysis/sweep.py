@@ -3,15 +3,30 @@
 Every figure the paper reports is, behaviourally, "sweep one knob (usually
 Vdd) and record one or more quantities per design".  :func:`sweep` captures
 that pattern once so each benchmark is a thin declaration of the knob, the
-range and the quantities.
+range and the quantities.  Execution is delegated to the parallel
+experiment engine in :mod:`repro.analysis.runner`; pass an ``executor`` to
+fan the points out over a worker pool.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.runner import Executor
 
 
 @dataclass
@@ -31,23 +46,51 @@ class Series:
         """The recorded quantity values."""
         return [y for _, y in self.points]
 
+    def _check_no_nan_ys(self) -> None:
+        for x, y in self.points:
+            if math.isnan(y):
+                raise ConfigurationError(
+                    f"series {self.name!r} has NaN at x={x!r}; a quantity "
+                    "that produced NaN is a modelling bug, not a data point")
+
     def value_at(self, x: float) -> float:
-        """Value at the sampled x nearest to *x*."""
+        """Value at the sampled x nearest to *x*.
+
+        When two sampled points are equidistant from *x* the one with the
+        smaller x wins.  A NaN value at the selected point raises
+        :class:`ConfigurationError` instead of propagating silently.
+        """
         if not self.points:
             raise ConfigurationError(f"series {self.name!r} is empty")
-        return min(self.points, key=lambda p: abs(p[0] - x))[1]
+        nearest_x, y = min(self.points,
+                           key=lambda p: (abs(p[0] - x), p[0]))
+        if math.isnan(y):
+            raise ConfigurationError(
+                f"series {self.name!r} has NaN at x={nearest_x!r}")
+        return y
 
     def argmin(self) -> Tuple[float, float]:
-        """The ``(x, y)`` pair with the smallest y."""
+        """The ``(x, y)`` pair with the smallest y.
+
+        Ties on y are broken towards the smaller x; any NaN y in the series
+        raises :class:`ConfigurationError` (``min()`` over NaNs would pick
+        an arbitrary point depending on ordering).
+        """
         if not self.points:
             raise ConfigurationError(f"series {self.name!r} is empty")
-        return min(self.points, key=lambda p: p[1])
+        self._check_no_nan_ys()
+        return min(self.points, key=lambda p: (p[1], p[0]))
 
     def argmax(self) -> Tuple[float, float]:
-        """The ``(x, y)`` pair with the largest y."""
+        """The ``(x, y)`` pair with the largest y.
+
+        Ties on y are broken towards the smaller x; any NaN y raises
+        :class:`ConfigurationError`.
+        """
         if not self.points:
             raise ConfigurationError(f"series {self.name!r} is empty")
-        return max(self.points, key=lambda p: p[1])
+        self._check_no_nan_ys()
+        return max(self.points, key=lambda p: (p[1], -p[0]))
 
 
 @dataclass
@@ -71,23 +114,29 @@ class SweepResult:
 
 
 def sweep(variable: str, values: Sequence[float],
-          quantities: Mapping[str, Callable[[float], float]]) -> SweepResult:
+          quantities: Mapping[str, Callable[[float], float]],
+          executor: Optional["Executor"] = None) -> SweepResult:
     """Evaluate each quantity at each value of the sweep variable.
 
     ``quantities`` maps series names to single-argument callables; exceptions
     are not swallowed — a quantity that cannot be evaluated at a point is a
     modelling bug the benchmark should surface.
+
+    Execution is delegated to :class:`repro.analysis.runner.Executor`; the
+    default is the deterministic serial path, and passing an executor with
+    ``workers >= 2`` fans the points out over a process pool with
+    bit-identical results.
     """
+    from repro.analysis.runner import Executor, ExperimentPlan
+
     if not values:
         raise ConfigurationError("sweep values must not be empty")
     if not quantities:
         raise ConfigurationError("at least one quantity is required")
-    xs = [float(v) for v in values]
-    series = {name: Series(name=name) for name in quantities}
-    for x in xs:
-        for name, fn in quantities.items():
-            series[name].points.append((x, float(fn(x))))
-    return SweepResult(variable=variable, xs=xs, series=series)
+    plan = ExperimentPlan.sweep(variable, values)
+    if executor is None:
+        executor = Executor(workers=0)
+    return executor.run(plan, quantities).to_sweep_result()
 
 
 def vdd_range(low: float, high: float, steps: int) -> List[float]:

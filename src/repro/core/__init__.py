@@ -39,9 +39,10 @@ Modules
     scheduler + computational load.
 """
 
-from repro.core.qos import QoSMetric, QoSCurve, qos_vs_vdd
+from repro.core.qos import QoSMetric, QoSCurve, qos_point, qos_vs_vdd
 from repro.core.proportionality import (
     ProportionalityCurve,
+    activity_for_budget,
     proportionality_index,
     dynamic_range,
 )
@@ -68,8 +69,10 @@ from repro.core.system import EnergyModulatedSystem, SystemReport
 __all__ = [
     "QoSMetric",
     "QoSCurve",
+    "qos_point",
     "qos_vs_vdd",
     "ProportionalityCurve",
+    "activity_for_budget",
     "proportionality_index",
     "dynamic_range",
     "DesignStyle",

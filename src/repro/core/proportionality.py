@@ -20,6 +20,24 @@ from typing import Callable, List, Sequence, Tuple
 from repro.errors import ConfigurationError
 
 
+def activity_for_budget(design, vdd: float, energy_budget: float,
+                        burst_window: float) -> float:
+    """Operations one burst of *energy_budget* joules buys from *design*.
+
+    The Fig. 1 activity model: the design first pays its standby (leakage)
+    energy for the whole *burst_window*; whatever is left buys operations at
+    ``energy_per_operation(vdd)``.  A non-functional voltage means no
+    activity at all — the "cannot deliver" region of Fig. 2.
+    """
+    if not design.is_functional(vdd):
+        return 0.0
+    overhead = design.leakage_power(vdd) * burst_window
+    usable = energy_budget - overhead
+    if usable <= 0:
+        return 0.0
+    return usable / design.energy_per_operation(vdd)
+
+
 @dataclass
 class ProportionalityCurve:
     """A sampled activity-versus-energy curve.

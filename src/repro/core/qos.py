@@ -78,6 +78,33 @@ class QoSCurve:
         return (self.qos_at(vdd_high) - self.qos_at(vdd_low)) / (vdd_high - vdd_low)
 
 
+def qos_point(design, vdd: float,
+              metric: QoSMetric = QoSMetric.THROUGHPUT,
+              energy_fn: Optional[Callable[[float], float]] = None) -> float:
+    """QoS of *design* at one supply level; zero where it cannot function.
+
+    This is the single definition of every :class:`QoSMetric` — the
+    per-point kernel of :func:`qos_vs_vdd` and the quantity the declarative
+    experiment plans evaluate, so a benchmark and the library can never
+    disagree on what "QoS" means.
+    """
+    vdd = float(vdd)
+    if not design.is_functional(vdd):
+        return 0.0
+    if hasattr(design, "throughput"):
+        throughput = design.throughput(vdd)
+    else:
+        throughput = 1.0 / design.cycle_time(vdd)
+    if metric is QoSMetric.THROUGHPUT:
+        return throughput
+    if metric is QoSMetric.RESPONSIVENESS:
+        return throughput  # single-token latency inverse equals throughput here
+    if energy_fn is None:
+        energy_fn = getattr(design, "energy_per_operation")
+    energy = energy_fn(vdd)
+    return 1.0 / energy if energy > 0 else 0.0
+
+
 def qos_vs_vdd(design, vdd_values: Sequence[float],
                metric: QoSMetric = QoSMetric.THROUGHPUT,
                energy_fn: Optional[Callable[[float], float]] = None) -> QoSCurve:
@@ -90,26 +117,8 @@ def qos_vs_vdd(design, vdd_values: Sequence[float],
     """
     if len(vdd_values) == 0:
         raise ConfigurationError("vdd_values must not be empty")
-    points: List[Tuple[float, float]] = []
-    for vdd in vdd_values:
-        vdd = float(vdd)
-        functional = design.is_functional(vdd)
-        if not functional:
-            points.append((vdd, 0.0))
-            continue
-        if hasattr(design, "throughput"):
-            throughput = design.throughput(vdd)
-        else:
-            throughput = 1.0 / design.cycle_time(vdd)
-        if metric is QoSMetric.THROUGHPUT:
-            value = throughput
-        elif metric is QoSMetric.RESPONSIVENESS:
-            value = throughput  # single-token latency inverse equals throughput here
-        else:
-            if energy_fn is None:
-                energy_fn = getattr(design, "energy_per_operation")
-            energy = energy_fn(vdd)
-            value = 1.0 / energy if energy > 0 else 0.0
-        points.append((vdd, value))
+    points: List[Tuple[float, float]] = [
+        (float(vdd), qos_point(design, vdd, metric, energy_fn))
+        for vdd in vdd_values]
     name = getattr(design, "name", design.__class__.__name__)
     return QoSCurve(design_name=name, metric=metric, points=points)

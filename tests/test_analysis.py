@@ -66,6 +66,26 @@ class TestSweep:
         assert series.xs == [0.2, 0.5, 1.0]
         assert series.ys == [5.0, 1.0, 3.0]
 
+    def test_series_ties_break_towards_smaller_x(self):
+        series = Series("s", points=[(0.25, 1.0), (0.75, 2.0), (1.0, 1.0)])
+        # Equal minima/maxima: the smaller x wins, deterministically.
+        assert series.argmin() == (0.25, 1.0)
+        assert Series("s", points=[(0.2, 2.0), (1.0, 2.0)]).argmax() == (0.2, 2.0)
+        # 0.5 is exactly equidistant from the samples at 0.25 and 0.75.
+        assert series.value_at(0.5) == 1.0
+
+    def test_series_nan_raises_instead_of_propagating(self):
+        nan = float("nan")
+        series = Series("s", points=[(0.2, 1.0), (0.5, nan), (1.0, 3.0)])
+        with pytest.raises(ConfigurationError):
+            series.argmin()
+        with pytest.raises(ConfigurationError):
+            series.argmax()
+        with pytest.raises(ConfigurationError):
+            series.value_at(0.5)
+        # A lookup that resolves to a non-NaN sample still succeeds.
+        assert series.value_at(0.15) == 1.0
+
     def test_unknown_series_raises(self, tech):
         gate = GateModel(technology=tech)
         result = sweep("vdd", [0.5], {"delay": gate.delay})

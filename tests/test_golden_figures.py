@@ -1,0 +1,159 @@
+"""Golden-value regression tests for headline paper-figure numbers.
+
+The benchmark suite asserts the *shape* each figure reports (orderings,
+monotonicity, rough factors); these tests pin the *values* the seed model
+produces for three figures, so a refactor of the analysis or model layers
+cannot silently drift the reproduction.  The numbers below were captured
+from the calibrated ``cmos90`` model; a deliberate recalibration is the
+only legitimate reason to update them.
+
+All experiments run through :mod:`repro.analysis.runner`, which guarantees
+the values are independent of execution order and executor choice.
+"""
+
+import pytest
+
+from repro.analysis.runner import Executor, ExperimentPlan
+from repro.analysis.sweep import vdd_range
+from repro.core.design_styles import (
+    BundledDataDesign,
+    HybridDesign,
+    SpeedIndependentDesign,
+)
+from repro.core.proportionality import (
+    ProportionalityCurve,
+    activity_for_budget,
+    dynamic_range,
+    proportionality_index,
+)
+from repro.core.qos import QoSCurve, QoSMetric, qos_point
+from repro.power.supply import ConstantSupply
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+
+#: Relative tolerance for analytically computed (pure-float) quantities.
+REL = 1e-6
+
+
+class TestFig01GoldenValues:
+    """FIG1 — energy-proportionality of the two design styles."""
+
+    ENERGY_BUDGETS = [2e-12, 5e-12, 10e-12, 20e-12, 50e-12, 100e-12,
+                      200e-12, 500e-12, 1e-9, 2e-9]
+    BURST_WINDOW = 1e-4
+
+    @pytest.fixture(scope="class")
+    def curves(self, tech):
+        design1 = SpeedIndependentDesign(tech)
+        design2 = BundledDataDesign(tech)
+        vdd1 = max(design1.minimum_operating_voltage() + 0.05, 0.2)
+        vdd2 = design2.minimum_operating_voltage() + 0.05
+
+        def activity(design, vdd):
+            return lambda budget: activity_for_budget(design, vdd, budget,
+                                                      self.BURST_WINDOW)
+
+        plan = ExperimentPlan.sweep("energy_budget", self.ENERGY_BUDGETS)
+        result = Executor().run(plan, {"design1": activity(design1, vdd1),
+                                       "design2": activity(design2, vdd2)})
+        return (ProportionalityCurve("design1", result.series("design1").points),
+                ProportionalityCurve("design2", result.series("design2").points))
+
+    def test_operating_voltages(self, tech):
+        design1 = SpeedIndependentDesign(tech)
+        design2 = BundledDataDesign(tech)
+        assert design1.minimum_operating_voltage() == pytest.approx(0.14, rel=REL)
+        assert design2.minimum_operating_voltage() == pytest.approx(0.465, rel=1e-3)
+
+    def test_onset_energies(self, curves):
+        curve1, curve2 = curves
+        assert curve1.onset_energy() == pytest.approx(1e-11, rel=REL)
+        assert curve2.onset_energy() == pytest.approx(2e-11, rel=REL)
+
+    def test_proportionality_indices(self, curves):
+        curve1, curve2 = curves
+        assert proportionality_index(curve1) == pytest.approx(0.9966483374, rel=REL)
+        assert proportionality_index(curve2) == pytest.approx(0.9939869612, rel=REL)
+
+    def test_dynamic_ranges(self, curves):
+        curve1, curve2 = curves
+        assert dynamic_range(curve1) == pytest.approx(200.0, rel=REL)
+        assert dynamic_range(curve2) == pytest.approx(100.0, rel=REL)
+
+    def test_activity_at_100pJ(self, curves):
+        curve1, curve2 = curves
+        assert curve1.activity_at(100e-12) == pytest.approx(21826.187, rel=REL)
+        assert curve2.activity_at(100e-12) == pytest.approx(9038.1705, rel=REL)
+
+
+class TestFig02GoldenValues:
+    """FIG2 — QoS versus Vdd for the three design styles."""
+
+    VDD_SWEEP = vdd_range(0.15, 1.1, 20)
+
+    @pytest.fixture(scope="class")
+    def designs(self, tech):
+        return (SpeedIndependentDesign(tech), BundledDataDesign(tech),
+                HybridDesign(tech))
+
+    def test_onset_voltages(self, designs):
+        def onset(design):
+            plan = ExperimentPlan.sweep("vdd", self.VDD_SWEEP)
+            result = Executor().run(plan,
+                                    {"qos": lambda v: qos_point(design, v)})
+            curve = QoSCurve(design.__class__.__name__, QoSMetric.THROUGHPUT,
+                             result.series("qos").points)
+            return curve.onset_voltage()
+
+        design1, design2, hybrid = designs
+        assert onset(design1) == pytest.approx(0.15, abs=1e-9)
+        assert onset(design2) == pytest.approx(0.5, abs=1e-9)
+        assert onset(hybrid) == pytest.approx(0.15, abs=1e-9)
+
+    def test_throughput_at_nominal(self, designs):
+        design1, design2, hybrid = designs
+        assert design1.throughput(1.0) == pytest.approx(1.1578947368e10, rel=REL)
+        assert design2.throughput(1.0) == pytest.approx(1.1956521739e10, rel=REL)
+        assert hybrid.throughput(1.0) == pytest.approx(1.1956521739e10, rel=REL)
+
+    def test_operations_per_joule_at_nominal(self, designs):
+        design1, design2, hybrid = designs
+        assert 1.0 / design1.energy_per_operation(1.0) == pytest.approx(
+            8.5073077774e12, rel=REL)
+        assert 1.0 / design2.energy_per_operation(1.0) == pytest.approx(
+            2.7250926532e13, rel=REL)
+        assert 1.0 / hybrid.energy_per_operation(1.0) == pytest.approx(
+            2.5610214583e13, rel=REL)
+
+
+class TestFig11GoldenValues:
+    """FIG11 — charge-to-digital transfer function of the self-timed counter."""
+
+    #: (sampled voltage, exact count of the event-driven conversion).
+    GOLDEN_COUNTS = [(0.3, 3853), (0.5, 6227), (1.0, 9410)]
+
+    @pytest.fixture(scope="class")
+    def converter(self, tech):
+        return ChargeToDigitalConverter(technology=tech,
+                                        sampling_capacitance=30e-12)
+
+    def test_counts_are_exact(self, converter):
+        voltages = [v for v, _ in self.GOLDEN_COUNTS]
+        plan = ExperimentPlan.sweep("sampled_vdd", voltages)
+        result = Executor().run(plan, {
+            "count": lambda v: converter.convert(ConstantSupply(v)).count})
+        counts = [int(c) for _, c in result.series("count").points]
+        assert counts == [count for _, count in self.GOLDEN_COUNTS]
+
+    def test_predicted_counts(self, converter):
+        assert converter.predicted_count(0.3) == 3849
+        assert converter.predicted_count(0.5) == 6224
+        assert converter.predicted_count(1.0) == 9406
+
+    def test_conversion_gain(self, converter):
+        assert converter.conversion_gain(0.3, 1.0) == pytest.approx(
+            7938.5714286, rel=REL)
+
+    def test_charge_and_time_at_nominal(self, converter):
+        result = converter.convert(ConstantSupply(1.0))
+        assert result.charge_consumed == pytest.approx(2.58000554e-11, rel=1e-4)
+        assert result.conversion_time == pytest.approx(1.27699306e-4, rel=1e-4)
