@@ -10,10 +10,19 @@ grids and run them through a shared :class:`~repro.analysis.runner.Executor`.
 ``pytest benchmarks --runner-workers N`` fans the plan points out over an
 ``N``-process pool; the default (0) is the deterministic serial path, and
 both produce bit-identical figures.
+
+``pytest benchmarks --runner-cache {off,rw,ro}`` additionally attaches the
+persistent :class:`~repro.analysis.cache.ResultCache` under
+``.repro_cache/``: with ``rw``, a second consecutive run answers every plan
+from disk (the :class:`~repro.analysis.runner.RunRecord` provenance then
+reports nonzero persistent hits); ``ro`` replays an existing cache without
+ever writing.  CI runs with the default ``off`` so timing numbers always
+measure real evaluation.
 """
 
 import pytest
 
+from repro.analysis.cache import CACHE_MODES, ResultCache
 from repro.analysis.runner import Executor
 from repro.models.technology import get_technology
 
@@ -23,24 +32,41 @@ def pytest_addoption(parser):
         "--runner-workers", action="store", type=int, default=0,
         help="process-pool size for ExperimentPlan execution "
              "(0 = deterministic serial path)")
+    parser.addoption(
+        "--runner-cache", action="store", choices=CACHE_MODES, default="off",
+        help="persistent result cache under .repro_cache/ "
+             "(off = always evaluate, rw = read and write, ro = read only)")
+
+
+def _option(request, name, default):
+    try:
+        return request.config.getoption(name)
+    except ValueError:
+        # The options are registered by this conftest; when pytest is invoked
+        # from the repository root the registration happens too late for the
+        # command line, so fall back to the defaults.
+        return default
 
 
 @pytest.fixture(scope="session")
 def runner_workers(request):
     """Pool size requested on the command line (0 when unavailable)."""
-    try:
-        return request.config.getoption("--runner-workers")
-    except ValueError:
-        # The option is registered by this conftest; when pytest is invoked
-        # from the repository root the registration happens too late for the
-        # command line, so fall back to the serial default.
-        return 0
+    return _option(request, "--runner-workers", 0)
 
 
 @pytest.fixture(scope="session")
-def executor(runner_workers):
+def runner_cache_mode(request):
+    """Persistent-cache mode requested on the command line ("off" default)."""
+    return _option(request, "--runner-cache", "off")
+
+
+@pytest.fixture(scope="session")
+def executor(runner_workers, runner_cache_mode):
     """The experiment executor every figure benchmark runs its plan on."""
-    return Executor(workers=runner_workers)
+    persistent = None
+    if runner_cache_mode != "off":
+        persistent = ResultCache(mode=runner_cache_mode)
+    return Executor(workers=runner_workers, persistent=persistent)
 
 
 @pytest.fixture(scope="session")

@@ -1,84 +1,114 @@
 """ABL — Ablations of the design choices DESIGN.md calls out.
 
-Three knobs the paper discusses qualitatively are quantified here:
+Three knobs the paper discusses qualitatively are quantified here, each as
+its own :class:`ExperimentPlan`:
 
 * **Completion-detection segmentation** (Section III-A): "its low Vdd limit
   can be pushed further down in sub-threshold (below 0.3 V) by sectioning the
   completion detection in the column into smaller segments, say, of 8 bit
-  each" — at the price of extra gates.
+  each" — at the price of extra gates.  Evaluated per point by
+  :func:`repro.sram.completion.segmentation_metrics` (segment size 0 encodes
+  the unsegmented full column).
 * **8T versus 6T cells**: "leakage power can be reduced by switching to 8T
-  cells (with two NMOS transistors in stack)".
+  cells (with two NMOS transistors in stack)".  Evaluated per point by
+  :func:`repro.sram.sram.cell_tradeoff_metrics`.
 * **The hybrid's switch voltage**: where the power-adaptive design hands over
   between Design 1 and Design 2 determines how much of Design 2's efficiency
-  it keeps.
+  it keeps.  Evaluated per point by
+  :func:`repro.core.design_styles.hybrid_tradeoff_metrics`.
 """
 
+from repro.analysis.runner import ExperimentPlan
 from repro.analysis.report import format_table
-from repro.core.design_styles import HybridDesign
+from repro.core.design_styles import (
+    HYBRID_TRADEOFF_METRICS,
+    hybrid_tradeoff_metrics,
+)
 from repro.sram.cell import CellType
-from repro.sram.completion import ColumnCompletionDetector
-from repro.sram.sram import SRAMConfig, SpeedIndependentSRAM
+from repro.sram.completion import SEGMENTATION_METRICS, segmentation_metrics
+from repro.sram.sram import cell_tradeoff_metrics
 
 from conftest import emit
 
+COLUMNS = 16
+#: Segment sizes of the column completion detector; 0 = one full-column
+#: detector (the plan axis cannot carry ``None``).
+SEGMENT_SIZES = [0.0, 8.0, 4.0]
+CELL_TYPES = (CellType.SIX_T, CellType.EIGHT_T)
+SWITCH_VOLTAGES = [0.45, 0.6, 0.8]
 
-def run_ablations(tech):
-    segmentation = []
-    for segment_size in (None, 8, 4):
-        detector = ColumnCompletionDetector(technology=tech, columns=16,
-                                            segment_size=segment_size)
-        segmentation.append([
-            "full column" if segment_size is None else f"{segment_size}-bit segments",
-            detector.minimum_detectable_vdd(),
-            detector.detection_delay(0.3),
-            detector.gate_count,
-        ])
+CELL_METRICS = ("array_leakage", "write_energy", "area_factor")
 
-    cells = []
-    for cell_type in (CellType.SIX_T, CellType.EIGHT_T):
-        sram = SpeedIndependentSRAM(
-            tech, SRAMConfig(cell_type=cell_type, calibrate_energy=False))
-        cells.append([cell_type.value,
-                      sram.array_leakage_power(1.0),
-                      sram.write_energy(0.4),
-                      cell_type.area_factor])
 
-    hybrids = []
-    for switch_voltage in (0.45, 0.6, 0.8):
-        hybrid = HybridDesign(tech, switch_voltage=switch_voltage)
-        hybrids.append([switch_voltage,
-                        hybrid.energy_per_operation(1.0),
-                        hybrid.energy_per_operation(0.3),
-                        hybrid.minimum_operating_voltage()])
+def run_ablations(tech, executor):
+    segmentation = executor.run(
+        ExperimentPlan.sweep("segment_size", SEGMENT_SIZES),
+        {metric: (lambda s, metric=metric:
+                  segmentation_metrics(tech, COLUMNS, s)[metric])
+         for metric in SEGMENTATION_METRICS})
+    cells = executor.run(
+        ExperimentPlan.sweep("cell_index", range(len(CELL_TYPES))),
+        {metric: (lambda i, metric=metric: cell_tradeoff_metrics(
+            tech, CELL_TYPES[int(round(i))])[metric])
+         for metric in CELL_METRICS})
+    hybrids = executor.run(
+        ExperimentPlan.sweep("switch_voltage", SWITCH_VOLTAGES),
+        {metric: (lambda v, metric=metric:
+                  hybrid_tradeoff_metrics(tech, v)[metric])
+         for metric in HYBRID_TRADEOFF_METRICS})
     return segmentation, cells, hybrids
 
 
-def test_ablation_of_paper_design_choices(tech, benchmark):
-    segmentation, cells, hybrids = benchmark(run_ablations, tech)
+def test_ablation_of_paper_design_choices(tech, benchmark, executor):
+    segmentation, cells, hybrids = benchmark(run_ablations, tech, executor)
+
+    def segment_label(size):
+        return "full column" if size == 0 else f"{int(size)}-bit segments"
 
     emit(format_table(
-        "ABL1 — completion-detection segmentation (16-column array)",
+        f"ABL1 — completion-detection segmentation ({COLUMNS}-column array)",
         ["column CD structure", "min detectable Vdd", "detection delay @0.3V",
          "gate count"],
-        segmentation, unit_hints=["", "V", "s", ""]))
+        [[segment_label(size),
+          segmentation.series("min_detectable_vdd").value_at(size),
+          segmentation.series("detection_delay").value_at(size),
+          int(segmentation.series("gate_count").value_at(size))]
+         for size in SEGMENT_SIZES],
+        unit_hints=["", "V", "s", ""]))
     emit(format_table(
         "ABL2 — 6T vs 8T cells (1-kbit array)",
         ["cell", "array leakage @1V", "write energy @0.4V", "relative area"],
-        cells, unit_hints=["", "W", "J", ""]))
+        [[cell.value,
+          cells.series("array_leakage").value_at(i),
+          cells.series("write_energy").value_at(i),
+          cells.series("area_factor").value_at(i)]
+         for i, cell in enumerate(CELL_TYPES)],
+        unit_hints=["", "W", "J", ""]))
     emit(format_table(
         "ABL3 — hybrid switch-voltage choice",
         ["switch voltage", "E/op @1.0V", "E/op @0.3V", "min operating V"],
-        hybrids, unit_hints=["V", "J", "J", ""]))
+        [[voltage,
+          hybrids.series("energy_per_op_high").value_at(voltage),
+          hybrids.series("energy_per_op_low").value_at(voltage),
+          hybrids.series("min_operating_voltage").value_at(voltage)]
+         for voltage in SWITCH_VOLTAGES],
+        unit_hints=["V", "J", "J", ""]))
 
     # Segmentation pushes the detectable minimum down but costs gates.
-    assert segmentation[1][1] <= segmentation[0][1]
-    assert segmentation[2][1] <= segmentation[1][1]
-    assert segmentation[2][3] >= segmentation[0][3]
+    min_vdd = segmentation.series("min_detectable_vdd")
+    gates = segmentation.series("gate_count")
+    assert min_vdd.value_at(8.0) <= min_vdd.value_at(0.0)
+    assert min_vdd.value_at(4.0) <= min_vdd.value_at(8.0)
+    assert gates.value_at(4.0) >= gates.value_at(0.0)
     # 8T cells leak less but are larger.
-    assert cells[1][1] < cells[0][1]
-    assert cells[1][3] > cells[0][3]
+    six_t, eight_t = 0, 1
+    assert (cells.series("array_leakage").value_at(eight_t)
+            < cells.series("array_leakage").value_at(six_t))
+    assert (cells.series("area_factor").value_at(eight_t)
+            > cells.series("area_factor").value_at(six_t))
     # Every hybrid keeps Design 1's operating floor; the switch voltage only
     # affects how much of Design 2's efficiency is captured at mid-range Vdd.
-    floors = {row[3] for row in hybrids}
+    floors = set(hybrids.series("min_operating_voltage").ys)
     assert len(floors) == 1
-    assert all(row[1] > 0 and row[2] > 0 for row in hybrids)
+    assert all(y > 0 for y in hybrids.series("energy_per_op_high").ys)
+    assert all(y > 0 for y in hybrids.series("energy_per_op_low").ys)

@@ -7,12 +7,27 @@ transmit) against a bursty harvested-energy profile under four policies and
 prints the value each policy extracts from the same energy.  The
 energy-frugal (value-per-energy) policy must extract at least as much value
 as FIFO, and no policy may spend more energy than was harvested.
+
+The policy comparison is declared as an :class:`ExperimentPlan` over the
+``policy_index`` axis; each point is one scheduling run through
+:func:`repro.core.scheduler.run_policy`.
 """
 
 from repro.analysis.report import format_table
-from repro.core.scheduler import SchedulingPolicy, Task, compare_policies
+from repro.analysis.runner import ExperimentPlan
+from repro.core.scheduler import (
+    SCHEDULE_METRICS,
+    SchedulingPolicy,
+    Task,
+    run_policy,
+    schedule_metrics,
+)
 
 from conftest import emit
+
+POLICIES = list(SchedulingPolicy)
+JOULES_PER_TOKEN = 0.5e-9
+STORAGE_CAPACITY = 40e-9
 
 
 def sensor_node_workload():
@@ -42,22 +57,40 @@ def bursty_profile(slots=40):
     return profile
 
 
-def run_policies(_tech):
-    return compare_policies(sensor_node_workload(), bursty_profile(),
-                            joules_per_token=0.5e-9,
-                            storage_capacity=40e-9)
+def build_figure(tech, executor):
+    # One scheduling run per policy, memoised so the nine quantities of a
+    # point share a single run (and the table can list unfinished tasks).
+    results = {}
+
+    def scheduled(index):
+        key = int(round(index))
+        if key not in results:
+            results[key] = run_policy(
+                sensor_node_workload(), bursty_profile(), POLICIES[key],
+                joules_per_token=JOULES_PER_TOKEN,
+                storage_capacity=STORAGE_CAPACITY)
+        return results[key]
+
+    plan = ExperimentPlan.sweep("policy_index", range(len(POLICIES)))
+    quantities = {
+        metric: (lambda i, metric=metric: schedule_metrics(scheduled(i))[metric])
+        for metric in SCHEDULE_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return {policy: scheduled(i) for i, policy in enumerate(POLICIES)}, result
 
 
-def test_ext1_energy_token_scheduling(tech, benchmark):
-    results = benchmark(run_policies, tech)
+def test_ext1_energy_token_scheduling(tech, benchmark, executor):
+    results, plan_result = benchmark(build_figure, tech, executor)
 
     rows = []
-    for policy, result in results.items():
-        rows.append([policy.value, len(result.runs), result.total_value,
-                     result.energy_offered, result.energy_spent,
-                     result.energy_utilisation,
-                     len(result.missed_deadlines),
-                     " ".join(result.unfinished_tasks) or "-"])
+    for index, policy in enumerate(POLICIES):
+        at = {metric: plan_result.series(metric).value_at(index)
+              for metric in SCHEDULE_METRICS}
+        rows.append([policy.value, int(at["runs"]), at["total_value"],
+                     at["energy_offered"], at["energy_spent"],
+                     at["energy_utilisation"], int(at["missed_deadlines"]),
+                     " ".join(results[policy].unfinished_tasks) or "-"])
     emit(format_table(
         "EXT1 — sensor-node workload over a bursty harvest, by policy",
         ["policy", "runs", "value", "offered", "spent", "utilisation",
@@ -77,5 +110,8 @@ def test_ext1_energy_token_scheduling(tech, benchmark):
     # The schedule is actually exercised: every policy runs work, and the
     # energy banked between bursts is bounded by the storage capacity.
     assert all(len(result.runs) > 0 for result in results.values())
-    assert all(result.energy_left_stored <= 40e-9 + 1e-12
+    assert all(result.energy_left_stored <= STORAGE_CAPACITY + 1e-12
                for result in results.values())
+    # The plan's quantities agree with the memoised runs themselves.
+    assert plan_result.series("total_value").value_at(
+        POLICIES.index(SchedulingPolicy.FIFO)) == fifo.total_value

@@ -5,12 +5,14 @@ Section II-B: for a given quantum of scavenged energy the load can either
 (the AC-powered-filter approach of [4]) or "operate under the variable
 voltage, but this requires much more robust circuits, such as classes of
 self-timed (asynchronous) logic".  The benchmark sweeps the size of the
-scavenged quantum and reports how much computation each strategy extracts
-from it, locating the crossover region that motivates the paper's
-power-adaptive (hybrid) recommendation.
+scavenged quantum — as an :class:`ExperimentPlan` with one quantity per
+strategy — and reports how much computation each strategy extracts from it,
+locating the crossover region that motivates the paper's power-adaptive
+(hybrid) recommendation.
 """
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.core.design_styles import BundledDataDesign, SpeedIndependentDesign
 from repro.core.gating import PowerGatedDesign, voltage_scaled_activity_per_quantum
 
@@ -22,30 +24,31 @@ QUANTA = [10e-12, 20e-12, 50e-12, 100e-12, 200e-12, 500e-12, 1e-9, 2e-9,
 PERIOD = 1e-4
 
 
-def compare_strategies(tech):
+def build_figure(tech, executor):
     gated = PowerGatedDesign(BundledDataDesign(tech), nominal_vdd=1.0)
     self_timed = SpeedIndependentDesign(tech)
-    rows = []
-    for quantum in QUANTA:
-        strategy1 = gated.activity_per_quantum(quantum, PERIOD)
-        strategy2 = voltage_scaled_activity_per_quantum(self_timed, quantum,
-                                                        PERIOD)
-        rows.append([quantum, strategy1, strategy2,
-                     (strategy2 / strategy1) if strategy1 > 0 else float("inf")])
-    return rows
+    plan = ExperimentPlan.sweep("quantum", QUANTA)
+    result = executor.run(plan, {
+        "strategy1": lambda q: gated.activity_per_quantum(q, PERIOD),
+        "strategy2": lambda q: voltage_scaled_activity_per_quantum(
+            self_timed, q, PERIOD),
+    })
+    return result
 
 
-def test_ext3_power_gating_vs_voltage_scaling(tech, benchmark):
-    rows = benchmark(compare_strategies, tech)
+def test_ext3_power_gating_vs_voltage_scaling(tech, benchmark, executor):
+    result = benchmark(build_figure, tech, executor)
+    strategy1 = result.series("strategy1").ys
+    strategy2 = result.series("strategy2").ys
 
     emit(format_table(
         "EXT3 — operations per scavenged quantum (1 ms period)",
         ["energy quantum", "strategy 1: gate at 1 V", "strategy 2: scale Vdd",
          "strategy2 / strategy1"],
-        rows, unit_hints=["J", "", "", ""]))
+        [[quantum, s1, s2, (s2 / s1) if s1 > 0 else float("inf")]
+         for quantum, s1, s2 in zip(QUANTA, strategy1, strategy2)],
+        unit_hints=["J", "", "", ""]))
 
-    strategy1 = [row[1] for row in rows]
-    strategy2 = [row[2] for row in rows]
     # Both strategies produce more activity from bigger quanta.
     assert strategy1 == sorted(strategy1)
     assert strategy2 == sorted(strategy2)

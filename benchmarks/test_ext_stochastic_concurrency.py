@@ -2,7 +2,9 @@
 
 Reference [12] (cited in the conclusion as part of the energy-modulated
 toolbox) analyses how the degree of concurrency trades latency against power.
-The benchmark sweeps an M/M/c model of a multi-core load, prints the
+The benchmark sweeps an M/M/c model of a multi-core load — declared as an
+:class:`ExperimentPlan` over the core count, each point evaluated by
+:func:`repro.core.stochastic.operating_point_metrics` — prints the
 latency/power/energy table, validates the closed forms against a Monte-Carlo
 simulation, and checks the qualitative shape: latency falls and power rises
 with concurrency, so the power-latency product has an interior optimum —
@@ -12,7 +14,14 @@ which is the operating point a power-adaptive scheduler would pick.
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.stochastic import ConcurrencyAnalysis, PowerLatencyModel, simulate_mmc
+from repro.analysis.runner import ExperimentPlan
+from repro.core.stochastic import (
+    OPERATING_POINT_METRICS,
+    ConcurrencyAnalysis,
+    PowerLatencyModel,
+    operating_point_metrics,
+    simulate_mmc,
+)
 
 from conftest import emit
 
@@ -21,26 +30,37 @@ SERVICE_RATE = 25.0      # jobs per second per core at the chosen Vdd
 STATIC_POWER = 2e-6      # watts per powered-on core
 DYNAMIC_POWER = 20e-6    # additional watts per busy core
 MAX_SERVERS = 16
+SERVER_COUNTS = list(range(1, MAX_SERVERS + 1))
 
 
-def analyse(_tech):
+def build_figure(tech, executor):
     model = PowerLatencyModel(arrival_rate=ARRIVAL_RATE,
                               service_rate=SERVICE_RATE,
                               static_power_per_server=STATIC_POWER,
                               dynamic_power_per_server=DYNAMIC_POWER)
-    analysis = ConcurrencyAnalysis(model, max_servers=MAX_SERVERS)
-    return model, analysis, analysis.sweep()
+    plan = ExperimentPlan.sweep("servers", SERVER_COUNTS)
+    quantities = {
+        metric: (lambda c, metric=metric:
+                 operating_point_metrics(model, c)[metric])
+        for metric in OPERATING_POINT_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return model, ConcurrencyAnalysis(model, max_servers=MAX_SERVERS), result
 
 
-def test_ext2_stochastic_concurrency_tradeoff(tech, benchmark):
-    model, analysis, points = benchmark(analyse, tech)
+def test_ext2_stochastic_concurrency_tradeoff(tech, benchmark, executor):
+    model, analysis, result = benchmark(build_figure, tech, executor)
+
+    def at(metric, servers):
+        return result.series(metric).value_at(servers)
 
     emit(format_table(
         "EXT2 — degree of concurrency vs latency and power (M/M/c)",
         ["cores", "utilisation", "mean latency", "queue length", "power",
          "power x latency"],
-        [[p.servers, p.utilisation, p.mean_latency, p.mean_queue_length,
-          p.power, p.power_latency_product] for p in points],
+        [[c, at("utilisation", c), at("mean_latency", c),
+          at("mean_queue_length", c), at("power", c),
+          at("power_latency_product", c)] for c in SERVER_COUNTS],
         unit_hints=["", "", "s", "", "W", "J"]))
 
     balanced = analysis.balanced_optimal()
@@ -49,22 +69,26 @@ def test_ext2_stochastic_concurrency_tradeoff(tech, benchmark):
     emit(format_table(
         "EXT2 — chosen operating points",
         ["point", "cores", "mean latency", "power"],
-        [["latency-optimal", fastest.servers, fastest.mean_latency, fastest.power],
+        [["latency-optimal", fastest.servers, fastest.mean_latency,
+          fastest.power],
          ["power-latency optimal", balanced.servers, balanced.mean_latency,
           balanced.power],
          ["Monte-Carlo check of the balanced point", balanced.servers,
           empirical.mean_latency, empirical.power]],
         unit_hints=["", "", "s", "W"]))
 
-    stable = [p for p in points if p.stable]
+    stable = [c for c in SERVER_COUNTS if at("stable", c) > 0]
     # Latency is monotone non-increasing and power monotone increasing in c.
-    latencies = [p.mean_latency for p in stable]
-    powers = [p.power for p in stable]
+    latencies = [at("mean_latency", c) for c in stable]
+    powers = [at("power", c) for c in stable]
     assert all(b <= a + 1e-12 for a, b in zip(latencies, latencies[1:]))
     assert all(b > a for a, b in zip(powers, powers[1:]))
     # The balanced optimum is interior: more concurrency than the bare
     # minimum, less than the latency-optimal maximum.
     assert model.minimum_servers() <= balanced.servers <= fastest.servers
     assert balanced.power <= fastest.power
+    # The plan's per-point quantities agree with the analysis object.
+    assert at("mean_latency", balanced.servers) == balanced.mean_latency
     # The closed-form latency matches simulation within 20 %.
-    assert empirical.mean_latency == pytest.approx(balanced.mean_latency, rel=0.2)
+    assert empirical.mean_latency == pytest.approx(balanced.mean_latency,
+                                                   rel=0.2)

@@ -7,64 +7,67 @@ store, set the rail, admit load — against an unstable vibration harvester and
 compares it with a non-adaptive baseline that insists on the nominal 1 V rail
 regardless of how depleted the store is.  The adaptive system must extract
 more useful operations from the same environment without ever browning out.
+
+The comparison is declared as an :class:`ExperimentPlan` over the
+``adaptive`` axis (0 = fixed 1 V rail, 1 = power-adaptive); each point runs
+one seeded closed loop and the quantities are the scalar summaries of
+:func:`repro.core.power_adaptive.loop_metrics`.
 """
 
 from repro.analysis.report import format_table
-from repro.core.design_styles import HybridDesign
-from repro.core.power_adaptive import AdaptationPolicy, PowerAdaptiveController
-from repro.power.harvester import VibrationHarvester
-from repro.power.power_chain import PowerChain
+from repro.analysis.runner import ExperimentPlan
+from repro.core.power_adaptive import LOOP_METRICS, loop_metrics, run_fig3_loop
 
 from conftest import emit
 
 RUN_SECONDS = 2.0
-CONTROL_INTERVAL = 0.02
+#: Plan axis: 0 = fixed nominal-rail baseline, 1 = power-adaptive controller.
+ADAPTIVE_AXIS = [0.0, 1.0]
 
 
-def make_chain(seed=21):
-    harvester = VibrationHarvester(peak_power=80e-6, wander=0.15, seed=seed)
-    return PowerChain(harvester=harvester, storage_capacitance=47e-6,
-                      output_voltage=1.0, initial_store_voltage=1.3)
+def build_figure(tech, executor):
+    # Each plan point is one seeded closed-loop run of the library's
+    # reference scenario (shared with tests/test_golden_figures.py); the
+    # controllers are memoised per point value so the five quantities
+    # share a single run.
+    controllers = {}
+
+    def scenario(flag):
+        key = bool(round(flag))
+        if key not in controllers:
+            controllers[key] = run_fig3_loop(tech, key,
+                                             run_seconds=RUN_SECONDS)
+        return controllers[key]
+
+    plan = ExperimentPlan.sweep("adaptive", ADAPTIVE_AXIS)
+    quantities = {
+        metric: (lambda flag, metric=metric:
+                 loop_metrics(scenario(flag))[metric])
+        for metric in LOOP_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return scenario(1.0), scenario(0.0), result
 
 
-def run_loop(tech, adaptive):
-    if adaptive:
-        policy = AdaptationPolicy(store_low=0.8, store_high=2.0,
-                                  vdd_floor=0.25, vdd_nominal=1.0,
-                                  max_operations_per_step=50_000)
-    else:
-        # The "non-adaptive" baseline always asks for the nominal rail.
-        policy = AdaptationPolicy(store_low=0.0001, store_high=0.0002,
-                                  vdd_floor=0.999, vdd_nominal=1.0,
-                                  max_operations_per_step=50_000)
-    controller = PowerAdaptiveController(
-        chain=make_chain(), design=HybridDesign(tech), policy=policy,
-        step_interval=CONTROL_INTERVAL)
-    controller.run(RUN_SECONDS)
-    return controller
+def test_fig03_power_adaptive_loop(tech, benchmark, executor):
+    adaptive, fixed, result = benchmark(build_figure, tech, executor)
 
-
-def test_fig03_power_adaptive_loop(tech, benchmark):
-    adaptive = benchmark(run_loop, tech, True)
-    fixed = run_loop(tech, False)
-
-    def summarise(name, controller):
-        report = controller.chain.report()
-        trace = controller.trace()
+    def row(name, flag):
+        at = {metric: result.series(metric).value_at(flag)
+              for metric in LOOP_METRICS}
         return [name,
-                controller.operations_done,
-                report.energy_harvested,
-                controller.energy_consumed,
-                controller.average_rail_voltage(),
-                min(r.stored_energy for r in trace)]
+                int(at["operations"]),
+                at["energy_harvested"],
+                at["energy_consumed"],
+                at["average_rail_voltage"],
+                at["min_stored_energy"]]
 
     emit(format_table(
         "FIG3 — closed-loop adaptation vs fixed-rail baseline "
         f"({RUN_SECONDS:.0f} s of unstable vibration harvesting)",
         ["controller", "operations", "harvested", "consumed by load",
          "avg rail", "min stored energy"],
-        [summarise("power-adaptive", adaptive),
-         summarise("fixed 1 V rail", fixed)],
+        [row("power-adaptive", 1.0), row("fixed 1 V rail", 0.0)],
         unit_hints=["", "", "J", "J", "V", "J"]))
 
     duty = adaptive.duty_profile()
@@ -75,7 +78,12 @@ def test_fig03_power_adaptive_loop(tech, benchmark):
 
     # Shape assertions: adaptation converts the same environment into at
     # least as much work, and it exercises the low-voltage operating points.
-    assert adaptive.operations_done > 0
-    assert adaptive.operations_done >= fixed.operations_done
-    assert adaptive.average_rail_voltage() < fixed.average_rail_voltage()
-    assert min(r.stored_energy for r in adaptive.trace()) >= 0.0
+    operations = result.series("operations")
+    rail = result.series("average_rail_voltage")
+    assert operations.value_at(1.0) > 0
+    assert operations.value_at(1.0) >= operations.value_at(0.0)
+    assert rail.value_at(1.0) < rail.value_at(0.0)
+    assert result.series("min_stored_energy").value_at(1.0) >= 0.0
+    # The plan's quantities agree with the controllers the tables detail.
+    assert operations.value_at(1.0) == float(adaptive.operations_done)
+    assert operations.value_at(0.0) == float(fixed.operations_done)

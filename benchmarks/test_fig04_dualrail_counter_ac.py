@@ -9,70 +9,78 @@ through a 4-phase handshake while the rail swings between 100 mV (well below
 the functional minimum) and 300 mV, and the emitted count sequence must be
 exactly the modulo-4 up-count — the supply may only stretch the handshake,
 never corrupt it.
+
+The AC-versus-DC comparison is declared as an :class:`ExperimentPlan` over
+the ``supply_mode`` axis (0 = the paper's AC rail, 1 = a steady 1 V rail);
+each point is one run of
+:func:`repro.selftimed.counter.run_dualrail_scenario`.
 """
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.power.supply import ACSupply, ConstantSupply
-from repro.selftimed.counter import DualRailCounter
-from repro.sim.simulator import Simulator
+from repro.selftimed.counter import COUNTER_RUN_METRICS, run_dualrail_scenario
 
 from conftest import emit
 
 STEPS = 12
+#: Plan axis: 0 = AC 200 mV ± 100 mV @ 1 MHz, 1 = DC 1.0 V.
+SUPPLY_MODES = [0.0, 1.0]
 
 
-def drive(sim, counter, steps, handshake_gap=0.5e-9):
-    """4-phase environment: req toggles on the counter's ack edges."""
-    state = {"steps_left": steps}
-
-    def on_ack(signal, value, time):
-        if value:
-            sim.schedule_signal(counter.req, False, handshake_gap)
-        elif state["steps_left"] > 0:
-            state["steps_left"] -= 1
-            sim.schedule_signal(counter.req, True, handshake_gap)
-
-    counter.ack.subscribe(on_ack)
-    state["steps_left"] -= 1
-    sim.schedule_signal(counter.req, True, handshake_gap)
+def make_supply(mode):
+    if round(mode) == 0:
+        return ACSupply(offset=0.2, amplitude=0.1, frequency=1e6)
+    return ConstantSupply(1.0)
 
 
-def run_counter(tech, supply):
-    sim = Simulator()
-    counter = DualRailCounter(sim, supply, tech, width=2)
-    drive(sim, counter, STEPS)
-    sim.run_until_idle(max_time=1.0)
-    # Completion time of the last handshake (the run may idle afterwards).
-    finish_time = counter.ack.last_change_time
-    return sim, counter, finish_time
+def build_figure(tech, executor):
+    # One driven counter run per supply condition, memoised so the five
+    # quantities of a point share a single event-driven simulation.
+    runs = {}
+
+    def scenario(mode):
+        key = round(mode)
+        if key not in runs:
+            runs[key] = run_dualrail_scenario(tech, make_supply(mode), STEPS)
+        return runs[key]
+
+    plan = ExperimentPlan.sweep("supply_mode", SUPPLY_MODES)
+    quantities = {
+        metric: (lambda mode, metric=metric: scenario(mode).metrics()[metric])
+        for metric in COUNTER_RUN_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return scenario(0.0), scenario(1.0), result
 
 
-def test_fig04_dualrail_counter_under_ac_supply(tech, benchmark):
-    ac_supply = ACSupply(offset=0.2, amplitude=0.1, frequency=1e6)
-    sim_ac, counter_ac, finish_ac = benchmark(run_counter, tech, ac_supply)
-    sim_dc, counter_dc, finish_dc = run_counter(tech, ConstantSupply(1.0))
+def test_fig04_dualrail_counter_under_ac_supply(tech, benchmark, executor):
+    ac_run, dc_run, result = benchmark(build_figure, tech, executor)
+
+    def row(name, run, mode):
+        return [name,
+                " ".join(str(v) for v in run.values_emitted),
+                bool(result.series("sequence_correct").value_at(mode)),
+                int(result.series("stalls").value_at(mode)),
+                result.series("finish_time").value_at(mode),
+                result.series("energy").value_at(mode)]
 
     emit(format_table(
         "FIG4 — 2-bit dual-rail counter, 12 handshake steps",
         ["supply", "values emitted", "sequence correct", "stalls",
          "total time", "energy"],
-        [["AC 200mV±100mV @ 1MHz",
-          " ".join(str(v) for v in counter_ac.values_emitted),
-          counter_ac.sequence_is_correct(),
-          counter_ac.stall_count,
-          finish_ac, counter_ac.energy_consumed],
-         ["DC 1.0 V",
-          " ".join(str(v) for v in counter_dc.values_emitted),
-          counter_dc.sequence_is_correct(),
-          counter_dc.stall_count,
-          finish_dc, counter_dc.energy_consumed]],
+        [row("AC 200mV±100mV @ 1MHz", ac_run, 0.0),
+         row("DC 1.0 V", dc_run, 1.0)],
         unit_hints=["", "", "", "", "s", "J"]))
 
     # The paper's claim: the count sequence is correct despite the AC rail.
-    assert counter_ac.sequence_is_correct()
-    assert len(counter_ac.values_emitted) == STEPS
-    assert counter_ac.values_emitted == counter_ac.expected_sequence(STEPS)
+    assert ac_run.sequence_correct
+    assert len(ac_run.values_emitted) == STEPS
+    assert ac_run.values_emitted == ac_run.expected
+    assert result.series("sequence_correct").value_at(0.0) == 1.0
+    assert result.series("steps_emitted").value_at(0.0) == float(STEPS)
     # The AC-supplied run is much slower than the 1 V run and had to wait out
     # the sub-threshold troughs, but lost nothing.
-    assert finish_ac > 5 * finish_dc
-    assert counter_dc.sequence_is_correct()
+    finish = result.series("finish_time")
+    assert finish.value_at(0.0) > 5 * finish.value_at(1.0)
+    assert dc_run.sequence_correct

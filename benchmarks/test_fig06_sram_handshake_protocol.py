@@ -8,34 +8,55 @@ write through the event-driven controller and prints the phase-by-phase
 protocol trace, asserting the ordering the figure prescribes (precharge
 before the word line, completion detection before the precharge-return, and
 the read-before-write phase present only in writes).
+
+The summary figures are declared as an :class:`ExperimentPlan` over the
+``operation`` axis (0 = write, 1 = read); the scenario itself —
+:func:`repro.sram.sram.run_handshake_protocol` — runs once per point and
+serves all three quantities.
 """
 
 from repro.analysis.report import format_table
-from repro.power.supply import ConstantSupply
-from repro.sim.simulator import Simulator
-from repro.sram.sram import SRAMConfig, SpeedIndependentSRAM
+from repro.analysis.runner import ExperimentPlan
+from repro.sram.sram import (
+    OPERATION_METRICS,
+    SRAMConfig,
+    operation_metrics,
+    run_handshake_protocol,
+)
 
 from conftest import emit
 
 CONFIG = SRAMConfig(rows=16, columns=8, calibrate_energy=False)
+#: Plan axis: 0 = the write operation's record, 1 = the read's.
+OPERATIONS = [0.0, 1.0]
 
 
-def run_protocol(tech):
-    sram = SpeedIndependentSRAM(tech, CONFIG)
-    sim = Simulator()
-    controller = sram.attach(sim, ConstantSupply(0.5))
-    records = []
-    controller.write(3, 0b10110101,
-                     on_complete=lambda rec, val: records.append(rec))
-    sim.run()
-    controller.read(3, on_complete=lambda rec, val: records.append(rec))
-    sim.run()
-    return sram, records
+def build_figure(tech, executor):
+    # The read depends on the write (it returns the committed value), so the
+    # two operations are one scenario, memoised and indexed by the plan axis.
+    memo = {}
+
+    def scenario():
+        if "run" not in memo:
+            memo["run"] = run_handshake_protocol(tech, CONFIG)
+        return memo["run"]
+
+    def record(op):
+        return scenario()[1 + int(round(op))]
+
+    plan = ExperimentPlan.sweep("operation", OPERATIONS)
+    quantities = {
+        metric: (lambda op, metric=metric: operation_metrics(record(op))[metric])
+        for metric in OPERATION_METRICS
+    }
+    result = executor.run(plan, quantities)
+    sram, write_record, read_record = scenario()
+    return sram, write_record, read_record, result
 
 
-def test_fig06_sram_handshake_protocol(tech, benchmark):
-    sram, records = benchmark(run_protocol, tech)
-    write_record, read_record = records
+def test_fig06_sram_handshake_protocol(tech, benchmark, executor):
+    sram, write_record, read_record, result = benchmark(
+        build_figure, tech, executor)
 
     for record in (write_record, read_record):
         rows = [[phase.name, phase.start_time, phase.duration, phase.vdd]
@@ -49,14 +70,21 @@ def test_fig06_sram_handshake_protocol(tech, benchmark):
     emit(format_table(
         "FIG6 — operation summary",
         ["operation", "latency", "energy", "phases"],
-        [[write_record.operation.value, write_record.latency,
-          write_record.energy, len(write_record.phases)],
-         [read_record.operation.value, read_record.latency,
-          read_record.energy, len(read_record.phases)]],
+        [[write_record.operation.value,
+          result.series("latency").value_at(0.0),
+          result.series("energy").value_at(0.0),
+          int(result.series("phases").value_at(0.0))],
+         [read_record.operation.value,
+          result.series("latency").value_at(1.0),
+          result.series("energy").value_at(1.0),
+          int(result.series("phases").value_at(1.0))]],
         unit_hints=["", "s", "J", ""]))
 
     # The data is actually committed by the handshake sequence.
     assert sram.peek(3) == 0b10110101
+    # The plan's summary agrees with the records the traces detail.
+    assert result.series("latency").value_at(0.0) == write_record.latency
+    assert result.series("latency").value_at(1.0) == read_record.latency
 
     def phase_names(record):
         return [phase.name for phase in record.phases]

@@ -7,56 +7,79 @@ that scenario on the event-driven controller — one write while the rail sits
 at 0.25 V, a second write after the rail has risen to 1.0 V — and checks that
 both writes commit correct data, with the low-voltage one roughly an order of
 magnitude slower.
+
+The two writes are declared as an :class:`ExperimentPlan` over the
+``write_index`` axis (0 = depleted rail, 1 = recovered rail); the scenario —
+:func:`repro.sram.sram.run_varying_rail_writes` — runs once per point and
+serves all quantities.
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.power.supply import PiecewiseSupply
-from repro.sim.simulator import Simulator
-from repro.sram.sram import SRAMConfig, SpeedIndependentSRAM
+from repro.analysis.runner import ExperimentPlan
+from repro.sram.sram import (
+    OPERATION_METRICS,
+    SRAMConfig,
+    operation_metrics,
+    run_varying_rail_writes,
+)
 
 from conftest import emit
 
 CONFIG = SRAMConfig(rows=16, columns=8, calibrate_energy=False)
 LOW_VDD = 0.25
 HIGH_VDD = 1.0
+#: Plan axis: 0 = the write on the depleted rail, 1 = after recovery.
+WRITE_INDICES = [0.0, 1.0]
 
 
-def run_two_writes(tech):
-    sram = SpeedIndependentSRAM(tech, CONFIG)
-    sim = Simulator()
-    # The rail starts low and steps up to nominal after 1 us (a recovering
-    # harvester store, as in the paper's waveform).
-    supply = PiecewiseSupply([(0.0, LOW_VDD), (1e-6, HIGH_VDD)])
-    controller = sram.attach(sim, supply)
-    records = []
-    controller.write(1, 0xA5, on_complete=lambda rec, val: records.append(rec))
-    sim.run()
-    # Move past the supply step, then issue the second write.
-    sim.advance_to(1.5e-6)
-    controller.write(2, 0x5A, on_complete=lambda rec, val: records.append(rec))
-    sim.run()
-    return sram, records
+def build_figure(tech, executor):
+    # The second write follows the supply step of the same simulation, so
+    # the scenario is one memoised run indexed by the plan axis.
+    memo = {}
+
+    def scenario():
+        if "run" not in memo:
+            memo["run"] = run_varying_rail_writes(
+                tech, CONFIG, low_vdd=LOW_VDD, high_vdd=HIGH_VDD)
+        return memo["run"]
+
+    def record(index):
+        return scenario()[1 + int(round(index))]
+
+    plan = ExperimentPlan.sweep("write_index", WRITE_INDICES)
+    quantities = {
+        metric: (lambda i, metric=metric: operation_metrics(record(i))[metric])
+        for metric in OPERATION_METRICS
+    }
+    result = executor.run(plan, quantities)
+    sram, slow_write, fast_write = scenario()
+    return sram, slow_write, fast_write, result
 
 
-def test_fig07_sram_operation_under_varying_vdd(tech, benchmark):
-    sram, records = benchmark(run_two_writes, tech)
-    slow_write, fast_write = records
+def test_fig07_sram_operation_under_varying_vdd(tech, benchmark, executor):
+    sram, slow_write, fast_write, result = benchmark(
+        build_figure, tech, executor)
+    latency = result.series("latency")
+    energy = result.series("energy")
 
     emit(format_table(
         "FIG7 — two writes under a varying rail",
         ["write", "rail during write", "latency", "energy", "data committed"],
-        [["first (depleted rail)", LOW_VDD, slow_write.latency,
-          slow_write.energy, hex(sram.peek(1))],
-         ["second (recovered rail)", HIGH_VDD, fast_write.latency,
-          fast_write.energy, hex(sram.peek(2))]],
+        [["first (depleted rail)", LOW_VDD, latency.value_at(0.0),
+          energy.value_at(0.0), hex(sram.peek(1))],
+         ["second (recovered rail)", HIGH_VDD, latency.value_at(1.0),
+          energy.value_at(1.0), hex(sram.peek(2))]],
         unit_hints=["", "V", "s", "J", ""]))
 
     # Both writes succeed; only the latency differs (the paper's point).
     assert sram.peek(1) == 0xA5
     assert sram.peek(2) == 0x5A
-    assert slow_write.latency > 5 * fast_write.latency
+    assert latency.value_at(0.0) > 5 * latency.value_at(1.0)
+    # The plan's quantities agree with the records themselves.
+    assert latency.value_at(0.0) == slow_write.latency
+    assert latency.value_at(1.0) == fast_write.latency
     # The analytical model agrees on the ordering and rough factor.
     analytic_ratio = sram.write_latency(LOW_VDD) / sram.write_latency(HIGH_VDD)
     measured_ratio = slow_write.latency / fast_write.latency

@@ -7,48 +7,72 @@ The benchmark closes exactly that loop: for a series of regulated set-points
 the sensor measures the live rail, and the measurement must track the
 set-point closely enough to drive regulation (a few tens of millivolts) while
 drawing only a negligible charge from the chain.
+
+The set-point series is declared as an :class:`ExperimentPlan` sweep; each
+point builds a fresh chain regulated to that set-point and meters it through
+:func:`repro.sensors.charge_to_digital.meter_rail`.
 """
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentPlan
 from repro.power.harvester import VibrationHarvester
 from repro.power.power_chain import PowerChain
-from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter, meter_rail
 
 from conftest import emit
 
 SET_POINTS = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+CALIBRATION_GRID = [0.3 + 0.05 * i for i in range(16)]
 
 
-def run_loop(tech):
+def make_chain(target):
+    return PowerChain(
+        harvester=VibrationHarvester(peak_power=300e-6, wander=0.0, seed=0),
+        storage_capacitance=100e-6, output_voltage=target,
+        initial_store_voltage=2.0)
+
+
+def build_figure(tech, executor):
     sensor = ChargeToDigitalConverter(technology=tech,
                                       sampling_capacitance=30e-12)
-    sensor.calibrate([0.3 + 0.05 * i for i in range(16)])
-    rows = []
-    for target in SET_POINTS:
-        chain = PowerChain(
-            harvester=VibrationHarvester(peak_power=300e-6, wander=0.0, seed=0),
-            storage_capacitance=100e-6, output_voltage=target,
-            initial_store_voltage=2.0)
-        store_before = chain.store.stored_energy(0.0)
-        result = sensor.convert(chain.output_rail)
-        measured = sensor.calibration.voltage_for_code(float(result.count))
-        store_after = chain.store.stored_energy(0.0)
-        rows.append([target, result.count, measured,
-                     abs(measured - target), store_before - store_after])
-    return rows
+    sensor.calibrate(CALIBRATION_GRID)
+    # One fresh chain (and one conversion) per set-point, memoised so the
+    # four quantities of a point share a single metering.
+    measurements = {}
+
+    def metered(target):
+        if target not in measurements:
+            measurements[target] = meter_rail(sensor, make_chain(target))
+        return measurements[target]
+
+    plan = ExperimentPlan.sweep("set_point", SET_POINTS)
+    result = executor.run(plan, {
+        "code": lambda t: float(metered(t).code),
+        "measured": lambda t: metered(t).measured_voltage,
+        "error": lambda t: abs(metered(t).measured_voltage - t),
+        "store_energy_taken": lambda t: metered(t).store_energy_taken,
+    })
+    return result
 
 
-def test_fig08_voltage_sensor_in_the_power_chain(tech, benchmark):
-    rows = benchmark(run_loop, tech)
+def test_fig08_voltage_sensor_in_the_power_chain(tech, benchmark, executor):
+    result = benchmark(build_figure, tech, executor)
 
+    rows = [[target,
+             int(result.series("code").value_at(target)),
+             result.series("measured").value_at(target),
+             result.series("error").value_at(target),
+             result.series("store_energy_taken").value_at(target)]
+            for target in SET_POINTS]
     emit(format_table(
         "FIG8 — charge-to-digital sensor metering the regulated rail",
-        ["rail set-point", "code", "measured", "error", "energy taken from chain"],
+        ["rail set-point", "code", "measured", "error",
+         "energy taken from chain"],
         rows, unit_hints=["V", "", "V", "V", "J"]))
 
-    errors = [row[3] for row in rows]
-    sampling_costs = [row[4] for row in rows]
-    codes = [row[1] for row in rows]
+    errors = result.series("error").ys
+    sampling_costs = result.series("store_energy_taken").ys
+    codes = result.series("code").ys
     # Measurement tracks the set-point well enough to close the control loop.
     assert max(errors) < 0.05
     # The code grows with the rail voltage (it is the feedback signal).

@@ -10,42 +10,66 @@ converter and verifies exactly that proportionality: charge consumed per
 count stays (nearly) constant across input voltages, the counter stops by
 itself when the capacitor collapses, and the conversion's energy comes from
 the sampled charge, not from the measured node.
+
+The input-voltage series is declared as an :class:`ExperimentPlan` sweep;
+each point is one event-driven conversion through
+:func:`repro.sensors.charge_to_digital.conversion_metrics`.
 """
 
 from repro.analysis.report import format_table
-from repro.power.supply import ConstantSupply
-from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.analysis.runner import ExperimentPlan
+from repro.sensors.charge_to_digital import (
+    CONVERSION_METRICS,
+    ChargeToDigitalConverter,
+    conversion_metrics,
+)
 
 from conftest import emit
 
 INPUT_VOLTAGES = [0.4, 0.6, 0.8, 1.0]
 
 
-def run_conversions(tech):
+def build_figure(tech, executor):
     converter = ChargeToDigitalConverter(technology=tech,
                                          sampling_capacitance=30e-12)
-    results = [(v, converter.convert(ConstantSupply(v))) for v in INPUT_VOLTAGES]
-    return converter, results
+    # One event-driven conversion per sampled voltage, memoised so the five
+    # quantities of a point share a single simulation.
+    conversions = {}
+
+    def converted(voltage):
+        if voltage not in conversions:
+            conversions[voltage] = conversion_metrics(converter, voltage)
+        return conversions[voltage]
+
+    plan = ExperimentPlan.sweep("sampled_vdd", INPUT_VOLTAGES)
+    quantities = {
+        metric: (lambda v, metric=metric: converted(v)[metric])
+        for metric in CONVERSION_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return converter, result
 
 
-def test_fig09_charge_to_code_conversion(tech, benchmark):
-    converter, results = benchmark(run_conversions, tech)
+def test_fig09_charge_to_code_conversion(tech, benchmark, executor):
+    converter, result = benchmark(build_figure, tech, executor)
 
-    rows = []
-    for voltage, result in results:
-        rows.append([voltage, result.count, result.charge_consumed,
-                     result.charge_per_count, result.conversion_time,
-                     result.final_voltage])
+    rows = [[voltage,
+             int(result.series("count").value_at(voltage)),
+             result.series("charge_consumed").value_at(voltage),
+             result.series("charge_per_count").value_at(voltage),
+             result.series("conversion_time").value_at(voltage),
+             result.series("final_voltage").value_at(voltage)]
+            for voltage in INPUT_VOLTAGES]
     emit(format_table(
         "FIG9 — conversions of a 30 pF sampled charge",
         ["sampled V", "count", "charge consumed", "charge per count",
          "conversion time", "final V"],
         rows, unit_hints=["V", "", "C", "C", "s", "V"]))
 
-    counts = [result.count for _, result in results]
-    charges = [result.charge_consumed for _, result in results]
-    per_count = [result.charge_per_count for _, result in results]
-    times = [result.conversion_time for _, result in results]
+    counts = result.series("count").ys
+    charges = result.series("charge_consumed").ys
+    per_count = result.series("charge_per_count").ys
+    times = result.series("conversion_time").ys
 
     # Strong charge-to-count proportionality: the charge cost of one count
     # stays within a factor of two across a 2.5x range of sampled charge
@@ -59,10 +83,12 @@ def test_fig09_charge_to_code_conversion(tech, benchmark):
     assert charges == sorted(charges)
     assert max(times) / min(times) < 3.0
     # The conversion self-terminates with the capacitor near the stop voltage.
-    for _, result in results:
-        assert result.final_voltage <= converter.stop_voltage * 1.5
-        assert result.count < (1 << converter.counter_width)
+    for voltage in INPUT_VOLTAGES:
+        final_voltage = result.series("final_voltage").value_at(voltage)
+        count = result.series("count").value_at(voltage)
+        assert final_voltage <= converter.stop_voltage * 1.5
+        assert count < (1 << converter.counter_width)
     # The closed-form prediction tracks the event-driven reference.
-    for voltage, result in results:
-        assert abs(converter.predicted_count(voltage) - result.count) \
-            <= 0.25 * result.count + 2
+    for voltage, count in zip(INPUT_VOLTAGES, counts):
+        assert abs(converter.predicted_count(voltage) - count) \
+            <= 0.25 * count + 2

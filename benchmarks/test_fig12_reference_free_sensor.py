@@ -8,11 +8,20 @@ of Vdd, from 200 mV to 1 V ... with an accuracy of 10 mV".  The benchmark
 sweeps the race over that range, prints the code and the recovered voltage,
 and checks monotonicity, the operating range and the 10 mV worst-case
 accuracy.
+
+The probe series is declared as an :class:`ExperimentPlan` sweep; each point
+is one race through :func:`repro.sensors.reference_free.race_metrics` on a
+sensor calibrated once per figure.
 """
 
 from repro.analysis.metrics import monotonicity_violations
 from repro.analysis.report import format_table
-from repro.sensors.reference_free import ReferenceFreeVoltageSensor
+from repro.analysis.runner import ExperimentPlan
+from repro.sensors.reference_free import (
+    RACE_METRICS,
+    ReferenceFreeVoltageSensor,
+    race_metrics,
+)
 
 from conftest import emit
 
@@ -20,41 +29,55 @@ CALIBRATION_GRID = [0.20 + 0.01 * i for i in range(81)]
 PROBE_VOLTAGES = [0.205 + 0.05 * i for i in range(16)]
 
 
-def characterise(tech):
+def build_figure(tech, executor):
     sensor = ReferenceFreeVoltageSensor(technology=tech)
     sensor.calibrate(CALIBRATION_GRID)
-    rows = []
-    for vdd in PROBE_VOLTAGES:
-        result = sensor.race(vdd)
-        measured = sensor.measure(vdd)
-        rows.append([vdd, result.thermometer_code, measured,
-                     abs(measured - vdd)])
-    return sensor, rows
+    # One race per probe voltage, memoised so the three quantities of a
+    # point share a single race.
+    races = {}
+
+    def raced(vdd):
+        if vdd not in races:
+            races[vdd] = race_metrics(sensor, vdd)
+        return races[vdd]
+
+    plan = ExperimentPlan.sweep("true_vdd", PROBE_VOLTAGES)
+    quantities = {
+        metric: (lambda vdd, metric=metric: raced(vdd)[metric])
+        for metric in RACE_METRICS
+    }
+    result = executor.run(plan, quantities)
+    return sensor, result
 
 
-def test_fig12_reference_free_voltage_sensor(tech, benchmark):
-    sensor, rows = benchmark(characterise, tech)
+def test_fig12_reference_free_voltage_sensor(tech, benchmark, executor):
+    sensor, result = benchmark(build_figure, tech, executor)
 
+    rows = [[vdd,
+             int(result.series("code").value_at(vdd)),
+             result.series("measured").value_at(vdd),
+             result.series("error").value_at(vdd)]
+            for vdd in PROBE_VOLTAGES]
     emit(format_table(
         "FIG12 — SRAM-vs-ruler race sensor over the 0.2-1.0 V range",
         ["true Vdd", "thermometer code", "measured", "error"],
         rows, unit_hints=["V", "", "V", "V"]))
     low, high = sensor.operating_range()
+    errors = result.series("error").ys
     emit(format_table(
         "FIG12 — headline properties",
         ["quantity", "paper", "this model"],
         [["operating range low (V)", 0.2, low],
          ["operating range high (V)", 1.0, high],
-         ["worst-case accuracy (V)", 0.010,
-          max(row[3] for row in rows)]]))
+         ["worst-case accuracy (V)", 0.010, max(errors)]]))
 
-    codes = [row[1] for row in rows]
-    errors = [row[3] for row in rows]
+    codes = [int(code) for code in result.series("code").ys]
     # The code is monotone (decreasing) in Vdd — the ruler gains on the SRAM.
     assert monotonicity_violations(list(reversed(codes))) == 0
     # Paper's range and accuracy claims.
     assert low <= 0.25
     assert high >= 0.9
     assert max(errors) <= 0.010 + 1e-9
-    # No analog reference is involved: the measurement is a pure digital code.
-    assert all(isinstance(code, int) for code in codes)
+    # No analog reference is involved: the measurement is a pure digital
+    # code (integral-valued even though the plan carries it as a float).
+    assert all(code == int(code) for code in result.series("code").ys)

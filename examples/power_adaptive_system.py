@@ -13,7 +13,17 @@ and additionally shows the game-theoretic view of reference [16]: which
 operating mode a rational power manager commits to when it does not know the
 next epoch's harvest.
 
-Run it with:  python examples/power_adaptive_system.py
+Running experiments
+-------------------
+The closed loop run here is the Fig. 3 benchmark's scenario
+(``benchmarks/test_fig03_power_adaptive_loop.py`` declares it as an
+:class:`~repro.analysis.runner.ExperimentPlan` whose quantities come from
+:func:`repro.core.power_adaptive.loop_metrics`).  Run it from the
+repository root with:
+
+    PYTHONPATH=src python examples/power_adaptive_system.py
+
+(or ``pip install -e .`` once and drop the prefix).
 """
 
 from repro import get_technology

@@ -1,17 +1,36 @@
 #!/usr/bin/env python3
 """Quickstart: the energy-modulated computing stack in five minutes.
 
-The script walks through the paper's storyline end to end:
+The paper's claim is that energy should *modulate* computation: a fabric
+built from self-timed logic keeps working — just more slowly — as its
+supply collapses, so every scavenged nanojoule turns into useful
+operations instead of being gated away.  The script walks that storyline
+end to end:
 
-1. compare Design 1 (speed-independent) and Design 2 (bundled data) over the
-   supply range — the Fig. 2 trade-off;
-2. run the 2-bit dual-rail counter from an AC rail of 200 mV ± 100 mV (Fig. 4);
-3. convert a sampled charge into a digital code with the self-timed counter
-   (Figs. 9-11);
-4. close the holistic loop: a vibration harvester powering a power-adaptive
-   hybrid fabric (Fig. 3).
+1. compare Design 1 (speed-independent) and Design 2 (bundled data) over
+   the supply range — the Fig. 2 trade-off — plus a Vdd × temperature
+   grid only the experiment engine can express;
+2. run the 2-bit dual-rail counter from an AC rail of 200 mV ± 100 mV
+   (Fig. 4) through the library's scenario runner;
+3. convert a sampled charge into a digital code with the self-timed
+   counter (Figs. 9-11);
+4. close the holistic loop: a vibration harvester powering a
+   power-adaptive hybrid fabric (Fig. 3).
 
-Run it with:  python examples/quickstart.py
+Running experiments
+-------------------
+Every figure here is an :class:`~repro.analysis.runner.ExperimentPlan`
+executed by an :class:`~repro.analysis.runner.Executor` — the same engine
+the benchmark suite uses.  ``Executor(workers=4)`` fans the points over a
+process pool bit-identically; ``Executor(persistent=ResultCache(mode="rw"))``
+replays finished plans from ``.repro_cache/`` on the next invocation.  See
+``docs/architecture.md`` for the plan/executor/cache mental model.
+
+Run it from the repository root with:
+
+    PYTHONPATH=src python examples/quickstart.py
+
+(or ``pip install -e .`` once and drop the prefix).
 """
 
 from repro import get_technology
@@ -26,10 +45,10 @@ from repro.core import (
     SpeedIndependentDesign,
     qos_point,
 )
-from repro.power import ACSupply, ConstantSupply, VibrationHarvester
-from repro.selftimed import DualRailCounter
+from repro.power import ACSupply, VibrationHarvester
+from repro.selftimed.counter import run_dualrail_scenario
 from repro.sensors import ChargeToDigitalConverter
-from repro.sim import Simulator
+from repro.sensors.charge_to_digital import conversion_metrics
 
 
 def step_1_design_styles(tech):
@@ -92,40 +111,49 @@ def step_1_design_styles(tech):
 
 
 def step_2_counter_on_ac_supply(tech):
-    """Fig. 4 — a dual-rail counter that cannot be upset by its supply."""
-    sim = Simulator()
+    """Fig. 4 — a dual-rail counter that cannot be upset by its supply.
+
+    The 4-phase testbench lives in the library
+    (:func:`repro.selftimed.counter.run_dualrail_scenario`), so the
+    benchmark suite and this example share one scenario definition.
+    """
     supply = ACSupply(offset=0.2, amplitude=0.1, frequency=1e6)
-    counter = DualRailCounter(sim, supply, tech, width=2)
-
-    steps_left = [7]
-
-    def environment(signal, value, time):
-        if value:
-            sim.schedule_signal(counter.req, False, 1e-9)
-        elif steps_left[0] > 0:
-            steps_left[0] -= 1
-            sim.schedule_signal(counter.req, True, 1e-9)
-
-    counter.ack.subscribe(environment)
-    steps_left[0] -= 1
-    sim.schedule_signal(counter.req, True, 1e-9)
-    sim.run_until_idle(max_time=1.0)
+    run = run_dualrail_scenario(tech, supply, steps=8, handshake_gap=1e-9)
 
     print("Step 2 — dual-rail counter on a 200 mV ± 100 mV, 1 MHz AC rail")
-    print(f"  emitted sequence : {counter.values_emitted}")
-    print(f"  sequence correct : {counter.sequence_is_correct()}")
-    print(f"  energy consumed  : {counter.energy_consumed:.3e} J\n")
+    print(f"  emitted sequence : {run.values_emitted}")
+    print(f"  sequence correct : {run.sequence_correct}")
+    print(f"  energy consumed  : {run.energy:.3e} J\n")
 
 
 def step_3_charge_to_code(tech):
-    """Figs. 9-11 — energy quanta turned directly into computation."""
+    """Figs. 9-11 — energy quanta turned directly into computation.
+
+    Declared as a plan over the sampled voltage; each point is one
+    event-driven conversion
+    (:func:`repro.sensors.charge_to_digital.conversion_metrics`).
+    """
     converter = ChargeToDigitalConverter(technology=tech,
                                          sampling_capacitance=30e-12)
-    rows = []
-    for voltage in (0.4, 0.6, 0.8, 1.0):
-        result = converter.convert(ConstantSupply(voltage))
-        rows.append([voltage, result.count, result.charge_consumed,
-                     result.conversion_time])
+    # Memoise one event-driven conversion per point so the three quantities
+    # share a single simulation — the same idiom the benchmarks use.
+    conversions = {}
+
+    def converted(v):
+        if v not in conversions:
+            conversions[v] = conversion_metrics(converter, v)
+        return conversions[v]
+
+    plan = ExperimentPlan.sweep("sampled_vdd", [0.4, 0.6, 0.8, 1.0])
+    result = Executor().run(plan, {
+        "count": lambda v: converted(v)["count"],
+        "charge": lambda v: converted(v)["charge_consumed"],
+        "time": lambda v: converted(v)["conversion_time"],
+    })
+    rows = [[v, int(result.series("count").value_at(v)),
+             result.series("charge").value_at(v),
+             result.series("time").value_at(v)]
+            for v in plan.axes[0].values]
     print(format_table(
         "Step 3 — charge-to-digital conversion (30 pF sampling capacitor)",
         ["sampled V", "final count", "charge used (C)", "time (s)"], rows))

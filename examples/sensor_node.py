@@ -14,7 +14,17 @@ than a battery.  This example builds such a node out of the library:
 * the run is repeated under two scheduling policies to show how much more
   useful work the energy-aware policy extracts from the same environment.
 
-Run it with:  python examples/sensor_node.py
+Running experiments
+-------------------
+The policy comparison is the EXT1 benchmark's experiment
+(``benchmarks/test_ext_energy_token_scheduling.py`` declares it as an
+:class:`~repro.analysis.runner.ExperimentPlan` over
+:func:`repro.core.scheduler.run_policy`); this example drives the same
+library calls interactively.  Run it from the repository root with:
+
+    PYTHONPATH=src python examples/sensor_node.py
+
+(or ``pip install -e .`` once and drop the prefix).
 """
 
 from repro import get_technology

@@ -16,7 +16,18 @@ The example calibrates all three against the same 90 nm process, then
 measures a set of unknown voltages and prints the accuracy and energy cost of
 each style side by side.
 
-Run it with:  python examples/voltage_sensing.py
+Running experiments
+-------------------
+The per-point sensor evaluations used here
+(:func:`repro.sensors.charge_to_digital.conversion_metrics`,
+:func:`repro.sensors.reference_free.race_metrics`) are the same functions
+the Fig. 9/11/12 benchmarks sweep through declared
+:class:`~repro.analysis.runner.ExperimentPlan` grids.  Run it from the
+repository root with:
+
+    PYTHONPATH=src python examples/voltage_sensing.py
+
+(or ``pip install -e .`` once and drop the prefix).
 """
 
 from repro import get_technology

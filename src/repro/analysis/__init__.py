@@ -15,6 +15,10 @@ benchmark harness uses to regenerate them:
   :class:`~repro.analysis.runner.ExperimentPlan` grids (1-D sweeps, 2-D
   grids, seeded Monte-Carlo batches) executed serially or over a process
   pool with bit-identical results;
+* :mod:`repro.analysis.cache` — the persistent, content-keyed store under
+  ``.repro_cache/`` that carries finished plan results and Technology
+  rebuilds across processes (keyed by plan hash + quantity fingerprints +
+  code-version salt);
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """
@@ -33,24 +37,26 @@ from repro.analysis.montecarlo import (
 from repro.analysis.report import Table, format_series, format_table
 from repro.analysis.sweep import Series, SweepResult, sweep
 
-#: Runner names re-exported lazily (PEP 562) so ``python -m
-#: repro.analysis.runner`` does not import the module twice (once via this
-#: package, once as ``__main__``), which would trip runpy's double-import
-#: warning.
-_RUNNER_EXPORTS = frozenset({
-    "Executor",
-    "ExperimentPlan",
-    "ExperimentResult",
-    "RunRecord",
-    "TechnologyCache",
-})
+#: Runner and cache names re-exported lazily (PEP 562) so ``python -m
+#: repro.analysis.runner`` / ``python -m repro.analysis.cache`` do not
+#: import their module twice (once via this package, once as ``__main__``),
+#: which would trip runpy's double-import warning.
+_LAZY_EXPORTS = {
+    "Executor": "repro.analysis.runner",
+    "ExperimentPlan": "repro.analysis.runner",
+    "ExperimentResult": "repro.analysis.runner",
+    "RunRecord": "repro.analysis.runner",
+    "TechnologyCache": "repro.analysis.runner",
+    "ResultCache": "repro.analysis.cache",
+}
 
 
 def __getattr__(name):
-    if name in _RUNNER_EXPORTS:
-        from repro.analysis import runner
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(runner, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -67,6 +73,7 @@ __all__ = [
     "Executor",
     "ExperimentPlan",
     "ExperimentResult",
+    "ResultCache",
     "RunRecord",
     "TechnologyCache",
     "Series",

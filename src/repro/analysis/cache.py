@@ -1,0 +1,527 @@
+"""Persistent, content-keyed experiment cache (``.repro_cache/``).
+
+The in-memory :class:`~repro.analysis.runner.TechnologyCache` deduplicates
+work *within* one process; this module persists finished work *between*
+processes and runs.  Two stores live under one cache root (by default
+``.repro_cache/`` in the working directory, overridable through the
+``REPRO_CACHE_DIR`` environment variable):
+
+* **results** — the complete per-point value lists of an executed
+  :class:`~repro.analysis.runner.ExperimentPlan`, keyed by a content hash
+  of the plan (kind, axes, seed, variation, technology), the quantity
+  names and a best-effort fingerprint of each quantity callable;
+* **technologies** — the entries of the executor's keyed
+  :class:`~repro.analysis.runner.TechnologyCache`, so corner shifts,
+  temperature overrides and Monte-Carlo perturbations built in a previous
+  run are not rebuilt in the next one.
+
+Every key is namespaced by a **code-version salt**: a hash over the source
+of the whole ``repro`` package.  Any edit to any module under ``repro``
+changes the salt, which atomically invalidates every cached result — the
+cache can return stale values only if the code that produced them is
+byte-identical to the code asking for them.
+
+The fingerprinting of quantity callables is *best effort*: it hashes the
+function's compiled code, its closure contents and (for bound methods)
+the instance state through :func:`stable_repr`.  The documented contract
+is therefore the same one the runner already imposes: quantities must be
+pure functions of the plan point and of code/state reachable from the
+callable.  Objects that are pure execution machinery can opt out of
+fingerprint recursion by defining ``__cache_fingerprint__()``.
+
+Inspect or reset the store from the command line::
+
+    python -m repro.analysis.cache --stats
+    python -m repro.analysis.cache --clear          # everything
+    python -m repro.analysis.cache --clear --stale  # old code versions only
+
+Selection of the cache at run time is a one-argument affair: pass
+``Executor(persistent=ResultCache(mode="rw"))``, or for the benchmark
+suite ``pytest benchmarks --runner-cache rw``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import pickle
+import time
+import types
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_MODES",
+    "ResultCache",
+    "callable_fingerprint",
+    "code_version_salt",
+    "default_cache_root",
+    "result_key",
+    "stable_repr",
+]
+
+#: Environment variable that overrides the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Directory created in the working directory when the variable is unset.
+DEFAULT_DIRNAME = ".repro_cache"
+#: Accepted cache modes: ``off`` (inert), ``rw`` (read and write),
+#: ``ro`` (read only — never creates or modifies any file).
+CACHE_MODES = ("off", "rw", "ro")
+
+_RECURSION_DEPTH = 4
+
+
+def default_cache_root() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_DIRNAME)
+
+
+@functools.lru_cache(maxsize=None)
+def _salt_of_package_dir(package_dir: str) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(Path(package_dir).rglob("*.py")):
+        digest.update(str(path.relative_to(package_dir)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def code_version_salt() -> str:
+    """A hash over the source of every module in the ``repro`` package.
+
+    Used to namespace all persisted entries: editing any library source file
+    yields a different salt, so results computed by older code are never
+    served to newer code (they linger on disk until ``--clear --stale``).
+    """
+    import repro
+
+    return _salt_of_package_dir(str(Path(repro.__file__).resolve().parent))
+
+
+# ---------------------------------------------------------------------------
+# Content fingerprinting
+
+
+def stable_repr(value, depth: int = _RECURSION_DEPTH,
+                _seen: Optional[set] = None) -> str:
+    """A process-independent textual identity for *value*.
+
+    Unlike ``repr()``, the result never embeds object addresses: scalars
+    render exactly (``repr`` of a float round-trips), containers, enums and
+    dataclasses recurse field by field, callables delegate to
+    :func:`callable_fingerprint`, and any other object renders as its type
+    name plus (depth permitting) its sorted ``__dict__``.  Objects that
+    define ``__cache_fingerprint__()`` render as whatever that returns —
+    the opt-out used by execution machinery such as the executor itself,
+    whose counters must not leak into content keys.
+    """
+    if _seen is None:
+        _seen = set()
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    marker = id(value)
+    if marker in _seen:
+        return f"<cycle:{type(value).__name__}>"
+    _seen.add(marker)
+    try:
+        custom = getattr(value, "__cache_fingerprint__", None)
+        if custom is not None:
+            return str(custom())
+        if isinstance(value, types.ModuleType):
+            return f"<module:{value.__name__}>"
+        if isinstance(value, enum.Enum):
+            return f"{type(value).__name__}.{value.name}"
+        if isinstance(value, (tuple, list)):
+            inner = ",".join(stable_repr(v, depth, _seen) for v in value)
+            return f"[{inner}]"
+        if isinstance(value, (dict,)):
+            items = sorted((stable_repr(k, depth, _seen),
+                            stable_repr(v, depth, _seen))
+                           for k, v in value.items())
+            return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            fields = ",".join(
+                f"{f.name}={stable_repr(getattr(value, f.name), depth, _seen)}"
+                for f in dataclasses.fields(value))
+            return f"{type(value).__name__}({fields})"
+        if callable(value):
+            return callable_fingerprint(value, depth, _seen)
+        attrs = getattr(value, "__dict__", None)
+        if attrs and depth > 0:
+            inner = ",".join(
+                f"{name}={stable_repr(attr, depth - 1, _seen)}"
+                for name, attr in sorted(attrs.items()))
+            return f"{type(value).__name__}<{inner}>"
+        return f"<{type(value).__name__}>"
+    finally:
+        _seen.discard(marker)
+
+
+def _referenced_global_names(code) -> List[str]:
+    """All global names a code object (or its nested lambdas) may read."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):
+            names.update(_referenced_global_names(const))
+    return sorted(names)
+
+
+def _code_hash(code) -> str:
+    digest = hashlib.sha256(code.co_code)
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):  # nested lambda/def
+            digest.update(_code_hash(const).encode())
+        else:
+            digest.update(repr(const).encode())
+    digest.update(repr(code.co_names).encode())
+    digest.update(repr(code.co_varnames).encode())
+    return digest.hexdigest()[:16]
+
+
+def callable_fingerprint(fn: Callable, depth: int = _RECURSION_DEPTH,
+                         _seen: Optional[set] = None) -> str:
+    """A content identity for a quantity callable.
+
+    Plain functions and lambdas hash their compiled code plus their
+    default arguments, the contents of their closure cells *and* every
+    module-level global they reference (benchmark constants like sweep
+    periods live outside the ``repro`` package, so the code-version salt
+    alone would not see them change); bound methods add the instance
+    state; partials add the frozen arguments.  Two callables with the same
+    name but different bodies, defaults (the ``lambda x, metric=metric:``
+    binding idiom), closures, referenced constants or instance parameters
+    therefore key different cache entries.
+    """
+    if _seen is None:
+        _seen = set()
+    if isinstance(fn, functools.partial):
+        return ("partial(" + callable_fingerprint(fn.func, depth, _seen)
+                + "," + stable_repr(fn.args, depth, _seen)
+                + "," + stable_repr(fn.keywords, depth, _seen) + ")")
+    parts: List[str] = [getattr(fn, "__module__", "?") or "?",
+                        getattr(fn, "__qualname__", type(fn).__name__)]
+    bound_self = getattr(fn, "__self__", None)
+    if bound_self is not None:
+        parts.append(stable_repr(bound_self, depth - 1, _seen))
+        fn = fn.__func__
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        parts.append(_code_hash(code))
+        defaults = getattr(fn, "__defaults__", None)
+        if defaults:
+            parts.append("defaults=" + stable_repr(defaults, depth - 1,
+                                                   _seen))
+        kwdefaults = getattr(fn, "__kwdefaults__", None)
+        if kwdefaults:
+            parts.append("kwdefaults=" + stable_repr(kwdefaults, depth - 1,
+                                                     _seen))
+        module_globals = getattr(fn, "__globals__", None)
+        if module_globals is not None:
+            for name in _referenced_global_names(code):
+                # Builtins and attribute names fail this membership test;
+                # what remains are the module-level constants, helpers and
+                # classes the function actually reads.
+                if name in module_globals:
+                    parts.append(name + "=" + stable_repr(
+                        module_globals[name], depth - 1, _seen))
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                contents = cell.cell_contents
+            except ValueError:  # empty cell
+                parts.append("<empty-cell>")
+            else:
+                parts.append(stable_repr(contents, depth - 1, _seen))
+    return "fn(" + "|".join(parts) + ")"
+
+
+def result_key(plan, quantities: Mapping[str, Callable],
+               salt: Optional[str] = None) -> str:
+    """The content key of one ``(plan, quantities)`` execution.
+
+    The key covers the plan's full declaration (kind, axes and their exact
+    point values, seed, variation spec, base technology), the quantity
+    names in evaluation order, the fingerprint of each quantity callable
+    and the code-version salt.  Identical keys therefore mean "the same
+    code would evaluate the same functions at the same points".
+    """
+    digest = hashlib.sha256()
+    digest.update((salt or code_version_salt()).encode())
+    digest.update(stable_repr(plan).encode())
+    for name, fn in quantities.items():
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(callable_fingerprint(fn).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:32]
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+
+
+class ResultCache:
+    """Persistent store of executed-plan results and Technology rebuilds.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_root`.
+    mode:
+        ``"rw"`` reads and writes, ``"ro"`` only reads (guaranteed never to
+        create or modify a file), ``"off"`` is inert — an ``off`` cache can
+        be passed anywhere a cache is accepted and behaves like ``None``.
+    salt:
+        Code-version namespace; defaults to :func:`code_version_salt`.
+        Tests inject fixed salts to exercise invalidation.
+
+    Layout on disk::
+
+        <root>/results/<salt>/<key>.json   one executed plan each
+        <root>/technology/<salt>.pkl       pickled TechnologyCache entries
+
+    Result payloads are JSON with floats serialised via ``repr`` round-trip,
+    so a cache hit reproduces the computed values bit for bit.
+    """
+
+    def __init__(self, root=None, mode: str = "rw",
+                 salt: Optional[str] = None) -> None:
+        if mode not in CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {mode!r}; choose from {CACHE_MODES}")
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.mode = mode
+        self.salt = salt if salt is not None else code_version_salt()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __cache_fingerprint__(self) -> str:
+        return type(self).__name__
+
+    # -- mode predicates ---------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache participates at all (``rw`` or ``ro``)."""
+        return self.mode != "off"
+
+    @property
+    def writable(self) -> bool:
+        """Whether stores are permitted (``rw`` only)."""
+        return self.mode == "rw"
+
+    # -- paths -------------------------------------------------------------
+
+    def _results_dir(self, salt: Optional[str] = None) -> Path:
+        return self.root / "results" / (salt or self.salt)
+
+    def _technology_file(self, salt: Optional[str] = None) -> Path:
+        return self.root / "technology" / f"{salt or self.salt}.pkl"
+
+    def _result_file(self, key: str) -> Path:
+        return self._results_dir() / f"{key}.json"
+
+    # -- result payloads ---------------------------------------------------
+
+    def result_key(self, plan, quantities: Mapping[str, Callable]) -> str:
+        """Content key of ``(plan, quantities)`` under this cache's salt."""
+        return result_key(plan, quantities, salt=self.salt)
+
+    def load_result(self, key: str,
+                    names: Sequence[str],
+                    points: int) -> Optional[Dict[str, List[float]]]:
+        """The stored per-point values for *key*, or ``None`` on a miss.
+
+        A payload that does not carry exactly *names*, each with *points*
+        values, is treated as a miss rather than served partially.
+        """
+        if not self.enabled:
+            return None
+        try:
+            payload = json.loads(self._result_file(key).read_text())
+            values = payload["values"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if (sorted(values) != sorted(names)
+                or any(len(values[name]) != points for name in names)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {name: [float(v) for v in values[name]] for name in names}
+
+    def store_result(self, key: str, values: Mapping[str, Sequence[float]],
+                     meta: Optional[Mapping[str, object]] = None) -> bool:
+        """Persist one executed plan's values; no-op unless ``rw``."""
+        if not self.writable:
+            return False
+        payload = {
+            "values": {name: list(vals) for name, vals in values.items()},
+            "meta": dict(meta or {}),
+            "created": time.time(),
+        }
+        target = self._result_file(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write_bytes(target, json.dumps(payload).encode())
+        self.writes += 1
+        return True
+
+    # -- technology entries ------------------------------------------------
+
+    def load_technologies(self) -> Dict[Tuple, object]:
+        """All persisted Technology rebuilds of this code version."""
+        if not self.enabled:
+            return {}
+        try:
+            with open(self._technology_file(), "rb") as handle:
+                entries = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return {}
+        return entries if isinstance(entries, dict) else {}
+
+    def merge_technologies(self, entries: Mapping[Tuple, object]) -> int:
+        """Union *entries* into the persisted set; returns entries added.
+
+        No-op unless ``rw``.  Read-modify-write, so concurrent runs lose at
+        worst each other's newest entries, never corrupt the file.
+        """
+        if not self.writable or not entries:
+            return 0
+        stored = self.load_technologies()
+        added = 0
+        for key, value in entries.items():
+            if key not in stored:
+                stored[key] = value
+                added += 1
+        if added:
+            target = self._technology_file()
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write_bytes(target, pickle.dumps(stored))
+            self.writes += 1
+        return added
+
+    # -- maintenance -------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write_bytes(target: Path, payload: bytes) -> None:
+        tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, target)
+
+    def stats(self) -> Dict[str, object]:
+        """Per-salt entry counts and sizes, plus this session's counters."""
+        salts: Dict[str, Dict[str, object]] = {}
+        results_root = self.root / "results"
+        if results_root.is_dir():
+            for directory in sorted(results_root.iterdir()):
+                if not directory.is_dir():
+                    continue
+                files = list(directory.glob("*.json"))
+                salts.setdefault(directory.name, {}).update(
+                    results=len(files),
+                    result_bytes=sum(f.stat().st_size for f in files))
+        tech_root = self.root / "technology"
+        if tech_root.is_dir():
+            for path in sorted(tech_root.glob("*.pkl")):
+                entry = salts.setdefault(path.stem, {})
+                try:
+                    with open(path, "rb") as handle:
+                        entry["technologies"] = len(pickle.load(handle))
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    entry["technologies"] = 0
+                entry["technology_bytes"] = path.stat().st_size
+        return {
+            "root": str(self.root),
+            "mode": self.mode,
+            "current_salt": self.salt,
+            "salts": salts,
+            "session": {"hits": self.hits, "misses": self.misses,
+                        "writes": self.writes},
+        }
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete cached files; with *stale_only*, keep the current salt.
+
+        Returns the number of files removed.  Permitted in any mode — a
+        deliberate maintenance action, unlike the implicit writes ``ro``
+        forbids.
+        """
+        removed = 0
+        for subdir, pattern in (("results", "*/*.json"),
+                                ("technology", "*.pkl")):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for path in base.glob(pattern):
+                owner = path.parent.name if subdir == "results" else path.stem
+                if stale_only and owner == self.salt:
+                    continue
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for directory in base.glob("*"):
+                if directory.is_dir() and not any(directory.iterdir()):
+                    directory.rmdir()
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# CLI (python -m repro.analysis.cache)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Inspect (``--stats``) or reset (``--clear [--stale]``) the store."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.cache",
+        description="Inspect or clear the persistent experiment cache.")
+    parser.add_argument("--root", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR "
+                             "or ./.repro_cache)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-code-version entry counts and sizes")
+    parser.add_argument("--clear", action="store_true",
+                        help="delete cached entries")
+    parser.add_argument("--stale", action="store_true",
+                        help="with --clear: only entries of old code versions")
+    args = parser.parse_args(argv)
+    if not (args.stats or args.clear):
+        parser.print_help()
+        return 2
+    cache = ResultCache(root=args.root, mode="ro")
+    if args.clear:
+        removed = cache.clear(stale_only=args.stale)
+        scope = "stale" if args.stale else "all"
+        print(f"cleared {removed} cached file(s) ({scope}) under {cache.root}")
+    if args.stats:
+        stats = cache.stats()
+        print(f"cache root    : {stats['root']}")
+        print(f"current salt  : {stats['current_salt']}")
+        if not stats["salts"]:
+            print("(empty)")
+        for salt, entry in stats["salts"].items():
+            tag = "  <- current" if salt == stats["current_salt"] else ""
+            print(f"  {salt}: {entry.get('results', 0)} result(s), "
+                  f"{entry.get('result_bytes', 0)} B, "
+                  f"{entry.get('technologies', 0)} technolog(ies), "
+                  f"{entry.get('technology_bytes', 0)} B{tag}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -102,7 +102,9 @@ def run_study(technology: Technology,
     summary is a pure function of ``(technology, quantity, samples, seed,
     sigmas, corner)`` — independent of which executor evaluated which
     sample.  Pass an :class:`~repro.analysis.runner.Executor` with
-    ``workers >= 2`` to fan the samples out over a process pool.
+    ``workers >= 2`` to fan the samples out over a process pool, or one
+    constructed with ``persistent=ResultCache(mode="rw")`` to replay a
+    previously computed study from ``.repro_cache/`` bit-identically.
     """
     from repro.analysis.runner import Executor, ExperimentPlan
 

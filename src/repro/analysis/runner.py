@@ -26,7 +26,15 @@ Usage, mirroring ``examples/quickstart.py``:
 
 Results are reassembled in point order, so a parallel run is bit-identical
 to the serial fallback for the same plan and seed.  ``python -m
-repro.analysis.runner --selftest`` smoke-tests exactly that equivalence.
+repro.analysis.runner --selftest`` smoke-tests exactly that equivalence
+(plus the persistent-cache round trip).
+
+Runs can additionally be persisted *between* processes through
+:class:`repro.analysis.cache.ResultCache`: construct the executor as
+``Executor(persistent=ResultCache(mode="rw"))`` and a plan whose content
+key (plan declaration + quantity fingerprints + code-version salt) was
+executed before is answered from ``.repro_cache/`` without evaluating a
+single point, bit-identically to the original run.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from typing import (
 
 import numpy as np
 
+from repro.analysis.cache import ResultCache
 from repro.errors import ConfigurationError
 from repro.models.technology import Technology
 from repro.models.variation import Corner, ProcessVariation
@@ -103,15 +112,24 @@ class VariationSpec:
 class ExperimentPlan:
     """A declarative grid of experiment points.
 
-    Three kinds are supported:
+    A plan is pure data — axes, point values and (for Monte-Carlo) the
+    seed, base technology and variation magnitudes; execution policy lives
+    entirely in the :class:`Executor`.  Build plans through the
+    constructors (:meth:`sweep`, :meth:`grid`, :meth:`monte_carlo`) rather
+    than directly.  Three kinds are supported:
 
     * ``"sweep"`` — one axis; quantities are called as ``fn(x)``;
-    * ``"grid"`` — two axes; quantities are called as ``fn(x, y)``;
+    * ``"grid"`` — two axes, the second varying fastest (row-major);
+      quantities are called as ``fn(x, y)``;
     * ``"montecarlo"`` — one synthetic ``sample`` axis; quantities are
       called as ``fn(perturbed_technology)`` where sample *i* is drawn from
       its own RNG stream seeded :func:`sample_seed(seed, i) <sample_seed>`,
       so execution order (and the serial/parallel split) cannot change the
       values.
+
+    :meth:`points` enumerates the coordinate tuples in the one canonical
+    order every executor (and the persistent cache) reassembles results
+    by; :attr:`shape` and :attr:`point_count` describe the geometry.
     """
 
     kind: str
@@ -237,6 +255,23 @@ class TechnologyCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __cache_fingerprint__(self) -> str:
+        # Persistent-cache keys must not depend on execution machinery:
+        # the hit/miss counters and entry set vary run to run.
+        return type(self).__name__
+
+    def snapshot(self) -> Dict[Tuple, Technology]:
+        """A copy of the current entries (for persistence between runs)."""
+        return dict(self._entries)
+
+    def preload(self, entries: Mapping[Tuple, Technology]) -> None:
+        """Adopt previously persisted *entries* without touching counters."""
+        for key, value in entries.items():
+            if key not in self._entries:
+                self._entries[key] = value
+                if len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
     def _get_or_build(self, key: Tuple,
                       build: Callable[[], Technology]) -> Technology:
         try:
@@ -291,7 +326,18 @@ class TechnologyCache:
 
 @dataclass
 class RunRecord:
-    """Provenance of one executed plan, for regression comparison."""
+    """Provenance of one executed plan, for regression comparison.
+
+    One record is produced per :meth:`Executor.run` call and answers, after
+    the fact, "what exactly ran and how": the plan geometry (``kind``,
+    ``axes``, ``points``), the reproducibility inputs (``seed``), which
+    execution path evaluated the points (``executor`` is ``"serial"``,
+    ``"fork-pool[N]"`` or ``"persistent-cache"``), the wall time, and the
+    cache economics — ``cache_hits``/``cache_misses`` count deduplicated
+    :class:`Technology` rebuilds in this run, while the ``persistent_*``
+    fields count plan points served from / missing in the on-disk store
+    (``persistent_mode`` is ``"off"`` when no store was attached).
+    """
 
     kind: str
     axes: Dict[str, int]
@@ -303,6 +349,9 @@ class RunRecord:
     wall_time_s: float
     cache_hits: int
     cache_misses: int
+    persistent_mode: str = "off"
+    persistent_hits: int = 0
+    persistent_misses: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """A plain-dict view, convenient for logging or JSON dumps."""
@@ -317,6 +366,9 @@ class RunRecord:
             "wall_time_s": self.wall_time_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "persistent_mode": self.persistent_mode,
+            "persistent_hits": self.persistent_hits,
+            "persistent_misses": self.persistent_misses,
         }
 
 
@@ -506,11 +558,22 @@ class Executor:
         Shared :class:`TechnologyCache`; a private one is created if omitted.
     chunk_size:
         Points per pool task; defaults to ``points // (4 * workers)``.
+    persistent:
+        Optional :class:`repro.analysis.cache.ResultCache`.  When attached
+        (and not in ``"off"`` mode), :meth:`run` first looks the plan up in
+        the on-disk store and, on a hit, returns the persisted per-point
+        values without evaluating anything; in ``"rw"`` mode computed runs
+        are stored afterwards.  The technology cache's entries are
+        persisted alongside so later processes skip the rebuilds too —
+        like the cache's hit counters, this covers the coordinating
+        process only: rebuilds that happened inside pool workers stay in
+        the workers' copies and are not captured.
     """
 
     def __init__(self, workers: int = 0,
                  cache: Optional[TechnologyCache] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 persistent: Optional[ResultCache] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
@@ -518,6 +581,16 @@ class Executor:
         self.workers = workers
         self.cache = cache if cache is not None else TechnologyCache()
         self.chunk_size = chunk_size
+        if persistent is not None and not persistent.enabled:
+            persistent = None
+        self.persistent = persistent
+        if self.persistent is not None:
+            self.cache.preload(self.persistent.load_technologies())
+
+    def __cache_fingerprint__(self) -> str:
+        # An executor captured in a quantity closure must not leak its
+        # volatile state (cache counters, pool size) into content keys.
+        return type(self).__name__
 
     # ------------------------------------------------------------------
 
@@ -530,30 +603,60 @@ class Executor:
         Monte-Carlo plans, the perturbed technology.  Exceptions are not
         swallowed: a quantity that cannot be evaluated is a modelling bug
         the experiment should surface, exactly as in the legacy loops.
+
+        With a ``persistent`` cache attached, a plan whose content key is
+        already stored returns the persisted values without calling any
+        quantity (the :class:`RunRecord` then reports the
+        ``"persistent-cache"`` executor and ``persistent_hits ==
+        points``); quantities must therefore be pure functions of the plan
+        point — see :mod:`repro.analysis.cache` for the keying contract.
         """
         if not quantities:
             raise ConfigurationError("at least one quantity is required")
         names = tuple(quantities)
-        payload = _Payload(plan, [quantities[name] for name in names],
-                           self.cache)
         count = plan.point_count
         hits_before = self.cache.hits
         misses_before = self.cache.misses
         started = time.perf_counter()
-        values: Dict[str, List[float]] = {name: [] for name in names}
-        mode = "serial"
-        rows: Iterable[Tuple[float, ...]]
-        if (self.workers >= 2
-                and "fork" in multiprocessing.get_all_start_methods()
-                and _POOL_CLAIM.acquire(blocking=False)):
-            # The claim is released by _parallel_rows once the pool is done.
-            rows = self._parallel_rows(payload, count)
-            mode = f"fork-pool[{self.workers}]"
+        persistent_hits = persistent_misses = 0
+        key = None
+        cached_values = None
+        if self.persistent is not None:
+            key = self.persistent.result_key(plan, quantities)
+            cached_values = self.persistent.load_result(key, names, count)
+        if cached_values is not None:
+            values = cached_values
+            mode = "persistent-cache"
+            persistent_hits = count
         else:
-            rows = (payload.evaluate(i) for i in range(count))
-        for row in rows:
-            for name, value in zip(names, row):
-                values[name].append(value)
+            if self.persistent is not None:
+                persistent_misses = count
+            payload = _Payload(plan, [quantities[name] for name in names],
+                               self.cache)
+            values = {name: [] for name in names}
+            mode = "serial"
+            rows: Iterable[Tuple[float, ...]]
+            if (self.workers >= 2
+                    and "fork" in multiprocessing.get_all_start_methods()
+                    and _POOL_CLAIM.acquire(blocking=False)):
+                # The claim is released by _parallel_rows once the pool is
+                # done.
+                rows = self._parallel_rows(payload, count)
+                mode = f"fork-pool[{self.workers}]"
+            else:
+                rows = (payload.evaluate(i) for i in range(count))
+            for row in rows:
+                for name, value in zip(names, row):
+                    values[name].append(value)
+            if self.persistent is not None and self.persistent.writable:
+                self.persistent.store_result(key, values, meta={
+                    "kind": plan.kind,
+                    "axes": plan.describe_axes(),
+                    "points": count,
+                    "seed": plan.seed,
+                    "quantities": list(names),
+                })
+                self.persistent.merge_technologies(self.cache.snapshot())
         provenance = RunRecord(
             kind=plan.kind,
             axes=plan.describe_axes(),
@@ -568,6 +671,10 @@ class Executor:
             # describes exactly one of them.
             cache_hits=self.cache.hits - hits_before,
             cache_misses=self.cache.misses - misses_before,
+            persistent_mode=(self.persistent.mode if self.persistent is not None
+                             else "off"),
+            persistent_hits=persistent_hits,
+            persistent_misses=persistent_misses,
         )
         return ExperimentResult(plan=plan, values=values,
                                 provenance=provenance)
@@ -628,7 +735,8 @@ _SELFTEST_CACHE = TechnologyCache()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI used by CI to smoke-test the pool without the benchmark suite."""
+    """CLI used by CI to smoke-test the pool and the persistent cache
+    without the benchmark suite."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -694,6 +802,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    pooled_mc.provenance):
         check(f"provenance recorded ({record.kind})",
               record.points > 0 and record.wall_time_s >= 0.0)
+
+    # Persistent cache round trip: a second executor over the same store
+    # must serve the identical values without evaluating a point, and a
+    # read-only store must never create a file.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        first = Executor(persistent=ResultCache(root=tmp, mode="rw")).run(
+            plan, quantities)
+        second = Executor(persistent=ResultCache(root=tmp, mode="rw")).run(
+            plan, quantities)
+        check("persistent cache: first run computes",
+              first.provenance.persistent_hits == 0
+              and first.provenance.persistent_misses == len(vdds))
+        check("persistent cache: second run hits every point",
+              second.provenance.executor == "persistent-cache"
+              and second.provenance.persistent_hits == len(vdds))
+        check("persistent cache: round trip is bit-identical",
+              second.values == first.values == serial.values)
+        readonly = ResultCache(root=tmp, mode="ro")
+        ro_result = Executor(persistent=readonly).run(
+            ExperimentPlan.sweep("vdd", vdds[:3]), quantities)
+        check("persistent cache: ro mode computes a miss without writing",
+              ro_result.provenance.persistent_hits == 0
+              and readonly.writes == 0
+              and ro_result.values["delay"] == serial.values["delay"][:3])
 
     print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
     return 0 if failures == 0 else 1

@@ -249,3 +249,28 @@ class HybridDesign(DesignStyle):
                                   vdd_max: Optional[float] = None) -> float:
         """Inherits Design 1's floor — the whole point of the hybrid."""
         return self.design1.minimum_operating_voltage(resolution)
+
+
+#: Names of the scalars :func:`hybrid_tradeoff_metrics` reports (the ABL3
+#: plan's quantity set).
+HYBRID_TRADEOFF_METRICS = ("energy_per_op_high", "energy_per_op_low",
+                           "min_operating_voltage")
+
+
+def hybrid_tradeoff_metrics(technology: Technology, switch_voltage: float,
+                            vdd_high: float = 1.0,
+                            vdd_low: float = 0.3) -> dict:
+    """The hybrid's figures of merit at one switch-voltage choice (ABL3).
+
+    Per-point evaluation of the switch-voltage ablation plan: builds a
+    :class:`HybridDesign` that hands over between the two styles at
+    *switch_voltage* and reports energy per operation at a high and a low
+    supply plus the operating floor (which must not depend on the switch
+    point — Design 1 always owns the floor).
+    """
+    hybrid = HybridDesign(technology, switch_voltage=switch_voltage)
+    return {
+        "energy_per_op_high": hybrid.energy_per_operation(vdd_high),
+        "energy_per_op_low": hybrid.energy_per_operation(vdd_low),
+        "min_operating_voltage": hybrid.minimum_operating_voltage(),
+    }

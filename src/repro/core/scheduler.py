@@ -336,6 +336,49 @@ class EnergyTokenScheduler:
                                               t.name))
 
 
+def run_policy(tasks: Sequence[Task], energy_profile: Sequence[float],
+               policy: SchedulingPolicy,
+               joules_per_token: float = 1e-9,
+               storage_capacity: Optional[float] = None) -> ScheduleResult:
+    """Run the workload under one *policy* — one point of an EXT1-style plan.
+
+    Tasks are re-instantiated per run so repeated evaluations (and pool
+    workers) never share mutable task state; for a fixed argument set the
+    result is deterministic.
+    """
+    scheduler = EnergyTokenScheduler(
+        tasks=[Task(**_task_fields(t)) for t in tasks],
+        joules_per_token=joules_per_token,
+        storage_capacity=storage_capacity,
+        policy=policy,
+    )
+    return scheduler.run(energy_profile)
+
+
+#: Names of the scalars :func:`schedule_metrics` extracts from one
+#: :class:`ScheduleResult` (the EXT1 plan's quantity set).
+SCHEDULE_METRICS = ("runs", "total_value", "energy_offered", "energy_spent",
+                    "energy_utilisation", "missed_deadlines",
+                    "unfinished_tasks", "value_per_joule",
+                    "energy_left_stored")
+
+
+def schedule_metrics(result: ScheduleResult) -> Dict[str, float]:
+    """Scalar summary of one scheduling run, keyed by
+    :data:`SCHEDULE_METRICS`."""
+    return {
+        "runs": float(len(result.runs)),
+        "total_value": result.total_value,
+        "energy_offered": result.energy_offered,
+        "energy_spent": result.energy_spent,
+        "energy_utilisation": result.energy_utilisation,
+        "missed_deadlines": float(len(result.missed_deadlines)),
+        "unfinished_tasks": float(len(result.unfinished_tasks)),
+        "value_per_joule": result.value_per_joule,
+        "energy_left_stored": result.energy_left_stored,
+    }
+
+
 def compare_policies(tasks: Sequence[Task], energy_profile: Sequence[float],
                      joules_per_token: float = 1e-9,
                      storage_capacity: Optional[float] = None,
@@ -344,16 +387,10 @@ def compare_policies(tasks: Sequence[Task], energy_profile: Sequence[float],
     """Run the same workload under several policies and collect the results."""
     if policies is None:
         policies = list(SchedulingPolicy)
-    results: Dict[SchedulingPolicy, ScheduleResult] = {}
-    for policy in policies:
-        scheduler = EnergyTokenScheduler(
-            tasks=[Task(**_task_fields(t)) for t in tasks],
-            joules_per_token=joules_per_token,
-            storage_capacity=storage_capacity,
-            policy=policy,
-        )
-        results[policy] = scheduler.run(energy_profile)
-    return results
+    return {policy: run_policy(tasks, energy_profile, policy,
+                               joules_per_token=joules_per_token,
+                               storage_capacity=storage_capacity)
+            for policy in policies}
 
 
 def _task_fields(task: Task) -> Dict[str, object]:

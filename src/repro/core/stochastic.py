@@ -269,3 +269,30 @@ def simulate_mmc(model: PowerLatencyModel, servers: int, jobs: int = 2000,
         power=power,
         stable=model.is_stable(servers),
     )
+
+
+#: Names of the scalars :func:`operating_point_metrics` reports (the EXT2
+#: plan's quantity set).
+OPERATING_POINT_METRICS = ("utilisation", "mean_latency", "mean_queue_length",
+                           "power", "power_latency_product", "stable")
+
+
+def operating_point_metrics(model: PowerLatencyModel,
+                            servers: float) -> dict:
+    """All EXT2 quantities at one degree of concurrency.
+
+    The per-point evaluation of a concurrency-sweep experiment plan:
+    *servers* arrives as the plan's (float) axis value and is rounded to
+    the integer core count.  Unstable points report infinite latency and
+    products, never an exception — the sweep itself locates the stable
+    region.
+    """
+    point = model.operating_point(int(round(servers)))
+    return {
+        "utilisation": point.utilisation,
+        "mean_latency": point.mean_latency,
+        "mean_queue_length": point.mean_queue_length,
+        "power": point.power,
+        "power_latency_product": point.power_latency_product,
+        "stable": float(point.stable),
+    }

@@ -16,6 +16,7 @@ Two counters appear in the paper:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError, SupplyCollapseError
@@ -298,3 +299,90 @@ class DualRailCounter(CircuitElement):
     def sequence_is_correct(self) -> bool:
         """Check the emitted values against the expected modulo sequence."""
         return self.values_emitted == self.expected_sequence(len(self.values_emitted))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 scenario: the counter driven through a 4-phase environment
+
+
+#: Names of the scalar summaries a :class:`CounterRun` exposes through
+#: :meth:`CounterRun.metrics` — the quantity set of a Fig. 4 style plan.
+COUNTER_RUN_METRICS = ("steps_emitted", "sequence_correct", "stalls",
+                       "finish_time", "energy")
+
+
+@dataclass
+class CounterRun:
+    """Outcome of one driven run of the dual-rail counter (Fig. 4).
+
+    ``finish_time`` is the completion time of the last handshake — the run
+    may sit idle afterwards waiting for a ``req`` that never comes.
+    """
+
+    values_emitted: List[int]
+    expected: List[int]
+    sequence_correct: bool
+    stall_count: int
+    finish_time: float
+    energy: float
+
+    def metrics(self) -> dict:
+        """Scalar per-run summary keyed by :data:`COUNTER_RUN_METRICS`."""
+        return {
+            "steps_emitted": float(len(self.values_emitted)),
+            "sequence_correct": float(self.sequence_correct),
+            "stalls": float(self.stall_count),
+            "finish_time": self.finish_time,
+            "energy": self.energy,
+        }
+
+
+def drive_dualrail_counter(sim: Simulator, counter: DualRailCounter,
+                           steps: int, handshake_gap: float = 0.5e-9) -> None:
+    """Attach the 4-phase environment of the paper's Fig. 4 testbench.
+
+    The environment toggles ``req`` on the counter's ``ack`` edges —
+    lowering ``req`` when ``ack`` rises, raising it again *handshake_gap*
+    after ``ack`` falls — until *steps* count steps have been requested.
+    The handshake therefore runs exactly as fast as the (possibly sagging)
+    supply permits, which is the point of the figure.
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be >= 1")
+    state = {"steps_left": steps}
+
+    def on_ack(signal: Signal, value: bool, time: float) -> None:
+        if value:
+            sim.schedule_signal(counter.req, False, handshake_gap)
+        elif state["steps_left"] > 0:
+            state["steps_left"] -= 1
+            sim.schedule_signal(counter.req, True, handshake_gap)
+
+    counter.ack.subscribe(on_ack)
+    state["steps_left"] -= 1
+    sim.schedule_signal(counter.req, True, handshake_gap)
+
+
+def run_dualrail_scenario(technology: Technology, supply, steps: int,
+                          width: int = 2, handshake_gap: float = 0.5e-9,
+                          max_time: float = 1.0) -> CounterRun:
+    """Run a fresh :class:`DualRailCounter` for *steps* handshakes (Fig. 4).
+
+    The per-point evaluation of a Fig. 4 style experiment plan: one plan
+    point per supply condition (AC rail, DC rail, ...).  The run is fully
+    deterministic — the event kernel is seeded by nothing but the supply
+    waveform — so pool workers and the serial path produce bit-identical
+    :class:`CounterRun` summaries.
+    """
+    sim = Simulator()
+    counter = DualRailCounter(sim, supply, technology, width=width)
+    drive_dualrail_counter(sim, counter, steps, handshake_gap=handshake_gap)
+    sim.run_until_idle(max_time=max_time)
+    return CounterRun(
+        values_emitted=list(counter.values_emitted),
+        expected=counter.expected_sequence(steps),
+        sequence_correct=counter.sequence_is_correct(),
+        stall_count=counter.stall_count,
+        finish_time=counter.ack.last_change_time,
+        energy=counter.energy_consumed,
+    )

@@ -240,3 +240,65 @@ class ChargeToDigitalConverter:
         if sampled_voltage <= 0:
             return 0.0
         return 0.5 * self.sampling_capacitance * sampled_voltage * sampled_voltage
+
+
+# ---------------------------------------------------------------------------
+# Per-point quantities for declared experiment plans (Figs. 8, 9, 11)
+
+
+#: Names of the scalars :func:`conversion_metrics` reports (the Fig. 9
+#: plan's quantity set).
+CONVERSION_METRICS = ("count", "charge_consumed", "charge_per_count",
+                      "conversion_time", "final_voltage")
+
+
+def conversion_metrics(converter: ChargeToDigitalConverter,
+                       sampled_voltage: float) -> dict:
+    """One event-driven conversion from a rail at *sampled_voltage*.
+
+    The per-point evaluation of a Fig. 9/11 style plan: sample the voltage
+    onto the converter's capacitor, run the self-timed counter until the
+    charge collapses, and report the whole Fig. 9 row.  Deterministic for a
+    given (technology, converter configuration, voltage), so pool workers
+    and cache replays reproduce the counts exactly.
+    """
+    from repro.power.supply import ConstantSupply
+
+    result = converter.convert(ConstantSupply(sampled_voltage))
+    return {
+        "count": float(result.count),
+        "charge_consumed": result.charge_consumed,
+        "charge_per_count": result.charge_per_count,
+        "conversion_time": result.conversion_time,
+        "final_voltage": result.final_voltage,
+    }
+
+
+@dataclass
+class RailMeasurement:
+    """One metering of a live rail by the charge-to-digital sensor (Fig. 8)."""
+
+    code: int
+    measured_voltage: float
+    store_energy_taken: float
+
+
+def meter_rail(sensor: ChargeToDigitalConverter, chain) -> RailMeasurement:
+    """Measure *chain*'s regulated output rail with a calibrated sensor.
+
+    The per-point evaluation of the Fig. 8 plan (one fresh power chain per
+    regulated set-point): sample the DC-DC output onto the sensor's
+    capacitor, convert, translate the code back to volts through the
+    calibration table, and report how much energy the measurement took
+    from the chain's store — the metering must be near-free for the
+    closed loop to make sense.
+    """
+    if sensor.calibration is None:
+        raise ConfigurationError(
+            "meter_rail() needs a calibrated sensor; call calibrate() first")
+    store_before = chain.store.stored_energy(0.0)
+    result = sensor.convert(chain.output_rail)
+    measured = sensor.calibration.voltage_for_code(float(result.count))
+    store_after = chain.store.stored_energy(0.0)
+    return RailMeasurement(code=result.count, measured_voltage=measured,
+                           store_energy_taken=store_before - store_after)

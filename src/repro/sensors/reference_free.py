@@ -170,3 +170,25 @@ class ReferenceFreeVoltageSensor:
     def energy_per_measurement(self, vdd: float) -> float:
         """Energy (J) of one race: one SRAM read plus one ruler traversal."""
         return self.bitline.read_energy(vdd) + self.ruler.energy(vdd)
+
+
+#: Names of the scalars :func:`race_metrics` reports (the Fig. 12 plan's
+#: quantity set).
+RACE_METRICS = ("code", "measured", "error")
+
+
+def race_metrics(sensor: ReferenceFreeVoltageSensor, vdd: float) -> dict:
+    """One race of the SRAM against the ruler at the true voltage *vdd*.
+
+    The per-point evaluation of the Fig. 12 plan: run the race, translate
+    the thermometer code into a voltage through the sensor's calibration
+    table, and report the absolute measurement error.  Requires a
+    calibrated sensor (:meth:`ReferenceFreeVoltageSensor.calibrate`).
+    """
+    result = sensor.race(vdd)
+    measured = sensor.measure(vdd)
+    return {
+        "code": float(result.thermometer_code),
+        "measured": measured,
+        "error": abs(measured - vdd),
+    }

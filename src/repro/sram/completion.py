@@ -124,3 +124,28 @@ class ColumnCompletionDetector:
             "load_factor": self.effective_load_factor(),
             "min_vdd": self.minimum_detectable_vdd(),
         }
+
+
+#: Names of the scalars :func:`segmentation_metrics` reports (the ABL1
+#: plan's quantity set).
+SEGMENTATION_METRICS = ("min_detectable_vdd", "detection_delay", "gate_count")
+
+
+def segmentation_metrics(technology: Technology, columns: float,
+                         segment_size: float, vdd: float = 0.3) -> dict:
+    """The segmentation trade-off at one completion-detection structure.
+
+    The per-point evaluation of the ABL1 ablation plan.  Axis values
+    arrive as floats; ``segment_size <= 0`` encodes the unsegmented
+    full-column detector (the plan axis cannot carry ``None``).  Reports
+    the minimum detectable supply, the detection delay at *vdd* and the
+    gate cost.
+    """
+    detector = ColumnCompletionDetector(
+        technology=technology, columns=int(round(columns)),
+        segment_size=None if segment_size <= 0 else int(round(segment_size)))
+    return {
+        "min_detectable_vdd": detector.minimum_detectable_vdd(),
+        "detection_delay": detector.detection_delay(vdd),
+        "gate_count": float(detector.gate_count),
+    }

@@ -457,3 +457,102 @@ def calibrate_si_sram_energy(sram: SpeedIndependentSRAM,
         s_leak = max(0.0, (e_lo - s_dyn * d_lo) / l_lo) if l_lo > 0 else 0.0
     sram.dynamic_energy_scale = float(s_dyn)
     sram.leakage_energy_scale = float(s_leak)
+
+
+# ---------------------------------------------------------------------------
+# Event-driven scenarios (Figs. 6 and 7) and ablation quantities
+
+
+#: Names of the scalars :func:`operation_metrics` extracts from one
+#: event-driven :class:`~repro.sram.controller.OperationRecord`.
+OPERATION_METRICS = ("latency", "energy", "phases")
+
+
+def operation_metrics(record: OperationRecord) -> dict:
+    """Scalar summary of one handshake operation, keyed by
+    :data:`OPERATION_METRICS` — the per-point quantities of the Fig. 6/7
+    experiment plans."""
+    return {
+        "latency": record.latency,
+        "energy": record.energy,
+        "phases": float(len(record.phases)),
+    }
+
+
+def run_handshake_protocol(technology: Technology,
+                           config: Optional[SRAMConfig] = None,
+                           vdd: float = 0.5, address: int = 3,
+                           value: int = 0b10110101):
+    """Fig. 6 scenario: one write followed by one read, phase by phase.
+
+    Runs the event-driven handshake controller at a constant *vdd* and
+    returns ``(sram, write_record, read_record)``.  The read necessarily
+    follows the write (it reads the value the write committed), so the two
+    operations are one scenario evaluated once, not independent plan
+    points; a Fig. 6 plan sweeps the *record index* and extracts
+    :func:`operation_metrics` from the memoised scenario.
+    """
+    from repro.power.supply import ConstantSupply
+
+    sram = SpeedIndependentSRAM(technology, config)
+    sim = Simulator()
+    controller = sram.attach(sim, ConstantSupply(vdd))
+    records: List[OperationRecord] = []
+    controller.write(address, value,
+                     on_complete=lambda rec, val: records.append(rec))
+    sim.run()
+    controller.read(address, on_complete=lambda rec, val: records.append(rec))
+    sim.run()
+    return sram, records[0], records[1]
+
+
+def run_varying_rail_writes(technology: Technology,
+                            config: Optional[SRAMConfig] = None,
+                            low_vdd: float = 0.25, high_vdd: float = 1.0,
+                            step_time: float = 1e-6,
+                            resume_time: float = 1.5e-6,
+                            addresses: tuple = (1, 2),
+                            values: tuple = (0xA5, 0x5A)):
+    """Fig. 7 scenario: two writes under a recovering supply rail.
+
+    The rail starts at *low_vdd* and steps up to *high_vdd* after
+    *step_time* (a recovering harvester store, as in the paper's
+    waveform); the first write runs entirely on the depleted rail, the
+    second entirely on the recovered one.  Returns ``(sram, slow_record,
+    fast_record)``; both writes must commit correct data — only the
+    latency differs, which is the paper's point.
+    """
+    from repro.power.supply import PiecewiseSupply
+
+    sram = SpeedIndependentSRAM(technology, config)
+    sim = Simulator()
+    supply = PiecewiseSupply([(0.0, low_vdd), (step_time, high_vdd)])
+    controller = sram.attach(sim, supply)
+    records: List[OperationRecord] = []
+    controller.write(addresses[0], values[0],
+                     on_complete=lambda rec, val: records.append(rec))
+    sim.run()
+    # Move past the supply step, then issue the second write.
+    sim.advance_to(resume_time)
+    controller.write(addresses[1], values[1],
+                     on_complete=lambda rec, val: records.append(rec))
+    sim.run()
+    return sram, records[0], records[1]
+
+
+def cell_tradeoff_metrics(technology: Technology, cell_type: CellType,
+                          vdd_leak: float = 1.0,
+                          vdd_write: float = 0.4) -> dict:
+    """The 6T-versus-8T trade-off at one cell choice (ablation ABL2).
+
+    Builds an uncalibrated array of *cell_type* cells and reports the three
+    quantities the paper weighs against each other: array leakage at
+    *vdd_leak*, write energy at *vdd_write* and the cell's relative area.
+    """
+    sram = SpeedIndependentSRAM(
+        technology, SRAMConfig(cell_type=cell_type, calibrate_energy=False))
+    return {
+        "array_leakage": sram.array_leakage_power(vdd_leak),
+        "write_energy": sram.write_energy(vdd_write),
+        "area_factor": cell_type.area_factor,
+    }

@@ -1,0 +1,280 @@
+"""Tests for the persistent experiment cache (:mod:`repro.analysis.cache`).
+
+The cache's contract: a second run of an identical ``(plan, quantities)``
+pair under the same code version is served from disk bit-identically; a
+read-only cache never touches the filesystem; and any change to the code
+version salt (i.e. to any library source file) invalidates everything.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import (
+    CACHE_MODES,
+    ResultCache,
+    callable_fingerprint,
+    code_version_salt,
+    main as cache_main,
+    result_key,
+    stable_repr,
+)
+from repro.analysis.runner import Executor, ExperimentPlan, TechnologyCache
+from repro.errors import ConfigurationError
+from repro.models.gate import GateModel
+
+VDDS = [0.25, 0.3, 0.4, 0.6, 0.8, 1.0]
+
+
+def _delay(vdd):
+    from repro.models.technology import get_technology
+
+    return GateModel(technology=get_technology("cmos90")).delay(vdd)
+
+
+def _energy(vdd):
+    from repro.models.technology import get_technology
+
+    return GateModel(technology=get_technology("cmos90")).transition_energy(vdd)
+
+
+def _mc_delay(perturbed):
+    return GateModel(technology=perturbed).delay(0.4)
+
+
+@pytest.fixture()
+def plan():
+    return ExperimentPlan.sweep("vdd", VDDS)
+
+
+@pytest.fixture()
+def quantities():
+    return {"delay": _delay, "energy": _energy}
+
+
+class TestContentKeys:
+    def test_key_is_deterministic(self, plan, quantities):
+        assert (result_key(plan, quantities, salt="s")
+                == result_key(plan, quantities, salt="s"))
+
+    def test_key_depends_on_plan_points(self, quantities):
+        a = ExperimentPlan.sweep("vdd", VDDS)
+        b = ExperimentPlan.sweep("vdd", VDDS[:-1])
+        assert result_key(a, quantities, salt="s") != \
+            result_key(b, quantities, salt="s")
+
+    def test_key_depends_on_quantity_code_not_just_name(self, plan):
+        # Two different functions registered under the same series name
+        # must key different entries.
+        assert result_key(plan, {"q": _delay}, salt="s") != \
+            result_key(plan, {"q": _energy}, salt="s")
+
+    def test_key_depends_on_closure_contents(self, plan):
+        def bound(scale):
+            return lambda v: scale * v
+
+        assert result_key(plan, {"q": bound(2.0)}, salt="s") != \
+            result_key(plan, {"q": bound(3.0)}, salt="s")
+
+    def test_key_depends_on_default_arguments(self, plan):
+        # The benchmarks bind loop variables as defaults
+        # (``lambda v, metric=metric: ...``); a changed default must
+        # invalidate even though code, closure and globals are identical.
+        a = eval("lambda v, scale=2.0: scale * v")
+        b = eval("lambda v, scale=3.0: scale * v")
+        assert result_key(plan, {"q": a}, salt="s") != \
+            result_key(plan, {"q": b}, salt="s")
+
+    def test_key_depends_on_referenced_module_globals(self, plan):
+        # Benchmark constants (module globals outside repro/) must land in
+        # the key: the code-version salt cannot see them change.
+        def lambda_reading_global(scale):
+            namespace = {"SCALE": scale}
+            return eval("lambda v: SCALE * v", namespace)
+
+        assert result_key(plan, {"q": lambda_reading_global(2.0)},
+                          salt="s") != \
+            result_key(plan, {"q": lambda_reading_global(3.0)}, salt="s")
+        assert result_key(plan, {"q": lambda_reading_global(2.0)},
+                          salt="s") == \
+            result_key(plan, {"q": lambda_reading_global(2.0)}, salt="s")
+
+    def test_key_depends_on_salt(self, plan, quantities):
+        assert result_key(plan, quantities, salt="a") != \
+            result_key(plan, quantities, salt="b")
+
+    def test_seeded_plans_key_by_seed(self, tech):
+        a = ExperimentPlan.monte_carlo(8, technology=tech, seed=1)
+        b = ExperimentPlan.monte_carlo(8, technology=tech, seed=2)
+        assert result_key(a, {"d": _mc_delay}, salt="s") != \
+            result_key(b, {"d": _mc_delay}, salt="s")
+
+    def test_stable_repr_has_no_addresses(self, tech):
+        text = stable_repr({"tech": tech, "xs": (1, 2.5), "flag": True})
+        assert "0x" not in text
+        assert text == stable_repr({"flag": True, "xs": (1, 2.5),
+                                    "tech": tech})
+
+    def test_executor_machinery_is_opaque(self):
+        # Volatile executor/cache state must not leak into fingerprints.
+        executor = Executor(workers=0)
+        executor.cache.misses = 123
+        assert stable_repr(executor) == "Executor"
+        assert stable_repr(executor.cache) == "TechnologyCache"
+
+    def test_bound_method_fingerprint_includes_instance(self, tech):
+        gate_a = GateModel(technology=tech)
+        gate_b = GateModel(technology=tech, gate_type=gate_a.gate_type)
+        other = GateModel(technology=tech.scaled(temperature_k=350.0))
+        assert callable_fingerprint(gate_a.delay) == \
+            callable_fingerprint(gate_b.delay)
+        assert callable_fingerprint(gate_a.delay) != \
+            callable_fingerprint(other.delay)
+
+    def test_code_version_salt_is_stable_within_a_session(self):
+        assert code_version_salt() == code_version_salt()
+        assert len(code_version_salt()) == 16
+
+
+class TestResultCacheStore:
+    def test_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(root=tmp_path, mode="frobnicate")
+        assert set(CACHE_MODES) == {"off", "rw", "ro"}
+
+    def test_off_mode_is_inert(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="off")
+        assert not cache.enabled
+        assert cache.load_result("k", ["a"], 1) is None
+        assert not cache.store_result("k", {"a": [1.0]})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_round_trip_preserves_floats_exactly(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        values = {"q": [0.1 + 0.2, 1e-300, float("inf"), -0.0, 3.14159]}
+        assert cache.store_result("key", values)
+        loaded = cache.load_result("key", ["q"], 5)
+        assert loaded == values
+
+    def test_mismatched_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.store_result("key", {"q": [1.0, 2.0]})
+        # Wrong names or wrong point count: treated as a miss, not served.
+        assert cache.load_result("key", ["other"], 2) is None
+        assert cache.load_result("key", ["q"], 3) is None
+        assert cache.load_result("key", ["q"], 2) == {"q": [1.0, 2.0]}
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.store_result("key", {"q": [1.0]})
+        cache._result_file("key").write_text("{not json")
+        assert cache.load_result("key", ["q"], 1) is None
+
+    def test_stale_salt_invalidates(self, tmp_path, plan, quantities):
+        old = ResultCache(root=tmp_path, mode="rw", salt="old-code")
+        Executor(persistent=old).run(plan, quantities)
+        fresh = ResultCache(root=tmp_path, mode="rw", salt="new-code")
+        record = Executor(persistent=fresh).run(plan, quantities).provenance
+        assert record.persistent_hits == 0
+        assert record.persistent_misses == len(VDDS)
+
+    def test_clear_and_stale_clear(self, tmp_path):
+        old = ResultCache(root=tmp_path, mode="rw", salt="old")
+        new = ResultCache(root=tmp_path, mode="rw", salt="new")
+        old.store_result("a", {"q": [1.0]})
+        new.store_result("b", {"q": [2.0]})
+        removed = new.clear(stale_only=True)
+        assert removed == 1
+        assert new.load_result("b", ["q"], 1) == {"q": [2.0]}
+        assert new.clear() == 1
+        assert new.load_result("b", ["q"], 1) is None
+
+
+class TestExecutorIntegration:
+    def test_second_run_is_a_bit_identical_hit(self, tmp_path, plan,
+                                               quantities):
+        store = ResultCache(root=tmp_path, mode="rw")
+        first = Executor(persistent=store).run(plan, quantities)
+        second = Executor(persistent=store).run(plan, quantities)
+        assert first.provenance.persistent_mode == "rw"
+        assert first.provenance.persistent_hits == 0
+        assert first.provenance.persistent_misses == len(VDDS)
+        assert second.provenance.executor == "persistent-cache"
+        assert second.provenance.persistent_hits == len(VDDS)
+        assert second.provenance.persistent_misses == 0
+        assert second.values == first.values
+        assert "persistent_hits" in second.provenance.as_dict()
+
+    def test_hit_rate_survives_new_process_state(self, tmp_path, plan,
+                                                 quantities):
+        # A brand-new cache object over the same directory (a later pytest
+        # invocation) must hit.
+        Executor(persistent=ResultCache(root=tmp_path, mode="rw")).run(
+            plan, quantities)
+        replay = Executor(
+            persistent=ResultCache(root=tmp_path, mode="rw")).run(
+            plan, quantities)
+        assert replay.provenance.persistent_hits == len(VDDS)
+
+    def test_ro_mode_never_writes(self, tmp_path, plan, quantities):
+        readonly = ResultCache(root=tmp_path, mode="ro")
+        result = Executor(persistent=readonly).run(plan, quantities)
+        assert result.provenance.persistent_mode == "ro"
+        assert result.provenance.persistent_hits == 0
+        assert readonly.writes == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_ro_mode_replays_an_existing_cache(self, tmp_path, plan,
+                                               quantities):
+        computed = Executor(
+            persistent=ResultCache(root=tmp_path, mode="rw")).run(
+            plan, quantities)
+        replay = Executor(
+            persistent=ResultCache(root=tmp_path, mode="ro")).run(
+            plan, quantities)
+        assert replay.provenance.persistent_hits == len(VDDS)
+        assert replay.values == computed.values
+
+    def test_off_cache_behaves_like_none(self, tmp_path, plan, quantities):
+        executor = Executor(persistent=ResultCache(root=tmp_path, mode="off"))
+        assert executor.persistent is None
+        record = executor.run(plan, quantities).provenance
+        assert record.persistent_mode == "off"
+        assert record.persistent_hits == record.persistent_misses == 0
+
+    def test_monte_carlo_round_trip(self, tmp_path, tech):
+        plan = ExperimentPlan.monte_carlo(12, technology=tech, seed=7)
+        store = ResultCache(root=tmp_path, mode="rw")
+        first = Executor(persistent=store).run(plan, {"d": _mc_delay})
+        second = Executor(persistent=store).run(plan, {"d": _mc_delay})
+        assert second.provenance.persistent_hits == 12
+        assert second.values == first.values
+        assert second.summary("d").mean == first.summary("d").mean
+
+    def test_technology_entries_persist_between_executors(self, tmp_path,
+                                                          tech):
+        plan = ExperimentPlan.monte_carlo(6, technology=tech, seed=3)
+        store = ResultCache(root=tmp_path, mode="rw")
+        Executor(persistent=store).run(plan, {"d": _mc_delay})
+        assert store.load_technologies()  # the perturbed samples were saved
+        fresh_cache = TechnologyCache()
+        Executor(cache=fresh_cache,
+                 persistent=ResultCache(root=tmp_path, mode="rw"))
+        assert len(fresh_cache) == 6  # preloaded at construction
+
+
+class TestCacheCLI:
+    def test_stats_and_clear(self, tmp_path, capsys, plan, quantities):
+        store = ResultCache(root=tmp_path, mode="rw")
+        Executor(persistent=store).run(plan, quantities)
+        assert cache_main(["--root", str(tmp_path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "1 result(s)" in out
+        assert cache_main(["--root", str(tmp_path), "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert cache_main(["--root", str(tmp_path), "--stats"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert cache_main([]) == 2
+        assert "usage" in capsys.readouterr().out
