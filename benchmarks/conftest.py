@@ -18,24 +18,47 @@ from disk (the :class:`~repro.analysis.runner.RunRecord` provenance then
 reports nonzero persistent hits); ``ro`` replays an existing cache without
 ever writing.  CI runs with the default ``off`` so timing numbers always
 measure real evaluation.
+
+``pytest benchmarks --runner-distrib DIR`` attaches the sharded
+multi-machine backend (:class:`~repro.analysis.distrib.DistribBackend`)
+over the shared root ``DIR``: plans whose quantities can cross a pickle
+boundary are partitioned into leased shards that any fleet worker
+(``python -m repro.analysis.distrib worker --root DIR``) may claim; the
+coordinating pytest process participates, so the suite completes with or
+without external workers.  Plans with closure-bound quantities fall back
+to the local executor transparently.
 """
+
+import os
 
 import pytest
 
 from repro.analysis.cache import CACHE_MODES, ResultCache
+from repro.analysis.distrib import DistribBackend
 from repro.analysis.runner import Executor
 from repro.models.technology import get_technology
 
 
+def _workers_option(value):
+    """``--runner-workers`` parser: a pool size, or ``auto`` = cpu count."""
+    if value == "auto":
+        return os.cpu_count() or 1
+    return int(value)
+
+
 def pytest_addoption(parser):
     parser.addoption(
-        "--runner-workers", action="store", type=int, default=0,
+        "--runner-workers", action="store", type=_workers_option, default=0,
         help="process-pool size for ExperimentPlan execution "
-             "(0 = deterministic serial path)")
+             "(0 = deterministic serial path, auto = os.cpu_count())")
     parser.addoption(
         "--runner-cache", action="store", choices=CACHE_MODES, default="off",
         help="persistent result cache under .repro_cache/ "
              "(off = always evaluate, rw = read and write, ro = read only)")
+    parser.addoption(
+        "--runner-distrib", action="store", default=None, metavar="DIR",
+        help="shared root for sharded multi-machine execution "
+             "(default: no distribution)")
 
 
 def _option(request, name, default):
@@ -61,12 +84,25 @@ def runner_cache_mode(request):
 
 
 @pytest.fixture(scope="session")
-def executor(runner_workers, runner_cache_mode):
+def runner_distrib_root(request):
+    """Shared distrib root from the command line (None = no distribution)."""
+    return _option(request, "--runner-distrib", None)
+
+
+@pytest.fixture(scope="session")
+def executor(runner_workers, runner_cache_mode, runner_distrib_root):
     """The experiment executor every figure benchmark runs its plan on."""
     persistent = None
     if runner_cache_mode != "off":
         persistent = ResultCache(mode=runner_cache_mode)
-    return Executor(workers=runner_workers, persistent=persistent)
+    distrib = None
+    if runner_distrib_root is not None:
+        # Shards the coordinator executes itself still honour the
+        # requested pool size.
+        distrib = DistribBackend(root=runner_distrib_root,
+                                 executor_workers=runner_workers)
+    return Executor(workers=runner_workers, persistent=persistent,
+                    distrib=distrib)
 
 
 @pytest.fixture(scope="session")

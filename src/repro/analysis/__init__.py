@@ -19,6 +19,10 @@ benchmark harness uses to regenerate them:
   ``.repro_cache/`` that carries finished plan results and Technology
   rebuilds across processes (keyed by plan hash + quantity fingerprints +
   code-version salt);
+* :mod:`repro.analysis.distrib` — sharded multi-machine execution over a
+  shared cache root: plans partition into content-addressed shards that
+  fleet workers claim via heartbeated lease files, execute, publish and
+  merge bit-identically to the serial path;
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """
@@ -37,8 +41,8 @@ from repro.analysis.montecarlo import (
 from repro.analysis.report import Table, format_series, format_table
 from repro.analysis.sweep import Series, SweepResult, sweep
 
-#: Runner and cache names re-exported lazily (PEP 562) so ``python -m
-#: repro.analysis.runner`` / ``python -m repro.analysis.cache`` do not
+#: Runner, cache and distrib names re-exported lazily (PEP 562) so
+#: ``python -m repro.analysis.runner`` / ``.cache`` / ``.distrib`` do not
 #: import their module twice (once via this package, once as ``__main__``),
 #: which would trip runpy's double-import warning.
 _LAZY_EXPORTS = {
@@ -48,6 +52,9 @@ _LAZY_EXPORTS = {
     "RunRecord": "repro.analysis.runner",
     "TechnologyCache": "repro.analysis.runner",
     "ResultCache": "repro.analysis.cache",
+    "DistribBackend": "repro.analysis.distrib",
+    "DistribJob": "repro.analysis.distrib",
+    "Worker": "repro.analysis.distrib",
 }
 
 
@@ -70,12 +77,15 @@ __all__ = [
     "Table",
     "format_series",
     "format_table",
+    "DistribBackend",
+    "DistribJob",
     "Executor",
     "ExperimentPlan",
     "ExperimentResult",
     "ResultCache",
     "RunRecord",
     "TechnologyCache",
+    "Worker",
     "Series",
     "SweepResult",
     "sweep",

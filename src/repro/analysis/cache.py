@@ -29,11 +29,24 @@ pure functions of the plan point and of code/state reachable from the
 callable.  Objects that are pure execution machinery can opt out of
 fingerprint recursion by defining ``__cache_fingerprint__()``.
 
+Because every entry is content-keyed, the store doubles as the
+coordination substrate for sharded multi-machine execution
+(:mod:`repro.analysis.distrib`): workers claim disjoint shards through
+the **lease** primitives (:meth:`ResultCache.claim_lease` /
+:meth:`~ResultCache.heartbeat_lease` / :meth:`~ResultCache.release_lease`),
+publish shard results with :meth:`~ResultCache.store_result` under shard
+keys, and coordinators merge by key.  A lease records its owner, its TTL
+and a heartbeat timestamp; a lease whose heartbeat is older than its TTL
+is *expired* and may be atomically stolen, so a killed worker's shard is
+reclaimed by a survivor.
+
 Inspect or reset the store from the command line::
 
-    python -m repro.analysis.cache --stats
-    python -m repro.analysis.cache --clear          # everything
-    python -m repro.analysis.cache --clear --stale  # old code versions only
+    python -m repro.analysis.cache --stats           # human-readable
+    python -m repro.analysis.cache --stats --json    # machine-readable
+    python -m repro.analysis.cache --clear           # everything
+    python -m repro.analysis.cache --clear --stale   # old code versions only
+    python -m repro.analysis.cache --selftest        # store + lease smoke test
 
 Selection of the cache at run time is a one-argument affair: pass
 ``Executor(persistent=ResultCache(mode="rw"))``, or for the benchmark
@@ -51,6 +64,7 @@ import os
 import pickle
 import time
 import types
+import uuid
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -59,6 +73,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_MODES",
+    "DEFAULT_LEASE_TTL",
     "ResultCache",
     "callable_fingerprint",
     "code_version_salt",
@@ -74,6 +89,9 @@ DEFAULT_DIRNAME = ".repro_cache"
 #: Accepted cache modes: ``off`` (inert), ``rw`` (read and write),
 #: ``ro`` (read only — never creates or modifies any file).
 CACHE_MODES = ("off", "rw", "ro")
+#: Seconds a lease may go without a heartbeat before it is expired and
+#: stealable by another worker.
+DEFAULT_LEASE_TTL = 30.0
 
 _RECURSION_DEPTH = 4
 
@@ -286,8 +304,9 @@ class ResultCache:
 
     Layout on disk::
 
-        <root>/results/<salt>/<key>.json   one executed plan each
+        <root>/results/<salt>/<key>.json   one executed plan (or shard) each
         <root>/technology/<salt>.pkl       pickled TechnologyCache entries
+        <root>/leases/<salt>/<key>.json    one live shard claim each
 
     Result payloads are JSON with floats serialised via ``repr`` round-trip,
     so a cache hit reproduces the computed values bit for bit.
@@ -331,11 +350,28 @@ class ResultCache:
     def _result_file(self, key: str) -> Path:
         return self._results_dir() / f"{key}.json"
 
+    def _lease_file(self, key: str) -> Path:
+        return self.root / "leases" / self.salt / f"{key}.json"
+
     # -- result payloads ---------------------------------------------------
 
     def result_key(self, plan, quantities: Mapping[str, Callable]) -> str:
         """Content key of ``(plan, quantities)`` under this cache's salt."""
         return result_key(plan, quantities, salt=self.salt)
+
+    def _read_values(self, key: str, names: Sequence[str],
+                     points: int) -> Optional[Dict[str, List[float]]]:
+        """Parse *key*'s payload; ``None`` unless it carries exactly
+        *names*, each with *points* values.  No counter updates."""
+        try:
+            payload = json.loads(self._result_file(key).read_text())
+            values = payload["values"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if (sorted(values) != sorted(names)
+                or any(len(values[name]) != points for name in names)):
+            return None
+        return {name: [float(v) for v in values[name]] for name in names}
 
     def load_result(self, key: str,
                     names: Sequence[str],
@@ -347,18 +383,45 @@ class ResultCache:
         """
         if not self.enabled:
             return None
-        try:
-            payload = json.loads(self._result_file(key).read_text())
-            values = payload["values"]
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        if (sorted(values) != sorted(names)
-                or any(len(values[name]) != points for name in names)):
+        values = self._read_values(key, names, points)
+        if values is None:
             self.misses += 1
             return None
         self.hits += 1
-        return {name: [float(v) for v in values[name]] for name in names}
+        return values
+
+    def result_valid(self, key: str, names: Sequence[str],
+                     points: int) -> bool:
+        """Whether a well-formed payload for *key* exists.
+
+        An integrity probe, not a cache access: unlike
+        :meth:`load_result` it never touches the session hit/miss
+        counters, so heal checks (store only over a missing-or-corrupt
+        entry) do not skew the stats that ``--stats --json`` exposes to
+        fleet monitoring.
+        """
+        return self.enabled and self._read_values(key, names,
+                                                  points) is not None
+
+    def load_meta(self, key: str) -> Optional[Dict[str, object]]:
+        """The ``meta`` mapping stored with *key*, or ``None`` on a miss.
+
+        Shard results carry their provenance (worker id, wall time, cache
+        hits) here; the coordinator folds it into the merged
+        :class:`~repro.analysis.runner.RunRecord`.
+        """
+        if not self.enabled:
+            return None
+        try:
+            payload = json.loads(self._result_file(key).read_text())
+            meta = payload["meta"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def has_result(self, key: str) -> bool:
+        """Whether a payload for *key* exists (without counting a hit)."""
+        return self.enabled and self._result_file(key).is_file()
 
     def store_result(self, key: str, values: Mapping[str, Sequence[float]],
                      meta: Optional[Mapping[str, object]] = None) -> bool:
@@ -410,6 +473,132 @@ class ResultCache:
             self.writes += 1
         return added
 
+    # -- shard leases ------------------------------------------------------
+    #
+    # The distributed runner's mutual-exclusion primitive.  A lease file
+    # names its owner, its TTL and the owner's last heartbeat; creation is
+    # atomic (a fully-written temporary hard-linked onto the target), so
+    # exactly one worker claims an unleased key and no reader ever sees a
+    # half-written lease.  A lease whose heartbeat is older than its TTL
+    # is *expired*: any worker may steal it by atomically replacing the
+    # file and then re-reading it to confirm the replacement won any
+    # concurrent steal race.  The race window is benign — shard results
+    # are content-keyed and published atomically, so a doubly-executed
+    # shard costs duplicated work, never a wrong or torn result.  Expiry
+    # compares the reader's wall clock with the writer's heartbeat
+    # timestamp, so fleet machines need loosely synchronised clocks (skew
+    # well under the TTL); excess skew likewise degrades only to
+    # duplicated work.
+
+    def lease_info(self, key: str) -> Optional[Dict[str, object]]:
+        """The live lease on *key* (owner/heartbeat/ttl/expired) or ``None``.
+
+        An unreadable or field-incomplete lease file reports as an expired
+        lease owned by ``"?"`` so a healthy worker can steal and repair it.
+        """
+        path = self._lease_file(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            info = json.loads(raw)
+            owner = str(info["owner"])
+            heartbeat = float(info["heartbeat"])
+            ttl = float(info["ttl"])
+        except (ValueError, KeyError, TypeError):
+            return {"owner": "?", "heartbeat": 0.0, "ttl": 0.0,
+                    "expired": True}
+        return {"owner": owner, "heartbeat": heartbeat, "ttl": ttl,
+                "expired": time.time() - heartbeat > ttl}
+
+    def claim_lease(self, key: str, owner: str,
+                    ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        """Atomically claim *key* for *owner*; only expired leases are stolen.
+
+        Returns ``True`` when *owner* holds the lease afterwards — a fresh
+        claim, a re-claim of its own live lease, or a confirmed steal of an
+        expired one.  ``False`` means another worker holds a live lease (or
+        the cache is not writable).
+        """
+        if not self.writable:
+            return False
+        if ttl <= 0:
+            raise ConfigurationError("lease ttl must be > 0")
+        # Read fast-path: while another worker holds a live lease — the
+        # common case for every contended shard on every poll — deciding
+        # costs one read, no staging writes against the shared root.
+        info = self.lease_info(key)
+        if info is not None and not info["expired"]:
+            return info["owner"] == owner
+        now = time.time()
+        payload = json.dumps({"owner": owner, "ttl": ttl,
+                              "heartbeat": now, "claimed": now}).encode()
+        target = self._lease_file(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # Create-with-content must be one atomic step: an O_EXCL create
+        # followed by a separate write would expose a momentarily empty
+        # lease file, which a concurrent claimer would read as corrupt
+        # (hence expired) and steal.  Hard-linking a fully written
+        # temporary onto the target gives exclusive creation *with* the
+        # payload already in place.  The staging name must be unique
+        # across the whole fleet — a pid alone collides between machines
+        # sharing the root.
+        staging = target.with_name(target.name
+                                   + f".claim{uuid.uuid4().hex[:16]}")
+        staging.write_bytes(payload)
+        try:
+            try:
+                os.link(staging, target)
+                return True
+            except FileExistsError:
+                pass
+            info = self.lease_info(key)
+            if info is None:
+                # Released between the failed create and the read: retry
+                # the exclusive create once rather than silently
+                # overwriting a lease someone else may be claiming.
+                try:
+                    os.link(staging, target)
+                    return True
+                except FileExistsError:
+                    return False
+            if not info["expired"]:
+                return info["owner"] == owner
+            self._atomic_write_bytes(target, payload)
+            confirmed = self.lease_info(key)
+            return confirmed is not None and confirmed["owner"] == owner
+        finally:
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+
+    def heartbeat_lease(self, key: str, owner: str) -> bool:
+        """Refresh *owner*'s lease on *key*; ``False`` if no longer held."""
+        if not self.writable:
+            return False
+        info = self.lease_info(key)
+        if info is None or info["owner"] != owner:
+            return False
+        payload = json.dumps({"owner": owner, "ttl": info["ttl"],
+                              "heartbeat": time.time()}).encode()
+        self._atomic_write_bytes(self._lease_file(key), payload)
+        return True
+
+    def release_lease(self, key: str, owner: str) -> bool:
+        """Drop *owner*'s lease on *key*; ``False`` if not held by *owner*."""
+        if not self.writable:
+            return False
+        info = self.lease_info(key)
+        if info is None or info["owner"] != owner:
+            return False
+        try:
+            self._lease_file(key).unlink()
+        except OSError:
+            return False
+        return True
+
     # -- maintenance -------------------------------------------------------
 
     @staticmethod
@@ -430,6 +619,13 @@ class ResultCache:
                 salts.setdefault(directory.name, {}).update(
                     results=len(files),
                     result_bytes=sum(f.stat().st_size for f in files))
+        leases_root = self.root / "leases"
+        if leases_root.is_dir():
+            for directory in sorted(leases_root.iterdir()):
+                if not directory.is_dir():
+                    continue
+                salts.setdefault(directory.name, {})["leases"] = len(
+                    list(directory.glob("*.json")))
         tech_root = self.root / "technology"
         if tech_root.is_dir():
             for path in sorted(tech_root.glob("*.pkl")):
@@ -452,28 +648,55 @@ class ResultCache:
     def clear(self, stale_only: bool = False) -> int:
         """Delete cached files; with *stale_only*, keep the current salt.
 
-        Returns the number of files removed.  Permitted in any mode — a
-        deliberate maintenance action, unlike the implicit writes ``ro``
-        forbids.
+        Covers results, leases, distrib job manifests/payloads and (on a
+        full clear) worker presence files — a cleared root must not leave
+        job directories behind, or a still-running fleet would rescan
+        them, see every shard missing and re-execute the whole job
+        unprompted.  Returns the number of files removed.  Permitted in
+        any mode — a deliberate maintenance action, unlike the implicit
+        writes ``ro`` forbids.
         """
         removed = 0
-        for subdir, pattern in (("results", "*/*.json"),
-                                ("technology", "*.pkl")):
+        specs = (
+            ("results", "*/*.json", lambda p: p.parent.name),
+            ("leases", "*/*.json", lambda p: p.parent.name),
+            ("jobs", "*/*/*", lambda p: p.parent.parent.name),
+            ("technology", "*.pkl", lambda p: p.stem),
+        )
+        for subdir, pattern, owner_of in specs:
             base = self.root / subdir
             if not base.is_dir():
                 continue
             for path in base.glob(pattern):
-                owner = path.parent.name if subdir == "results" else path.stem
-                if stale_only and owner == self.salt:
+                if not path.is_file():
+                    continue
+                if stale_only and owner_of(path) == self.salt:
                     continue
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
                     pass
-            for directory in base.glob("*"):
-                if directory.is_dir() and not any(directory.iterdir()):
-                    directory.rmdir()
+            # Prune emptied directories bottom-up (jobs nest two deep).
+            # A live fleet may repopulate a directory between the emptiness
+            # check and the rmdir; skip it, exactly like the unlinks above.
+            for directory in sorted((d for d in base.rglob("*")
+                                     if d.is_dir()), reverse=True):
+                try:
+                    if not any(directory.iterdir()):
+                        directory.rmdir()
+                except OSError:
+                    pass
+        workers = self.root / "workers"
+        if not stale_only and workers.is_dir():
+            # Presence files are salt-less heartbeats; a stale-only clear
+            # keeps the live fleet's announcements.
+            for path in workers.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
 
@@ -481,8 +704,63 @@ class ResultCache:
 # CLI (python -m repro.analysis.cache)
 
 
+def _selftest() -> int:
+    """Store round trip + lease protocol smoke test over a temporary root."""
+    import tempfile
+
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    print("cache selftest")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultCache(root=tmp, mode="rw", salt="selftest")
+        values = {"q": [0.1 + 0.2, 1e-300, -0.0, 3.14159]}
+        store.store_result("key", values, meta={"worker": "me"})
+        check("result round trip is bit-identical",
+              store.load_result("key", ["q"], 4) == values)
+        check("meta round trip", store.load_meta("key") == {"worker": "me"})
+        check("has_result sees the payload",
+              store.has_result("key") and not store.has_result("other"))
+
+        check("fresh lease claim succeeds",
+              store.claim_lease("shard", "worker-a", ttl=30.0))
+        check("live lease is exclusive",
+              not store.claim_lease("shard", "worker-b", ttl=30.0))
+        check("owner re-claims its own live lease",
+              store.claim_lease("shard", "worker-a", ttl=30.0))
+        check("heartbeat refreshes only the owner",
+              store.heartbeat_lease("shard", "worker-a")
+              and not store.heartbeat_lease("shard", "worker-b"))
+        check("release frees the key",
+              store.release_lease("shard", "worker-a")
+              and store.lease_info("shard") is None)
+        store.claim_lease("dead", "worker-a", ttl=0.05)
+        time.sleep(0.1)
+        check("expired lease is stolen by a survivor",
+              store.claim_lease("dead", "worker-b", ttl=30.0))
+        info = store.lease_info("dead")
+        check("stolen lease names the new owner",
+              info is not None and info["owner"] == "worker-b")
+
+        readonly = ResultCache(root=tmp, mode="ro", salt="selftest")
+        check("ro cache cannot claim a lease",
+              not readonly.claim_lease("ro-shard", "worker-c"))
+        stats = store.stats()
+        check("stats report the selftest salt",
+              "selftest" in stats["salts"]
+              and stats["salts"]["selftest"].get("results") == 1)
+    print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Inspect (``--stats``) or reset (``--clear [--stale]``) the store."""
+    """Inspect (``--stats [--json]``), reset (``--clear [--stale]``) or
+    smoke-test (``--selftest``) the store."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -493,11 +771,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "or ./.repro_cache)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-code-version entry counts and sizes")
+    parser.add_argument("--json", action="store_true",
+                        help="with --stats: emit machine-readable JSON")
     parser.add_argument("--clear", action="store_true",
                         help="delete cached entries")
     parser.add_argument("--stale", action="store_true",
                         help="with --clear: only entries of old code versions")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the store/lease round-trip checks")
     args = parser.parse_args(argv)
+    if args.selftest:
+        return _selftest()
     if not (args.stats or args.clear):
         parser.print_help()
         return 2
@@ -508,6 +792,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"cleared {removed} cached file(s) ({scope}) under {cache.root}")
     if args.stats:
         stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"cache root    : {stats['root']}")
         print(f"current salt  : {stats['current_salt']}")
         if not stats["salts"]:
@@ -517,7 +804,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {salt}: {entry.get('results', 0)} result(s), "
                   f"{entry.get('result_bytes', 0)} B, "
                   f"{entry.get('technologies', 0)} technolog(ies), "
-                  f"{entry.get('technology_bytes', 0)} B{tag}")
+                  f"{entry.get('technology_bytes', 0)} B, "
+                  f"{entry.get('leases', 0)} lease(s){tag}")
     return 0
 
 

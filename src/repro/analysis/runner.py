@@ -203,6 +203,32 @@ class ExperimentPlan:
         """Axis name → point count, for provenance."""
         return {axis.name: len(axis.values) for axis in self.axes}
 
+    def shard_ranges(self, shard_size: int) -> List[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` index ranges covering the plan.
+
+        The partitioning primitive of the distributed runner
+        (:mod:`repro.analysis.distrib`): every shard holds at most
+        *shard_size* points, sizes differ by at most one (so a fleet sees
+        evenly weighted claims rather than a runt tail shard), and
+        concatenating the ranges in order re-enumerates :meth:`points`
+        exactly.  Indices are *global*, which is what keeps Monte-Carlo
+        seeding shard-invariant: sample ``i`` draws from
+        :func:`sample_seed(seed, i) <sample_seed>` no matter which shard —
+        or machine — evaluates it.
+        """
+        if shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+        count = self.point_count
+        shards = -(-count // shard_size)
+        base, extra = divmod(count, shards)
+        ranges: List[Tuple[int, int]] = []
+        start = 0
+        for index in range(shards):
+            stop = start + base + (1 if index < extra else 0)
+            ranges.append((start, stop))
+            start = stop
+        return ranges
+
 
 # ---------------------------------------------------------------------------
 # Technology cache
@@ -332,7 +358,8 @@ class RunRecord:
     the fact, "what exactly ran and how": the plan geometry (``kind``,
     ``axes``, ``points``), the reproducibility inputs (``seed``), which
     execution path evaluated the points (``executor`` is ``"serial"``,
-    ``"fork-pool[N]"`` or ``"persistent-cache"``), the wall time, and the
+    ``"fork-pool[N]"``, ``"distrib[N shards]"`` or ``"persistent-cache"``),
+    the wall time, and the
     cache economics — ``cache_hits``/``cache_misses`` count deduplicated
     :class:`Technology` rebuilds in this run, while the ``persistent_*``
     fields count plan points served from / missing in the on-disk store
@@ -352,6 +379,19 @@ class RunRecord:
     persistent_mode: str = "off"
     persistent_hits: int = 0
     persistent_misses: int = 0
+    #: Per-shard provenance of a distributed run (one dict per shard:
+    #: worker id, index range, wall time, cache economics); empty for
+    #: single-process runs.
+    shards: Tuple[Dict[str, object], ...] = ()
+
+    @property
+    def shard_workers(self) -> Tuple[str, ...]:
+        """Distinct worker ids that contributed shards, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for shard in self.shards:
+            worker = str(shard.get("worker", "?"))
+            seen.setdefault(worker, None)
+        return tuple(seen)
 
     def as_dict(self) -> Dict[str, object]:
         """A plain-dict view, convenient for logging or JSON dumps."""
@@ -369,6 +409,7 @@ class RunRecord:
             "persistent_mode": self.persistent_mode,
             "persistent_hits": self.persistent_hits,
             "persistent_misses": self.persistent_misses,
+            "shards": [dict(shard) for shard in self.shards],
         }
 
 
@@ -568,12 +609,24 @@ class Executor:
         like the cache's hit counters, this covers the coordinating
         process only: rebuilds that happened inside pool workers stay in
         the workers' copies and are not captured.
+    distrib:
+        Optional :class:`repro.analysis.distrib.DistribBackend`.  When
+        attached, a plan whose payload can cross a pickle boundary is
+        partitioned into content-addressed shards over the backend's
+        shared root, executed by whichever fleet workers claim them (the
+        coordinator participates by default, so progress never depends on
+        external workers), and merged bit-identically to the serial path;
+        the :class:`RunRecord` then reports the ``"distrib[N shards]"``
+        executor plus per-shard provenance.  Plans whose quantities cannot
+        be pickled (closures over local state) fall back to the local
+        pool/serial paths.
     """
 
     def __init__(self, workers: int = 0,
                  cache: Optional[TechnologyCache] = None,
                  chunk_size: Optional[int] = None,
-                 persistent: Optional[ResultCache] = None) -> None:
+                 persistent: Optional[ResultCache] = None,
+                 distrib: Optional[object] = None) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
@@ -584,6 +637,7 @@ class Executor:
         if persistent is not None and not persistent.enabled:
             persistent = None
         self.persistent = persistent
+        self.distrib = distrib
         if self.persistent is not None:
             self.cache.preload(self.persistent.load_technologies())
 
@@ -624,6 +678,7 @@ class Executor:
         if self.persistent is not None:
             key = self.persistent.result_key(plan, quantities)
             cached_values = self.persistent.load_result(key, names, count)
+        shard_records: Tuple[Dict[str, object], ...] = ()
         if cached_values is not None:
             values = cached_values
             mode = "persistent-cache"
@@ -631,24 +686,26 @@ class Executor:
         else:
             if self.persistent is not None:
                 persistent_misses = count
-            payload = _Payload(plan, [quantities[name] for name in names],
-                               self.cache)
-            values = {name: [] for name in names}
+            values = None
             mode = "serial"
-            rows: Iterable[Tuple[float, ...]]
-            if (self.workers >= 2
-                    and "fork" in multiprocessing.get_all_start_methods()
-                    and _POOL_CLAIM.acquire(blocking=False)):
-                # The claim is released by _parallel_rows once the pool is
-                # done.
-                rows = self._parallel_rows(payload, count)
-                mode = f"fork-pool[{self.workers}]"
-            else:
-                rows = (payload.evaluate(i) for i in range(count))
-            for row in rows:
-                for name, value in zip(names, row):
-                    values[name].append(value)
-            if self.persistent is not None and self.persistent.writable:
+            if self.distrib is not None:
+                distributed = self.distrib.execute(plan, quantities)
+                if distributed is not None:
+                    values, shard_records = distributed
+                    mode = f"distrib[{len(shard_records)} shards]"
+            if values is None:
+                values, mode = self._local_values(plan, quantities, names)
+            store_needed = (self.persistent is not None
+                            and self.persistent.writable)
+            if store_needed and shard_records:
+                # The distrib coordinator already stored the merge under
+                # this very key when its root is the persistent cache's
+                # root, with the fleet's provenance meta a re-store would
+                # clobber.  Skip only if that entry is well-formed — a
+                # pre-existing *corrupt* payload must still be healed.
+                store_needed = not self.persistent.result_valid(
+                    key, names, count)
+            if store_needed:
                 self.persistent.store_result(key, values, meta={
                     "kind": plan.kind,
                     "axes": plan.describe_axes(),
@@ -675,22 +732,72 @@ class Executor:
                              else "off"),
             persistent_hits=persistent_hits,
             persistent_misses=persistent_misses,
+            shards=shard_records,
         )
         return ExperimentResult(plan=plan, values=values,
                                 provenance=provenance)
 
+    def run_shard(self, plan: ExperimentPlan,
+                  quantities: Mapping[str, Callable],
+                  start: int, stop: int) -> Dict[str, List[float]]:
+        """Evaluate every quantity at plan points ``start <= index < stop``.
+
+        The shard primitive of :mod:`repro.analysis.distrib`: indices are
+        *global* plan indices, so a Monte-Carlo sample keeps its own seed
+        stream no matter which shard (or machine) evaluates it, and
+        concatenating the slices of :meth:`ExperimentPlan.shard_ranges` in
+        order is bit-identical to a :meth:`run` over the whole plan.
+        """
+        if not quantities:
+            raise ConfigurationError("at least one quantity is required")
+        if not 0 <= start <= stop <= plan.point_count:
+            raise ConfigurationError(
+                f"shard [{start}, {stop}) outside plan of "
+                f"{plan.point_count} points")
+        names = tuple(quantities)
+        values, _ = self._local_values(plan, quantities, names,
+                                       indices=range(start, stop))
+        return values
+
+    def _local_values(self, plan: ExperimentPlan,
+                      quantities: Mapping[str, Callable],
+                      names: Tuple[str, ...],
+                      indices: Optional[range] = None,
+                      ) -> Tuple[Dict[str, List[float]], str]:
+        """Evaluate *indices* (default: all points) in this process tree."""
+        if indices is None:
+            indices = range(plan.point_count)
+        payload = _Payload(plan, [quantities[name] for name in names],
+                           self.cache)
+        values: Dict[str, List[float]] = {name: [] for name in names}
+        mode = "serial"
+        rows: Iterable[Tuple[float, ...]]
+        if (self.workers >= 2
+                and "fork" in multiprocessing.get_all_start_methods()
+                and _POOL_CLAIM.acquire(blocking=False)):
+            # The claim is released by _parallel_rows once the pool is
+            # done.
+            rows = self._parallel_rows(payload, indices)
+            mode = f"fork-pool[{self.workers}]"
+        else:
+            rows = (payload.evaluate(i) for i in indices)
+        for row in rows:
+            for name, value in zip(names, row):
+                values[name].append(value)
+        return values, mode
+
     def _parallel_rows(self, payload: _Payload,
-                       count: int) -> Iterable[Tuple[float, ...]]:
+                       indices: range) -> Iterable[Tuple[float, ...]]:
         """Pool evaluation; the caller must hold ``_POOL_CLAIM``."""
         global _ACTIVE_PAYLOAD
         context = multiprocessing.get_context("fork")
-        chunk = self.chunk_size or max(1, count // (4 * self.workers))
+        chunk = self.chunk_size or max(1, len(indices) // (4 * self.workers))
         try:
             _ACTIVE_PAYLOAD = payload
             with context.Pool(processes=self.workers) as pool:
                 # imap preserves submission order, so the reassembled rows
                 # match the serial enumeration exactly.
-                for row in pool.imap(_pool_worker, range(count),
+                for row in pool.imap(_pool_worker, indices,
                                      chunksize=chunk):
                     yield row
         finally:

@@ -170,6 +170,19 @@ class TestResultCacheStore:
         cache._result_file("key").write_text("{not json")
         assert cache.load_result("key", ["q"], 1) is None
 
+    def test_corrupt_entry_is_healed_on_recompute(self, tmp_path, plan,
+                                                  quantities):
+        store = ResultCache(root=tmp_path, mode="rw")
+        first = Executor(persistent=store).run(plan, quantities)
+        key = store.result_key(plan, quantities)
+        store._result_file(key).write_text("{truncated")
+        recomputed = Executor(persistent=store).run(plan, quantities)
+        assert recomputed.provenance.persistent_misses == len(VDDS)
+        # The recompute overwrote the corrupt payload: the next run hits.
+        replay = Executor(persistent=store).run(plan, quantities)
+        assert replay.provenance.executor == "persistent-cache"
+        assert replay.values == first.values
+
     def test_stale_salt_invalidates(self, tmp_path, plan, quantities):
         old = ResultCache(root=tmp_path, mode="rw", salt="old-code")
         Executor(persistent=old).run(plan, quantities)
@@ -263,6 +276,95 @@ class TestExecutorIntegration:
         assert len(fresh_cache) == 6  # preloaded at construction
 
 
+class TestShardPrimitives:
+    """The lease/claim and shard-result hooks the distributed runner uses."""
+
+    def test_meta_round_trip_and_has_result(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.store_result("key", {"q": [1.0]}, meta={"worker": "host:1"})
+        assert cache.has_result("key")
+        assert not cache.has_result("missing")
+        assert cache.load_meta("key") == {"worker": "host:1"}
+        assert cache.load_meta("missing") is None
+
+    def test_result_valid_probe_does_not_count(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.store_result("key", {"q": [1.0, 2.0]})
+        assert cache.result_valid("key", ["q"], 2)
+        assert not cache.result_valid("key", ["q"], 3)
+        assert not cache.result_valid("missing", ["q"], 2)
+        cache._result_file("key").write_text("{corrupt")
+        assert not cache.result_valid("key", ["q"], 2)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_fresh_claim_is_exclusive(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        assert cache.claim_lease("shard", "a", ttl=30.0)
+        assert not cache.claim_lease("shard", "b", ttl=30.0)
+        # Re-claiming one's own live lease is allowed (worker restart on
+        # the same pid would be a new id, so this is the idempotent case).
+        assert cache.claim_lease("shard", "a", ttl=30.0)
+        info = cache.lease_info("shard")
+        assert info["owner"] == "a" and not info["expired"]
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        assert cache.claim_lease("shard", "dead", ttl=0.05)
+        import time as _time
+
+        _time.sleep(0.1)
+        assert cache.lease_info("shard")["expired"]
+        assert cache.claim_lease("shard", "survivor", ttl=30.0)
+        assert cache.lease_info("shard")["owner"] == "survivor"
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.claim_lease("shard", "a", ttl=0.2)
+        import time as _time
+
+        for _ in range(3):
+            _time.sleep(0.1)
+            assert cache.heartbeat_lease("shard", "a")
+        assert not cache.lease_info("shard")["expired"]
+        assert not cache.heartbeat_lease("shard", "b")
+
+    def test_release_only_by_owner(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.claim_lease("shard", "a", ttl=30.0)
+        assert not cache.release_lease("shard", "b")
+        assert cache.release_lease("shard", "a")
+        assert cache.lease_info("shard") is None
+        assert not cache.release_lease("shard", "a")
+
+    def test_corrupt_lease_reports_expired_and_is_stolen(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.claim_lease("shard", "a", ttl=30.0)
+        cache._lease_file("shard").write_text("{not json")
+        info = cache.lease_info("shard")
+        assert info["expired"] and info["owner"] == "?"
+        assert cache.claim_lease("shard", "repair", ttl=30.0)
+
+    def test_ro_cache_never_touches_leases(self, tmp_path):
+        readonly = ResultCache(root=tmp_path, mode="ro", salt="s")
+        assert not readonly.claim_lease("shard", "a")
+        assert not readonly.heartbeat_lease("shard", "a")
+        assert not readonly.release_lease("shard", "a")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        with pytest.raises(ConfigurationError):
+            cache.claim_lease("shard", "a", ttl=0.0)
+
+    def test_clear_removes_leases_too(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.store_result("key", {"q": [1.0]})
+        cache.claim_lease("shard", "a", ttl=30.0)
+        assert cache.stats()["salts"]["s"]["leases"] == 1
+        assert cache.clear() == 2
+        assert cache.lease_info("shard") is None
+
+
 class TestCacheCLI:
     def test_stats_and_clear(self, tmp_path, capsys, plan, quantities):
         store = ResultCache(root=tmp_path, mode="rw")
@@ -274,6 +376,21 @@ class TestCacheCLI:
         assert "cleared" in capsys.readouterr().out
         assert cache_main(["--root", str(tmp_path), "--stats"]) == 0
         assert "(empty)" in capsys.readouterr().out
+
+    def test_json_stats_are_machine_readable(self, tmp_path, capsys, plan,
+                                             quantities):
+        store = ResultCache(root=tmp_path, mode="rw")
+        Executor(persistent=store).run(plan, quantities)
+        assert cache_main(["--root", str(tmp_path), "--stats",
+                           "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        assert payload["salts"][payload["current_salt"]]["results"] == 1
+        assert {"hits", "misses", "writes"} <= set(payload["session"])
+
+    def test_selftest_passes(self, capsys):
+        assert cache_main(["--selftest"]) == 0
+        assert "PASS" in capsys.readouterr().out
 
     def test_no_arguments_prints_help(self, capsys):
         assert cache_main([]) == 2

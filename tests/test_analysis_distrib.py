@@ -1,0 +1,438 @@
+"""Tests for sharded multi-machine execution (:mod:`repro.analysis.distrib`).
+
+The subsystem's contract: a plan partitions into content-addressed shards
+whose concatenation is bit-identical to the serial executor; workers claim
+shards through atomic, heartbeated leases (an expired lease is stolen, a
+live one is exclusive); and the coordinator merges shard slices — and the
+per-shard provenance — back into one result stored under the very key a
+plain persistent-cache run would compute.
+
+Everything here runs in-process (a :class:`Worker` object is just driven
+by the test) except one smoke test of the real ``worker --once`` CLI; the
+full multi-process fleet, including the kill-mid-lease reclaim, is
+exercised by ``python -m repro.analysis.distrib --selftest``.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.analysis.cache import ResultCache, result_key
+from repro.analysis.distrib import (
+    DistribBackend,
+    DistribJob,
+    DistribTimeout,
+    UnpicklablePayload,
+    Worker,
+    job_status,
+    list_jobs,
+    list_workers,
+    main as distrib_main,
+    merge_job,
+    shard_key,
+    submit,
+    wait_for_job,
+    worker_id,
+)
+from repro.analysis.runner import Executor, ExperimentPlan
+from repro.errors import ConfigurationError
+
+XS = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+
+def _double(x):
+    return 2.0 * x
+
+
+def _square(x):
+    return x * x
+
+
+def _grid_sum(x, y):
+    return x + 10.0 * y
+
+
+def _mc_delay(perturbed):
+    from repro.models.gate import GateModel
+
+    return GateModel(technology=perturbed).delay(0.4)
+
+
+def _explode_above_two(x):
+    if x > 2.0:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def tiny_plan():
+    """Plan factory used by the CLI tests (MODULE:CALLABLE spec)."""
+    return ExperimentPlan.sweep("x", XS), {"double": _double}
+
+
+@pytest.fixture()
+def plan():
+    return ExperimentPlan.sweep("x", XS)
+
+
+@pytest.fixture()
+def quantities():
+    return {"double": _double, "square": _square}
+
+
+class TestShardGeometry:
+    def test_ranges_are_contiguous_and_balanced(self, plan):
+        ranges = plan.shard_ranges(3)
+        assert ranges == [(0, 3), (3, 5), (5, 7)]
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) <= 3
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_one_shard_covers_everything(self, plan):
+        assert plan.shard_ranges(100) == [(0, len(XS))]
+
+    def test_invalid_shard_size_rejected(self, plan):
+        with pytest.raises(ConfigurationError):
+            plan.shard_ranges(0)
+
+    def test_shard_keys_are_deterministic_and_distinct(self):
+        assert shard_key("job", 0, 3) == shard_key("job", 0, 3)
+        assert shard_key("job", 0, 3) != shard_key("job", 3, 6)
+        assert shard_key("job", 0, 3) != shard_key("other", 0, 3)
+
+
+class TestRunShard:
+    def test_shard_concatenation_is_bit_identical(self, plan, quantities):
+        full = Executor(workers=0).run(plan, quantities)
+        merged = {name: [] for name in quantities}
+        for start, stop in plan.shard_ranges(2):
+            part = Executor(workers=0).run_shard(plan, quantities,
+                                                 start, stop)
+            for name in quantities:
+                merged[name].extend(part[name])
+        assert merged == full.values
+
+    def test_monte_carlo_shards_keep_global_seed_streams(self, tech):
+        plan = ExperimentPlan.monte_carlo(9, technology=tech, seed=11)
+        full = Executor(workers=0).run(plan, {"d": _mc_delay})
+        tail = Executor(workers=0).run_shard(plan, {"d": _mc_delay}, 6, 9)
+        assert tail["d"] == full.values["d"][6:9]
+
+    def test_out_of_range_shard_rejected(self, plan, quantities):
+        executor = Executor(workers=0)
+        with pytest.raises(ConfigurationError):
+            executor.run_shard(plan, quantities, 3, 99)
+        with pytest.raises(ConfigurationError):
+            executor.run_shard(plan, quantities, -1, 2)
+        with pytest.raises(ConfigurationError):
+            executor.run_shard(plan, {}, 0, 1)
+
+
+class TestSubmit:
+    def test_manifest_round_trip(self, tmp_path, plan, quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        loaded = DistribJob.load(tmp_path, job.salt, job.key)
+        assert loaded == job
+        reloaded_plan, reloaded_quantities = loaded.load_payload()
+        assert reloaded_plan == plan
+        assert set(reloaded_quantities) == set(quantities)
+
+    def test_submit_is_idempotent(self, tmp_path, plan, quantities):
+        first = submit(plan, quantities, root=tmp_path, shard_size=2)
+        second = submit(plan, quantities, root=tmp_path, shard_size=2)
+        assert first == second
+        assert len(list_jobs(tmp_path)) == 1
+
+    def test_job_key_matches_the_persistent_cache_key(self, tmp_path, plan,
+                                                      quantities):
+        job = submit(plan, quantities, root=tmp_path)
+        assert job.key == result_key(plan, quantities, salt=job.salt)
+
+    def test_closure_payload_is_rejected(self, tmp_path, plan):
+        scale = 3.0
+        with pytest.raises(UnpicklablePayload):
+            submit(plan, {"q": lambda x: scale * x}, root=tmp_path)
+
+    def test_fresh_job_status_is_all_pending(self, tmp_path, plan,
+                                             quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        status = job_status(job)
+        assert status["done"] == 0
+        assert status["total"] == len(job.shards)
+        assert not status["complete"]
+        assert all(s["state"] == "pending" for s in status["shards"])
+
+    def test_cache_clear_removes_jobs_and_presence(self, tmp_path, plan,
+                                                   quantities):
+        job = submit(plan, quantities, root=tmp_path)
+        worker = Worker(root=tmp_path)
+        worker.announce()
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        # manifest + payload + presence file
+        assert cache.clear() == 3
+        assert list_jobs(tmp_path) == []
+        assert list_workers(tmp_path) == []
+        assert not job.directory.exists()
+
+    def test_stale_clear_keeps_current_salt_jobs(self, tmp_path, plan,
+                                                 quantities):
+        current = submit(plan, quantities, root=tmp_path)
+        submit(plan, quantities, root=tmp_path, salt="old-code")
+        cache = ResultCache(root=tmp_path, mode="rw", salt=current.salt)
+        assert cache.clear(stale_only=True) == 2  # old manifest + payload
+        assert [job.key for job in list_jobs(tmp_path)] == [current.key]
+
+
+class TestWorkerExecution:
+    def test_worker_completes_a_job(self, tmp_path, plan, quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        worker = Worker(root=tmp_path)
+        assert worker.run_once() == len(job.shards)
+        status = job_status(job)
+        assert status["complete"]
+        serial = Executor(workers=0).run(plan, quantities)
+        values, metas = merge_job(job)
+        assert values == serial.values
+        assert [m["worker"] for m in metas] == [worker.id] * len(job.shards)
+        assert all(m["wall_time_s"] >= 0.0 for m in metas)
+
+    def test_second_pass_finds_nothing_to_do(self, tmp_path, plan,
+                                             quantities):
+        submit(plan, quantities, root=tmp_path, shard_size=2)
+        worker = Worker(root=tmp_path)
+        assert worker.run_once() > 0
+        assert worker.run_once() == 0
+
+    def test_live_lease_is_respected(self, tmp_path, plan, quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        assert cache.claim_lease(job.shards[0].key, "other-host:1", ttl=30.0)
+        worker = Worker(root=tmp_path)
+        assert worker.process_job(job) == len(job.shards) - 1
+        assert not cache.has_result(job.shards[0].key)
+
+    def test_expired_lease_is_reclaimed_and_completed(self, tmp_path, plan,
+                                                      quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        # A worker that died mid-shard: claimed, then stopped heartbeating.
+        assert cache.claim_lease(job.shards[0].key, "dead-host:9", ttl=0.05)
+        time.sleep(0.1)
+        worker = Worker(root=tmp_path)
+        assert worker.process_job(job) == len(job.shards)
+        values, metas = merge_job(job)
+        assert values == Executor(workers=0).run(plan, quantities).values
+        assert metas[0]["worker"] == worker.id
+
+    def test_worker_skips_jobs_of_other_code_versions(self, tmp_path, plan,
+                                                      quantities, capsys):
+        submit(plan, quantities, root=tmp_path, salt="other-code")
+        worker = Worker(root=tmp_path)
+        assert worker.run_once() == 0
+        assert "salt" in capsys.readouterr().out
+
+    def test_daemon_survives_a_poisoned_shard(self, tmp_path, capsys):
+        # Shard size 1: points 1.0 and 2.0 succeed, the rest raise.
+        plan = ExperimentPlan.sweep("x", XS)
+        job = submit(plan, {"q": _explode_above_two}, root=tmp_path,
+                     shard_size=1)
+        worker = Worker(root=tmp_path)
+        assert worker.run_once() == 2  # the healthy shards completed
+        assert "boom" in capsys.readouterr().out
+        # Poisoned shards are remembered, not hot-looped; their leases
+        # were released so other workers may still try.
+        assert worker.run_once() == 0
+        cache = ResultCache(root=tmp_path, mode="ro", salt=job.salt)
+        assert all(cache.lease_info(shard.key) is None
+                   for shard in job.shards)
+        assert not job_status(job)["complete"]
+
+    def test_coordinator_propagates_quantity_errors(self, tmp_path):
+        plan = ExperimentPlan.sweep("x", XS)
+        job = submit(plan, {"q": _explode_above_two}, root=tmp_path,
+                     shard_size=1)
+        with pytest.raises(ValueError):
+            wait_for_job(job, timeout_s=60.0)
+
+    def test_worker_presence_announce_and_retire(self, tmp_path):
+        worker = Worker(root=tmp_path)
+        worker.announce()
+        fleet = list_workers(tmp_path)
+        assert [info["worker"] for info in fleet] == [worker.id]
+        assert fleet[0]["age_s"] < 5.0
+        worker.retire()
+        assert list_workers(tmp_path) == []
+
+
+class TestCoordination:
+    def test_participating_wait_needs_no_fleet(self, tmp_path, plan,
+                                               quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=3)
+        values, metas = wait_for_job(job, timeout_s=60.0)
+        assert values == Executor(workers=0).run(plan, quantities).values
+        assert len(metas) == len(job.shards)
+        assert job_status(job)["merged"]
+
+    def test_merged_job_feeds_the_plain_persistent_cache(self, tmp_path,
+                                                         plan, quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=3)
+        wait_for_job(job, timeout_s=60.0)
+        replay = Executor(
+            persistent=ResultCache(root=tmp_path, mode="ro")).run(
+            plan, quantities)
+        assert replay.provenance.executor == "persistent-cache"
+        assert replay.values == Executor(workers=0).run(plan,
+                                                        quantities).values
+
+    def test_wait_heals_a_corrupt_merged_entry(self, tmp_path, plan,
+                                               quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=3)
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        target = cache._result_file(job.key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("{corrupt leftover}")
+        values, _ = wait_for_job(job, timeout_s=60.0)
+        assert cache.load_result(job.key, list(job.names),
+                                 job.points) == values
+
+    def test_unattended_wait_times_out(self, tmp_path, plan, quantities):
+        job = submit(plan, quantities, root=tmp_path)
+        with pytest.raises(DistribTimeout):
+            wait_for_job(job, participate=False, poll_s=0.01, timeout_s=0.1)
+
+    def test_merge_refuses_partial_results(self, tmp_path, plan, quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        worker = Worker(root=tmp_path)
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        # Block the last shard so exactly one slice is missing.
+        assert cache.claim_lease(job.shards[-1].key, "other:1", ttl=30.0)
+        worker.process_job(job)
+        with pytest.raises(ConfigurationError):
+            merge_job(job)
+
+    def test_monte_carlo_distributed_run_matches_serial(self, tmp_path,
+                                                        tech):
+        plan = ExperimentPlan.monte_carlo(8, technology=tech, seed=5)
+        serial = Executor(workers=0).run(plan, {"d": _mc_delay})
+        job = submit(plan, {"d": _mc_delay}, root=tmp_path, shard_size=3)
+        values, _ = wait_for_job(job, timeout_s=120.0)
+        assert values == serial.values
+
+
+class TestExecutorBackend:
+    def test_distributed_run_is_bit_identical(self, tmp_path, plan,
+                                              quantities):
+        serial = Executor(workers=0).run(plan, quantities)
+        backend = DistribBackend(root=tmp_path, shard_size=2,
+                                 timeout_s=60.0)
+        distributed = Executor(distrib=backend).run(plan, quantities)
+        assert distributed.values == serial.values
+
+    def test_provenance_folds_per_shard_records(self, tmp_path, plan,
+                                                quantities):
+        backend = DistribBackend(root=tmp_path, shard_size=2,
+                                 timeout_s=60.0)
+        record = Executor(distrib=backend).run(plan, quantities).provenance
+        assert record.executor == f"distrib[{len(record.shards)} shards]"
+        assert len(record.shards) == len(plan.shard_ranges(2))
+        assert sum(s["points"] for s in record.shards) == plan.point_count
+        assert record.shard_workers == (worker_id(),)
+        assert record.as_dict()["shards"] == [dict(s)
+                                              for s in record.shards]
+
+    def test_closure_quantities_fall_back_to_local(self, tmp_path, plan):
+        scale = 4.0
+        backend = DistribBackend(root=tmp_path, timeout_s=60.0)
+        result = Executor(distrib=backend).run(plan,
+                                               {"q": lambda x: scale * x})
+        assert result.provenance.executor == "serial"
+        assert result.provenance.shards == ()
+        assert result.values["q"] == [scale * x for x in XS]
+
+    def test_shared_root_keeps_the_fleet_provenance_meta(self, tmp_path,
+                                                         plan, quantities):
+        # Persistent cache and distrib backend over the SAME root: the
+        # coordinator stores the merge under the job key with the fleet's
+        # meta, and Executor.run must not re-store (and clobber) it.
+        store = ResultCache(root=tmp_path, mode="rw")
+        backend = DistribBackend(root=tmp_path, shard_size=2,
+                                 timeout_s=60.0)
+        result = Executor(persistent=store, distrib=backend).run(plan,
+                                                                 quantities)
+        assert result.provenance.executor.startswith("distrib[")
+        meta = store.load_meta(store.result_key(plan, quantities))
+        assert meta is not None and meta["distrib"] is True
+        assert meta["workers"] == [worker_id()]
+
+    def test_persistent_hit_short_circuits_distribution(self, tmp_path,
+                                                        plan, quantities):
+        store = ResultCache(root=tmp_path, mode="rw")
+        Executor(persistent=store).run(plan, quantities)
+        backend = DistribBackend(root=tmp_path / "unused", timeout_s=60.0)
+        replay = Executor(persistent=store, distrib=backend).run(plan,
+                                                                 quantities)
+        assert replay.provenance.executor == "persistent-cache"
+        assert not (tmp_path / "unused" / "jobs").exists()
+
+
+class TestCLI:
+    def test_no_arguments_prints_help(self, capsys):
+        assert distrib_main([]) == 2
+        assert "worker" in capsys.readouterr().out
+
+    def test_submit_status_run_round_trip(self, tmp_path, capsys):
+        spec = "test_analysis_distrib:tiny_plan"
+        root = str(tmp_path)
+        assert distrib_main(["submit", "--root", root, "--plan", spec,
+                             "--shard-size", "2"]) == 0
+        assert "submitted job" in capsys.readouterr().out
+        assert distrib_main(["status", "--root", root]) == 0
+        assert "pending" in capsys.readouterr().out
+        assert distrib_main(["run", "--root", root, "--plan", spec,
+                             "--shard-size", "2", "--timeout", "60"]) == 0
+        assert "merged" in capsys.readouterr().out
+        plan, quantities = tiny_plan()
+        values, _ = merge_job(list_jobs(tmp_path)[0])
+        assert values == Executor(workers=0).run(plan, quantities).values
+
+    def test_worker_skips_payloads_it_cannot_import(self, tmp_path, plan,
+                                                    quantities, capsys,
+                                                    monkeypatch):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        worker = Worker(root=tmp_path)
+        monkeypatch.setattr(DistribJob, "load_payload",
+                            lambda self: (_ for _ in ()).throw(
+                                ImportError("no module named elsewhere")))
+        # A payload referencing a module this machine does not ship must
+        # leave the job untouched for capable fleet members, not crash.
+        assert worker.process_job(job) == 0
+        assert "elsewhere" in capsys.readouterr().out
+        assert not job_status(job)["done"]
+
+    def test_worker_once_subprocess_executes_a_job(self, tmp_path):
+        """One real ``worker --once`` process over a pre-submitted job.
+
+        Uses the library's own :func:`selftest_plan` so the payload's
+        quantities resolve inside the subprocess (a quantity defined in
+        this test module would pickle by reference to a module the worker
+        cannot import — exactly the skip case tested above).
+        """
+        from repro.analysis.distrib import selftest_plan
+        import repro
+        from pathlib import Path
+
+        plan, quantities = selftest_plan()
+        job = submit(plan, quantities, root=tmp_path, shard_size=4)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.distrib", "worker",
+             "--root", str(tmp_path), "--once"],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(Path(repro.__file__).parent.parent),
+                 "PATH": "/usr/bin:/bin"})
+        assert completed.returncode == 0, completed.stderr
+        assert job_status(job)["complete"]
+        values, metas = merge_job(job)
+        assert values == Executor(workers=0).run(plan, quantities).values
+        # The subprocess, not this test process, executed the shards.
+        assert all(m["worker"] != worker_id() for m in metas)

@@ -2,10 +2,10 @@
 
 The benchmark suite asserts the *shape* each figure reports (orderings,
 monotonicity, rough factors); these tests pin the *values* the seed model
-produces for three figures, so a refactor of the analysis or model layers
-cannot silently drift the reproduction.  The numbers below were captured
-from the calibrated ``cmos90`` model; a deliberate recalibration is the
-only legitimate reason to update them.
+produces for Figs. 1, 2, 3, 4, 6, 7, 8, 9, 11 and 12, so a refactor of
+the analysis or model layers cannot silently drift the reproduction.  The
+numbers below were captured from the calibrated ``cmos90`` model; a
+deliberate recalibration is the only legitimate reason to update them.
 
 All experiments run through :mod:`repro.analysis.runner`, which guarantees
 the values are independent of execution order and executor choice.
@@ -28,10 +28,22 @@ from repro.core.proportionality import (
     proportionality_index,
 )
 from repro.core.qos import QoSCurve, QoSMetric, qos_point
-from repro.power.supply import ConstantSupply
-from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.power.harvester import VibrationHarvester
+from repro.power.power_chain import PowerChain
+from repro.power.supply import ACSupply, ConstantSupply
+from repro.selftimed.counter import run_dualrail_scenario
+from repro.sensors.charge_to_digital import (
+    ChargeToDigitalConverter,
+    conversion_metrics,
+    meter_rail,
+)
 from repro.sensors.reference_free import ReferenceFreeVoltageSensor, race_metrics
-from repro.sram.sram import SRAMConfig, run_varying_rail_writes
+from repro.sram.sram import (
+    SRAMConfig,
+    operation_metrics,
+    run_handshake_protocol,
+    run_varying_rail_writes,
+)
 
 #: Relative tolerance for analytically computed (pure-float) quantities.
 REL = 1e-6
@@ -254,3 +266,155 @@ class TestFig12GoldenValues:
         low, high = sensor.operating_range()
         assert low == pytest.approx(0.14, rel=REL)
         assert high == pytest.approx(0.99, rel=1e-3)
+
+
+class TestFig04GoldenValues:
+    """FIG4 — the 2-bit dual-rail counter on AC versus DC supply.
+
+    Uses :func:`run_dualrail_scenario` — the same scenario the Fig. 4
+    benchmark sweeps over its ``supply_mode`` axis — so the golden values
+    and the benchmark can never silently pin different runs.
+    """
+
+    STEPS = 12
+
+    @pytest.fixture(scope="class")
+    def ac_run(self, tech):
+        supply = ACSupply(offset=0.2, amplitude=0.1, frequency=1e6)
+        return run_dualrail_scenario(tech, supply, self.STEPS)
+
+    @pytest.fixture(scope="class")
+    def dc_run(self, tech):
+        return run_dualrail_scenario(tech, ConstantSupply(1.0), self.STEPS)
+
+    def test_sequences_are_exact(self, ac_run, dc_run):
+        for run in (ac_run, dc_run):
+            assert run.sequence_correct
+            assert run.values_emitted == run.expected
+            metrics = run.metrics()
+            assert metrics["steps_emitted"] == float(self.STEPS)
+            assert metrics["stalls"] == 0.0
+
+    def test_finish_times(self, ac_run, dc_run):
+        assert ac_run.metrics()["finish_time"] == pytest.approx(
+            1.4716792550177496e-7, rel=REL)
+        assert dc_run.metrics()["finish_time"] == pytest.approx(
+            1.2749090909090912e-8, rel=REL)
+
+    def test_energies(self, ac_run, dc_run):
+        assert ac_run.metrics()["energy"] == pytest.approx(
+            9.207614960432956e-15, rel=REL)
+        assert dc_run.metrics()["energy"] == pytest.approx(
+            1.5206399999999995e-13, rel=REL)
+
+
+class TestFig06GoldenValues:
+    """FIG6 — the handshake-controlled SRAM write and read."""
+
+    CONFIG = SRAMConfig(rows=16, columns=8, calibrate_energy=False)
+
+    @pytest.fixture(scope="class")
+    def records(self, tech):
+        sram, write_record, read_record = run_handshake_protocol(
+            tech, self.CONFIG)
+        return sram, write_record, read_record
+
+    def test_data_committed(self, records):
+        sram, _, _ = records
+        assert sram.peek(3) == 0b10110101
+
+    def test_latencies(self, records):
+        _, write_record, read_record = records
+        assert operation_metrics(write_record)["latency"] == pytest.approx(
+            4.047888156760812e-10, rel=REL)
+        assert operation_metrics(read_record)["latency"] == pytest.approx(
+            3.8297507783803904e-10, rel=REL)
+
+    def test_energies(self, records):
+        _, write_record, read_record = records
+        assert operation_metrics(write_record)["energy"] == pytest.approx(
+            1.3761521931353821e-13, rel=REL)
+        assert operation_metrics(read_record)["energy"] == pytest.approx(
+            5.1133423449146786e-14, rel=REL)
+
+    def test_phase_counts(self, records):
+        _, write_record, read_record = records
+        assert operation_metrics(write_record)["phases"] == 6.0
+        assert operation_metrics(read_record)["phases"] == 6.0
+
+
+class TestFig08GoldenValues:
+    """FIG8 — the charge-to-digital sensor metering the EH power chain."""
+
+    CALIBRATION_GRID = [0.3 + 0.05 * i for i in range(16)]
+    #: (rail set-point, exact conversion code of the metering).
+    GOLDEN_CODES = [(0.4, 5202), (0.7, 7773), (1.0, 9410)]
+
+    @pytest.fixture(scope="class")
+    def sensor(self, tech):
+        sensor = ChargeToDigitalConverter(technology=tech,
+                                          sampling_capacitance=30e-12)
+        sensor.calibrate(self.CALIBRATION_GRID)
+        return sensor
+
+    @staticmethod
+    def _metered(sensor, target):
+        chain = PowerChain(
+            harvester=VibrationHarvester(peak_power=300e-6, wander=0.0,
+                                         seed=0),
+            storage_capacitance=100e-6, output_voltage=target,
+            initial_store_voltage=2.0)
+        return meter_rail(sensor, chain)
+
+    def test_codes_are_exact(self, sensor):
+        for target, code in self.GOLDEN_CODES:
+            assert self._metered(sensor, target).code == code
+
+    def test_measured_voltages(self, sensor):
+        assert self._metered(sensor, 0.4).measured_voltage == pytest.approx(
+            0.4001851851851852, rel=REL)
+        assert self._metered(sensor, 1.0).measured_voltage == pytest.approx(
+            1.0008928571428573, rel=REL)
+
+    def test_store_energy_taken(self, sensor):
+        assert self._metered(sensor, 1.0).store_energy_taken == pytest.approx(
+            3.2500898700842454e-11, rel=REL)
+
+
+class TestFig09GoldenValues:
+    """FIG9 — charge-to-code conversions of a 30 pF sampled charge."""
+
+    #: (sampled voltage, exact count, charge consumed).
+    GOLDEN_CONVERSIONS = [
+        (0.4, 5202, 7.800246430543176e-12),
+        (0.6, 7065, 1.3800309511316761e-11),
+        (0.8, 8385, 1.9800040306124034e-11),
+        (1.0, 9410, 2.5800055387704575e-11),
+    ]
+
+    @pytest.fixture(scope="class")
+    def conversions(self, tech):
+        converter = ChargeToDigitalConverter(technology=tech,
+                                             sampling_capacitance=30e-12)
+        return {voltage: conversion_metrics(converter, voltage)
+                for voltage, _, _ in self.GOLDEN_CONVERSIONS}
+
+    def test_counts_are_exact(self, conversions):
+        for voltage, count, _ in self.GOLDEN_CONVERSIONS:
+            assert conversions[voltage]["count"] == float(count)
+
+    def test_charges_consumed(self, conversions):
+        for voltage, _, charge in self.GOLDEN_CONVERSIONS:
+            assert conversions[voltage]["charge_consumed"] == pytest.approx(
+                charge, rel=REL)
+
+    def test_charge_per_count_at_extremes(self, conversions):
+        assert conversions[0.4]["charge_per_count"] == pytest.approx(
+            1.4994706710002259e-15, rel=REL)
+        assert conversions[1.0]["charge_per_count"] == pytest.approx(
+            2.741769966812388e-15, rel=REL)
+
+    def test_final_voltages_near_stop(self, conversions):
+        for voltage, _, _ in self.GOLDEN_CONVERSIONS:
+            assert conversions[voltage]["final_voltage"] == pytest.approx(
+                0.14, abs=2e-5)
