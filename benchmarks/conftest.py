@@ -19,14 +19,22 @@ reports nonzero persistent hits); ``ro`` replays an existing cache without
 ever writing.  CI runs with the default ``off`` so timing numbers always
 measure real evaluation.
 
-``pytest benchmarks --runner-distrib DIR`` attaches the sharded
+``pytest benchmarks --runner-distrib ROOT`` attaches the sharded
 multi-machine backend (:class:`~repro.analysis.distrib.DistribBackend`)
-over the shared root ``DIR``: plans whose quantities can cross a pickle
-boundary are partitioned into leased shards that any fleet worker
-(``python -m repro.analysis.distrib worker --root DIR``) may claim; the
+over the shared root ``ROOT`` (a directory, or an object-store bucket
+URL): plans whose quantities can cross a pickle boundary are partitioned
+into leased shards that any fleet worker
+(``python -m repro.analysis.distrib worker --root ROOT``) may claim; the
 coordinating pytest process participates, so the suite completes with or
 without external workers.  Plans with closure-bound quantities fall back
 to the local executor transparently.
+
+``pytest benchmarks --runner-cache-backend {fs,obj:URL}`` selects the
+persistent cache's storage backend: ``fs`` (the default) keeps
+``.repro_cache/`` on the local filesystem, ``obj:http://HOST:PORT/BUCKET``
+aims it at an S3-style object store (``python -m repro.analysis.objstore
+--serve`` runs the credential-free fake server) so shared-nothing fleet
+machines replay one another's results.
 """
 
 import os
@@ -46,6 +54,23 @@ def _workers_option(value):
     return int(value)
 
 
+def _backend_option(value):
+    """``--runner-cache-backend`` parser: ``fs`` or ``obj:URL``.
+
+    Returns the cache-root spec the chosen backend implies: ``None`` for
+    the filesystem default, the bucket URL for the object store.
+    """
+    if value == "fs":
+        return None
+    if value.startswith("obj:"):
+        url = value[len("obj:"):]
+        if url.startswith(("http://", "https://")):
+            return url
+    raise pytest.UsageError(
+        "--runner-cache-backend must be 'fs' or "
+        "'obj:http://HOST:PORT/BUCKET'; got " + repr(value))
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--runner-workers", action="store", type=_workers_option, default=0,
@@ -53,11 +78,18 @@ def pytest_addoption(parser):
              "(0 = deterministic serial path, auto = os.cpu_count())")
     parser.addoption(
         "--runner-cache", action="store", choices=CACHE_MODES, default="off",
-        help="persistent result cache under .repro_cache/ "
+        help="persistent result cache "
              "(off = always evaluate, rw = read and write, ro = read only)")
     parser.addoption(
-        "--runner-distrib", action="store", default=None, metavar="DIR",
-        help="shared root for sharded multi-machine execution "
+        "--runner-cache-backend", action="store", type=_backend_option,
+        default="fs", metavar="{fs,obj:URL}",
+        help="storage backend of the persistent cache: fs = .repro_cache/ "
+             "on the local filesystem (default), obj:URL = an S3-style "
+             "object store at URL (http://HOST:PORT/BUCKET)")
+    parser.addoption(
+        "--runner-distrib", action="store", default=None, metavar="ROOT",
+        help="shared root for sharded multi-machine execution — a "
+             "directory or an object-store bucket URL "
              "(default: no distribution)")
 
 
@@ -84,17 +116,29 @@ def runner_cache_mode(request):
 
 
 @pytest.fixture(scope="session")
+def runner_cache_root(request):
+    """Cache-root spec of the selected backend (None = local filesystem).
+
+    ``--runner-cache-backend fs`` (the default) resolves to ``None`` —
+    the cache's own default root; ``obj:URL`` resolves to the bucket URL.
+    """
+    return _option(request, "--runner-cache-backend", None)
+
+
+@pytest.fixture(scope="session")
 def runner_distrib_root(request):
     """Shared distrib root from the command line (None = no distribution)."""
     return _option(request, "--runner-distrib", None)
 
 
 @pytest.fixture(scope="session")
-def executor(runner_workers, runner_cache_mode, runner_distrib_root):
+def executor(runner_workers, runner_cache_mode, runner_cache_root,
+             runner_distrib_root):
     """The experiment executor every figure benchmark runs its plan on."""
     persistent = None
     if runner_cache_mode != "off":
-        persistent = ResultCache(mode=runner_cache_mode)
+        persistent = ResultCache(mode=runner_cache_mode,
+                                 root=runner_cache_root)
     distrib = None
     if runner_distrib_root is not None:
         # Shards the coordinator executes itself still honour the

@@ -15,14 +15,19 @@ benchmark harness uses to regenerate them:
   :class:`~repro.analysis.runner.ExperimentPlan` grids (1-D sweeps, 2-D
   grids, seeded Monte-Carlo batches) executed serially or over a process
   pool with bit-identical results;
-* :mod:`repro.analysis.cache` — the persistent, content-keyed store under
-  ``.repro_cache/`` that carries finished plan results and Technology
-  rebuilds across processes (keyed by plan hash + quantity fingerprints +
-  code-version salt);
+* :mod:`repro.analysis.cache` — the persistent, content-keyed store that
+  carries finished plan results and Technology rebuilds across processes
+  (keyed by plan hash + quantity fingerprints + code-version salt),
+  backed by a pluggable :class:`~repro.analysis.cache.CacheStore`
+  (a local ``.repro_cache/`` directory, or an object store);
+* :mod:`repro.analysis.objstore` — the S3-style object-store backend
+  (ETag-conditional puts, paginated listings) plus the in-process fake
+  server tests and CI run against;
 * :mod:`repro.analysis.distrib` — sharded multi-machine execution over a
-  shared cache root: plans partition into content-addressed shards that
-  fleet workers claim via heartbeated lease files, execute, publish and
-  merge bit-identically to the serial path;
+  shared cache root (a directory or an object-store bucket URL): plans
+  partition into content-addressed shards that fleet workers claim via
+  heartbeated leases, execute, publish and merge bit-identically to the
+  serial path;
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """
@@ -51,7 +56,12 @@ _LAZY_EXPORTS = {
     "ExperimentResult": "repro.analysis.runner",
     "RunRecord": "repro.analysis.runner",
     "TechnologyCache": "repro.analysis.runner",
+    "CacheStore": "repro.analysis.cache",
+    "LocalFSStore": "repro.analysis.cache",
     "ResultCache": "repro.analysis.cache",
+    "open_store": "repro.analysis.cache",
+    "FakeObjectServer": "repro.analysis.objstore",
+    "ObjectStore": "repro.analysis.objstore",
     "DistribBackend": "repro.analysis.distrib",
     "DistribJob": "repro.analysis.distrib",
     "Worker": "repro.analysis.distrib",
@@ -77,15 +87,20 @@ __all__ = [
     "Table",
     "format_series",
     "format_table",
+    "CacheStore",
     "DistribBackend",
     "DistribJob",
     "Executor",
     "ExperimentPlan",
     "ExperimentResult",
+    "FakeObjectServer",
+    "LocalFSStore",
+    "ObjectStore",
     "ResultCache",
     "RunRecord",
     "TechnologyCache",
     "Worker",
+    "open_store",
     "Series",
     "SweepResult",
     "sweep",

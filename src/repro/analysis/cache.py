@@ -40,6 +40,15 @@ and a heartbeat timestamp; a lease whose heartbeat is older than its TTL
 is *expired* and may be atomically stolen, so a killed worker's shard is
 reclaimed by a survivor.
 
+All I/O goes through a pluggable **storage backend** (:class:`CacheStore`):
+:class:`LocalFSStore` keeps today's ``.repro_cache/`` directory layout
+byte for byte, and :class:`repro.analysis.objstore.ObjectStore` speaks a
+minimal S3-style HTTP API (bucket/key, ETag-conditional puts, pagination)
+so a distrib fleet can span machines **without a shared filesystem**.
+The backend is chosen by the *root* spec: a directory path selects the
+filesystem store, an ``http(s)://host:port/bucket`` URL the object store
+(``$REPRO_CACHE_DIR`` accepts either).
+
 Inspect or reset the store from the command line::
 
     python -m repro.analysis.cache --stats           # human-readable
@@ -47,10 +56,13 @@ Inspect or reset the store from the command line::
     python -m repro.analysis.cache --clear           # everything
     python -m repro.analysis.cache --clear --stale   # old code versions only
     python -m repro.analysis.cache --selftest        # store + lease smoke test
+    python -m repro.analysis.cache --selftest --backend obj   # same, over the
+                                                     # fake object-store server
 
 Selection of the cache at run time is a one-argument affair: pass
 ``Executor(persistent=ResultCache(mode="rw"))``, or for the benchmark
-suite ``pytest benchmarks --runner-cache rw``.
+suite ``pytest benchmarks --runner-cache rw`` (add
+``--runner-cache-backend obj:URL`` to aim it at an object store).
 """
 
 from __future__ import annotations
@@ -62,6 +74,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import time
 import types
 import uuid
@@ -74,10 +87,16 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_MODES",
     "DEFAULT_LEASE_TTL",
+    "CacheStore",
+    "LocalFSStore",
+    "ObjectInfo",
     "ResultCache",
+    "StoredObject",
     "callable_fingerprint",
     "code_version_salt",
     "default_cache_root",
+    "object_etag",
+    "open_store",
     "result_key",
     "stable_repr",
 ]
@@ -96,9 +115,18 @@ DEFAULT_LEASE_TTL = 30.0
 _RECURSION_DEPTH = 4
 
 
-def default_cache_root() -> Path:
-    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_DIRNAME)
+def default_cache_root():
+    """The cache root spec: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``.
+
+    A directory :class:`~pathlib.Path` normally; the environment variable
+    may instead name an object-store bucket URL
+    (``http://host:port/bucket``), which is returned as a string for
+    :func:`open_store` to resolve.
+    """
+    value = os.environ.get(CACHE_DIR_ENV)
+    if value and value.startswith(("http://", "https://")):
+        return value
+    return Path(value or DEFAULT_DIRNAME)
 
 
 @functools.lru_cache(maxsize=None)
@@ -284,7 +312,281 @@ def result_key(plan, quantities: Mapping[str, Callable],
 
 
 # ---------------------------------------------------------------------------
-# The on-disk store
+# Storage backends
+#
+# Every persisted entry — results, leases, technology pickles, distrib job
+# manifests/payloads, worker presence — is one *object* under a
+# slash-separated string key ("results/<salt>/<key>.json").  The
+# :class:`CacheStore` interface is the complete I/O surface of the cache
+# and of the distributed runner built on it; anything satisfying it (a
+# local directory, an S3-style bucket, a fault-injecting test wrapper)
+# can back a :class:`ResultCache`.
+
+
+def object_etag(data: bytes) -> str:
+    """The ETag identifying the exact byte content *data*.
+
+    Hex MD5, matching what S3 computes for single-part puts, so a
+    filesystem store and a real object store agree on conditional-write
+    semantics.
+    """
+    return hashlib.md5(data).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredObject:
+    """One fetched object: its payload plus the ETag of those bytes."""
+
+    data: bytes
+    etag: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectInfo:
+    """Listing/stat metadata of one stored object.
+
+    ``etag`` may be ``None`` when the backend cannot report it without a
+    full read (the filesystem store's listings); conditional writes always
+    go through :meth:`CacheStore.get`, which does return one.
+    """
+
+    key: str
+    size: int
+    etag: Optional[str] = None
+
+
+class CacheStore:
+    """Abstract storage backend: atomic, conditionally-writable objects.
+
+    The contract every implementation must honour (it is exactly what the
+    lease protocol's correctness rests on):
+
+    * :meth:`put_atomic` is all-or-nothing — no reader ever observes a
+      half-written object;
+    * :meth:`put_if_absent` creates an object *with its payload in one
+      atomic step* iff no object exists under the key — exactly one of
+      any number of concurrent creators wins;
+    * :meth:`put_if_match` (the conditional-write primitive) replaces an
+      object only if it still carries *etag* — at most one of any number
+      of concurrent replacers against the same ETag wins, which is what
+      makes stealing an expired lease race-free;
+    * :meth:`list` returns every object whose key starts with *prefix*
+      (paginating internally as needed), never in-flight staging files;
+    * keys are opaque ``/``-separated strings; implementations must not
+      interpret them beyond hierarchy.
+
+    Methods returning ETags return ``None`` on a failed precondition, so
+    callers can chain a successful write into a later conditional write.
+    """
+
+    def get(self, key: str) -> Optional[StoredObject]:
+        """The object under *key* with its ETag, or ``None``."""
+        raise NotImplementedError
+
+    def put_atomic(self, key: str, data: bytes) -> str:
+        """Store *data* under *key* unconditionally; returns the new ETag."""
+        raise NotImplementedError
+
+    def put_if_absent(self, key: str, data: bytes) -> Optional[str]:
+        """Create *key* iff absent; the new ETag, or ``None`` if it exists."""
+        raise NotImplementedError
+
+    def put_if_match(self, key: str, data: bytes,
+                     etag: str) -> Optional[str]:
+        """Replace *key* iff it still carries *etag*; ``None`` otherwise."""
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> List[ObjectInfo]:
+        """Every stored object whose key starts with *prefix*, sorted."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> bool:
+        """Remove *key*; whether an object was actually removed."""
+        raise NotImplementedError
+
+    def stat(self, key: str) -> Optional[ObjectInfo]:
+        """Existence/size probe for *key* without fetching the payload."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A human-readable root spec (directory path or bucket URL)."""
+        raise NotImplementedError
+
+    def prune(self) -> None:
+        """Reclaim backend housekeeping debris (empty directories).
+
+        A maintenance hook — called from :meth:`ResultCache.clear`, never
+        from hot paths: pruning a just-emptied directory races a
+        concurrent writer re-creating it, which is acceptable in an
+        explicit maintenance action but not on every lease release.
+        Backends with flat namespaces need nothing; the default is a
+        no-op.
+        """
+
+
+#: In-flight staging files the filesystem store writes next to its
+#: targets; they must never surface in listings.
+_STAGING_RE = re.compile(r"\.(tmp\d+|claim[0-9a-f]+)$")
+
+
+class LocalFSStore(CacheStore):
+    """The filesystem backend: one file per object under a root directory.
+
+    Byte-for-byte compatible with every pre-backend ``.repro_cache/``
+    root — the key *is* the relative path, payload formats are untouched,
+    so existing caches stay readable and new entries stay readable to old
+    code.  Atomicity comes from POSIX rename/link semantics:
+    ``put_atomic`` renames a fully-written temporary over the target,
+    ``put_if_absent`` hard-links one onto the target (exclusive creation
+    *with* the payload already in place).  ``put_if_match`` has no true
+    filesystem compare-and-swap; it verifies the precondition, replaces
+    atomically, then re-reads to confirm its bytes won any concurrent
+    race — the residual window is the one the lease protocol documents as
+    benign (duplicated work, never a torn or wrong result).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def _path(self, key: str) -> Path:
+        if not key or key.startswith(("/", "../")) or "/../" in key:
+            raise ConfigurationError(f"invalid object key {key!r}")
+        return self.root / key
+
+    @staticmethod
+    def _atomic_write(target: Path, data: bytes) -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+
+    def get(self, key: str) -> Optional[StoredObject]:
+        try:
+            data = self._path(key).read_bytes()
+        except OSError:
+            return None
+        return StoredObject(data=data, etag=object_etag(data))
+
+    def put_atomic(self, key: str, data: bytes) -> str:
+        self._atomic_write(self._path(key), data)
+        return object_etag(data)
+
+    def put_if_absent(self, key: str, data: bytes) -> Optional[str]:
+        target = self._path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # Exclusive-create must carry the payload in the same atomic step:
+        # an O_EXCL create followed by a separate write would expose a
+        # momentarily empty object, which a concurrent lease claimer would
+        # read as corrupt (hence expired) and steal.  The staging name
+        # must be unique across the whole fleet — a pid alone collides
+        # between machines sharing the root.
+        staging = target.with_name(target.name
+                                   + f".claim{uuid.uuid4().hex[:16]}")
+        staging.write_bytes(data)
+        try:
+            try:
+                os.link(staging, target)
+            except FileExistsError:
+                return None
+            return object_etag(data)
+        finally:
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+
+    def put_if_match(self, key: str, data: bytes,
+                     etag: str) -> Optional[str]:
+        current = self.get(key)
+        if current is None or current.etag != etag:
+            return None
+        self._atomic_write(self._path(key), data)
+        confirmed = self.get(key)
+        if confirmed is None or confirmed.data != data:
+            return None  # a concurrent replacer won the rename race
+        return confirmed.etag
+
+    def list(self, prefix: str = "") -> List[ObjectInfo]:
+        # Key prefixes in practice are directory-style ("results/",
+        # "leases/<salt>/"); start the walk at the deepest directory the
+        # prefix pins down rather than scanning the whole root.
+        base = self.root
+        head, _, _ = prefix.rpartition("/")
+        if head:
+            base = self.root / head
+        if not base.is_dir():
+            return []
+        found: List[ObjectInfo] = []
+        for path in sorted(base.rglob("*")):
+            if not path.is_file():
+                continue
+            key = path.relative_to(self.root).as_posix()
+            if not key.startswith(prefix) or _STAGING_RE.search(key):
+                continue
+            found.append(ObjectInfo(key=key, size=path.stat().st_size))
+        return found
+
+    def delete(self, key: str) -> bool:
+        # No directory pruning here: delete sits on hot paths (every
+        # lease release), and pruning a just-emptied directory would race
+        # a concurrent claimer between its mkdir and its staging write —
+        # crashing the claimer with FileNotFoundError.  Empty directories
+        # are reclaimed by :meth:`prune` during explicit maintenance.
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        return True
+
+    def prune(self) -> None:
+        """Remove emptied directories bottom-up (maintenance only).
+
+        A concurrent writer may repopulate a directory between the
+        emptiness check and the rmdir; the failed rmdir is silently
+        skipped, exactly like a failed unlink in :meth:`delete`.
+        """
+        if not self.root.is_dir():
+            return
+        for directory in sorted((d for d in self.root.rglob("*")
+                                 if d.is_dir()), reverse=True):
+            try:
+                if not any(directory.iterdir()):
+                    directory.rmdir()
+            except OSError:
+                pass
+
+    def stat(self, key: str) -> Optional[ObjectInfo]:
+        try:
+            size = self._path(key).stat().st_size
+        except OSError:
+            return None
+        return ObjectInfo(key=key, size=size)
+
+
+def open_store(spec=None) -> CacheStore:
+    """Resolve a root *spec* into a :class:`CacheStore`.
+
+    ``None`` selects :func:`default_cache_root`; an existing
+    :class:`CacheStore` passes through; an ``http(s)://host:port/bucket``
+    URL opens an :class:`repro.analysis.objstore.ObjectStore`; anything
+    else is a directory for :class:`LocalFSStore`.
+    """
+    if spec is None:
+        spec = default_cache_root()
+    if isinstance(spec, CacheStore):
+        return spec
+    if isinstance(spec, str) and spec.startswith(("http://", "https://")):
+        from repro.analysis.objstore import ObjectStore
+
+        return ObjectStore(spec)
+    return LocalFSStore(spec)
+
+
+# ---------------------------------------------------------------------------
+# The store
 
 
 class ResultCache:
@@ -293,31 +595,41 @@ class ResultCache:
     Parameters
     ----------
     root:
-        Cache directory; defaults to :func:`default_cache_root`.
+        Backend spec — a cache directory, or an object-store bucket URL
+        (``http://host:port/bucket``); defaults to
+        :func:`default_cache_root`.  Resolved through :func:`open_store`.
     mode:
         ``"rw"`` reads and writes, ``"ro"`` only reads (guaranteed never to
-        create or modify a file), ``"off"`` is inert — an ``off`` cache can
-        be passed anywhere a cache is accepted and behaves like ``None``.
+        create or modify an object), ``"off"`` is inert — an ``off`` cache
+        can be passed anywhere a cache is accepted and behaves like
+        ``None``.
     salt:
         Code-version namespace; defaults to :func:`code_version_salt`.
         Tests inject fixed salts to exercise invalidation.
+    store:
+        An explicit :class:`CacheStore` to use instead of resolving
+        *root* — how the distributed runner shares one backend handle
+        across salts, and how tests inject fault-wrapped stores.
 
-    Layout on disk::
+    Object layout (identical relative keys on every backend; for the
+    filesystem store the key is literally the path under *root*)::
 
-        <root>/results/<salt>/<key>.json   one executed plan (or shard) each
-        <root>/technology/<salt>.pkl       pickled TechnologyCache entries
-        <root>/leases/<salt>/<key>.json    one live shard claim each
+        results/<salt>/<key>.json   one executed plan (or shard) each
+        technology/<salt>.pkl       pickled TechnologyCache entries
+        leases/<salt>/<key>.json    one live shard claim each
 
     Result payloads are JSON with floats serialised via ``repr`` round-trip,
     so a cache hit reproduces the computed values bit for bit.
     """
 
     def __init__(self, root=None, mode: str = "rw",
-                 salt: Optional[str] = None) -> None:
+                 salt: Optional[str] = None,
+                 store: Optional[CacheStore] = None) -> None:
         if mode not in CACHE_MODES:
             raise ConfigurationError(
                 f"unknown cache mode {mode!r}; choose from {CACHE_MODES}")
-        self.root = Path(root) if root is not None else default_cache_root()
+        self.store = store if store is not None else open_store(root)
+        self.root = root if root is not None else self.store.describe()
         self.mode = mode
         self.salt = salt if salt is not None else code_version_salt()
         self.hits = 0
@@ -339,19 +651,37 @@ class ResultCache:
         """Whether stores are permitted (``rw`` only)."""
         return self.mode == "rw"
 
-    # -- paths -------------------------------------------------------------
+    # -- object keys -------------------------------------------------------
 
-    def _results_dir(self, salt: Optional[str] = None) -> Path:
-        return self.root / "results" / (salt or self.salt)
+    def _get(self, key: str) -> Optional[StoredObject]:
+        """``store.get`` degraded to a miss on transient backend faults.
 
-    def _technology_file(self, salt: Optional[str] = None) -> Path:
-        return self.root / "technology" / f"{salt or self.salt}.pkl"
+        Read paths keep the filesystem backend's historical contract —
+        an unreadable entry is a miss, recomputed and healed — on every
+        backend: one HTTP blip must degrade a cache lookup, never abort
+        the run.  Writes stay loud (the worker daemon's retry loop
+        handles them).
+        """
+        try:
+            return self.store.get(key)
+        except OSError:
+            return None
 
-    def _result_file(self, key: str) -> Path:
-        return self._results_dir() / f"{key}.json"
+    def _stat(self, key: str) -> Optional[ObjectInfo]:
+        """``store.stat`` with the same degrade-to-miss contract."""
+        try:
+            return self.store.stat(key)
+        except OSError:
+            return None
 
-    def _lease_file(self, key: str) -> Path:
-        return self.root / "leases" / self.salt / f"{key}.json"
+    def _result_obj(self, key: str) -> str:
+        return f"results/{self.salt}/{key}.json"
+
+    def _technology_obj(self, salt: Optional[str] = None) -> str:
+        return f"technology/{salt or self.salt}.pkl"
+
+    def _lease_obj(self, key: str) -> str:
+        return f"leases/{self.salt}/{key}.json"
 
     # -- result payloads ---------------------------------------------------
 
@@ -363,10 +693,13 @@ class ResultCache:
                      points: int) -> Optional[Dict[str, List[float]]]:
         """Parse *key*'s payload; ``None`` unless it carries exactly
         *names*, each with *points* values.  No counter updates."""
+        obj = self._get(self._result_obj(key))
+        if obj is None:
+            return None
         try:
-            payload = json.loads(self._result_file(key).read_text())
+            payload = json.loads(obj.data)
             values = payload["values"]
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
         if (sorted(values) != sorted(names)
                 or any(len(values[name]) != points for name in names)):
@@ -412,30 +745,44 @@ class ResultCache:
         """
         if not self.enabled:
             return None
+        obj = self._get(self._result_obj(key))
+        if obj is None:
+            return None
         try:
-            payload = json.loads(self._result_file(key).read_text())
-            meta = payload["meta"]
-        except (OSError, ValueError, KeyError, TypeError):
+            meta = json.loads(obj.data)["meta"]
+        except (ValueError, KeyError, TypeError):
             return None
         return meta if isinstance(meta, dict) else None
 
     def has_result(self, key: str) -> bool:
         """Whether a payload for *key* exists (without counting a hit)."""
-        return self.enabled and self._result_file(key).is_file()
+        return self.enabled and self._stat(self._result_obj(key)) \
+            is not None
 
     def store_result(self, key: str, values: Mapping[str, Sequence[float]],
-                     meta: Optional[Mapping[str, object]] = None) -> bool:
-        """Persist one executed plan's values; no-op unless ``rw``."""
+                     meta: Optional[Mapping[str, object]] = None,
+                     if_absent: bool = False) -> bool:
+        """Persist one executed plan's values; no-op unless ``rw``.
+
+        With *if_absent*, the write is an atomic exclusive create and
+        ``False`` means an entry already existed — how fleet workers
+        publish shard results so the loser of a stolen-lease race can
+        never re-publish (and clobber the provenance of) a shard a
+        survivor already landed.
+        """
         if not self.writable:
             return False
-        payload = {
+        payload = json.dumps({
             "values": {name: list(vals) for name, vals in values.items()},
             "meta": dict(meta or {}),
             "created": time.time(),
-        }
-        target = self._result_file(key)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        self._atomic_write_bytes(target, json.dumps(payload).encode())
+        }).encode()
+        target = self._result_obj(key)
+        if if_absent:
+            if self.store.put_if_absent(target, payload) is None:
+                return False
+        else:
+            self.store.put_atomic(target, payload)
         self.writes += 1
         return True
 
@@ -445,10 +792,13 @@ class ResultCache:
         """All persisted Technology rebuilds of this code version."""
         if not self.enabled:
             return {}
+        obj = self._get(self._technology_obj())
+        if obj is None:
+            return {}
         try:
-            with open(self._technology_file(), "rb") as handle:
-                entries = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            entries = pickle.loads(obj.data)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, TypeError):
             return {}
         return entries if isinstance(entries, dict) else {}
 
@@ -456,7 +806,7 @@ class ResultCache:
         """Union *entries* into the persisted set; returns entries added.
 
         No-op unless ``rw``.  Read-modify-write, so concurrent runs lose at
-        worst each other's newest entries, never corrupt the file.
+        worst each other's newest entries, never corrupt the object.
         """
         if not self.writable or not entries:
             return 0
@@ -467,50 +817,54 @@ class ResultCache:
                 stored[key] = value
                 added += 1
         if added:
-            target = self._technology_file()
-            target.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write_bytes(target, pickle.dumps(stored))
+            self.store.put_atomic(self._technology_obj(),
+                                  pickle.dumps(stored))
             self.writes += 1
         return added
 
     # -- shard leases ------------------------------------------------------
     #
-    # The distributed runner's mutual-exclusion primitive.  A lease file
-    # names its owner, its TTL and the owner's last heartbeat; creation is
-    # atomic (a fully-written temporary hard-linked onto the target), so
-    # exactly one worker claims an unleased key and no reader ever sees a
+    # The distributed runner's mutual-exclusion primitive, built entirely
+    # on the store's conditional writes.  A lease object names its owner,
+    # its TTL and the owner's last heartbeat; creation goes through
+    # ``put_if_absent`` (exclusive, with the payload in place), so exactly
+    # one worker claims an unleased key and no reader ever sees a
     # half-written lease.  A lease whose heartbeat is older than its TTL
-    # is *expired*: any worker may steal it by atomically replacing the
-    # file and then re-reading it to confirm the replacement won any
-    # concurrent steal race.  The race window is benign — shard results
-    # are content-keyed and published atomically, so a doubly-executed
-    # shard costs duplicated work, never a wrong or torn result.  Expiry
-    # compares the reader's wall clock with the writer's heartbeat
-    # timestamp, so fleet machines need loosely synchronised clocks (skew
-    # well under the TTL); excess skew likewise degrades only to
-    # duplicated work.
+    # is *expired*: any worker may steal it with a ``put_if_match``
+    # conditioned on the exact bytes it read, so at most one concurrent
+    # stealer wins.  On a backend whose conditional put is approximate
+    # (the filesystem store's replace-and-confirm), the residual race is
+    # benign — shard results are content-keyed and published atomically,
+    # so a doubly-executed shard costs duplicated work, never a wrong or
+    # torn result.  Expiry compares the reader's wall clock with the
+    # writer's heartbeat timestamp, so fleet machines need loosely
+    # synchronised clocks (skew well under the TTL); excess skew likewise
+    # degrades only to duplicated work.
 
-    def lease_info(self, key: str) -> Optional[Dict[str, object]]:
-        """The live lease on *key* (owner/heartbeat/ttl/expired) or ``None``.
-
-        An unreadable or field-incomplete lease file reports as an expired
-        lease owned by ``"?"`` so a healthy worker can steal and repair it.
-        """
-        path = self._lease_file(key)
+    def _lease_state(self, key: str):
+        """``(info, etag)`` of the lease on *key*; ``(None, None)`` if
+        unleased.  The etag feeds the steal's conditional write."""
+        obj = self._get(self._lease_obj(key))
+        if obj is None:
+            return None, None
         try:
-            raw = path.read_text()
-        except OSError:
-            return None
-        try:
-            info = json.loads(raw)
+            info = json.loads(obj.data)
             owner = str(info["owner"])
             heartbeat = float(info["heartbeat"])
             ttl = float(info["ttl"])
         except (ValueError, KeyError, TypeError):
-            return {"owner": "?", "heartbeat": 0.0, "ttl": 0.0,
-                    "expired": True}
-        return {"owner": owner, "heartbeat": heartbeat, "ttl": ttl,
-                "expired": time.time() - heartbeat > ttl}
+            # Corrupt or field-incomplete: report as an expired lease
+            # owned by "?" so a healthy worker can steal and repair it.
+            return ({"owner": "?", "heartbeat": 0.0, "ttl": 0.0,
+                     "expired": True}, obj.etag)
+        return ({"owner": owner, "heartbeat": heartbeat, "ttl": ttl,
+                 "expired": time.time() - heartbeat > ttl}, obj.etag)
+
+    def lease_info(self, key: str) -> Optional[Dict[str, object]]:
+        """The live lease on *key* (owner/heartbeat/ttl/expired) or
+        ``None``."""
+        info, _ = self._lease_state(key)
+        return info
 
     def claim_lease(self, key: str, owner: str,
                     ttl: float = DEFAULT_LEASE_TTL) -> bool:
@@ -527,176 +881,132 @@ class ResultCache:
             raise ConfigurationError("lease ttl must be > 0")
         # Read fast-path: while another worker holds a live lease — the
         # common case for every contended shard on every poll — deciding
-        # costs one read, no staging writes against the shared root.
-        info = self.lease_info(key)
+        # costs one read, no writes against the shared root.
+        info, etag = self._lease_state(key)
         if info is not None and not info["expired"]:
             return info["owner"] == owner
         now = time.time()
         payload = json.dumps({"owner": owner, "ttl": ttl,
                               "heartbeat": now, "claimed": now}).encode()
-        target = self._lease_file(key)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        # Create-with-content must be one atomic step: an O_EXCL create
-        # followed by a separate write would expose a momentarily empty
-        # lease file, which a concurrent claimer would read as corrupt
-        # (hence expired) and steal.  Hard-linking a fully written
-        # temporary onto the target gives exclusive creation *with* the
-        # payload already in place.  The staging name must be unique
-        # across the whole fleet — a pid alone collides between machines
-        # sharing the root.
-        staging = target.with_name(target.name
-                                   + f".claim{uuid.uuid4().hex[:16]}")
-        staging.write_bytes(payload)
-        try:
-            try:
-                os.link(staging, target)
+        target = self._lease_obj(key)
+        if info is None:
+            if self.store.put_if_absent(target, payload) is not None:
                 return True
-            except FileExistsError:
-                pass
-            info = self.lease_info(key)
+            info, etag = self._lease_state(key)
             if info is None:
-                # Released between the failed create and the read: retry
-                # the exclusive create once rather than silently
+                # Claimed and released between the failed create and the
+                # re-read: retry the exclusive create once rather than
                 # overwriting a lease someone else may be claiming.
-                try:
-                    os.link(staging, target)
-                    return True
-                except FileExistsError:
-                    return False
+                return self.store.put_if_absent(target, payload) is not None
             if not info["expired"]:
                 return info["owner"] == owner
-            self._atomic_write_bytes(target, payload)
-            confirmed = self.lease_info(key)
-            return confirmed is not None and confirmed["owner"] == owner
-        finally:
-            try:
-                staging.unlink()
-            except OSError:
-                pass
+        # Expired (or corrupt): steal with a write conditioned on the
+        # exact bytes read above, so of any number of concurrent stealers
+        # at most one — the one whose precondition still held — wins.
+        return self.store.put_if_match(target, payload, etag) is not None
 
     def heartbeat_lease(self, key: str, owner: str) -> bool:
-        """Refresh *owner*'s lease on *key*; ``False`` if no longer held."""
+        """Refresh *owner*'s lease on *key*; ``False`` if no longer held.
+
+        The refresh is conditioned on the lease bytes just read, so an
+        owner whose lease was stolen between read and write (it expired,
+        a survivor took it) can never resurrect it — the conditional put
+        fails and the owner learns it lost the lease.
+        """
         if not self.writable:
             return False
-        info = self.lease_info(key)
+        info, etag = self._lease_state(key)
         if info is None or info["owner"] != owner:
             return False
         payload = json.dumps({"owner": owner, "ttl": info["ttl"],
                               "heartbeat": time.time()}).encode()
-        self._atomic_write_bytes(self._lease_file(key), payload)
-        return True
+        return self.store.put_if_match(self._lease_obj(key), payload,
+                                       etag) is not None
 
     def release_lease(self, key: str, owner: str) -> bool:
         """Drop *owner*'s lease on *key*; ``False`` if not held by *owner*."""
         if not self.writable:
             return False
-        info = self.lease_info(key)
+        info, _ = self._lease_state(key)
         if info is None or info["owner"] != owner:
             return False
-        try:
-            self._lease_file(key).unlink()
-        except OSError:
-            return False
-        return True
+        return self.store.delete(self._lease_obj(key))
 
     # -- maintenance -------------------------------------------------------
-
-    @staticmethod
-    def _atomic_write_bytes(target: Path, payload: bytes) -> None:
-        tmp = target.with_name(target.name + f".tmp{os.getpid()}")
-        tmp.write_bytes(payload)
-        os.replace(tmp, target)
 
     def stats(self) -> Dict[str, object]:
         """Per-salt entry counts and sizes, plus this session's counters."""
         salts: Dict[str, Dict[str, object]] = {}
-        results_root = self.root / "results"
-        if results_root.is_dir():
-            for directory in sorted(results_root.iterdir()):
-                if not directory.is_dir():
-                    continue
-                files = list(directory.glob("*.json"))
-                salts.setdefault(directory.name, {}).update(
-                    results=len(files),
-                    result_bytes=sum(f.stat().st_size for f in files))
-        leases_root = self.root / "leases"
-        if leases_root.is_dir():
-            for directory in sorted(leases_root.iterdir()):
-                if not directory.is_dir():
-                    continue
-                salts.setdefault(directory.name, {})["leases"] = len(
-                    list(directory.glob("*.json")))
-        tech_root = self.root / "technology"
-        if tech_root.is_dir():
-            for path in sorted(tech_root.glob("*.pkl")):
-                entry = salts.setdefault(path.stem, {})
-                try:
-                    with open(path, "rb") as handle:
-                        entry["technologies"] = len(pickle.load(handle))
-                except (OSError, pickle.UnpicklingError, EOFError):
-                    entry["technologies"] = 0
-                entry["technology_bytes"] = path.stat().st_size
+        for info in self.store.list("results/"):
+            parts = info.key.split("/")
+            if len(parts) != 3 or not parts[2].endswith(".json"):
+                continue
+            entry = salts.setdefault(parts[1], {})
+            entry["results"] = entry.get("results", 0) + 1
+            entry["result_bytes"] = entry.get("result_bytes", 0) + info.size
+        for info in self.store.list("leases/"):
+            parts = info.key.split("/")
+            if len(parts) != 3 or not parts[2].endswith(".json"):
+                continue
+            entry = salts.setdefault(parts[1], {})
+            entry["leases"] = entry.get("leases", 0) + 1
+        for info in self.store.list("technology/"):
+            parts = info.key.split("/")
+            if len(parts) != 2 or not parts[1].endswith(".pkl"):
+                continue
+            entry = salts.setdefault(parts[1][:-len(".pkl")], {})
+            obj = self._get(info.key)
+            try:
+                entry["technologies"] = (0 if obj is None
+                                         else len(pickle.loads(obj.data)))
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ValueError, TypeError):
+                entry["technologies"] = 0
+            entry["technology_bytes"] = info.size
         return {
             "root": str(self.root),
             "mode": self.mode,
             "current_salt": self.salt,
-            "salts": salts,
+            "salts": dict(sorted(salts.items())),
             "session": {"hits": self.hits, "misses": self.misses,
                         "writes": self.writes},
         }
 
     def clear(self, stale_only: bool = False) -> int:
-        """Delete cached files; with *stale_only*, keep the current salt.
+        """Delete cached objects; with *stale_only*, keep the current salt.
 
         Covers results, leases, distrib job manifests/payloads and (on a
-        full clear) worker presence files — a cleared root must not leave
-        job directories behind, or a still-running fleet would rescan
+        full clear) worker presence objects — a cleared root must not
+        leave job entries behind, or a still-running fleet would rescan
         them, see every shard missing and re-execute the whole job
-        unprompted.  Returns the number of files removed.  Permitted in
+        unprompted.  Returns the number of objects removed.  Permitted in
         any mode — a deliberate maintenance action, unlike the implicit
         writes ``ro`` forbids.
         """
         removed = 0
-        specs = (
-            ("results", "*/*.json", lambda p: p.parent.name),
-            ("leases", "*/*.json", lambda p: p.parent.name),
-            ("jobs", "*/*/*", lambda p: p.parent.parent.name),
-            ("technology", "*.pkl", lambda p: p.stem),
-        )
-        for subdir, pattern, owner_of in specs:
-            base = self.root / subdir
-            if not base.is_dir():
-                continue
-            for path in base.glob(pattern):
-                if not path.is_file():
+        # (prefix, index of the salt segment in the key's path parts)
+        specs = (("results/", 1), ("leases/", 1), ("jobs/", 1),
+                 ("technology/", None))
+        for prefix, salt_part in specs:
+            for info in self.store.list(prefix):
+                parts = info.key.split("/")
+                if salt_part is None:  # technology/<salt>.pkl
+                    owner = parts[-1].rsplit(".", 1)[0]
+                elif len(parts) > salt_part:
+                    owner = parts[salt_part]
+                else:
                     continue
-                if stale_only and owner_of(path) == self.salt:
+                if stale_only and owner == self.salt:
                     continue
-                try:
-                    path.unlink()
+                if self.store.delete(info.key):
                     removed += 1
-                except OSError:
-                    pass
-            # Prune emptied directories bottom-up (jobs nest two deep).
-            # A live fleet may repopulate a directory between the emptiness
-            # check and the rmdir; skip it, exactly like the unlinks above.
-            for directory in sorted((d for d in base.rglob("*")
-                                     if d.is_dir()), reverse=True):
-                try:
-                    if not any(directory.iterdir()):
-                        directory.rmdir()
-                except OSError:
-                    pass
-        workers = self.root / "workers"
-        if not stale_only and workers.is_dir():
-            # Presence files are salt-less heartbeats; a stale-only clear
-            # keeps the live fleet's announcements.
-            for path in workers.glob("*.json"):
-                try:
-                    path.unlink()
+        if not stale_only:
+            # Presence objects are salt-less heartbeats; a stale-only
+            # clear keeps the live fleet's announcements.
+            for info in self.store.list("workers/"):
+                if self.store.delete(info.key):
                     removed += 1
-                except OSError:
-                    pass
+        self.store.prune()
         return removed
 
 
@@ -704,8 +1014,14 @@ class ResultCache:
 # CLI (python -m repro.analysis.cache)
 
 
-def _selftest() -> int:
-    """Store round trip + lease protocol smoke test over a temporary root."""
+def _selftest(backend: str = "fs") -> int:
+    """Store round trip + lease protocol smoke test over a temporary root.
+
+    ``backend="obj"`` runs the identical checks against an in-process fake
+    object-store server instead of a temporary directory, plus the
+    store-interface contract checks both backends share.
+    """
+    import contextlib
     import tempfile
 
     failures = 0
@@ -716,8 +1032,48 @@ def _selftest() -> int:
         if not ok:
             failures += 1
 
-    print("cache selftest")
-    with tempfile.TemporaryDirectory() as tmp:
+    print(f"cache selftest (backend: {backend})")
+    with contextlib.ExitStack() as stack:
+        if backend == "obj":
+            from repro.analysis.objstore import FakeObjectServer
+
+            server = stack.enter_context(FakeObjectServer())
+            tmp = f"{server.url}/cache-selftest"
+        else:
+            tmp = stack.enter_context(tempfile.TemporaryDirectory())
+
+        # -- the CacheStore interface contract ----------------------------
+        raw = open_store(tmp)
+        etag = raw.put_atomic("contract/a", b"alpha")
+        check("put_atomic + get round trip with a content ETag",
+              raw.get("contract/a") == StoredObject(b"alpha", etag)
+              and etag == object_etag(b"alpha"))
+        check("stat reports existence and size",
+              raw.stat("contract/a").size == 5
+              and raw.stat("contract/missing") is None)
+        created = raw.put_if_absent("contract/b", b"beta")
+        check("put_if_absent creates exactly once",
+              created is not None
+              and raw.put_if_absent("contract/b", b"other") is None
+              and raw.get("contract/b").data == b"beta")
+        check("put_if_match replaces only against the live ETag",
+              raw.put_if_match("contract/b", b"beta2", "stale") is None
+              and raw.put_if_match("contract/b", b"beta2",
+                                   created) is not None
+              and raw.get("contract/b").data == b"beta2")
+        check("put_if_match on a missing key fails",
+              raw.put_if_match("contract/missing", b"x", etag) is None)
+        listed = [info.key for info in raw.list("contract/")]
+        check("list is prefix-scoped and sorted",
+              listed == ["contract/a", "contract/b"]
+              and [i.key for i in raw.list("contract/a")]
+              == ["contract/a"])
+        check("delete removes exactly once",
+              raw.delete("contract/a") and not raw.delete("contract/a")
+              and raw.get("contract/a") is None)
+        raw.delete("contract/b")
+
+        # -- the ResultCache protocol over that store ----------------------
         store = ResultCache(root=tmp, mode="rw", salt="selftest")
         values = {"q": [0.1 + 0.2, 1e-300, -0.0, 3.14159]}
         store.store_result("key", values, meta={"worker": "me"})
@@ -767,8 +1123,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis.cache",
         description="Inspect or clear the persistent experiment cache.")
     parser.add_argument("--root", default=None,
-                        help="cache directory (default: $REPRO_CACHE_DIR "
-                             "or ./.repro_cache)")
+                        help="cache directory or object-store bucket URL "
+                             "(default: $REPRO_CACHE_DIR or ./.repro_cache)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-code-version entry counts and sizes")
     parser.add_argument("--json", action="store_true",
@@ -779,9 +1135,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="with --clear: only entries of old code versions")
     parser.add_argument("--selftest", action="store_true",
                         help="run the store/lease round-trip checks")
+    parser.add_argument("--backend", choices=("fs", "obj"), default="fs",
+                        help="with --selftest: storage backend to exercise "
+                             "(obj spins an in-process fake object-store "
+                             "server; default: fs)")
     args = parser.parse_args(argv)
     if args.selftest:
-        return _selftest()
+        return _selftest(args.backend)
     if not (args.stats or args.clear):
         parser.print_help()
         return 2
@@ -812,4 +1172,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 if __name__ == "__main__":
     import sys
 
-    sys.exit(main())
+    # Under ``python -m`` this file executes as ``__main__`` while the
+    # package import created a second copy as ``repro.analysis.cache``;
+    # dispatch to that canonical copy so the classes the selftest compares
+    # are the very ones other modules (objstore) return instances of.
+    from repro.analysis.cache import main as _canonical_main
+
+    sys.exit(_canonical_main())

@@ -3,9 +3,13 @@
 The :class:`~repro.analysis.runner.Executor` parallelises one plan across
 the cores of one machine; this module parallelises it across a *fleet*.
 The coordination substrate is the persistent, content-keyed
-:class:`~repro.analysis.cache.ResultCache`: a shared root (an NFS mount, a
-synced directory, or just ``.repro_cache/`` for local fleets) is all the
-machines need to agree on.
+:class:`~repro.analysis.cache.ResultCache`: a shared root is all the
+machines need to agree on.  The root is a storage-backend spec resolved
+by :func:`~repro.analysis.cache.open_store` — a directory (an NFS mount,
+a synced directory, or just ``.repro_cache/`` for local fleets), or an
+``http://host:port/bucket`` object-store URL
+(:mod:`repro.analysis.objstore`) for genuinely shared-nothing fleets
+with no common filesystem at all.
 
 The model, end to end:
 
@@ -49,15 +53,20 @@ atomically under content keys, so the loser's write is byte-identical.
 
 Command line::
 
-    python -m repro.analysis.distrib worker --root DIR      # join the fleet
-    python -m repro.analysis.distrib submit --root DIR --plan MODULE:FACTORY
-    python -m repro.analysis.distrib status --root DIR [--json]
-    python -m repro.analysis.distrib run    --root DIR --plan MODULE:FACTORY
+    python -m repro.analysis.distrib worker --root ROOT     # join the fleet
+    python -m repro.analysis.distrib submit --root ROOT --plan MODULE:FACTORY
+    python -m repro.analysis.distrib status --root ROOT [--json]
+    python -m repro.analysis.distrib run    --root ROOT --plan MODULE:FACTORY
     python -m repro.analysis.distrib --selftest             # N local workers
+    python -m repro.analysis.distrib --selftest --backend obj   # ... over the
+                                                  # fake object-store server
 
+``ROOT`` is a shared directory or an object-store bucket URL.
 ``--selftest`` spins up real worker subprocesses over a temporary root,
 checks the fleet merge is bit-identical to the serial executor, and kills
-a worker mid-lease to prove the reclaim path.
+a worker mid-lease to prove the reclaim path; with ``--backend obj`` the
+same fleet coordinates through an in-process fake object-store server —
+the workers share nothing but its HTTP endpoint.
 """
 
 from __future__ import annotations
@@ -76,9 +85,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.cache import (
     DEFAULT_LEASE_TTL,
+    CacheStore,
     ResultCache,
     code_version_salt,
     default_cache_root,
+    open_store,
     result_key,
 )
 from repro.analysis.runner import Executor, ExperimentPlan
@@ -162,16 +173,19 @@ class ShardSpec:
 
 @dataclass(frozen=True)
 class DistribJob:
-    """A submitted plan: manifest metadata plus the pickled payload on disk.
+    """A submitted plan: manifest metadata plus the pickled payload object.
 
     The manifest (``manifest.json``) is what workers trust: it records the
     precomputed job and shard keys, so key derivation happens exactly once,
     on the submitting machine.  The payload (``payload.pkl``) carries the
     plan and quantity callables; it is written *before* the manifest, so a
-    manifest's existence implies a loadable job.
+    manifest's existence implies a loadable job.  ``root`` is the backend
+    spec (directory or bucket URL) the job lives under — everything is
+    addressed by object key through the
+    :class:`~repro.analysis.cache.CacheStore` interface, never by path.
     """
 
-    root: Path
+    root: object  # backend spec: a directory Path/str or a bucket URL
     key: str
     salt: str
     kind: str
@@ -183,26 +197,23 @@ class DistribJob:
     created: float
     shards: Tuple[ShardSpec, ...]
 
-    # -- paths -------------------------------------------------------------
+    # -- object keys -------------------------------------------------------
 
     @property
-    def directory(self) -> Path:
-        return Path(self.root) / "jobs" / self.salt / self.key
+    def manifest_obj(self) -> str:
+        return f"jobs/{self.salt}/{self.key}/manifest.json"
 
     @property
-    def manifest_file(self) -> Path:
-        return self.directory / "manifest.json"
-
-    @property
-    def payload_file(self) -> Path:
-        return self.directory / "payload.pkl"
+    def payload_obj(self) -> str:
+        return f"jobs/{self.salt}/{self.key}/payload.pkl"
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, payload: bytes) -> None:
+    def save(self, payload: bytes,
+             store: Optional[CacheStore] = None) -> None:
         """Write payload then manifest (atomically, in that order)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        ResultCache._atomic_write_bytes(self.payload_file, payload)
+        store = store if store is not None else open_store(self.root)
+        store.put_atomic(self.payload_obj, payload)
         manifest = {
             "key": self.key,
             "salt": self.salt,
@@ -216,51 +227,58 @@ class DistribJob:
             "shards": [{"index": s.index, "start": s.start,
                         "stop": s.stop, "key": s.key} for s in self.shards],
         }
-        ResultCache._atomic_write_bytes(self.manifest_file,
-                                        json.dumps(manifest).encode())
+        store.put_atomic(self.manifest_obj, json.dumps(manifest).encode())
 
-    def load_payload(self) -> Tuple[ExperimentPlan, Dict[str, Callable]]:
+    def load_payload(self, store: Optional[CacheStore] = None,
+                     ) -> Tuple[ExperimentPlan, Dict[str, Callable]]:
         """The plan and quantities this job executes."""
-        with open(self.payload_file, "rb") as handle:
-            plan, quantities = pickle.load(handle)
+        store = store if store is not None else open_store(self.root)
+        obj = store.get(self.payload_obj)
+        if obj is None:
+            raise OSError(f"job {self.key} has no payload under {self.root}")
+        plan, quantities = pickle.loads(obj.data)
         return plan, quantities
 
     @classmethod
-    def from_manifest(cls, root, manifest_file: Path) -> Optional["DistribJob"]:
-        """Parse one manifest; ``None`` if unreadable or incomplete."""
+    def from_manifest(cls, root, data: bytes) -> Optional["DistribJob"]:
+        """Parse one manifest payload; ``None`` if malformed/incomplete."""
         try:
-            data = json.loads(Path(manifest_file).read_text())
+            manifest = json.loads(data)
             shards = tuple(ShardSpec(index=int(s["index"]),
                                      start=int(s["start"]),
                                      stop=int(s["stop"]),
                                      key=str(s["key"]))
-                           for s in data["shards"])
-            return cls(root=Path(root), key=str(data["key"]),
-                       salt=str(data["salt"]), kind=str(data["kind"]),
+                           for s in manifest["shards"])
+            return cls(root=root, key=str(manifest["key"]),
+                       salt=str(manifest["salt"]),
+                       kind=str(manifest["kind"]),
                        axes={str(k): int(v)
-                             for k, v in data["axes"].items()},
-                       points=int(data["points"]),
-                       seed=(None if data["seed"] is None
-                             else int(data["seed"])),
-                       names=tuple(str(n) for n in data["names"]),
-                       shard_size=int(data["shard_size"]),
-                       created=float(data["created"]),
+                             for k, v in manifest["axes"].items()},
+                       points=int(manifest["points"]),
+                       seed=(None if manifest["seed"] is None
+                             else int(manifest["seed"])),
+                       names=tuple(str(n) for n in manifest["names"]),
+                       shard_size=int(manifest["shard_size"]),
+                       created=float(manifest["created"]),
                        shards=shards)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
 
     @classmethod
-    def load(cls, root, salt: str, key: str) -> Optional["DistribJob"]:
+    def load(cls, root, salt: str, key: str,
+             store: Optional[CacheStore] = None) -> Optional["DistribJob"]:
         """The job submitted under ``(salt, key)``, or ``None``."""
-        manifest = Path(root) / "jobs" / salt / key / "manifest.json"
-        if not manifest.is_file():
+        store = store if store is not None else open_store(root)
+        obj = store.get(f"jobs/{salt}/{key}/manifest.json")
+        if obj is None:
             return None
-        return cls.from_manifest(root, manifest)
+        return cls.from_manifest(root, obj.data)
 
 
 def submit(plan: ExperimentPlan, quantities: Mapping[str, Callable], *,
            root=None, shard_size: int = DEFAULT_SHARD_SIZE,
-           salt: Optional[str] = None) -> DistribJob:
+           salt: Optional[str] = None,
+           store: Optional[CacheStore] = None) -> DistribJob:
     """Partition *plan* into shards and publish the job under *root*.
 
     Idempotent: re-submitting an identical ``(plan, quantities)`` pair
@@ -270,10 +288,12 @@ def submit(plan: ExperimentPlan, quantities: Mapping[str, Callable], *,
     """
     if not quantities:
         raise ConfigurationError("at least one quantity is required")
-    root = Path(root) if root is not None else default_cache_root()
+    if root is None:
+        root = default_cache_root()
+    store = store if store is not None else open_store(root)
     salt = salt or code_version_salt()
     key = result_key(plan, quantities, salt=salt)
-    existing = DistribJob.load(root, salt, key)
+    existing = DistribJob.load(root, salt, key, store=store)
     if existing is not None:
         return existing
     try:
@@ -290,16 +310,34 @@ def submit(plan: ExperimentPlan, quantities: Mapping[str, Callable], *,
                      seed=plan.seed, names=tuple(quantities),
                      shard_size=shard_size, created=time.time(),
                      shards=shards)
-    job.save(payload)
+    job.save(payload, store=store)
     return job
 
 
-def list_jobs(root, salt: Optional[str] = None) -> List[DistribJob]:
-    """All submitted jobs under *root* (optionally one code version only)."""
-    jobs_root = Path(root) / "jobs"
+def list_jobs(root, salt: Optional[str] = None,
+              store: Optional[CacheStore] = None,
+              manifest_memo: Optional[Dict[str, Optional[DistribJob]]] = None,
+              ) -> List[DistribJob]:
+    """All submitted jobs under *root* (optionally one code version only).
+
+    *manifest_memo* (manifest object key → parsed job) skips re-fetching
+    manifests already seen: manifests are content-keyed and immutable, so
+    a polling worker pays one GET per job *lifetime*, not per poll.
+    """
+    store = store if store is not None else open_store(root)
     jobs: List[DistribJob] = []
-    for manifest in jobs_root.glob("*/*/manifest.json"):
-        job = DistribJob.from_manifest(root, manifest)
+    for info in store.list("jobs/"):
+        if not info.key.endswith("/manifest.json"):
+            continue
+        if manifest_memo is not None and info.key in manifest_memo:
+            job = manifest_memo[info.key]
+        else:
+            obj = store.get(info.key)
+            if obj is None:  # deleted between listing and fetch
+                continue
+            job = DistribJob.from_manifest(root, obj.data)
+            if manifest_memo is not None:
+                manifest_memo[info.key] = job
         if job is not None and (salt is None or job.salt == salt):
             jobs.append(job)
     return sorted(jobs, key=lambda job: (job.created, job.key))
@@ -349,25 +387,29 @@ def job_status(job: DistribJob,
 # Workers
 
 
-def _presence_file(root, wid: str) -> Path:
-    return Path(root) / "workers" / (wid.replace(":", "-") + ".json")
+def _presence_obj(wid: str) -> str:
+    sanitized = wid.replace(":", "-").replace("/", "_")
+    return f"workers/{sanitized}.json"
 
 
-def list_workers(root) -> List[Dict[str, object]]:
+def list_workers(root,
+                 store: Optional[CacheStore] = None,
+                 ) -> List[Dict[str, object]]:
     """Fleet presence: every worker that announced itself under *root*."""
+    store = store if store is not None else open_store(root)
     workers: List[Dict[str, object]] = []
-    base = Path(root) / "workers"
-    if not base.is_dir():
-        return workers
     now = time.time()
-    for path in sorted(base.glob("*.json")):
+    for info in store.list("workers/"):
+        obj = store.get(info.key)
+        if obj is None:
+            continue
         try:
-            info = json.loads(path.read_text())
-            workers.append({"worker": str(info["worker"]),
-                            "heartbeat": float(info["heartbeat"]),
-                            "age_s": now - float(info["heartbeat"]),
-                            "executed": int(info.get("executed", 0))})
-        except (OSError, ValueError, KeyError, TypeError):
+            data = json.loads(obj.data)
+            workers.append({"worker": str(data["worker"]),
+                            "heartbeat": float(data["heartbeat"]),
+                            "age_s": now - float(data["heartbeat"]),
+                            "executed": int(data.get("executed", 0))})
+        except (ValueError, KeyError, TypeError):
             continue
     return workers
 
@@ -378,7 +420,9 @@ class Worker:
     Parameters
     ----------
     root:
-        The shared cache root every fleet member mounts.
+        The shared cache root every fleet member reaches — a mounted
+        directory, or an object-store bucket URL for shared-nothing
+        fleets.
     lease_ttl:
         Seconds a claimed shard may go without a heartbeat before another
         worker may steal it.  A background thread heartbeats at a third
@@ -404,16 +448,21 @@ class Worker:
         Test hook (``worker --stall``): claim one shard, keep heartbeating,
         never execute — emulates a worker wedged mid-shard so the selftest
         can kill it and prove lease reclaim.
+    store:
+        An explicit :class:`~repro.analysis.cache.CacheStore` instead of
+        resolving *root* — how fault-injection tests wrap the backend.
     """
 
     def __init__(self, root, lease_ttl: float = DEFAULT_LEASE_TTL,
                  poll_s: float = DEFAULT_POLL_S,
                  executor_workers: int = 0,
                  propagate_errors: bool = False,
-                 stall_after_claim: bool = False) -> None:
+                 stall_after_claim: bool = False,
+                 store: Optional[CacheStore] = None) -> None:
         if lease_ttl <= 0:
             raise ConfigurationError("lease_ttl must be > 0")
-        self.root = Path(root)
+        self.root = root
+        self.store = store if store is not None else open_store(root)
         self.id = worker_id()
         self.lease_ttl = lease_ttl
         self.poll_s = poll_s
@@ -423,25 +472,29 @@ class Worker:
         self.executed = 0
         self._payloads: Dict[str, Tuple[ExperimentPlan,
                                         Dict[str, Callable]]] = {}
+        self._manifests: Dict[str, Optional[DistribJob]] = {}
         self._resources: Dict[str, Tuple[ResultCache, Executor]] = {}
         self._skipped_salts: set = set()
         self._poisoned_shards: set = set()
+        # Shard keys this worker has observed as published.  Results are
+        # exclusive-create immutable, so a positive probe never needs
+        # repeating — without this, every poll re-HEADs every completed
+        # shard of every job against the shared root.
+        self._done_shards: set = set()
 
     # -- fleet presence ----------------------------------------------------
 
     def announce(self) -> None:
         """Publish this worker's heartbeat for fleet monitoring/status."""
-        target = _presence_file(self.root, self.id)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        ResultCache._atomic_write_bytes(target, json.dumps({
+        self.store.put_atomic(_presence_obj(self.id), json.dumps({
             "worker": self.id, "pid": os.getpid(),
             "heartbeat": time.time(), "executed": self.executed,
         }).encode())
 
     def retire(self) -> None:
-        """Remove this worker's presence file (graceful shutdown)."""
+        """Remove this worker's presence object (graceful shutdown)."""
         try:
-            _presence_file(self.root, self.id).unlink()
+            self.store.delete(_presence_obj(self.id))
         except OSError:
             pass
 
@@ -451,7 +504,8 @@ class Worker:
         """One scan over every job; returns the number of shards executed."""
         executed = 0
         my_salt = code_version_salt()
-        for job in list_jobs(self.root):
+        for job in list_jobs(self.root, store=self.store,
+                             manifest_memo=self._manifests):
             if job.salt != my_salt:
                 if job.salt not in self._skipped_salts:
                     self._skipped_salts.add(job.salt)
@@ -465,7 +519,15 @@ class Worker:
     def process_job(self, job: DistribJob) -> int:
         """Claim and execute every claimable pending shard of *job*."""
         cache, executor = self._resources_for(job)
-        if all(cache.has_result(shard.key) for shard in job.shards):
+        pending = []
+        for shard in job.shards:
+            if shard.key in self._done_shards:
+                continue
+            if cache.has_result(shard.key):
+                self._done_shards.add(shard.key)
+                continue
+            pending.append(shard)
+        if not pending:
             return 0
         try:
             plan, quantities = self._payload_for(job)
@@ -476,10 +538,8 @@ class Worker:
             print(f"[{self.id}] cannot load payload of {job.key[:12]}: {exc}")
             return 0
         executed = 0
-        for shard in job.shards:
+        for shard in pending:
             if shard.key in self._poisoned_shards:
-                continue
-            if cache.has_result(shard.key):
                 continue
             if not cache.claim_lease(shard.key, self.id, ttl=self.lease_ttl):
                 continue
@@ -487,40 +547,58 @@ class Worker:
                 self._hold_lease(cache, shard)
                 continue
             try:
-                values, meta = self._execute_shard(
-                    executor, plan, quantities, job, shard, cache)
-                cache.store_result(shard.key, values, meta=meta)
+                try:
+                    values, meta = self._execute_shard(
+                        executor, plan, quantities, job, shard, cache)
+                except Exception as exc:
+                    if self.propagate_errors:
+                        raise
+                    # A quantity that raises is the submitter's bug; a
+                    # daemon serving foreign submissions must survive it.
+                    # Remember the shard so this worker does not hot-loop
+                    # on it (other workers, and a participating
+                    # coordinator, still may).
+                    self._poisoned_shards.add(shard.key)
+                    print(f"[{self.id}] shard {shard.index} of job "
+                          f"{job.key[:12]} failed: {exc!r}; skipping",
+                          flush=True)
+                    continue
+                # The publish sits OUTSIDE the poison handler: a storage
+                # fault here is transient backend trouble, not a quantity
+                # bug — it must propagate (the daemon loop retries next
+                # poll), never poison a shard whose values computed fine.
+                # if_absent: the loser of a stolen-lease race must never
+                # re-publish (and clobber the provenance of) a shard a
+                # survivor already landed.  The done-memo is NOT updated
+                # here — only an *observed* result (next poll's probe)
+                # counts, so a backend that acks a write it then loses
+                # cannot trick this worker into abandoning the shard.
+                cache.store_result(shard.key, values, meta=meta,
+                                   if_absent=True)
                 executed += 1
-            except Exception as exc:
-                if self.propagate_errors:
-                    raise
-                # A quantity that raises is the submitter's bug; a daemon
-                # serving foreign submissions must survive it.  Remember
-                # the shard so this worker does not hot-loop on it (other
-                # workers, and a participating coordinator, still may).
-                self._poisoned_shards.add(shard.key)
-                print(f"[{self.id}] shard {shard.index} of job "
-                      f"{job.key[:12]} failed: {exc!r}; skipping",
-                      flush=True)
             finally:
-                cache.release_lease(shard.key, self.id)
+                try:
+                    cache.release_lease(shard.key, self.id)
+                except OSError:
+                    pass  # unreleased leases expire on their own TTL
         if executed:
             cache.merge_technologies(executor.cache.snapshot())
         return executed
 
     def _payload_for(self, job: DistribJob):
         if job.key not in self._payloads:
-            self._payloads[job.key] = job.load_payload()
+            self._payloads[job.key] = job.load_payload(self.store)
         return self._payloads[job.key]
 
     def _resources_for(self, job: DistribJob):
         # One cache handle and one executor per salt, memoised: polling
         # loops call process_job several times a second, and rebuilding
         # them would re-read the pickled technology store on every poll
-        # (over NFS, for a real fleet).  The shared executor also lets a
-        # long-lived worker reuse Technology rebuilds across jobs.
+        # (over NFS or HTTP, for a real fleet).  The shared executor also
+        # lets a long-lived worker reuse Technology rebuilds across jobs.
         if job.salt not in self._resources:
-            cache = ResultCache(root=self.root, mode="rw", salt=job.salt)
+            cache = ResultCache(root=self.root, mode="rw", salt=job.salt,
+                                store=self.store)
             executor = Executor(workers=self.executor_workers)
             executor.cache.preload(cache.load_technologies())
             self._resources[job.salt] = (cache, executor)
@@ -534,8 +612,14 @@ class Worker:
 
         def beat() -> None:
             while not stop_beating.wait(interval):
-                if not cache.heartbeat_lease(shard.key, self.id):
-                    return  # lease lost (stolen after a stall): stop quietly
+                try:
+                    if not cache.heartbeat_lease(shard.key, self.id):
+                        return  # lease lost (stolen): stop quietly
+                except OSError:
+                    # A transient store fault is a *missed* beat, not a
+                    # lost lease: keep trying — the lease survives as
+                    # long as one beat lands per TTL.
+                    continue
 
         heartbeat = threading.Thread(target=beat, daemon=True)
         heartbeat.start()
@@ -581,13 +665,21 @@ class Worker:
         try:
             while True:
                 now = time.monotonic()
-                if (last_announce is None
-                        or now - last_announce >= announce_every):
-                    self.announce()
-                    last_announce = now
-                if self.run_once() > 0:
-                    last_work = time.monotonic()
-                    continue
+                try:
+                    if (last_announce is None
+                            or now - last_announce >= announce_every):
+                        self.announce()
+                        last_announce = now
+                    if self.run_once() > 0:
+                        last_work = time.monotonic()
+                        continue
+                except OSError as exc:
+                    # A transient backend fault (an object-store blip, an
+                    # NFS hiccup) must not kill the fleet: log, sleep,
+                    # rescan.  Quantity errors are already handled inside
+                    # process_job; what reaches here is storage I/O.
+                    print(f"[{self.id}] store fault, retrying next poll: "
+                          f"{exc}", flush=True)
                 if (max_idle_s is not None
                         and time.monotonic() - last_work > max_idle_s):
                     return self.executed
@@ -655,9 +747,28 @@ def wait_for_job(job: DistribJob, *, participate: bool = True,
                        propagate_errors=True)
     deadline = (None if timeout_s is None
                 else time.monotonic() + timeout_s)
-    while not all(cache.has_result(shard.key) for shard in job.shards):
-        if local is not None and local.process_job(job) > 0:
-            continue
+    # Results are exclusive-create immutable: once a shard key probes
+    # done it stays done, so remember it rather than re-probing every
+    # completed shard on every poll (per-poll HEADs against an HTTP
+    # backend would otherwise grow with the *finished* part of the job).
+    done: set = set()
+    while True:
+        for shard in job.shards:
+            if shard.key not in done and cache.has_result(shard.key):
+                done.add(shard.key)
+        if len(done) == len(job.shards):
+            break
+        try:
+            if local is not None and local.process_job(job) > 0:
+                continue
+        except OSError as exc:
+            # Same contract as the worker daemon's loop: a transient
+            # backend fault (an object-store blip, an NFS hiccup) in a
+            # claim or publish is retried next poll, bounded by the
+            # deadline — quantity bugs still propagate (they are not
+            # OSErrors raised by the store).
+            print(f"[coordinator] store fault, retrying next poll: {exc}",
+                  flush=True)
         if deadline is not None and time.monotonic() >= deadline:
             status = job_status(job, cache)
             raise DistribTimeout(
@@ -687,7 +798,8 @@ class DistribBackend:
     Parameters
     ----------
     root:
-        Shared cache root (default: the process's
+        Shared cache root — a directory or an object-store bucket URL
+        (default: the process's
         :func:`~repro.analysis.cache.default_cache_root`).
     shard_size:
         Points per shard (:data:`DEFAULT_SHARD_SIZE`).
@@ -705,7 +817,7 @@ class DistribBackend:
                  timeout_s: Optional[float] = None,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  executor_workers: int = 0) -> None:
-        self.root = Path(root) if root is not None else default_cache_root()
+        self.root = root if root is not None else default_cache_root()
         self.shard_size = shard_size
         self.participate = participate
         self.poll_s = poll_s
@@ -805,7 +917,8 @@ def _spawn_worker(root, *extra: str):
         env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
 
 
-def _selftest(fleet_size: int = 2) -> int:
+def _selftest(fleet_size: int = 2, backend: str = "fs") -> int:
+    import contextlib
     import signal
     import tempfile
 
@@ -835,8 +948,18 @@ def _selftest(fleet_size: int = 2) -> int:
             except Exception:
                 proc.kill()
 
-    print(f"distrib selftest (fleet of {fleet_size})")
-    with tempfile.TemporaryDirectory() as tmp:
+    print(f"distrib selftest (fleet of {fleet_size}, backend: {backend})")
+    with contextlib.ExitStack() as stack:
+        if backend == "obj":
+            # Shared-nothing: the worker subprocesses reach the root only
+            # through this in-process server's HTTP endpoint — no common
+            # directory exists at all.
+            from repro.analysis.objstore import FakeObjectServer
+
+            server = stack.enter_context(FakeObjectServer())
+            tmp = f"{server.url}/distrib-selftest"
+        else:
+            tmp = stack.enter_context(tempfile.TemporaryDirectory())
         # -- phase 1: a fleet of real workers merges bit-identically ------
         plan, quantities = selftest_plan()
         serial = Executor(workers=0).run(plan, quantities)
@@ -930,11 +1053,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "merge identity + lease reclaim")
     parser.add_argument("--fleet", type=int, default=2,
                         help="selftest fleet size (default: 2)")
+    parser.add_argument("--backend", choices=("fs", "obj"), default="fs",
+                        help="with --selftest: coordinate over a temp "
+                             "directory (fs) or an in-process fake "
+                             "object-store server (obj)")
     commands = parser.add_subparsers(dest="command")
 
     def add_root(sub):
         sub.add_argument("--root", required=True,
-                         help="the shared cache root")
+                         help="the shared cache root: a directory or an "
+                              "object-store bucket URL "
+                              "(http://host:port/bucket)")
 
     worker_cmd = commands.add_parser(
         "worker", help="join the fleet: claim, execute and publish shards")
@@ -987,7 +1116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.selftest:
-        return _selftest(max(2, args.fleet))
+        return _selftest(max(2, args.fleet), backend=args.backend)
     if args.command is None:
         parser.print_help()
         return 2

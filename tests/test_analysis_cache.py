@@ -164,10 +164,10 @@ class TestResultCacheStore:
         assert cache.load_result("key", ["q"], 3) is None
         assert cache.load_result("key", ["q"], 2) == {"q": [1.0, 2.0]}
 
-    def test_corrupt_file_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(root=tmp_path, mode="rw", salt="s")
         cache.store_result("key", {"q": [1.0]})
-        cache._result_file("key").write_text("{not json")
+        cache.store.put_atomic(cache._result_obj("key"), b"{not json")
         assert cache.load_result("key", ["q"], 1) is None
 
     def test_corrupt_entry_is_healed_on_recompute(self, tmp_path, plan,
@@ -175,7 +175,7 @@ class TestResultCacheStore:
         store = ResultCache(root=tmp_path, mode="rw")
         first = Executor(persistent=store).run(plan, quantities)
         key = store.result_key(plan, quantities)
-        store._result_file(key).write_text("{truncated")
+        store.store.put_atomic(store._result_obj(key), b"{truncated")
         recomputed = Executor(persistent=store).run(plan, quantities)
         assert recomputed.provenance.persistent_misses == len(VDDS)
         # The recompute overwrote the corrupt payload: the next run hits.
@@ -293,7 +293,7 @@ class TestShardPrimitives:
         assert cache.result_valid("key", ["q"], 2)
         assert not cache.result_valid("key", ["q"], 3)
         assert not cache.result_valid("missing", ["q"], 2)
-        cache._result_file("key").write_text("{corrupt")
+        cache.store.put_atomic(cache._result_obj("key"), b"{corrupt")
         assert not cache.result_valid("key", ["q"], 2)
         assert (cache.hits, cache.misses) == (0, 0)
 
@@ -339,7 +339,7 @@ class TestShardPrimitives:
     def test_corrupt_lease_reports_expired_and_is_stolen(self, tmp_path):
         cache = ResultCache(root=tmp_path, mode="rw", salt="s")
         cache.claim_lease("shard", "a", ttl=30.0)
-        cache._lease_file("shard").write_text("{not json")
+        cache.store.put_atomic(cache._lease_obj("shard"), b"{not json")
         info = cache.lease_info("shard")
         assert info["expired"] and info["owner"] == "?"
         assert cache.claim_lease("shard", "repair", ttl=30.0)
@@ -363,6 +363,17 @@ class TestShardPrimitives:
         assert cache.stats()["salts"]["s"]["leases"] == 1
         assert cache.clear() == 2
         assert cache.lease_info("shard") is None
+
+    def test_release_never_prunes_directories(self, tmp_path):
+        # Hot-path deletes must not rmdir an emptied lease directory: a
+        # concurrent claimer between its mkdir and its staging write
+        # would crash.  Only the explicit clear() maintenance path prunes.
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.claim_lease("shard", "a", ttl=30.0)
+        cache.release_lease("shard", "a")
+        assert (tmp_path / "leases" / "s").is_dir()
+        cache.clear()
+        assert not (tmp_path / "leases").exists()
 
 
 class TestCacheCLI:

@@ -173,7 +173,7 @@ class TestSubmit:
         assert cache.clear() == 3
         assert list_jobs(tmp_path) == []
         assert list_workers(tmp_path) == []
-        assert not job.directory.exists()
+        assert DistribJob.load(tmp_path, job.salt, job.key) is None
 
     def test_stale_clear_keeps_current_salt_jobs(self, tmp_path, plan,
                                                  quantities):
@@ -289,9 +289,8 @@ class TestCoordination:
                                                quantities):
         job = submit(plan, quantities, root=tmp_path, shard_size=3)
         cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
-        target = cache._result_file(job.key)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text("{corrupt leftover}")
+        cache.store.put_atomic(cache._result_obj(job.key),
+                               b"{corrupt leftover}")
         values, _ = wait_for_job(job, timeout_s=60.0)
         assert cache.load_result(job.key, list(job.names),
                                  job.points) == values
@@ -402,7 +401,7 @@ class TestCLI:
         job = submit(plan, quantities, root=tmp_path, shard_size=2)
         worker = Worker(root=tmp_path)
         monkeypatch.setattr(DistribJob, "load_payload",
-                            lambda self: (_ for _ in ()).throw(
+                            lambda self, store=None: (_ for _ in ()).throw(
                                 ImportError("no module named elsewhere")))
         # A payload referencing a module this machine does not ship must
         # leave the job untouched for capable fleet members, not crash.

@@ -1,0 +1,288 @@
+"""Backend fault injection against the store interface.
+
+The distributed runner's claims — coordinators merge bit-identically, a
+stolen lease can never double-publish a shard — must hold not just on a
+well-behaved backend but on one that misbehaves in the ways real shared
+storage does: writes that report success but never land (dropped), writes
+that land twice (duplicated by a retrying proxy), and lease heartbeats
+that arrive late (a GC pause, a saturated link).  :class:`ChaosStore`
+wraps any :class:`~repro.analysis.cache.CacheStore` and injects exactly
+those faults; every test here runs against both the filesystem backend
+and the object-store backend, because the guarantees are interface
+contracts, not backend accidents.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.cache import CacheStore, ResultCache, open_store
+from repro.analysis.distrib import (
+    Worker,
+    job_status,
+    merge_job,
+    submit,
+    wait_for_job,
+)
+from repro.analysis.objstore import FakeObjectServer
+from repro.analysis.runner import Executor, ExperimentPlan
+
+XS = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+
+def _double(x):
+    return 2.0 * x
+
+
+def _square(x):
+    return x * x
+
+
+class ChaosStore(CacheStore):
+    """A fault-injecting wrapper around any :class:`CacheStore`.
+
+    Parameters
+    ----------
+    inner:
+        The real backend every non-faulted call forwards to.
+    drop_result_puts:
+        Silently swallow this many result-object writes (the put reports
+        success, nothing lands) — a lost message.
+    duplicate_puts:
+        Issue every successful put twice — a retrying proxy.
+    lease_write_delay_s:
+        Sleep this long *inside* every lease-object write before
+        forwarding it — a worker whose heartbeats arrive late.
+    """
+
+    def __init__(self, inner: CacheStore, drop_result_puts: int = 0,
+                 duplicate_puts: bool = False,
+                 lease_write_delay_s: float = 0.0) -> None:
+        self.inner = inner
+        self.drop_result_puts = drop_result_puts
+        self.duplicate_puts = duplicate_puts
+        self.lease_write_delay_s = lease_write_delay_s
+        self.dropped = []
+        self.lease_writes_delayed = 0
+
+    def _maybe_drop(self, key):
+        if self.drop_result_puts > 0 and key.startswith("results/"):
+            self.drop_result_puts -= 1
+            self.dropped.append(key)
+            return True
+        return False
+
+    def _maybe_delay(self, key):
+        if self.lease_write_delay_s and key.startswith("leases/"):
+            self.lease_writes_delayed += 1
+            time.sleep(self.lease_write_delay_s)
+
+    # -- the CacheStore interface, fault-wrapped ---------------------------
+
+    def get(self, key):
+        return self.inner.get(key)
+
+    def put_atomic(self, key, data):
+        if self._maybe_drop(key):
+            from repro.analysis.cache import object_etag
+
+            return object_etag(data)
+        self._maybe_delay(key)
+        etag = self.inner.put_atomic(key, data)
+        if self.duplicate_puts:
+            etag = self.inner.put_atomic(key, data)
+        return etag
+
+    def put_if_absent(self, key, data):
+        if self._maybe_drop(key):
+            from repro.analysis.cache import object_etag
+
+            return object_etag(data)
+        self._maybe_delay(key)
+        etag = self.inner.put_if_absent(key, data)
+        if etag is not None and self.duplicate_puts:
+            # The retry of a successful exclusive create loses, exactly
+            # like a duplicated network frame would.
+            self.inner.put_if_absent(key, data)
+        return etag
+
+    def put_if_match(self, key, data, etag):
+        self._maybe_delay(key)
+        new_etag = self.inner.put_if_match(key, data, etag)
+        if new_etag is not None and self.duplicate_puts:
+            self.inner.put_if_match(key, data, new_etag)
+        return new_etag
+
+    def list(self, prefix=""):
+        return self.inner.list(prefix)
+
+    def delete(self, key):
+        return self.inner.delete(key)
+
+    def stat(self, key):
+        return self.inner.stat(key)
+
+    def prune(self):
+        self.inner.prune()
+
+    def describe(self):
+        return f"chaos({self.inner.describe()})"
+
+
+@pytest.fixture(scope="module")
+def server():
+    with FakeObjectServer() as running:
+        yield running
+
+
+_ROOT_COUNTER = iter(range(10**6))
+
+
+@pytest.fixture(params=["fs", "obj"])
+def root(request, tmp_path, server):
+    """A fresh backend root of each flavour."""
+    if request.param == "fs":
+        return tmp_path
+    return f"{server.url}/faults{next(_ROOT_COUNTER)}"
+
+
+class TestDroppedPuts:
+    def test_dropped_result_puts_only_delay_the_merge(self, root):
+        """A worker whose first publishes vanish re-executes those shards
+        on its next scan; the coordinator's merge is still bit-identical.
+        """
+        plan = ExperimentPlan.sweep("x", XS)
+        quantities = {"double": _double, "square": _square}
+        serial = Executor(workers=0).run(plan, quantities)
+        job = submit(plan, quantities, root=root, shard_size=2)
+        chaos = ChaosStore(open_store(root), drop_result_puts=2)
+        worker = Worker(root=root, store=chaos)
+
+        worker.run_once()
+        assert len(chaos.dropped) == 2  # two publishes reported ok, lost
+        assert not job_status(job)["complete"]
+        worker.run_once()  # the lost shards are simply still pending
+        assert job_status(job)["complete"]
+        values, metas = merge_job(job)
+        assert values == serial.values
+        assert len(metas) == len(job.shards)
+
+    def test_coordinator_merge_survives_a_dropping_fleet_member(self, root):
+        """wait_for_job over a healthy store completes even when a fleet
+        member's writes are partially lost — the coordinator participates
+        and re-executes whatever never landed."""
+        plan = ExperimentPlan.sweep("x", XS)
+        quantities = {"double": _double}
+        job = submit(plan, quantities, root=root, shard_size=2)
+        lossy = Worker(root=root,
+                       store=ChaosStore(open_store(root),
+                                        drop_result_puts=10**9))
+        lossy.run_once()  # executes everything, publishes nothing
+        assert not job_status(job)["complete"]
+        values, _ = wait_for_job(job, timeout_s=60.0)
+        assert values == Executor(workers=0).run(plan, quantities).values
+
+
+class TestDuplicatedPuts:
+    def test_duplicated_puts_are_harmless(self, root):
+        plan = ExperimentPlan.sweep("x", XS)
+        quantities = {"double": _double, "square": _square}
+        serial = Executor(workers=0).run(plan, quantities)
+        job = submit(plan, quantities, root=root, shard_size=2)
+        worker = Worker(root=root,
+                        store=ChaosStore(open_store(root),
+                                         duplicate_puts=True))
+        assert worker.run_once() == len(job.shards)
+        values, metas = merge_job(job)
+        assert values == serial.values
+        assert [m["worker"] for m in metas] \
+            == [worker.id] * len(job.shards)
+
+
+class TestDelayedHeartbeats:
+    def test_stolen_lease_never_double_publishes(self, root):
+        """The full late-worker story, deterministically sequenced:
+
+        A slow worker claims a shard with a short TTL, its heartbeat is
+        delayed past expiry, a survivor steals the lease and publishes
+        the shard.  The slow worker's delayed heartbeat must fail (the
+        conditional write sees the stolen lease), its publish must lose
+        the exclusive create, and the shard's provenance must name the
+        survivor — published exactly once.
+        """
+        plan = ExperimentPlan.sweep("x", XS)
+        quantities = {"double": _double}
+        serial = Executor(workers=0).run(plan, quantities)
+        job = submit(plan, quantities, root=root,
+                     shard_size=len(XS))  # one shard: the contended one
+        shard = job.shards[0]
+
+        slow_store = ChaosStore(open_store(root), lease_write_delay_s=0.6)
+        slow = ResultCache(root=root, mode="rw", salt=job.salt,
+                           store=slow_store)
+        survivor = ResultCache(root=root, mode="rw", salt=job.salt)
+
+        # The slow worker claims (the claim itself is also delayed — its
+        # first lease write — which only shortens the remaining TTL).
+        assert slow.claim_lease(shard.key, "slow:1", ttl=0.2)
+
+        steal_result = {}
+
+        def steal_and_publish():
+            # Wait out the TTL, steal, execute, publish — the survivor's
+            # half of the race, running while the slow worker's delayed
+            # heartbeat is in flight.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if survivor.claim_lease(shard.key, "survivor:2", ttl=30.0):
+                    break
+                time.sleep(0.05)
+            values = Executor(workers=0).run_shard(
+                plan, quantities, shard.start, shard.stop)
+            steal_result["published"] = survivor.store_result(
+                shard.key, values, meta={"worker": "survivor:2"},
+                if_absent=True)
+            survivor.release_lease(shard.key, "survivor:2")
+
+        thief = threading.Thread(target=steal_and_publish)
+        time.sleep(0.25)  # lease now expired, heartbeat not yet sent
+        thief.start()
+        time.sleep(0.1)  # let the survivor reach its claim loop
+        # The delayed heartbeat: sleeps inside the lease write while the
+        # survivor steals, then fails its conditional put.
+        heartbeat_landed = slow.heartbeat_lease(shard.key, "slow:1")
+        thief.join(timeout=30.0)
+        assert not thief.is_alive()
+
+        assert steal_result["published"] is True
+        assert heartbeat_landed is False  # the slow worker learned it lost
+        assert slow_store.lease_writes_delayed >= 1
+
+        # The slow worker finishes its stale execution and tries to
+        # publish: the exclusive create must lose.
+        stale_values = Executor(workers=0).run_shard(
+            plan, quantities, shard.start, shard.stop)
+        assert slow.store_result(shard.key, stale_values,
+                                 meta={"worker": "slow:1"},
+                                 if_absent=True) is False
+
+        # Published exactly once, by the survivor, and the merge is
+        # bit-identical to the serial executor.
+        assert survivor.load_meta(shard.key) == {"worker": "survivor:2"}
+        values, metas = merge_job(job)
+        assert values == serial.values
+        assert metas[0]["worker"] == "survivor:2"
+
+    def test_worker_heartbeat_thread_tolerates_delay(self, root):
+        """An executing worker whose every lease write crawls still
+        completes and publishes; the delay costs time, not correctness."""
+        plan = ExperimentPlan.sweep("x", XS)
+        quantities = {"double": _double}
+        job = submit(plan, quantities, root=root, shard_size=3)
+        worker = Worker(root=root, lease_ttl=5.0,
+                        store=ChaosStore(open_store(root),
+                                         lease_write_delay_s=0.05))
+        assert worker.run_once() == len(job.shards)
+        values, _ = merge_job(job)
+        assert values == Executor(workers=0).run(plan, quantities).values
