@@ -6,91 +6,101 @@ the *shape* the paper reports (who wins, by roughly what factor, where the
 crossovers and minima fall).
 
 Figure benchmarks declare :class:`~repro.analysis.runner.ExperimentPlan`
-grids and run them through a shared :class:`~repro.analysis.runner.Executor`.
-``pytest benchmarks --runner-workers N`` fans the plan points out over an
-``N``-process pool; the default (0) is the deterministic serial path, and
-both produce bit-identical figures.
+grids and run them through one shared
+:class:`~repro.analysis.session.Session` — the same front door the
+examples, the ``python -m repro`` CLI and library callers use.  Execution
+policy resolves through the session's
+:class:`~repro.analysis.session.RunConfig` chain: the ``--runner-*``
+command-line options below (when given) > ``REPRO_*`` environment
+variables > an optional ``repro.toml`` > defaults (serial, cache off,
+no fleet).
 
-``pytest benchmarks --runner-cache {off,rw,ro}`` additionally attaches the
-persistent :class:`~repro.analysis.cache.ResultCache` under
-``.repro_cache/``: with ``rw``, a second consecutive run answers every plan
-from disk (the :class:`~repro.analysis.runner.RunRecord` provenance then
-reports nonzero persistent hits); ``ro`` replays an existing cache without
-ever writing.  CI runs with the default ``off`` so timing numbers always
-measure real evaluation.
+``pytest benchmarks --runner-workers N`` fans the plan points out over an
+``N``-process pool (``auto`` = ``os.cpu_count()``); serial and pooled
+runs produce bit-identical figures.
+
+``pytest benchmarks --runner-cache {off,rw,ro}`` attaches the persistent
+:class:`~repro.analysis.cache.ResultCache` under ``.repro_cache/``: with
+``rw``, a second consecutive run answers every plan from disk (the
+:class:`~repro.analysis.runner.RunRecord` provenance then reports nonzero
+persistent hits); ``ro`` replays an existing cache without ever writing.
+CI passes ``off`` explicitly so timing numbers always measure real
+evaluation.
 
 ``pytest benchmarks --runner-distrib ROOT`` attaches the sharded
 multi-machine backend (:class:`~repro.analysis.distrib.DistribBackend`)
 over the shared root ``ROOT`` (a directory, or an object-store bucket
 URL): plans whose quantities can cross a pickle boundary are partitioned
 into leased shards that any fleet worker
-(``python -m repro.analysis.distrib worker --root ROOT``) may claim; the
+(``python -m repro distrib worker --root ROOT``) may claim; the
 coordinating pytest process participates, so the suite completes with or
 without external workers.  Plans with closure-bound quantities fall back
 to the local executor transparently.
 
 ``pytest benchmarks --runner-cache-backend {fs,obj:URL}`` selects the
-persistent cache's storage backend: ``fs`` (the default) keeps
-``.repro_cache/`` on the local filesystem, ``obj:http://HOST:PORT/BUCKET``
-aims it at an S3-style object store (``python -m repro.analysis.objstore
---serve`` runs the credential-free fake server) so shared-nothing fleet
-machines replay one another's results.
+persistent cache's storage backend through the same spec parser the
+session layer uses (:meth:`RunConfig.parse_root
+<repro.analysis.session.RunConfig.parse_root>`): ``fs`` (the default)
+keeps ``.repro_cache/`` on the local filesystem,
+``obj:http://HOST:PORT/BUCKET`` aims it at an S3-style object store
+(``python -m repro serve`` runs the credential-free fake server) so
+shared-nothing fleet machines replay one another's results.
 """
-
-import os
 
 import pytest
 
-from repro.analysis.cache import CACHE_MODES, ResultCache
-from repro.analysis.distrib import DistribBackend
-from repro.analysis.runner import Executor
+from repro.analysis.cache import CACHE_MODES
+from repro.analysis.session import RunConfig, Session
+from repro.errors import ConfigurationError
 from repro.models.technology import get_technology
 
 
 def _workers_option(value):
-    """``--runner-workers`` parser: a pool size, or ``auto`` = cpu count."""
-    if value == "auto":
-        return os.cpu_count() or 1
-    return int(value)
+    """``--runner-workers`` parser: delegates to the one implementation."""
+    try:
+        return RunConfig.parse_workers(value)
+    except ConfigurationError as exc:
+        raise pytest.UsageError(f"--runner-workers: {exc}")
 
 
 def _backend_option(value):
-    """``--runner-cache-backend`` parser: ``fs`` or ``obj:URL``.
+    """``--runner-cache-backend`` parser: ``fs``, ``obj:URL``, dir or URL.
 
-    Returns the cache-root spec the chosen backend implies: ``None`` for
-    the filesystem default, the bucket URL for the object store.
+    Reuses the session layer's backend-spec parser, so the benchmark CLI
+    accepts exactly what ``$REPRO_CACHE_DIR`` and ``repro.toml`` do;
+    returns the cache-root spec (``None`` = the filesystem default).
     """
-    if value == "fs":
-        return None
-    if value.startswith("obj:"):
-        url = value[len("obj:"):]
-        if url.startswith(("http://", "https://")):
-            return url
-    raise pytest.UsageError(
-        "--runner-cache-backend must be 'fs' or "
-        "'obj:http://HOST:PORT/BUCKET'; got " + repr(value))
+    try:
+        return RunConfig.parse_root(value)
+    except ConfigurationError as exc:
+        raise pytest.UsageError(f"--runner-cache-backend: {exc}")
 
 
 def pytest_addoption(parser):
     parser.addoption(
-        "--runner-workers", action="store", type=_workers_option, default=0,
+        "--runner-workers", action="store", type=_workers_option,
+        default=None,
         help="process-pool size for ExperimentPlan execution "
-             "(0 = deterministic serial path, auto = os.cpu_count())")
+             "(0 = deterministic serial path, auto = os.cpu_count(); "
+             "default: resolved from REPRO_WORKERS / repro.toml)")
     parser.addoption(
-        "--runner-cache", action="store", choices=CACHE_MODES, default="off",
+        "--runner-cache", action="store", choices=CACHE_MODES, default=None,
         help="persistent result cache "
-             "(off = always evaluate, rw = read and write, ro = read only)")
+             "(off = always evaluate, rw = read and write, ro = read only; "
+             "default: resolved from REPRO_CACHE_MODE / repro.toml)")
     parser.addoption(
         "--runner-cache-backend", action="store", type=_backend_option,
-        default="fs", metavar="{fs,obj:URL}",
+        default=None, metavar="{fs,obj:URL}",
         help="storage backend of the persistent cache: fs = .repro_cache/ "
-             "on the local filesystem (default), obj:URL = an S3-style "
-             "object store at URL (http://HOST:PORT/BUCKET)")
+             "on the local filesystem, obj:URL = an S3-style object store "
+             "at URL (http://HOST:PORT/BUCKET); a directory path or bare "
+             "bucket URL also works (default: resolved from "
+             "REPRO_CACHE_DIR / repro.toml)")
     parser.addoption(
         "--runner-distrib", action="store", default=None, metavar="ROOT",
         help="shared root for sharded multi-machine execution — a "
-             "directory or an object-store bucket URL "
-             "(default: no distribution)")
+             "directory or an object-store bucket URL (default: resolved "
+             "from REPRO_DISTRIB_ROOT / repro.toml; none = local)")
 
 
 def _option(request, name, default):
@@ -104,49 +114,31 @@ def _option(request, name, default):
 
 
 @pytest.fixture(scope="session")
-def runner_workers(request):
-    """Pool size requested on the command line (0 when unavailable)."""
-    return _option(request, "--runner-workers", 0)
+def run_config(request):
+    """Execution policy: CLI options > REPRO_* env > repro.toml > defaults.
 
-
-@pytest.fixture(scope="session")
-def runner_cache_mode(request):
-    """Persistent-cache mode requested on the command line ("off" default)."""
-    return _option(request, "--runner-cache", "off")
-
-
-@pytest.fixture(scope="session")
-def runner_cache_root(request):
-    """Cache-root spec of the selected backend (None = local filesystem).
-
-    ``--runner-cache-backend fs`` (the default) resolves to ``None`` —
-    the cache's own default root; ``obj:URL`` resolves to the bucket URL.
+    Options left at their ``None`` defaults fall through to the
+    environment/file/default tiers of the one documented chain.
     """
-    return _option(request, "--runner-cache-backend", None)
+    return RunConfig.resolve(
+        workers=_option(request, "--runner-workers", None),
+        cache_mode=_option(request, "--runner-cache", None),
+        cache_root=_option(request, "--runner-cache-backend", None),
+        distrib_root=_option(request, "--runner-distrib", None),
+    )
 
 
 @pytest.fixture(scope="session")
-def runner_distrib_root(request):
-    """Shared distrib root from the command line (None = no distribution)."""
-    return _option(request, "--runner-distrib", None)
+def run_session(run_config):
+    """The one Session every figure benchmark executes through."""
+    with Session(run_config) as session:
+        yield session
 
 
 @pytest.fixture(scope="session")
-def executor(runner_workers, runner_cache_mode, runner_cache_root,
-             runner_distrib_root):
+def executor(run_session):
     """The experiment executor every figure benchmark runs its plan on."""
-    persistent = None
-    if runner_cache_mode != "off":
-        persistent = ResultCache(mode=runner_cache_mode,
-                                 root=runner_cache_root)
-    distrib = None
-    if runner_distrib_root is not None:
-        # Shards the coordinator executes itself still honour the
-        # requested pool size.
-        distrib = DistribBackend(root=runner_distrib_root,
-                                 executor_workers=runner_workers)
-    return Executor(workers=runner_workers, persistent=persistent,
-                    distrib=distrib)
+    return run_session.executor
 
 
 @pytest.fixture(scope="session")

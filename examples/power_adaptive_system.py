@@ -18,8 +18,9 @@ Running experiments
 The closed loop run here is the Fig. 3 benchmark's scenario
 (``benchmarks/test_fig03_power_adaptive_loop.py`` declares it as an
 :class:`~repro.analysis.runner.ExperimentPlan` whose quantities come from
-:func:`repro.core.power_adaptive.loop_metrics`).  Run it from the
-repository root with:
+:func:`repro.core.power_adaptive.loop_metrics`, executed through the
+shared :class:`~repro.analysis.session.Session` — the same front door as
+``python -m repro run``).  Run it from the repository root with:
 
     PYTHONPATH=src python examples/power_adaptive_system.py
 

@@ -20,11 +20,18 @@ end to end:
 Running experiments
 -------------------
 Every figure here is an :class:`~repro.analysis.runner.ExperimentPlan`
-executed by an :class:`~repro.analysis.runner.Executor` — the same engine
-the benchmark suite uses.  ``Executor(workers=4)`` fans the points over a
-process pool bit-identically; ``Executor(persistent=ResultCache(mode="rw"))``
-replays finished plans from ``.repro_cache/`` on the next invocation.  See
-``docs/architecture.md`` for the plan/executor/cache mental model.
+executed through one :class:`~repro.analysis.session.Session` — the same
+front door the benchmark suite and the ``python -m repro`` CLI use.  The
+whole experiment stack is two lines::
+
+    session = Session()               # config from kwargs/REPRO_*/repro.toml
+    result = session.run(plan, energy=design.energy_per_operation)
+
+``Session(workers="auto")`` fans points over a process pool
+bit-identically; ``Session(cache_mode="rw")`` replays finished plans from
+``.repro_cache/`` on the next invocation; ``session.submit()`` puts
+several plans in flight at once.  See ``docs/architecture.md`` for the
+plan/session/cache mental model.
 
 Run it from the repository root with:
 
@@ -33,9 +40,9 @@ Run it from the repository root with:
 (or ``pip install -e .`` once and drop the prefix).
 """
 
-from repro import get_technology
+from repro import Session, get_technology
 from repro.analysis.report import format_table
-from repro.analysis.runner import Executor, ExperimentPlan
+from repro.analysis.runner import ExperimentPlan
 from repro.core import (
     BundledDataDesign,
     EnergyModulatedSystem,
@@ -51,25 +58,40 @@ from repro.sensors import ChargeToDigitalConverter
 from repro.sensors.charge_to_digital import conversion_metrics
 
 
-def step_1_design_styles(tech):
+def step_1_design_styles(session, tech):
     """Fig. 2 — power-proportional versus power-efficient design.
 
-    Instead of hand-rolling a loop over Vdd, the experiment is *declared*
-    as an :class:`ExperimentPlan` and handed to an :class:`Executor` — the
-    same engine the benchmark suite uses, so the points could equally fan
-    out over a process pool (``Executor(workers=4)``) with bit-identical
-    results.
+    Instead of hand-rolling a loop over Vdd, each experiment is *declared*
+    as an :class:`ExperimentPlan` and handed to the session.  The sweep
+    and the 2-D grid are submitted together — two plans in flight on the
+    same session, gathered when both land, bit-identical to running them
+    one after the other.
     """
     design1 = SpeedIndependentDesign(tech)
     design2 = BundledDataDesign(tech)
-    executor = Executor()
 
     def qos(design):
         return lambda v: qos_point(design, v)
 
     plan = ExperimentPlan.sweep("vdd", [0.2, 0.3, 0.4, 0.5, 0.7, 1.0])
-    result = executor.run(plan, {"design1": qos(design1),
-                                 "design2": qos(design2)})
+
+    # A 2-D grid the old sweep() could not express: throughput of the SI
+    # fabric over Vdd × junction temperature (sub-threshold delay is highly
+    # temperature-sensitive).  The session's keyed technology cache
+    # rebuilds each shifted technology exactly once.
+    grid_plan = ExperimentPlan.grid("vdd", [0.25, 0.4, 0.7, 1.0],
+                                    "temperature_k", [250.0, 300.0, 350.0])
+
+    def throughput(vdd, temperature_k):
+        warm = session.cache.scaled(tech, temperature_k=temperature_k)
+        return SpeedIndependentDesign(warm).throughput(vdd)
+
+    handles = [
+        session.submit(plan, design1=qos(design1), design2=qos(design2)),
+        session.submit(grid_plan, throughput=throughput),
+    ]
+    result, grid = session.gather(handles)
+
     curve1 = QoSCurve("design1", QoSMetric.THROUGHPUT,
                       result.series("design1").points)
     curve2 = QoSCurve("design2", QoSMetric.THROUGHPUT,
@@ -85,18 +107,6 @@ def step_1_design_styles(tech):
           f"{design1.energy_per_operation(1.0) / design2.energy_per_operation(1.0):.1f}x "
           "less energy per operation.\n")
 
-    # A 2-D grid the old sweep() could not express: throughput of the SI
-    # fabric over Vdd × junction temperature (sub-threshold delay is highly
-    # temperature-sensitive).  The executor's keyed cache rebuilds each
-    # shifted technology exactly once.
-    grid_plan = ExperimentPlan.grid("vdd", [0.25, 0.4, 0.7, 1.0],
-                                    "temperature_k", [250.0, 300.0, 350.0])
-
-    def throughput(vdd, temperature_k):
-        warm = executor.cache.scaled(tech, temperature_k=temperature_k)
-        return SpeedIndependentDesign(warm).throughput(vdd)
-
-    grid = executor.run(grid_plan, {"throughput": throughput})
     print(format_table(
         "Step 1b — SI throughput (ops/s) over Vdd × temperature",
         ["Vdd (V)", "250 K", "300 K", "350 K"],
@@ -126,7 +136,7 @@ def step_2_counter_on_ac_supply(tech):
     print(f"  energy consumed  : {run.energy:.3e} J\n")
 
 
-def step_3_charge_to_code(tech):
+def step_3_charge_to_code(session, tech):
     """Figs. 9-11 — energy quanta turned directly into computation.
 
     Declared as a plan over the sampled voltage; each point is one
@@ -145,7 +155,7 @@ def step_3_charge_to_code(tech):
         return conversions[v]
 
     plan = ExperimentPlan.sweep("sampled_vdd", [0.4, 0.6, 0.8, 1.0])
-    result = Executor().run(plan, {
+    result = session.run(plan, {
         "count": lambda v: converted(v)["count"],
         "charge": lambda v: converted(v)["charge_consumed"],
         "time": lambda v: converted(v)["conversion_time"],
@@ -180,9 +190,14 @@ def step_4_holistic_loop(tech):
 
 def main():
     tech = get_technology("cmos90")
-    step_1_design_styles(tech)
-    step_2_counter_on_ac_supply(tech)
-    step_3_charge_to_code(tech)
+    # One Session drives every plan below; its config resolves from
+    # REPRO_* environment variables / repro.toml (defaults: serial,
+    # cache off) so the same script scales to a pool, a persistent
+    # cache or a fleet without editing code.
+    with Session() as session:
+        step_1_design_styles(session, tech)
+        step_2_counter_on_ac_supply(tech)
+        step_3_charge_to_code(session, tech)
     step_4_holistic_loop(tech)
 
 

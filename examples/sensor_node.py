@@ -19,8 +19,10 @@ Running experiments
 The policy comparison is the EXT1 benchmark's experiment
 (``benchmarks/test_ext_energy_token_scheduling.py`` declares it as an
 :class:`~repro.analysis.runner.ExperimentPlan` over
-:func:`repro.core.scheduler.run_policy`); this example drives the same
-library calls interactively.  Run it from the repository root with:
+:func:`repro.core.scheduler.run_policy`, run through the benchmark
+suite's shared :class:`~repro.analysis.session.Session`); this example
+drives the same library calls interactively.  Run it from the
+repository root with:
 
     PYTHONPATH=src python examples/sensor_node.py
 

@@ -22,8 +22,10 @@ The per-point sensor evaluations used here
 (:func:`repro.sensors.charge_to_digital.conversion_metrics`,
 :func:`repro.sensors.reference_free.race_metrics`) are the same functions
 the Fig. 9/11/12 benchmarks sweep through declared
-:class:`~repro.analysis.runner.ExperimentPlan` grids.  Run it from the
-repository root with:
+:class:`~repro.analysis.runner.ExperimentPlan` grids on the shared
+:class:`~repro.analysis.session.Session` (see ``python -m repro run``
+for the command-line equivalent).  Run it from the repository root
+with:
 
     PYTHONPATH=src python examples/voltage_sensing.py
 

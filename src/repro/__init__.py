@@ -65,8 +65,43 @@ from repro.sram import SpeedIndependentSRAM, BundledSRAM, SRAMConfig
 
 __version__ = "1.0.0"
 
+#: Experiment-execution names re-exported lazily (PEP 562): the session
+#: facade is the documented front door (``from repro import Session``),
+#: but eager imports here would pull the whole analysis stack into every
+#: ``import repro`` — and would double-import the analysis modules under
+#: their ``python -m repro.analysis.X`` entry points.
+_LAZY_EXPORTS = {
+    "Session": "repro.analysis.session",
+    "RunConfig": "repro.analysis.session",
+    "RunHandle": "repro.analysis.session",
+    "default_session": "repro.analysis.session",
+    "Executor": "repro.analysis.runner",
+    "ExperimentPlan": "repro.analysis.runner",
+    "ExperimentResult": "repro.analysis.runner",
+    "ResultCache": "repro.analysis.cache",
+    "DistribBackend": "repro.analysis.distrib",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "__version__",
+    "Session",
+    "RunConfig",
+    "RunHandle",
+    "default_session",
+    "Executor",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "ResultCache",
+    "DistribBackend",
     "ReproError",
     "ConfigurationError",
     "ModelError",

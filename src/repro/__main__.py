@@ -1,0 +1,13 @@
+"""``python -m repro`` — the consolidated experiment CLI.
+
+Thin launcher: all behaviour lives in :mod:`repro.cli` (which the
+``repro`` console script also points at), so ``python -m repro`` and
+``repro`` are the same program.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,12 @@ benchmark harness uses to regenerate them:
   partition into content-addressed shards that fleet workers claim via
   heartbeated leases, execute, publish and merge bit-identically to the
   serial path;
+* :mod:`repro.analysis.session` — the front door: a
+  :class:`~repro.analysis.session.RunConfig` resolved through one chain
+  (kwargs > ``REPRO_*`` env vars > ``repro.toml`` > defaults) and a
+  :class:`~repro.analysis.session.Session` facade that owns the
+  executor/cache/distrib stack and adds an async
+  ``submit()``/``gather()`` path (see also ``python -m repro``);
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """
@@ -65,6 +71,11 @@ _LAZY_EXPORTS = {
     "DistribBackend": "repro.analysis.distrib",
     "DistribJob": "repro.analysis.distrib",
     "Worker": "repro.analysis.distrib",
+    "RunConfig": "repro.analysis.session",
+    "RunHandle": "repro.analysis.session",
+    "Session": "repro.analysis.session",
+    "default_session": "repro.analysis.session",
+    "reset_default_session": "repro.analysis.session",
 }
 
 
@@ -97,10 +108,15 @@ __all__ = [
     "LocalFSStore",
     "ObjectStore",
     "ResultCache",
+    "RunConfig",
+    "RunHandle",
     "RunRecord",
+    "Session",
     "TechnologyCache",
     "Worker",
+    "default_session",
     "open_store",
+    "reset_default_session",
     "Series",
     "SweepResult",
     "sweep",

@@ -42,8 +42,10 @@ from __future__ import annotations
 import itertools
 import math
 import multiprocessing
+import os
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import (
@@ -268,6 +270,11 @@ class TechnologyCache:
     both collapse to a single construction here.  The cache is per-process:
     pool workers each hold their own copy, so the hit counters reported in
     provenance describe the coordinating process only.
+
+    Entry bookkeeping is guarded by a lock, so one cache may be shared by
+    the concurrent runs of a :class:`repro.analysis.session.Session`;
+    builds happen outside the lock (two threads missing the same key both
+    build — benign, rebuilds are pure — and the first insert wins).
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -275,11 +282,41 @@ class TechnologyCache:
             raise ConfigurationError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Technology]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        _LIVE_CACHES.add(self)
+
+    def __getstate__(self):
+        # Pickled closures carry the entries, not the (unpicklable) lock.
+        # Snapshot under the lock: a concurrent Session run may be
+        # inserting entries, and iterating a mutating OrderedDict raises.
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_entries"] = OrderedDict(self._entries)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        _LIVE_CACHES.add(self)
+
+    def fork_guard(self) -> threading.Lock:
+        """The entry lock, for callers about to ``fork()``.
+
+        A fork taken while *another* thread holds the lock would hand
+        every child a permanently-held lock copy (and possibly a
+        mid-mutation entry dict).  Forking under ``with
+        cache.fork_guard():`` quiesces the cache for the instant of the
+        fork; the children's inherited (held) locks are re-armed by the
+        :func:`os.register_at_fork` hook below.
+        """
+        return self._lock
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __cache_fingerprint__(self) -> str:
         # Persistent-cache keys must not depend on execution machinery:
@@ -288,30 +325,42 @@ class TechnologyCache:
 
     def snapshot(self) -> Dict[Tuple, Technology]:
         """A copy of the current entries (for persistence between runs)."""
-        return dict(self._entries)
+        with self._lock:
+            return dict(self._entries)
 
     def preload(self, entries: Mapping[Tuple, Technology]) -> None:
         """Adopt previously persisted *entries* without touching counters."""
-        for key, value in entries.items():
-            if key not in self._entries:
-                self._entries[key] = value
-                if len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._entries:
+                    self._entries[key] = value
+                    if len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
 
     def _get_or_build(self, key: Tuple,
                       build: Callable[[], Technology]) -> Technology:
-        try:
-            value = self._entries[key]
-        except KeyError:
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
             self.misses += 1
-            value = build()
-            self._entries[key] = value
+        # Build outside the lock: rebuilds are pure, so a concurrent miss
+        # on the same key costs a duplicated build, never a wrong entry.
+        value = self._get_or_build_locked(key, build())
+        return value
+
+    def _get_or_build_locked(self, key: Tuple,
+                             built: Technology) -> Technology:
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = built
             if len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
-            return value
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+            return built
 
     def scaled(self, base: Technology, **overrides: float) -> Technology:
         """Cached equivalent of ``base.scaled(**overrides)``."""
@@ -341,9 +390,26 @@ class TechnologyCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Every live TechnologyCache, so a fork (the pool's start method) can
+#: re-arm the locks its children inherit.  A child forked while a
+#: sibling thread held a cache's lock would otherwise deadlock on first
+#: cache access — the lock's holder does not exist in the child.
+_LIVE_CACHES: "weakref.WeakSet[TechnologyCache]" = weakref.WeakSet()
+
+
+def _rearm_cache_locks_after_fork() -> None:  # pragma: no cover - in child
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; fork is the pool's method
+    os.register_at_fork(after_in_child=_rearm_cache_locks_after_fork)
 
 
 # ---------------------------------------------------------------------------
@@ -794,7 +860,12 @@ class Executor:
         chunk = self.chunk_size or max(1, len(indices) // (4 * self.workers))
         try:
             _ACTIVE_PAYLOAD = payload
-            with context.Pool(processes=self.workers) as pool:
+            # Fork the workers with the shared technology cache quiesced:
+            # a concurrent Session run mutating it at the fork instant
+            # would hand the children a held lock / torn entry dict.
+            with payload.cache.fork_guard():
+                pool = context.Pool(processes=self.workers)
+            with pool:
                 # imap preserves submission order, so the reassembled rows
                 # match the serial enumeration exactly.
                 for row in pool.imap(_pool_worker, indices,

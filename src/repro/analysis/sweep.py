@@ -122,12 +122,15 @@ def sweep(variable: str, values: Sequence[float],
     are not swallowed — a quantity that cannot be evaluated at a point is a
     modelling bug the benchmark should surface.
 
-    Execution is delegated to :class:`repro.analysis.runner.Executor`; the
-    default is the deterministic serial path, and passing an executor with
-    ``workers >= 2`` fans the points out over a process pool with
-    bit-identical results.
+    Execution is delegated to :class:`repro.analysis.runner.Executor`.
+    Without an explicit *executor* the sweep runs on the process-default
+    :class:`~repro.analysis.session.Session` — the same technology cache
+    and (when ``REPRO_CACHE_MODE``/``repro.toml`` enable one) the same
+    persistent store as every other run, rather than a parallel code
+    path.  Passing an executor with ``workers >= 2`` fans the points out
+    over a process pool with bit-identical results.
     """
-    from repro.analysis.runner import Executor, ExperimentPlan
+    from repro.analysis.runner import ExperimentPlan
 
     if not values:
         raise ConfigurationError("sweep values must not be empty")
@@ -135,7 +138,9 @@ def sweep(variable: str, values: Sequence[float],
         raise ConfigurationError("at least one quantity is required")
     plan = ExperimentPlan.sweep(variable, values)
     if executor is None:
-        executor = Executor(workers=0)
+        from repro.analysis.session import default_session
+
+        executor = default_session().executor
     return executor.run(plan, quantities).to_sweep_result()
 
 

@@ -1,0 +1,238 @@
+"""The consolidated command line: ``python -m repro`` (or just ``repro``).
+
+One front door over the four module CLIs that grew with the execution
+stack::
+
+    python -m repro run --plan MODULE:FACTORY [...]   # execute a plan
+    python -m repro cache [...]                       # = repro.analysis.cache
+    python -m repro distrib [...]                     # = repro.analysis.distrib
+    python -m repro serve [--host H] [--port P]       # = objstore --serve
+    python -m repro selftest [--backend {fs,obj}] [--only LIST]
+
+``run`` resolves execution policy through the
+:class:`~repro.analysis.session.RunConfig` chain (flags > ``REPRO_*``
+environment variables > ``repro.toml`` > defaults) and executes through a
+:class:`~repro.analysis.session.Session`, so the command line, the
+benchmark harness and library callers all share one wiring path.
+
+``cache`` and ``distrib`` forward their arguments verbatim to the module
+mains, and ``serve``/``selftest`` call the same functions the module
+entry points do — the legacy ``python -m repro.analysis.{runner,cache,
+distrib,objstore}`` invocations therefore keep working unchanged, as thin
+aliases of this CLI.  ``pip install -e .`` additionally installs the
+``repro`` console script pointing here.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+#: selftest suites in execution order (fast first).  ``objstore`` is the
+#: protocol check of the object-store backend; with ``--backend fs`` it
+#: is skipped unless explicitly requested through ``--only``.
+SELFTEST_SUITES = ("session", "runner", "objstore", "cache", "distrib")
+
+
+def _forward_cache(rest: Sequence[str]) -> int:
+    from repro.analysis.cache import main as cache_main
+
+    return cache_main(list(rest))
+
+
+def _forward_distrib(rest: Sequence[str]) -> int:
+    from repro.analysis.distrib import main as distrib_main
+
+    return distrib_main(list(rest))
+
+
+_FORWARDED = {"cache": _forward_cache, "distrib": _forward_distrib}
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.distrib import _load_plan_factory
+    from repro.analysis.session import RunConfig, Session
+
+    plan, quantities = _load_plan_factory(args.plan)
+    config = RunConfig.resolve(
+        config_file=args.config,
+        workers=args.workers,
+        cache_mode=args.cache_mode,
+        cache_root=args.cache_root,
+        distrib_root=args.distrib_root,
+        shard_size=args.shard_size,
+    )
+    with Session(config) as session:
+        result = session.run(plan, quantities)
+    record = result.provenance
+    if args.json:
+        print(json.dumps({
+            "config": config.describe(),
+            "values": result.values,
+            "provenance": record.as_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"ran {record.points} point(s) of "
+          f"{', '.join(record.quantities)} [{record.kind}] on the "
+          f"'{record.executor}' executor in "
+          f"{record.wall_time_s * 1e3:.1f} ms")
+    for name, source in sorted(config.sources.items()):
+        if source != "default":
+            print(f"  config {name} = "
+                  f"{getattr(config, name)!r}  ({source})")
+    for name in record.quantities:
+        coords, value = result.argmin(name)
+        where = ", ".join(f"{axis}={c:g}" for axis, c
+                          in zip(record.axes, coords))
+        print(f"  {name}: min {value:.6g} at {where}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.analysis.objstore import main as objstore_main
+
+    forwarded: List[str] = ["--serve"]
+    if args.host is not None:
+        forwarded += ["--host", args.host]
+    if args.port is not None:
+        forwarded += ["--port", str(args.port)]
+    return objstore_main(forwarded)
+
+
+def _cmd_selftest(args) -> int:
+    if args.only:
+        requested = [name.strip() for name in args.only.split(",")
+                     if name.strip()]
+        unknown = sorted(set(requested) - set(SELFTEST_SUITES))
+        if unknown:
+            print(f"unknown selftest suite(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(SELFTEST_SUITES)}")
+            return 2
+        suites = [name for name in SELFTEST_SUITES if name in requested]
+    else:
+        suites = [name for name in SELFTEST_SUITES
+                  if name != "objstore" or args.backend == "obj"]
+    failures = 0
+    for suite in suites:
+        print(f"=== {suite} ===", flush=True)
+        if suite == "session":
+            from repro.analysis.session import main as session_main
+
+            failures += session_main(["--selftest"])
+        elif suite == "runner":
+            from repro.analysis.runner import main as runner_main
+
+            failures += runner_main(["--selftest"])
+        elif suite == "objstore":
+            from repro.analysis.objstore import main as objstore_main
+
+            failures += objstore_main(["--selftest"])
+        elif suite == "cache":
+            failures += _forward_cache(["--selftest", "--backend",
+                                        args.backend])
+        elif suite == "distrib":
+            failures += _forward_distrib(["--selftest", "--backend",
+                                          args.backend])
+    print("selftest matrix:", "PASS" if failures == 0
+          else f"{failures} suite failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def _build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, cache, distribute and smoke-test the paper's "
+                    "experiment plans through one entry point.",
+        epilog="Execution policy for 'run' resolves as: flags > REPRO_* "
+               "environment variables > repro.toml ([run] table) > "
+               "defaults.")
+    commands = parser.add_subparsers(dest="command")
+
+    run_cmd = commands.add_parser(
+        "run", help="execute a plan through a Session",
+        description="Execute MODULE:FACTORY — a callable returning "
+                    "(plan, quantities) — through a Session wired from "
+                    "the resolved RunConfig.")
+    run_cmd.add_argument("--plan", required=True,
+                         help="MODULE:CALLABLE returning (plan, quantities)"
+                              " — e.g. repro.analysis.distrib:selftest_plan")
+    run_cmd.add_argument("--workers", default=None, metavar="N|auto",
+                         help="pool size (auto = cpu count; default: "
+                              "resolved)")
+    run_cmd.add_argument("--cache-mode", default=None,
+                         choices=("off", "rw", "ro"),
+                         help="persistent-cache mode (default: resolved)")
+    run_cmd.add_argument("--cache-root", default=None, metavar="SPEC",
+                         help="cache root: a directory, a bucket URL, or "
+                              "fs / obj:URL (default: resolved)")
+    run_cmd.add_argument("--distrib-root", default=None, metavar="ROOT",
+                         help="shared fleet root — directory or bucket URL "
+                              "(default: resolved; none = local execution)")
+    run_cmd.add_argument("--shard-size", default=None, metavar="N",
+                         help="points per distrib shard (default: resolved)")
+    run_cmd.add_argument("--config", default=None, metavar="FILE",
+                         help="repro.toml to resolve from (default: "
+                              "$REPRO_CONFIG or ./repro.toml)")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="emit config, values and provenance as JSON")
+
+    # Registered for --help only; dispatch short-circuits before argparse
+    # so every flag (e.g. cache's --stats) reaches the module main intact.
+    commands.add_parser(
+        "cache", add_help=False,
+        help="persistent-cache maintenance "
+             "(alias of python -m repro.analysis.cache)")
+    commands.add_parser(
+        "distrib", add_help=False,
+        help="fleet worker/submit/status/run "
+             "(alias of python -m repro.analysis.distrib)")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the S3-style object-store server "
+                      "(alias of python -m repro.analysis.objstore --serve)")
+    serve_cmd.add_argument("--host", default=None,
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=None,
+                           help="bind port (default: 9199)")
+
+    selftest_cmd = commands.add_parser(
+        "selftest", help="run the module selftests "
+                         "(session, runner, cache, distrib[, objstore])")
+    selftest_cmd.add_argument("--backend", choices=("fs", "obj"),
+                              default="fs",
+                              help="storage backend for the cache/distrib "
+                                   "suites; obj adds the objstore protocol "
+                                   "suite (default: fs)")
+    selftest_cmd.add_argument("--only", default=None, metavar="LIST",
+                              help="comma-separated subset of: "
+                                   + ", ".join(SELFTEST_SUITES))
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch one consolidated-CLI invocation; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Forwarded subcommands bypass argparse entirely: their flags belong
+    # to the module mains, and argparse's REMAINDER handling would eat
+    # leading options.
+    if argv and argv[0] in _FORWARDED:
+        return _FORWARDED[argv[0]](argv[1:])
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "selftest":
+        return _cmd_selftest(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
