@@ -16,7 +16,8 @@ variables > an optional ``repro.toml`` > defaults (serial, cache off,
 no fleet).
 
 ``pytest benchmarks --runner-workers N`` fans the plan points out over an
-``N``-process pool (``auto`` = ``os.cpu_count()``); serial and pooled
+``N``-process pool (``auto`` = the CPUs available to the process, i.e.
+``os.sched_getaffinity(0)`` where supported); serial and pooled
 runs produce bit-identical figures.
 
 ``pytest benchmarks --runner-cache {off,rw,ro}`` attaches the persistent
@@ -81,7 +82,7 @@ def pytest_addoption(parser):
         "--runner-workers", action="store", type=_workers_option,
         default=None,
         help="process-pool size for ExperimentPlan execution "
-             "(0 = deterministic serial path, auto = os.cpu_count(); "
+             "(0 = deterministic serial path, auto = available cpus; "
              "default: resolved from REPRO_WORKERS / repro.toml)")
     parser.addoption(
         "--runner-cache", action="store", choices=CACHE_MODES, default=None,

@@ -1,0 +1,57 @@
+"""Enforce the batched-execution speedup floor from a benchmark JSON.
+
+Reads a pytest-benchmark JSON file (the CI ``BENCH_ci.json`` artifact),
+finds the Monte-Carlo batched-vs-per-point benchmarks by name, prints the
+``speedup_vs_per_point`` each one recorded in its ``extra_info``, and
+fails if any is missing or below the floor (default 10x).
+
+Usage::
+
+    python scripts/check_batched_speedup.py BENCH_ci.json [--min-speedup 10]
+"""
+
+import argparse
+import json
+import sys
+
+#: Benchmarks that must record a batched-vs-per-point speedup.
+REQUIRED = (
+    "test_fig07_write_latency_mc_batched_speedup",
+    "test_fig09_predicted_count_mc_batched_speedup",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", help="pytest-benchmark JSON file")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="minimum acceptable batched-vs-per-point "
+                             "speedup factor (default: 10)")
+    args = parser.parse_args(argv)
+
+    with open(args.json_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    by_name = {}
+    for bench in report.get("benchmarks", []):
+        speedup = bench.get("extra_info", {}).get("speedup_vs_per_point")
+        if speedup is not None:
+            by_name[bench["name"]] = float(speedup)
+
+    failures = 0
+    for name in REQUIRED:
+        speedup = by_name.get(name)
+        if speedup is None:
+            print(f"MISSING  {name}: no speedup_vs_per_point recorded")
+            failures += 1
+        elif speedup < args.min_speedup:
+            print(f"FAIL     {name}: {speedup:.1f}x "
+                  f"< {args.min_speedup:.1f}x floor")
+            failures += 1
+        else:
+            print(f"ok       {name}: {speedup:.1f}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

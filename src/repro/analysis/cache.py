@@ -248,6 +248,13 @@ def callable_fingerprint(fn: Callable, depth: int = _RECURSION_DEPTH,
     """
     if _seen is None:
         _seen = set()
+    custom = getattr(fn, "__cache_fingerprint__", None)
+    if custom is not None:
+        # Wrapper types (e.g. the runner's BatchedQuantity) define their
+        # identity in terms of what they wrap; without this, every
+        # instance of such a class would fingerprint identically by
+        # class name and alias unrelated quantities to one key.
+        return str(custom())
     if isinstance(fn, functools.partial):
         return ("partial(" + callable_fingerprint(fn.func, depth, _seen)
                 + "," + stable_repr(fn.args, depth, _seen)
@@ -635,6 +642,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        # Lease-expiry observations: key -> (last heartbeat value seen,
+        # monotonic clock when that value was first seen, whether this
+        # reader has ever witnessed the heartbeat advance).  See
+        # _lease_state for the skew-tolerant expiry rules built on it.
+        self._lease_seen: Dict[str, Tuple[float, float, bool]] = {}
 
     def __cache_fingerprint__(self) -> str:
         return type(self).__name__
@@ -836,16 +848,27 @@ class ResultCache:
     # (the filesystem store's replace-and-confirm), the residual race is
     # benign — shard results are content-keyed and published atomically,
     # so a doubly-executed shard costs duplicated work, never a wrong or
-    # torn result.  Expiry compares the reader's wall clock with the
-    # writer's heartbeat timestamp, so fleet machines need loosely
-    # synchronised clocks (skew well under the TTL); excess skew likewise
-    # degrades only to duplicated work.
+    # torn result.  Expiry does not trust wall clocks across machines:
+    # each reader also tracks, per lease, how long the heartbeat value has
+    # gone *unchanged on the store* (by its own monotonic clock), and a
+    # lease whose heartbeat advanced since the reader last looked is never
+    # expired — the owner is demonstrably alive no matter what the clocks
+    # say — and once a reader has witnessed an advance, only staleness
+    # (never wall-clock age) expires that lease.  Wall-clock age still
+    # triggers expiry before the first witnessed advance (a single-reader
+    # process needs no second look to reap a long-dead lease), so the
+    # tolerated skew is: a writer clock *ahead* of the reader by any
+    # amount is handled exactly after one poll interval, and a writer
+    # clock *behind* the reader by more than the TTL can cost a premature
+    # steal only until the reader first sees its heartbeat move —
+    # degrading, as always, to duplicated work, never a torn result.
 
     def _lease_state(self, key: str):
         """``(info, etag)`` of the lease on *key*; ``(None, None)`` if
         unleased.  The etag feeds the steal's conditional write."""
         obj = self._get(self._lease_obj(key))
         if obj is None:
+            self._lease_seen.pop(key, None)
             return None, None
         try:
             info = json.loads(obj.data)
@@ -857,8 +880,32 @@ class ResultCache:
             # owned by "?" so a healthy worker can steal and repair it.
             return ({"owner": "?", "heartbeat": 0.0, "ttl": 0.0,
                      "expired": True}, obj.etag)
+        now_mono = time.monotonic()
+        wall_age = time.time() - heartbeat
+        seen = self._lease_seen.get(key)
+        if seen is not None and seen[0] == heartbeat:
+            # Unchanged since the last look.  A heartbeat this reader has
+            # ever witnessed advancing belongs to a demonstrably live
+            # owner whose clock may sit anywhere — only the unchanged-on-
+            # store stopwatch may expire it.  One never seen advancing
+            # also expires by wall-clock age, so a single-reader process
+            # reaps a long-dead lease without a second look.
+            stale_for = now_mono - seen[1]
+            age = stale_for if seen[2] else max(wall_age, stale_for)
+            expired = age > ttl
+        else:
+            # First observation, or the heartbeat moved since the last
+            # one: (re)start the staleness stopwatch.  A moving heartbeat
+            # proves a live owner regardless of clock skew.
+            advanced = seen is not None
+            if len(self._lease_seen) >= 8192:
+                # Bounded bookkeeping; forgetting observations only delays
+                # staleness-based expiry by one extra poll interval.
+                self._lease_seen.clear()
+            self._lease_seen[key] = (heartbeat, now_mono, advanced)
+            expired = (not advanced) and wall_age > ttl
         return ({"owner": owner, "heartbeat": heartbeat, "ttl": ttl,
-                 "expired": time.time() - heartbeat > ttl}, obj.etag)
+                 "expired": expired}, obj.etag)
 
     def lease_info(self, key: str) -> Optional[Dict[str, object]]:
         """The live lease on *key* (owner/heartbeat/ttl/expired) or

@@ -63,8 +63,9 @@ Command line::
 
 ``ROOT`` is a shared directory or an object-store bucket URL.
 ``--selftest`` spins up real worker subprocesses over a temporary root,
-checks the fleet merge is bit-identical to the serial executor, and kills
-a worker mid-lease to prove the reclaim path; with ``--backend obj`` the
+checks the fleet merge is bit-identical to the serial executor, kills
+a worker mid-lease to prove the reclaim path, and round-trips a batched
+Monte-Carlo kernel through the fleet; with ``--backend obj`` the
 same fleet coordinates through an in-process fake object-store server —
 the workers share nothing but its HTTP endpoint.
 """
@@ -92,7 +93,7 @@ from repro.analysis.cache import (
     open_store,
     result_key,
 )
-from repro.analysis.runner import Executor, ExperimentPlan
+from repro.analysis.runner import Executor, ExperimentPlan, batched
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -392,12 +393,32 @@ def _presence_obj(wid: str) -> str:
     return f"workers/{sanitized}.json"
 
 
+class WorkerListing(List[Dict[str, object]]):
+    """The readable worker presences, plus a count of unreadable ones.
+
+    A plain list of worker dicts (fully backward compatible) carrying a
+    ``skipped`` attribute: how many presence objects were dropped because
+    a concurrent reader observed a torn/partial write or a wrong-typed
+    field.  Status surfaces must report the count rather than silently
+    understate the fleet.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.skipped = 0
+
+
 def list_workers(root,
                  store: Optional[CacheStore] = None,
-                 ) -> List[Dict[str, object]]:
-    """Fleet presence: every worker that announced itself under *root*."""
+                 ) -> WorkerListing:
+    """Fleet presence: every worker that announced itself under *root*.
+
+    Ages are clamped to zero: a worker whose clock runs ahead of the
+    reader's would otherwise report a negative heartbeat age, and
+    presence ages only answer "how long since we heard from it".
+    """
     store = store if store is not None else open_store(root)
-    workers: List[Dict[str, object]] = []
+    workers = WorkerListing()
     now = time.time()
     for info in store.list("workers/"):
         obj = store.get(info.key)
@@ -407,9 +428,13 @@ def list_workers(root,
             data = json.loads(obj.data)
             workers.append({"worker": str(data["worker"]),
                             "heartbeat": float(data["heartbeat"]),
-                            "age_s": now - float(data["heartbeat"]),
+                            "age_s": max(0.0, now - float(data["heartbeat"])),
                             "executed": int(data.get("executed", 0))})
         except (ValueError, KeyError, TypeError):
+            # Torn/partial JSON from a non-atomic reader view, or a
+            # foreign object under workers/: count it instead of crashing
+            # (or silently hiding) the status surfaces.
+            workers.skipped += 1
             continue
     return workers
 
@@ -884,6 +909,25 @@ def _selftest_plan_b() -> Tuple[ExperimentPlan, Dict[str, Callable]]:
             {"delay": _selftest_delay, "energy": _selftest_energy})
 
 
+def _selftest_batch_mc_delay(batch):
+    from repro.models.batch import gate_delay
+
+    return gate_delay(batch, 0.4)
+
+
+# Module-level so the pickled job payload can travel to worker processes.
+_selftest_batched_mc = batched(_selftest_batch_mc_delay)
+
+
+def _selftest_plan_c() -> Tuple[ExperimentPlan, Dict[str, Callable]]:
+    """A Monte-Carlo job whose quantity is a *batched* kernel."""
+    from repro.models.technology import get_technology
+
+    return (ExperimentPlan.monte_carlo(16, technology=get_technology("cmos90"),
+                                       seed=11),
+            {"delay": _selftest_batched_mc})
+
+
 def _load_plan_factory(spec: str):
     """Resolve ``MODULE:CALLABLE`` into a ``(plan, quantities)`` pair."""
     module_name, _, attr = spec.partition(":")
@@ -1035,6 +1079,23 @@ def _selftest(fleet_size: int = 2, backend: str = "fs") -> int:
             check("the killed worker's shard was completed by a survivor",
                   reclaimed["worker"] not in ("?", stalled_info["owner"]))
             stop_all(survivors)
+
+        # -- phase 3: a batched Monte-Carlo kernel travels the fleet ------
+        plan_c, quantities_c = _selftest_plan_c()
+        serial_c = Executor(workers=0, batch=False).run(plan_c, quantities_c)
+        job_c = submit(plan_c, quantities_c, root=tmp, shard_size=4)
+        try:
+            values_c, metas_c = wait_for_job(job_c, participate=True,
+                                             poll_s=0.05, timeout_s=90.0)
+        except DistribTimeout:
+            check("batched Monte-Carlo job completed before the timeout",
+                  False)
+            print("selftest:", f"{failures} FAILURES")
+            return 1
+        check("batched Monte-Carlo merge is bit-identical to per-point",
+              values_c == serial_c.values)
+        check("batched job produced one result per shard",
+              len(metas_c) == len(job_c.shards))
     print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
     return 0 if failures == 0 else 1
 
@@ -1149,7 +1210,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs = [job_status(job) for job in list_jobs(args.root)]
         workers = list_workers(args.root)
         if args.json:
-            print(json.dumps({"jobs": jobs, "workers": workers},
+            print(json.dumps({"jobs": jobs, "workers": list(workers),
+                              "workers_skipped": workers.skipped},
                              indent=2, sort_keys=True))
             return 0
         if not jobs:
@@ -1169,6 +1231,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for info in workers:
                 print(f"  {info['worker']}: {info['executed']} shard(s), "
                       f"heartbeat {info['age_s']:.1f}s ago")
+        if workers.skipped:
+            print(f"  ({workers.skipped} unreadable worker presence "
+                  "object(s) skipped)")
         return 0
 
     if args.command == "run":

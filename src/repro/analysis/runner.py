@@ -29,6 +29,14 @@ to the serial fallback for the same plan and seed.  ``python -m
 repro.analysis.runner --selftest`` smoke-tests exactly that equivalence
 (plus the persistent-cache round trip).
 
+Quantities that can evaluate a whole shard as numpy arrays can opt into
+the *batched* protocol (:func:`batched` / :class:`BatchedQuantity`): when
+every requested quantity supports it, the executor evaluates the plan in
+one vectorised pass instead of one Python call per point, with Monte-Carlo
+sample streams pre-drawn per index so seeding is unchanged.  The derived
+per-point path evaluates the same kernel on a one-point batch, so batched
+and per-point execution are bit-identical by construction.
+
 Runs can additionally be persisted *between* processes through
 :class:`repro.analysis.cache.ResultCache`: construct the executor as
 ``Executor(persistent=ResultCache(mode="rw"))`` and a plan whose content
@@ -61,19 +69,22 @@ from typing import (
 
 import numpy as np
 
-from repro.analysis.cache import ResultCache
+from repro.analysis.cache import ResultCache, callable_fingerprint
 from repro.errors import ConfigurationError
+from repro.models.batch import TechnologyBatch
 from repro.models.technology import Technology
 from repro.models.variation import Corner, ProcessVariation
 
 __all__ = [
     "Axis",
+    "BatchedQuantity",
     "ExperimentPlan",
     "ExperimentResult",
     "Executor",
     "RunRecord",
     "TechnologyCache",
     "VariationSpec",
+    "batched",
     "sample_seed",
 ]
 
@@ -424,8 +435,8 @@ class RunRecord:
     the fact, "what exactly ran and how": the plan geometry (``kind``,
     ``axes``, ``points``), the reproducibility inputs (``seed``), which
     execution path evaluated the points (``executor`` is ``"serial"``,
-    ``"fork-pool[N]"``, ``"distrib[N shards]"`` or ``"persistent-cache"``),
-    the wall time, and the
+    ``"fork-pool[N]"``, ``"batched[N points]"``, ``"distrib[N shards]"``
+    or ``"persistent-cache"``), the wall time, and the
     cache economics — ``cache_hits``/``cache_misses`` count deduplicated
     :class:`Technology` rebuilds in this run, while the ``persistent_*``
     fields count plan points served from / missing in the on-disk store
@@ -608,6 +619,105 @@ class ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Batched quantities
+
+
+class BatchedQuantity:
+    """A quantity that can evaluate a whole batch of plan points at once.
+
+    Wraps a *batch kernel* ``batch_fn(*axis_arrays) -> array``:
+
+    * sweep plans call it with one float array (the axis values of the
+      shard's points);
+    * grid plans call it with two float arrays (the per-point ``x`` and
+      ``y`` coordinates, row-major order);
+    * Monte-Carlo plans call it with one
+      :class:`~repro.models.batch.TechnologyBatch` holding the per-sample
+      perturbed parameters, pre-drawn from the exact per-index
+      :func:`sample_seed` streams the scalar path uses.
+
+    The kernel must be elementwise — sample ``i`` of the output may depend
+    only on sample ``i`` of the inputs — and return a 1-D float array of
+    the batch length.
+
+    Instances are also plain per-point callables: unless an explicit
+    ``point_fn`` is given, ``fn(x)`` / ``fn(x, y)`` /
+    ``fn(perturbed_technology)`` lifts the coordinates into a one-point
+    batch and evaluates the same kernel, which makes batched and
+    point-by-point execution bit-identical *by construction*.  Pass
+    ``point_fn`` only when a hand-written scalar path is genuinely needed;
+    equivalence with the kernel is then the author's responsibility.
+    """
+
+    def __init__(self, batch_fn: Callable,
+                 point_fn: Optional[Callable] = None) -> None:
+        if not callable(batch_fn):
+            raise ConfigurationError("batch_fn must be callable")
+        if point_fn is not None and not callable(point_fn):
+            raise ConfigurationError("point_fn must be callable when given")
+        self.batch_fn = batch_fn
+        self.point_fn = point_fn
+        self.__name__ = getattr(batch_fn, "__name__", "batched_quantity")
+
+    @staticmethod
+    def _lift(coord) -> object:
+        if isinstance(coord, Technology):
+            return TechnologyBatch.of(coord)
+        return np.asarray([float(coord)], dtype=float)
+
+    def __call__(self, *coords):
+        if self.point_fn is not None:
+            return self.point_fn(*coords)
+        out = np.asarray(self.batch_fn(*(self._lift(c) for c in coords)),
+                         dtype=float)
+        if out.shape != (1,):
+            raise ConfigurationError(
+                f"batch kernel returned shape {out.shape} for a "
+                "one-point batch; kernels must return one value per point")
+        return float(out[0])
+
+    def batch(self, *axis_arrays) -> np.ndarray:
+        """Evaluate the kernel over whole axis arrays (the batched path)."""
+        return np.asarray(self.batch_fn(*axis_arrays), dtype=float)
+
+    def __cache_fingerprint__(self) -> str:
+        # Content-address by the wrapped callables, not by this wrapper
+        # instance: two BatchedQuantity objects around the same kernel must
+        # share persistent-cache entries (and differ from the bare kernel).
+        parts = ["batched", callable_fingerprint(self.batch_fn)]
+        if self.point_fn is not None:
+            parts.append(callable_fingerprint(self.point_fn))
+        return "(" + "|".join(parts) + ")"
+
+
+def batched(batch_fn: Optional[Callable] = None, *,
+            point: Optional[Callable] = None):
+    """Declare a batch-capable quantity; usable as decorator or factory.
+
+    ``batched(kernel)`` (or ``@batched`` above the kernel) wraps an
+    elementwise array kernel as a :class:`BatchedQuantity`; the optional
+    ``point=`` argument supplies an explicit scalar path instead of the
+    derived one-point-batch evaluation.
+    """
+    def wrap(fn: Callable) -> BatchedQuantity:
+        return BatchedQuantity(fn, point_fn=point)
+
+    if batch_fn is None:
+        return wrap
+    return wrap(batch_fn)
+
+
+def _supports_batch(quantity: Callable) -> bool:
+    """Whether *quantity* implements the batched protocol.
+
+    The protocol is structural — any callable exposing a callable
+    ``batch`` attribute qualifies, not just :class:`BatchedQuantity` —
+    so quantity authors can bring their own wrapper types.
+    """
+    return callable(getattr(quantity, "batch", None))
+
+
+# ---------------------------------------------------------------------------
 # Execution
 
 
@@ -686,13 +796,21 @@ class Executor:
         executor plus per-shard provenance.  Plans whose quantities cannot
         be pickled (closures over local state) fall back to the local
         pool/serial paths.
+    batch:
+        Whether to use the vectorised path when *every* requested quantity
+        supports the batched protocol (see :func:`batched`); ``False``
+        forces point-by-point evaluation, which is bit-identical and only
+        useful for comparison and tests.  Mixed quantity sets (some
+        batched, some not) always evaluate point by point, so one result
+        never mixes the two paths.
     """
 
     def __init__(self, workers: int = 0,
                  cache: Optional[TechnologyCache] = None,
                  chunk_size: Optional[int] = None,
                  persistent: Optional[ResultCache] = None,
-                 distrib: Optional[object] = None) -> None:
+                 distrib: Optional[object] = None,
+                 batch: bool = True) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
@@ -704,6 +822,7 @@ class Executor:
             persistent = None
         self.persistent = persistent
         self.distrib = distrib
+        self.batch = batch
         if self.persistent is not None:
             self.cache.preload(self.persistent.load_technologies())
 
@@ -833,8 +952,11 @@ class Executor:
         """Evaluate *indices* (default: all points) in this process tree."""
         if indices is None:
             indices = range(plan.point_count)
-        payload = _Payload(plan, [quantities[name] for name in names],
-                           self.cache)
+        functions = [quantities[name] for name in names]
+        if self.batch and all(_supports_batch(fn) for fn in functions):
+            return (self._batched_values(plan, names, functions, indices),
+                    f"batched[{len(indices)} points]")
+        payload = _Payload(plan, functions, self.cache)
         values: Dict[str, List[float]] = {name: [] for name in names}
         mode = "serial"
         rows: Iterable[Tuple[float, ...]]
@@ -851,6 +973,61 @@ class Executor:
             for name, value in zip(names, row):
                 values[name].append(value)
         return values, mode
+
+    def _batched_values(self, plan: ExperimentPlan, names: Tuple[str, ...],
+                        functions: Sequence[Callable],
+                        indices: range) -> Dict[str, List[float]]:
+        """One vectorised pass over *indices* for batch-capable quantities."""
+        idx = list(indices)
+        if not idx:
+            return {name: [] for name in names}
+        if plan.kind == "montecarlo":
+            args: Tuple = (self._predrawn_batch(plan, idx),)
+        elif plan.kind == "grid":
+            points = plan.points()
+            args = (np.asarray([points[i][0] for i in idx], dtype=float),
+                    np.asarray([points[i][1] for i in idx], dtype=float))
+        else:
+            axis = plan.axes[0].values
+            args = (np.asarray([axis[i] for i in idx], dtype=float),)
+        values: Dict[str, List[float]] = {}
+        for name, fn in zip(names, functions):
+            out = np.asarray(fn.batch(*args), dtype=float)
+            if out.shape != (len(idx),):
+                raise ConfigurationError(
+                    f"batch kernel for quantity {name!r} returned shape "
+                    f"{out.shape}, expected ({len(idx)},)")
+            values[name] = [float(v) for v in out]
+        return values
+
+    def _predrawn_batch(self, plan: ExperimentPlan,
+                        idx: Sequence[int]) -> TechnologyBatch:
+        """Per-sample variation draws for *idx*, as a technology batch.
+
+        Replicates :meth:`repro.models.variation.ProcessVariation.sample`
+        draw for draw — one ``default_rng(sample_seed(seed, i))`` stream
+        per global index ``i``, same draw order, same clamping — so sample
+        assignment is identical to the scalar path no matter how the plan
+        is sharded.
+        """
+        assert plan.seed is not None
+        assert plan.technology is not None
+        assert plan.variation is not None
+        spec = plan.variation
+        mismatch = spec.corner.mismatch_factor
+        offsets = np.empty(len(idx))
+        deratings = np.empty(len(idx))
+        factors = np.empty(len(idx))
+        for j, i in enumerate(idx):
+            rng = np.random.default_rng(sample_seed(plan.seed, i))
+            offsets[j] = float(rng.normal(spec.corner.vth_shift,
+                                          spec.sigma_vth * mismatch))
+            deratings[j] = max(0.2, float(rng.normal(spec.corner.drive_factor,
+                                                     spec.sigma_drive
+                                                     * mismatch)))
+            factors[j] = float(rng.lognormal(mean=0.0, sigma=spec.sigma_leak))
+        return TechnologyBatch.from_samples(plan.technology, offsets,
+                                            deratings, factors)
 
     def _parallel_rows(self, payload: _Payload,
                        indices: range) -> Iterable[Tuple[float, ...]]:
@@ -907,6 +1084,23 @@ def _selftest_mc_delay(technology: Technology) -> float:
     from repro.models.gate import GateModel
 
     return GateModel(technology=technology).delay(0.4)
+
+
+def _selftest_batch_delay(vdds: np.ndarray) -> np.ndarray:
+    from repro.models.batch import gate_delay
+    from repro.models.technology import get_technology
+
+    return gate_delay(TechnologyBatch.of(get_technology("cmos90")), vdds)
+
+
+def _selftest_batch_mc_delay(batch: TechnologyBatch) -> np.ndarray:
+    from repro.models.batch import gate_delay
+
+    return gate_delay(batch, 0.4)
+
+
+_selftest_batched_delay = batched(_selftest_batch_delay)
+_selftest_batched_mc = batched(_selftest_batch_mc_delay)
 
 
 _SELFTEST_CACHE = TechnologyCache()
@@ -975,6 +1169,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           serial_mc.values == pooled_mc.values)
     check("Monte-Carlo: samples spread",
           serial_mc.summary("delay").relative_spread > 0.0)
+
+    batched_sweep = Executor(workers=0).run(
+        plan, {"delay": _selftest_batched_delay})
+    point_sweep = Executor(workers=0, batch=False).run(
+        plan, {"delay": _selftest_batched_delay})
+    check("batched sweep: vectorised executor engaged",
+          batched_sweep.provenance.executor.startswith("batched["))
+    check("batched sweep: batched == per-point (bit-identical)",
+          batched_sweep.values == point_sweep.values)
+    mc_batched = Executor(workers=0).run(mc, {"delay": _selftest_batched_mc})
+    mc_point = Executor(workers=0, batch=False).run(
+        mc, {"delay": _selftest_batched_mc})
+    check("batched Monte-Carlo: batched == per-point (bit-identical)",
+          mc_batched.values == mc_point.values)
+    shard = Executor(workers=0).run_shard(mc, {"delay": _selftest_batched_mc},
+                                          5, 13)
+    check("batched Monte-Carlo: shard slice matches the full run",
+          shard["delay"] == mc_batched.values["delay"][5:13])
+    mixed = Executor(workers=0).run(
+        plan, {"delay": _selftest_batched_delay,
+               "energy": _selftest_energy})
+    check("mixed quantity set falls back to per-point",
+          mixed.provenance.executor == "serial"
+          and mixed.values["energy"] == serial.values["energy"])
 
     for record in (pooled.provenance, pooled_g.provenance,
                    pooled_mc.provenance):

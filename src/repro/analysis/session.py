@@ -43,8 +43,10 @@ field            environment variable  ``repro.toml`` key  default
 ``shard_size``   ``REPRO_SHARD_SIZE``  ``shard_size``      ``4``
 ===============  ====================  ==================  =============
 
-``workers`` accepts ``"auto"`` (= ``os.cpu_count()``) anywhere a value is
-given; the root specs accept a directory path, an object-store bucket URL
+``workers`` accepts ``"auto"`` (= the CPUs *available* to the process:
+``os.sched_getaffinity(0)`` where the platform has it, ``os.cpu_count()``
+otherwise) anywhere a value is given; the root specs accept a directory
+path, an object-store bucket URL
 (``http://host:port/bucket``) or the benchmark CLI's ``fs`` / ``obj:URL``
 spellings.  The config file is ``./repro.toml`` (overridable through
 ``$REPRO_CONFIG`` or the ``config_file`` argument), read with the stdlib
@@ -178,8 +180,27 @@ class RunConfig:
     # -- field parsers (shared with the benchmark and repro CLIs) ----------
 
     @staticmethod
+    def available_cpus() -> int:
+        """CPUs actually available to this process, not just installed.
+
+        Prefers ``os.sched_getaffinity(0)`` where the platform has it:
+        under cgroup/taskset-restricted containers ``os.cpu_count()``
+        reports the whole machine while the scheduler only ever grants
+        the affinity mask, and sizing the fork pool to the machine count
+        oversubscribes the mask.  Falls back to ``os.cpu_count()`` on
+        platforms without affinity support (macOS, Windows).
+        """
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                return max(1, len(affinity(0)))
+            except OSError:
+                pass
+        return os.cpu_count() or 1
+
+    @staticmethod
     def parse_workers(value) -> int:
-        """``auto`` -> ``os.cpu_count()``; otherwise a non-negative int.
+        """``auto`` -> :meth:`available_cpus`; otherwise a non-negative int.
 
         The one implementation of the ``--runner-workers`` /
         ``$REPRO_WORKERS`` / ``workers=`` parsing rule (it used to be
@@ -191,7 +212,7 @@ class RunConfig:
             parsed = value
         elif isinstance(value, str):
             if value.strip().lower() == "auto":
-                return os.cpu_count() or 1
+                return RunConfig.available_cpus()
             try:
                 parsed = int(value)
             except ValueError as exc:
@@ -686,14 +707,14 @@ def _selftest(workers: int = 2) -> int:
             from_file = RunConfig.resolve(environ=empty,
                                           config_file=str(config_path))
             check("repro.toml beats defaults ('auto' workers parse)",
-                  from_file.workers == (os.cpu_count() or 1)
+                  from_file.workers == RunConfig.available_cpus()
                   and from_file.shard_size == 9
                   and from_file.sources["shard_size"].startswith("file "))
             file_vs_env = RunConfig.resolve(environ=env,
                                             config_file=str(config_path))
             check("environment beats repro.toml", file_vs_env.workers == 3)
-    check("parse_workers('auto') is the cpu count",
-          RunConfig.parse_workers("auto") == (os.cpu_count() or 1))
+    check("parse_workers('auto') is the available-cpu count",
+          RunConfig.parse_workers("auto") == RunConfig.available_cpus())
     check("parse_root maps the benchmark spellings",
           RunConfig.parse_root("fs") == ".repro_cache"
           and RunConfig.parse_root("") is None

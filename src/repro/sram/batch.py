@@ -1,0 +1,228 @@
+"""Vectorised SI SRAM latency kernels over technology batches.
+
+Mirrors the *analytical* interface of
+:class:`~repro.sram.sram.SpeedIndependentSRAM` — the closed-form
+``read_latency``/``write_latency`` chains, including the Fig. 5 bit-line
+calibration — but evaluated elementwise over a
+:class:`~repro.models.batch.TechnologyBatch`, so a Monte-Carlo study of
+N perturbed technologies costs one numpy pass instead of N model-object
+constructions.  The structural constants (decoder depth, tree depths,
+drive strengths, load factors) depend only on the array configuration and
+are computed once per call; everything voltage/threshold-dependent runs
+through the :mod:`repro.models.batch` gate kernels.
+
+All kernels obey the module's elementwise contract (see
+:mod:`repro.models.batch`): a one-sample batch reproduces the bits of the
+same sample inside any larger batch, which is what the runner's batched
+quantities rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.batch import (TechnologyBatch, gate_delay,
+                                gate_input_capacitance, inverter_stage_delay,
+                                on_current)
+from repro.models.gate import GateType
+from repro.sram.cell import CellType
+from repro.sram.sram import SRAMConfig
+
+
+def calibrated_bitline_params(
+    batch: TechnologyBatch,
+    anchor_high: Tuple[float, float] = (1.0, 50.0),
+    anchor_low: Tuple[float, float] = (0.19, 158.0),
+    fixed_overhead_inverters: float = 10.0,
+    swing_fraction: float = 0.15,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sample ``(read_vth_penalty, bitline_capacitance)`` Fig. 5 fit.
+
+    Vectorised :func:`repro.sram.bitline.calibrate_bitline_to_fig5`: the
+    same 80-iteration bisection for the shape-controlling threshold
+    penalty, run in lockstep across the batch with per-sample brackets,
+    then the closed-form capacitance solve.  Samples whose anchors fall
+    outside the fittable range raise :class:`~repro.errors.ModelError`,
+    like the scalar calibration.
+    """
+    vdd_high, target_high = anchor_high
+    vdd_low, target_low = anchor_low
+    t_inv_high = inverter_stage_delay(batch, vdd_high)
+    t_inv_low = inverter_stage_delay(batch, vdd_low)
+    bl_high = target_high - fixed_overhead_inverters
+    bl_low = target_low - fixed_overhead_inverters
+    target_shape = (bl_low * t_inv_low) / (bl_high * t_inv_high)
+    width = batch.base.min_width_um
+
+    def shape(penalty: np.ndarray) -> np.ndarray:
+        # Discharge time per unit capacitance, absolute seconds.
+        t_low = (swing_fraction * vdd_low
+                 / on_current(batch, vdd_low, width, penalty))
+        t_high = (swing_fraction * vdd_high
+                  / on_current(batch, vdd_high, width, penalty))
+        return t_low / t_high
+
+    lo = np.zeros(batch.size)
+    hi = np.full(batch.size, 0.35)
+    if np.any(shape(lo) > target_shape) or np.any(shape(hi) < target_shape):
+        raise ModelError(
+            "Fig. 5 anchors are outside the range the bit-line model can fit"
+        )
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        below = shape(mid) < target_shape
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    penalty = 0.5 * (lo + hi)
+
+    per_farad_high = (swing_fraction * vdd_high
+                      / on_current(batch, vdd_high, width, penalty))
+    capacitance = bl_high * t_inv_high / per_farad_high
+    return penalty, capacitance
+
+
+def default_bitline_params(batch: TechnologyBatch, rows: int,
+                           cell_type: CellType = CellType.SIX_T,
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Uncalibrated ``(penalty, capacitance)`` — the BitlineModel defaults."""
+    tech = batch.base
+    per_row = (2.0 * tech.wire_cap_per_um
+               + 0.5 * tech.unit_inverter_output_cap)
+    penalty = np.full(batch.size, cell_type.read_vth_penalty)
+    capacitance = np.full(batch.size, rows * per_row)
+    return penalty, capacitance
+
+
+def _decoder_delay(batch: TechnologyBatch, rows: int, vdd) -> np.ndarray:
+    """Vectorised :meth:`repro.sram.decoder.AddressDecoder.delay`."""
+    address_bits = max(1, math.ceil(math.log2(rows)))
+    stage_count = max(1, math.ceil(address_bits / 2)) + 2
+    logic = stage_count * gate_delay(batch, vdd, GateType.NAND2)
+    wordline_cap = rows * 0.25 * batch.base.unit_inverter_input_cap
+    wordline = gate_delay(batch, vdd, GateType.BUFFER,
+                          external_load=wordline_cap)
+    return logic + wordline
+
+
+def _precharge_delay(batch: TechnologyBatch, vdd, bitline_capacitance,
+                     swing_fraction: float) -> np.ndarray:
+    """Vectorised :meth:`repro.sram.precharge.PrechargeUnit.delay` (X4)."""
+    restore = gate_delay(batch, vdd, GateType.BUFFER, drive_strength=4.0,
+                         external_load=2.0 * bitline_capacitance)
+    return (restore * max(swing_fraction, 0.1)
+            + gate_delay(batch, vdd, GateType.BUFFER, drive_strength=4.0))
+
+
+def _discharge_delay(batch: TechnologyBatch, vdd, penalty,
+                     bitline_capacitance,
+                     swing_fraction: float) -> np.ndarray:
+    """Vectorised :meth:`repro.sram.bitline.BitlineModel.discharge_delay`."""
+    swing = swing_fraction * vdd
+    current = on_current(batch, vdd, batch.base.min_width_um, penalty)
+    if np.any(current <= 0):
+        raise ModelError(f"cell read current is zero at vdd={vdd}")
+    return bitline_capacitance * swing / current
+
+
+def _tree_depth(leaves: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, leaves))))
+
+
+def _detection_delay(batch: TechnologyBatch, columns: int,
+                     segment_size: Optional[int], vdd) -> np.ndarray:
+    """Vectorised
+    :meth:`repro.sram.completion.ColumnCompletionDetector.detection_delay`.
+    """
+    or_delay = gate_delay(batch, vdd, GateType.OR2)
+    c_delay = gate_delay(batch, vdd, GateType.C_ELEMENT)
+    per_column = or_delay + _tree_depth(1) * c_delay
+    if segment_size is None:
+        merge_depth = _tree_depth(columns)
+    else:
+        segments = math.ceil(columns / segment_size)
+        merge_depth = _tree_depth(min(segment_size, columns))
+        merge_depth += _tree_depth(segments) if segments > 1 else 0
+    merge = or_delay + merge_depth * c_delay
+    return per_column + merge
+
+
+def _effective_load_factor(segment_size: Optional[int],
+                           detection_load_fraction: float = 0.10) -> float:
+    if segment_size is None:
+        return 1.0 + detection_load_fraction
+    reduction = min(1.0, segment_size / 64.0)
+    return 1.0 + detection_load_fraction * reduction
+
+
+def _write_driver_delay(batch: TechnologyBatch, vdd, bitline_capacitance,
+                        cell_type: CellType) -> np.ndarray:
+    """Vectorised :meth:`repro.sram.write_driver.WriteDriver.write_delay`
+    (X8 driver) plus :meth:`repro.sram.cell.SRAMCell.write_time`.
+    """
+    drive = gate_delay(batch, vdd, GateType.WRITE_DRIVER, drive_strength=8.0,
+                       external_load=bitline_capacitance)
+    latch_type = (GateType.SRAM_CELL if cell_type is CellType.SIX_T
+                  else GateType.SRAM_CELL_8T)
+    write_time = 4.0 * gate_delay(batch, vdd, latch_type)
+    return drive + write_time
+
+
+def _read_buffer_delay(batch: TechnologyBatch, vdd) -> np.ndarray:
+    """Vectorised :meth:`repro.sram.sense.ReadBuffer.delay` (dual rail)."""
+    return (gate_delay(batch, vdd, GateType.SENSE_AMP)
+            + 2.0 * gate_delay(batch, vdd, GateType.BUFFER))
+
+
+def _bitline_params(batch: TechnologyBatch,
+                    config: SRAMConfig) -> Tuple[np.ndarray, np.ndarray]:
+    if config.calibrate_to_fig5:
+        return calibrated_bitline_params(batch)
+    return default_bitline_params(batch, config.rows, config.cell_type)
+
+
+def si_write_latency(batch: TechnologyBatch, config: Optional[SRAMConfig],
+                     vdd: float, swing_fraction: float = 0.15) -> np.ndarray:
+    """Per-sample SI SRAM analytical write latency (s) at supply *vdd*.
+
+    Vectorised
+    :meth:`repro.sram.sram.SpeedIndependentSRAM.write_latency`: decode +
+    precharge + completion-loaded bit-line discharge + write drive/cell
+    flip + completion detection + final precharge, with the Fig. 5
+    bit-line calibration re-solved per perturbed sample when the config
+    asks for it.  The energy calibration does not enter the latency chain,
+    so ``calibrate_energy`` is ignored here.
+    """
+    config = config or SRAMConfig()
+    penalty, capacitance = _bitline_params(batch, config)
+    load = _effective_load_factor(config.completion_segment_size)
+    return (_decoder_delay(batch, config.rows, vdd)
+            + _precharge_delay(batch, vdd, capacitance, swing_fraction)
+            + _discharge_delay(batch, vdd, penalty, capacitance,
+                               swing_fraction) * load
+            + _write_driver_delay(batch, vdd, capacitance, config.cell_type)
+            + _detection_delay(batch, config.columns,
+                               config.completion_segment_size, vdd)
+            + _precharge_delay(batch, vdd, capacitance, swing_fraction))
+
+
+def si_read_latency(batch: TechnologyBatch, config: Optional[SRAMConfig],
+                    vdd: float, swing_fraction: float = 0.15) -> np.ndarray:
+    """Per-sample SI SRAM analytical read latency (s) at supply *vdd*.
+
+    Vectorised :meth:`repro.sram.sram.SpeedIndependentSRAM.read_latency`.
+    """
+    config = config or SRAMConfig()
+    penalty, capacitance = _bitline_params(batch, config)
+    load = _effective_load_factor(config.completion_segment_size)
+    return (_decoder_delay(batch, config.rows, vdd)
+            + _precharge_delay(batch, vdd, capacitance, swing_fraction)
+            + _discharge_delay(batch, vdd, penalty, capacitance,
+                               swing_fraction) * load
+            + _read_buffer_delay(batch, vdd)
+            + _detection_delay(batch, config.columns,
+                               config.completion_segment_size, vdd)
+            + _precharge_delay(batch, vdd, capacitance, swing_fraction))

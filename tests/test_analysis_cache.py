@@ -376,6 +376,80 @@ class TestShardPrimitives:
         assert not (tmp_path / "leases").exists()
 
 
+class TestLeaseClockSkew:
+    """Lease expiry must not trust wall clocks across machines.
+
+    The reader tracks how long a heartbeat value has gone unchanged *on
+    the store* by its own monotonic clock; an advancing heartbeat proves
+    a live owner no matter what either clock says.
+    """
+
+    @staticmethod
+    def _write_lease(cache, key, owner, heartbeat, ttl):
+        import time as _time
+
+        payload = json.dumps({"owner": owner, "ttl": ttl,
+                              "heartbeat": heartbeat,
+                              "claimed": _time.time()}).encode()
+        cache.store.put_atomic(cache._lease_obj(key), payload)
+
+    def test_writer_clock_ahead_expires_by_staleness(self, tmp_path):
+        # An owner whose clock runs an hour ahead writes heartbeats "in
+        # the future": wall-clock age stays hugely negative forever, so
+        # only the unchanged-on-store stopwatch can expire its lease.
+        import time as _time
+
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        self._write_lease(cache, "shard", "fast-clock",
+                          heartbeat=_time.time() + 3600.0, ttl=0.1)
+        assert not cache.lease_info("shard")["expired"]
+        _time.sleep(0.15)
+        assert cache.lease_info("shard")["expired"]
+        assert cache.claim_lease("shard", "survivor", ttl=30.0)
+        assert cache.lease_info("shard")["owner"] == "survivor"
+
+    def test_writer_clock_behind_stays_alive_while_heartbeating(
+            self, tmp_path):
+        # An owner whose clock runs hours behind writes heartbeats that
+        # look ancient; as long as the value keeps *changing*, the reader
+        # must treat the owner as alive and refuse to steal.
+        import time as _time
+
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        assert cache.claim_lease("shard", "a", ttl=0.3)
+        assert not cache.lease_info("shard")["expired"]
+        # The owner's skewed clock stamps a heartbeat decades in the past;
+        # the reader witnesses the advance...
+        self._write_lease(cache, "shard", "a", heartbeat=1000.0, ttl=0.3)
+        assert not cache.lease_info("shard")["expired"]
+        _time.sleep(0.1)
+        # ...and re-reads of that unchanged, ancient value within the TTL
+        # must not expire it by wall-clock age.
+        assert not cache.lease_info("shard")["expired"]
+        assert not cache.claim_lease("shard", "thief", ttl=30.0)
+        self._write_lease(cache, "shard", "a", heartbeat=1001.0, ttl=0.3)
+        assert not cache.lease_info("shard")["expired"]
+        # The moment the heartbeat stops advancing, staleness expires it.
+        _time.sleep(0.4)
+        assert cache.lease_info("shard")["expired"]
+        assert cache.claim_lease("shard", "survivor", ttl=30.0)
+
+    def test_released_lease_forgets_its_observation(self, tmp_path):
+        # A lease deleted and re-claimed restarts the staleness stopwatch
+        # rather than inheriting the old observation.
+        import time as _time
+
+        cache = ResultCache(root=tmp_path, mode="rw", salt="s")
+        cache.claim_lease("shard", "a", ttl=0.1)
+        cache.lease_info("shard")
+        _time.sleep(0.15)
+        cache.release_lease("shard", "a")
+        assert cache.lease_info("shard") is None
+        self._write_lease(cache, "shard", "b",
+                          heartbeat=_time.time() + 3600.0, ttl=0.1)
+        assert not cache.lease_info("shard")["expired"]
+
+
 class TestCacheCLI:
     def test_stats_and_clear(self, tmp_path, capsys, plan, quantities):
         store = ResultCache(root=tmp_path, mode="rw")

@@ -264,6 +264,44 @@ class TestWorkerExecution:
         worker.retire()
         assert list_workers(tmp_path) == []
 
+    def test_torn_presence_objects_are_skipped_and_counted(self, tmp_path):
+        import json as _json
+        import time as _time
+
+        worker = Worker(root=tmp_path)
+        worker.announce()
+        # A torn/partial write as a concurrent reader may observe it, a
+        # wrong-typed heartbeat, and a foreign object under workers/.
+        worker.store.put_atomic("workers/torn.json", b'{"worker": "x", "he')
+        worker.store.put_atomic("workers/badtype.json", _json.dumps(
+            {"worker": "y", "heartbeat": "soon"}).encode())
+        worker.store.put_atomic("workers/notes.json", b'"operator note"')
+        fleet = list_workers(tmp_path)
+        assert [info["worker"] for info in fleet] == [worker.id]
+        assert fleet.skipped == 3
+
+        # A worker clock ahead of the reader's must clamp to age zero,
+        # not report a negative heartbeat age.
+        worker.store.put_atomic("workers/future.json", _json.dumps(
+            {"worker": "z", "heartbeat": _time.time() + 3600.0}).encode())
+        ages = {info["worker"]: info["age_s"]
+                for info in list_workers(tmp_path)}
+        assert ages["z"] == 0.0
+
+    def test_status_surfaces_skipped_presences(self, tmp_path, capsys):
+        import json as _json
+
+        worker = Worker(root=tmp_path)
+        worker.announce()
+        worker.store.put_atomic("workers/torn.json", b'{"worker": "x", "he')
+        assert distrib_main(["status", "--root", str(tmp_path),
+                             "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert len(report["workers"]) == 1
+        assert report["workers_skipped"] == 1
+        assert distrib_main(["status", "--root", str(tmp_path)]) == 0
+        assert "1 unreadable worker presence" in capsys.readouterr().out
+
 
 class TestCoordination:
     def test_participating_wait_needs_no_fleet(self, tmp_path, plan,

@@ -104,7 +104,7 @@ class TestRunConfigResolution:
         (tmp_path / "repro.toml").write_text('[run]\nworkers = "auto"\n')
         monkeypatch.chdir(tmp_path)
         config = RunConfig.resolve(environ={})
-        assert config.workers == (os.cpu_count() or 1)
+        assert config.workers == RunConfig.available_cpus()
 
     @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs >= 3.11")
     def test_unknown_file_key_rejected(self, tmp_path):
@@ -122,7 +122,7 @@ class TestRunConfigResolution:
                 environ={"REPRO_CONFIG": str(tmp_path / "nope.toml")})
 
     def test_parse_workers(self):
-        assert RunConfig.parse_workers("auto") == (os.cpu_count() or 1)
+        assert RunConfig.parse_workers("auto") == RunConfig.available_cpus()
         assert RunConfig.parse_workers("3") == 3
         assert RunConfig.parse_workers(0) == 0
         for bad in ("many", "-1", -1, 2.5, True):
@@ -168,7 +168,7 @@ class TestRunConfigResolution:
         base = RunConfig.resolve(environ={})
         assert base.override() is base
         changed = base.override(workers="auto", cache_mode=None)
-        assert changed.workers == (os.cpu_count() or 1)
+        assert changed.workers == RunConfig.available_cpus()
         assert changed.cache_mode == "off"
         assert changed.sources["workers"] == "kwargs"
         with pytest.raises(ConfigurationError):
@@ -283,7 +283,7 @@ class TestSession:
 
     def test_session_overrides_and_bad_args(self):
         session = Session(workers="auto", environ={})
-        assert session.config.workers == (os.cpu_count() or 1)
+        assert session.config.workers == RunConfig.available_cpus()
         base = RunConfig.resolve(environ={})
         overridden = Session(base, workers=2)
         assert overridden.config.workers == 2

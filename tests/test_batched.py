@@ -1,0 +1,385 @@
+"""Tests for batched-quantity execution and the vectorised model kernels.
+
+The contract under test, end to end:
+
+* a quantity declared through :func:`repro.analysis.runner.batched`
+  evaluates whole shards as arrays, *bit-identically* to its own
+  per-point fallback (``Executor(batch=False)``) for sweeps, grids and
+  Monte-Carlo plans — including the per-sample ``SeedSequence`` streams;
+* the batched path engages only when *every* requested quantity supports
+  it, falls back silently otherwise, and composes with ``run_shard``,
+  the persistent cache and the distrib backend;
+* the vectorised kernels in :mod:`repro.models.batch`,
+  :mod:`repro.sram.batch` and :mod:`repro.sensors.batch` agree with the
+  scalar models they mirror;
+* degenerate one-point plans survive every execution mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.distrib import DistribBackend
+from repro.analysis.runner import (
+    BatchedQuantity,
+    Executor,
+    ExperimentPlan,
+    batched,
+)
+from repro.errors import ConfigurationError, ModelError
+from repro.models.batch import (
+    TechnologyBatch,
+    fo4_delay,
+    gate_delay,
+    gate_transition_energy,
+    leakage_current,
+    on_current,
+)
+from repro.models.delay import InverterChain
+from repro.models.delay import fo4_delay as scalar_fo4_delay
+from repro.models.gate import GateModel, GateType
+from repro.models.mosfet import MosfetModel
+from repro.models.technology import get_technology
+from repro.sensors.batch import predicted_counts
+from repro.sensors.charge_to_digital import ChargeToDigitalConverter
+from repro.sram.batch import (
+    calibrated_bitline_params,
+    si_read_latency,
+    si_write_latency,
+)
+from repro.sram.bitline import calibrate_bitline_to_fig5
+from repro.sram.sram import SRAMConfig, SpeedIndependentSRAM
+
+TECH = get_technology("cmos90")
+VDDS = [0.25 + 0.05 * i for i in range(8)]
+
+
+# Module level so the distrib payload pickles by reference.
+def _sweep_kernel(vdds):
+    return gate_delay(TechnologyBatch.of(TECH), np.asarray(vdds, dtype=float))
+
+
+def _grid_kernel(vdds, fanouts):
+    batch = TechnologyBatch.of(TECH)
+    cin = TECH.unit_inverter_input_cap * GateType.INVERTER.logical_effort
+    return gate_delay(batch, np.asarray(vdds, dtype=float),
+                      external_load=np.asarray(fanouts, dtype=float) * cin)
+
+
+def _mc_kernel(batch):
+    return gate_delay(batch, 0.4)
+
+
+def _scalar_mc_delay(perturbed):
+    return GateModel(technology=perturbed).delay(0.4)
+
+
+_sweep_q = batched(_sweep_kernel)
+_grid_q = batched(_grid_kernel)
+_mc_q = batched(_mc_kernel)
+
+
+def _sweep_plan(values=VDDS):
+    return ExperimentPlan.sweep("vdd", values)
+
+
+def _mc_plan(samples=24, seed=3):
+    return ExperimentPlan.monte_carlo(samples, technology=TECH, seed=seed)
+
+
+class TestBatchedProtocol:
+    def test_decorator_forms(self):
+        assert isinstance(_sweep_q, BatchedQuantity)
+
+        @batched
+        def plain(vdds):
+            return np.asarray(vdds) * 2.0
+
+        assert isinstance(plain, BatchedQuantity)
+        assert plain.batch(np.asarray([1.0, 2.0])).tolist() == [2.0, 4.0]
+        assert plain(3.0) == 6.0
+
+        @batched(point=lambda v: v * 2.0)
+        def with_point(vdds):
+            return np.asarray(vdds) * 2.0
+
+        assert with_point(3.0) == 6.0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            batched("not a function")
+        with pytest.raises(ConfigurationError):
+            BatchedQuantity(lambda xs: xs, point_fn="nope")
+
+    def test_sweep_batched_is_bit_identical(self):
+        plan = _sweep_plan()
+        fast = Executor().run(plan, {"delay": _sweep_q})
+        slow = Executor(batch=False).run(plan, {"delay": _sweep_q})
+        assert fast.provenance.executor == f"batched[{len(VDDS)} points]"
+        assert slow.provenance.executor == "serial"
+        assert fast.values == slow.values
+
+    def test_grid_batched_is_bit_identical(self):
+        plan = ExperimentPlan.grid("vdd", VDDS[:4], "fanout", [1.0, 2.0, 4.0])
+        fast = Executor().run(plan, {"delay": _grid_q})
+        slow = Executor(batch=False).run(plan, {"delay": _grid_q})
+        assert fast.provenance.executor == "batched[12 points]"
+        assert fast.values == slow.values
+
+    def test_monte_carlo_batched_is_bit_identical(self):
+        plan = _mc_plan()
+        fast = Executor().run(plan, {"delay": _mc_q})
+        slow = Executor(batch=False).run(plan, {"delay": _mc_q})
+        assert fast.provenance.executor.startswith("batched[")
+        assert fast.values == slow.values
+
+    def test_monte_carlo_batched_matches_scalar_models_closely(self):
+        # Per-sample draws match the scalar path exactly; the numerics of
+        # numpy vs libm transcendentals differ by at most a few ULPs.
+        plan = _mc_plan()
+        fast = Executor().run(plan, {"delay": _mc_q})
+        scalar = Executor().run(plan, {"delay": _scalar_mc_delay})
+        assert fast.values["delay"] == pytest.approx(
+            scalar.values["delay"], rel=1e-9)
+
+    def test_run_shard_slices_the_batched_run(self):
+        plan = _mc_plan(samples=17)
+        full = Executor().run(plan, {"delay": _mc_q})
+        shard = Executor().run_shard(plan, {"delay": _mc_q}, 5, 13)
+        assert shard["delay"] == full.values["delay"][5:13]
+
+    def test_mixed_quantity_set_falls_back_to_per_point(self):
+        plan = _mc_plan(samples=6)
+        result = Executor().run(plan, {"delay": _mc_q,
+                                       "scalar": _scalar_mc_delay})
+        assert result.provenance.executor == "serial"
+        only_scalar = Executor().run(plan, {"scalar": _scalar_mc_delay})
+        assert result.values["scalar"] == only_scalar.values["scalar"]
+
+    def test_batch_false_disables_vectorised_path(self):
+        result = Executor(batch=False).run(_sweep_plan(), {"d": _sweep_q})
+        assert result.provenance.executor == "serial"
+
+    def test_wrong_shape_kernel_rejected(self):
+        bad = batched(lambda vdds: np.asarray([1.0]))
+        with pytest.raises(ConfigurationError, match="shape"):
+            Executor().run(_sweep_plan(), {"bad": bad})
+
+    def test_wrong_shape_kernel_rejected_per_point_too(self):
+        bad = batched(lambda vdds: np.asarray([1.0, 2.0]))
+        with pytest.raises(ConfigurationError, match="shape"):
+            Executor(batch=False).run(_sweep_plan([0.5]), {"bad": bad})
+
+
+class TestBatchedCacheAndDistrib:
+    def test_cache_hit_equivalence_batched_then_per_point(self, tmp_path):
+        plan = _mc_plan()
+        rw = ResultCache(root=tmp_path, mode="rw")
+        first = Executor(persistent=rw).run(plan, {"delay": _mc_q})
+        assert first.provenance.executor.startswith("batched[")
+        replay = Executor(persistent=ResultCache(root=tmp_path, mode="rw"),
+                          batch=False).run(plan, {"delay": _mc_q})
+        assert replay.provenance.executor == "persistent-cache"
+        assert replay.values == first.values
+
+    def test_cache_hit_equivalence_per_point_then_batched(self, tmp_path):
+        plan = _mc_plan()
+        slow = Executor(persistent=ResultCache(root=tmp_path, mode="rw"),
+                        batch=False).run(plan, {"delay": _mc_q})
+        assert slow.provenance.executor == "serial"
+        replay = Executor(
+            persistent=ResultCache(root=tmp_path, mode="rw")).run(
+            plan, {"delay": _mc_q})
+        assert replay.provenance.executor == "persistent-cache"
+        assert replay.values == slow.values
+
+    def test_distributed_batched_run_is_bit_identical(self, tmp_path):
+        plan = _mc_plan(samples=10)
+        local = Executor().run(plan, {"delay": _mc_q})
+        distributed = Executor(distrib=DistribBackend(
+            root=tmp_path, participate=True, poll_s=0.01, shard_size=4,
+            timeout_s=60.0)).run(plan, {"delay": _mc_q})
+        assert distributed.provenance.executor.startswith("distrib[")
+        assert distributed.values == local.values
+
+
+class TestDegenerateSizing:
+    """One-point plans survive every execution mode (regression sweep)."""
+
+    def test_shard_ranges_of_a_single_point_plan(self):
+        plan = _sweep_plan([0.5])
+        assert plan.shard_ranges(4) == [(0, 1)]
+        assert plan.shard_ranges(1) == [(0, 1)]
+
+    def test_one_point_serial_and_batched(self):
+        plan = _sweep_plan([0.5])
+        fast = Executor().run(plan, {"d": _sweep_q})
+        slow = Executor(batch=False).run(plan, {"d": _sweep_q})
+        assert fast.provenance.executor == "batched[1 points]"
+        assert fast.values == slow.values
+
+    def test_one_point_pool(self):
+        plan = _sweep_plan([0.5])
+        pooled = Executor(workers=2, batch=False).run(plan, {"d": _sweep_q})
+        assert pooled.values == Executor().run(plan, {"d": _sweep_q}).values
+
+    def test_one_point_run_shard(self):
+        plan = _sweep_plan([0.5])
+        shard = Executor().run_shard(plan, {"d": _sweep_q}, 0, 1)
+        assert shard["d"] == Executor().run(plan, {"d": _sweep_q}).values["d"]
+
+    def test_one_point_persistent(self, tmp_path):
+        plan = _sweep_plan([0.5])
+        cache = ResultCache(root=tmp_path, mode="rw")
+        first = Executor(persistent=cache).run(plan, {"d": _sweep_q})
+        again = Executor(persistent=cache).run(plan, {"d": _sweep_q})
+        assert again.provenance.executor == "persistent-cache"
+        assert again.values == first.values
+
+    def test_one_point_distrib(self, tmp_path):
+        plan = _sweep_plan([0.5])
+        distributed = Executor(distrib=DistribBackend(
+            root=tmp_path, participate=True, poll_s=0.01,
+            timeout_s=60.0)).run(plan, {"d": _sweep_q})
+        assert distributed.values == Executor().run(
+            plan, {"d": _sweep_q}).values
+
+    def test_one_sample_monte_carlo(self):
+        plan = _mc_plan(samples=1)
+        fast = Executor().run(plan, {"delay": _mc_q})
+        slow = Executor(batch=False).run(plan, {"delay": _mc_q})
+        assert fast.values == slow.values
+
+
+class TestTechnologyBatch:
+    def test_of_wraps_unchanged(self):
+        batch = TechnologyBatch.of(TECH)
+        assert batch.size == 1
+        assert batch.vth[0] == TECH.vth
+        assert batch.i_on_per_um[0] == TECH.i_on_per_um
+
+    def test_from_samples_mirrors_apply_to(self):
+        batch = TechnologyBatch.from_samples(
+            TECH, [0.02, -0.01], [0.9, 1.1], [1.5, 0.7])
+        assert batch.vth.tolist() == [TECH.vth + 0.02, TECH.vth - 0.01]
+        assert batch.i_on_per_um.tolist() == [TECH.i_on_per_um * 0.9,
+                                              TECH.i_on_per_um * 1.1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            TechnologyBatch(base=TECH, vth=[0.3, 0.3],
+                            i_on_per_um=[1.0], i_leak_per_um=[1.0])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ModelError):
+            TechnologyBatch(base=TECH, vth=[[0.3]], i_on_per_um=[[1.0]],
+                            i_leak_per_um=[[1.0]])
+
+
+class TestModelKernels:
+    """The vectorised kernels agree with the scalar models they mirror."""
+
+    def test_on_current_matches_mosfet_model(self):
+        batch = TechnologyBatch.of(TECH)
+        for vgs in (0.2, 0.4, 1.0):
+            scalar = MosfetModel(technology=TECH, width_um=2.0).on_current(vgs)
+            assert on_current(batch, vgs, 2.0)[0] == pytest.approx(
+                scalar, rel=1e-9)
+
+    def test_leakage_matches_mosfet_model(self):
+        batch = TechnologyBatch.of(TECH)
+        scalar = MosfetModel(technology=TECH).leakage_current(0.6)
+        assert leakage_current(batch, 0.6)[0] == pytest.approx(
+            scalar, rel=1e-9)
+        assert leakage_current(batch, 0.0)[0] == 0.0
+
+    def test_gate_delay_matches_gate_model(self):
+        batch = TechnologyBatch.of(TECH)
+        for gate_type in (GateType.INVERTER, GateType.NAND2, GateType.OR2):
+            scalar = GateModel(technology=TECH, gate_type=gate_type).delay(0.5)
+            assert gate_delay(batch, 0.5, gate_type)[0] == pytest.approx(
+                scalar, rel=1e-9)
+
+    def test_gate_delay_rejects_subfunctional_vdd(self):
+        with pytest.raises(ModelError):
+            gate_delay(TechnologyBatch.of(TECH), TECH.vdd_min / 2.0)
+
+    def test_transition_energy_matches_gate_model(self):
+        batch = TechnologyBatch.of(TECH)
+        for vdd in (0.2, 0.5, 1.0):
+            scalar = GateModel(technology=TECH).transition_energy(vdd)
+            assert gate_transition_energy(batch, vdd)[0] == pytest.approx(
+                scalar, rel=1e-9)
+
+    def test_fo4_delay_matches_scalar(self):
+        batch = TechnologyBatch.of(TECH)
+        assert fo4_delay(batch, 0.6)[0] == pytest.approx(
+            scalar_fo4_delay(TECH, 0.6), rel=1e-9)
+
+    def test_elementwise_contract(self):
+        # A sample's value inside a large batch is bitwise the value of
+        # the one-sample batch — the property the runner relies on.
+        rng = np.random.default_rng(5)
+        offsets = rng.normal(0.0, 0.03, 32)
+        batch = TechnologyBatch.from_samples(TECH, offsets,
+                                             np.ones(32), np.ones(32))
+        whole = gate_delay(batch, 0.4)
+        for i in (0, 7, 31):
+            alone = TechnologyBatch.from_samples(
+                TECH, [offsets[i]], [1.0], [1.0])
+            assert gate_delay(alone, 0.4)[0] == whole[i]
+
+
+class TestSramKernels:
+    def test_calibration_matches_scalar_fit(self):
+        penalty, capacitance = calibrated_bitline_params(
+            TechnologyBatch.of(TECH))
+        scalar = calibrate_bitline_to_fig5(TECH)
+        assert penalty[0] == pytest.approx(scalar.read_vth_penalty, rel=1e-6)
+        assert capacitance[0] == pytest.approx(scalar.bitline_capacitance,
+                                               rel=1e-6)
+
+    @pytest.mark.parametrize("config", [
+        SRAMConfig(rows=16, columns=8, calibrate_energy=False),
+        SRAMConfig(rows=64, columns=16, calibrate_energy=False,
+                   calibrate_to_fig5=False),
+        SRAMConfig(rows=32, columns=8, calibrate_energy=False,
+                   completion_segment_size=4),
+    ])
+    def test_latencies_match_scalar_sram(self, config):
+        batch = TechnologyBatch.of(TECH)
+        sram = SpeedIndependentSRAM(TECH, config)
+        for vdd in (0.25, 0.5, 1.0):
+            assert si_write_latency(batch, config, vdd)[0] == pytest.approx(
+                sram.write_latency(vdd), rel=1e-9)
+            assert si_read_latency(batch, config, vdd)[0] == pytest.approx(
+                sram.read_latency(vdd), rel=1e-9)
+
+
+class TestSensorKernels:
+    def test_counts_match_converter_prediction(self):
+        converter = ChargeToDigitalConverter(technology=TECH,
+                                             sampling_capacitance=2e-12)
+        for vdd in (0.3, 0.55, 0.9):
+            assert predicted_counts(
+                TECH, vdd, sampling_capacitance=2e-12)[0] == float(
+                converter.predicted_count(vdd))
+
+    def test_voltage_axis_broadcast_is_elementwise(self):
+        vdds = np.asarray([0.3, 0.45, 0.6])
+        swept = predicted_counts(TECH, vdds, sampling_capacitance=2e-12)
+        singles = [predicted_counts(TECH, v, sampling_capacitance=2e-12)[0]
+                   for v in vdds]
+        assert swept.tolist() == singles
+
+    def test_below_stop_voltage_counts_zero(self):
+        assert predicted_counts(TECH, 0.0,
+                                sampling_capacitance=2e-12)[0] == 0.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            predicted_counts(TECH, 0.5, sampling_capacitance=0.0)
+        with pytest.raises(ConfigurationError):
+            predicted_counts(TECH, 0.5, counter_width=0)
+        with pytest.raises(ConfigurationError):
+            predicted_counts(TECH, 0.5, stop_voltage=TECH.vdd_min / 2.0)
