@@ -148,6 +148,22 @@ def tech():
     return get_technology("cmos90")
 
 
+@pytest.fixture(scope="session")
+def smoke_campaign():
+    """The bundled ``paper_space`` campaign, trimmed to its smoke skeleton.
+
+    Compiled once per session: the campaign benchmarks measure execution
+    through the shared Session, not TOML parsing.  Skips on interpreters
+    without :mod:`tomllib` (the campaign file format needs Python 3.11).
+    """
+    pytest.importorskip("tomllib")
+    from repro.analysis.campaign import compile_campaign, load_campaign
+    from repro.analysis.campaign.spec import builtin_campaign_path
+
+    spec = load_campaign(builtin_campaign_path("paper_space"))
+    return compile_campaign(spec.trimmed())
+
+
 def emit(text: str) -> None:
     """Print a benchmark table with a blank line around it."""
     print("\n" + text + "\n")

@@ -1,0 +1,73 @@
+"""The declarative campaign engine over the paper's figure space.
+
+Two shapes are pinned here.  First, one TOML file really does enumerate
+the evaluation: the bundled ``paper_space`` campaign compiles to the
+full >= 5000-point cross-product of every registry point function over
+the three technologies, and its signature — the content identity of the
+whole execution set — is stable across recompiles.  Second, executing
+the smoke-trimmed campaign through the shared Session front door covers
+every scenario's code path and stays bit-identical between the
+configured executor and the deterministic serial reference, which is the
+property that makes ``python -m repro campaign run`` shardable and
+cacheable for free.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.session import RunConfig, Session
+
+from conftest import emit
+
+pytest.importorskip("tomllib")
+
+
+def _load_full():
+    from repro.analysis.campaign import compile_campaign, load_campaign
+    from repro.analysis.campaign.spec import builtin_campaign_path
+
+    return compile_campaign(load_campaign(builtin_campaign_path()))
+
+
+def test_paper_space_geometry(benchmark):
+    """Compiling the full campaign is cheap and its space is the paper's."""
+    campaign = benchmark(_load_full)
+    payload = campaign.describe()
+    emit(format_table(
+        "paper_space campaign geometry",
+        ["scenario", "points"],
+        sorted([[name, points] for name, points
+                in payload["scenario_points"].items()])
+        + [["total", payload["points"]]]))
+    assert payload["points"] >= 5000
+    assert payload["signature"] == _load_full().signature()
+
+
+def test_campaign_smoke_executes_every_scenario(smoke_campaign, run_session,
+                                                benchmark):
+    """The smoke campaign runs in seconds and misses no scenario."""
+    from repro.analysis.campaign import run_campaign
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(smoke_campaign, run_session),
+        rounds=1, iterations=1)
+    summary = result.summary()
+    emit(format_table(
+        "smoke campaign execution",
+        ["runs", "points", "wall s", "executors"],
+        [[summary["runs"], summary["evaluated_points"],
+          f"{summary['wall_time_s']:.2f}",
+          ", ".join(summary["executors"])]]))
+    assert summary["evaluated_points"] == smoke_campaign.point_count
+    covered = {run.scenario_index for run in smoke_campaign.runs}
+    assert covered == set(range(len(smoke_campaign.spec.scenarios)))
+
+
+def test_campaign_matches_serial_reference(smoke_campaign, run_session):
+    """Whatever the harness was configured with equals the serial path."""
+    from repro.analysis.campaign import run_campaign
+
+    configured = run_campaign(smoke_campaign, run_session)
+    with Session(RunConfig.resolve(config_file=False)) as reference:
+        serial = run_campaign(smoke_campaign, reference)
+    assert configured.values() == serial.values()

@@ -34,6 +34,11 @@ benchmark harness uses to regenerate them:
   :class:`~repro.analysis.session.Session` facade that owns the
   executor/cache/distrib stack and adds an async
   ``submit()``/``gather()`` path (see also ``python -m repro``);
+* :mod:`repro.analysis.campaign` — declarative scenario campaigns
+  (``campaigns/*.toml`` cross-products compiled to plan batches run
+  through the Session) and the seeded invariant fuzzer with its
+  byte-for-byte replayable violation corpus
+  (``python -m repro campaign``);
 * :mod:`repro.analysis.report` — plain-text table/series rendering so every
   benchmark prints "the same rows the paper reports".
 """

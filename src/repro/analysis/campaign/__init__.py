@@ -1,0 +1,65 @@
+"""Scenario campaigns over the paper's model space, and their fuzzer.
+
+The paper's 12 figures are hand-enumerated points in a much larger space
+(models x technologies x supply conditions x variation seeds).  This
+package turns that space into first-class, enumerable artifacts:
+
+* :mod:`~repro.analysis.campaign.registry` — the catalogue of *point
+  functions*: named, picklable adapters that evaluate one scenario point
+  (a gate, an SI SRAM operation, a dual-rail counter run, a
+  charge-to-digital conversion, ...) and report its metric row.
+* :mod:`~repro.analysis.campaign.spec` — the declarative campaign layer:
+  dataclasses plus a TOML schema (``campaigns/*.toml``) describing
+  cross-products of point functions over technologies, axis ranges and
+  seed batches, compiled into :class:`~repro.analysis.runner.ExperimentPlan`s.
+* :mod:`~repro.analysis.campaign.engine` — executes a compiled campaign
+  through one :class:`~repro.analysis.session.Session`, so campaigns are
+  cached, batched and distrib-shardable exactly like hand-written plans.
+* :mod:`~repro.analysis.campaign.invariants` — cross-layer invariants
+  (charge conservation, latency-chain ordering, dual-rail completion,
+  batched-vs-per-point bit-identity, ...) as seedable check functions.
+* :mod:`~repro.analysis.campaign.fuzz` — the seeded scenario fuzzer:
+  draws invariant parameters from ``SeedSequence``-derived streams,
+  shrinks every violation and persists it as a replayable case.
+
+``python -m repro campaign`` is the command-line front door
+(:mod:`~repro.analysis.campaign.cli`).
+"""
+
+from repro.analysis.campaign.engine import CampaignResult, run_campaign
+from repro.analysis.campaign.fuzz import (FuzzCase, FuzzReport, fuzz,
+                                          load_case, reproduce)
+from repro.analysis.campaign.invariants import (DEFAULT_INVARIANTS, Invariant,
+                                                get_invariant)
+from repro.analysis.campaign.registry import (REGISTRY, PointFunction,
+                                              get_point_function,
+                                              quantities_for)
+from repro.analysis.campaign.spec import (AxisSpec, CampaignSpec,
+                                          CompiledCampaign, PlannedRun,
+                                          ScenarioSpec, builtin_campaign_path,
+                                          compile_campaign, load_campaign)
+
+__all__ = [
+    "AxisSpec",
+    "CampaignResult",
+    "CampaignSpec",
+    "CompiledCampaign",
+    "DEFAULT_INVARIANTS",
+    "FuzzCase",
+    "FuzzReport",
+    "Invariant",
+    "PlannedRun",
+    "PointFunction",
+    "REGISTRY",
+    "ScenarioSpec",
+    "builtin_campaign_path",
+    "compile_campaign",
+    "fuzz",
+    "get_invariant",
+    "get_point_function",
+    "load_campaign",
+    "load_case",
+    "quantities_for",
+    "reproduce",
+    "run_campaign",
+]

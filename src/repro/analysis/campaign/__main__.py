@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.campaign`` — alias of ``python -m repro
+campaign``."""
+
+from repro.analysis.campaign.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

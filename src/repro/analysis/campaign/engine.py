@@ -1,0 +1,92 @@
+"""Campaign execution through the Session front door.
+
+:func:`run_campaign` submits every planned run of a
+:class:`~repro.analysis.campaign.spec.CompiledCampaign` to one
+:class:`~repro.analysis.session.Session` and gathers the results in
+plan order.  Going through ``Session.submit()/gather()`` — rather than a
+private loop — is the whole point: campaigns inherit the executor stack
+as configured (process pool, batched kernels, persistent
+:class:`~repro.analysis.cache.ResultCache`, distrib fleet sharding)
+without any campaign-specific plumbing, and a re-run of the same
+campaign against a warm cache answers from disk, which is what makes a
+campaign *resumable*: kill it halfway, run it again, and only the
+missing plans evaluate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.campaign.spec import CompiledCampaign, PlannedRun
+from repro.analysis.runner import ExperimentResult
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Every planned run's result, in plan order, plus campaign provenance."""
+
+    campaign: CompiledCampaign
+    results: Tuple = ()
+    wall_time_s: float = 0.0
+
+    @property
+    def point_count(self) -> int:
+        """Total evaluated scenario points."""
+        return sum(result.plan.point_count for result in self.results)
+
+    def run_for(self, label: str) -> ExperimentResult:
+        """The result of the planned run labelled *label*."""
+        from repro.errors import ConfigurationError
+
+        for run, result in zip(self.campaign.runs, self.results):
+            if run.label == label:
+                return result
+        labels = [run.label for run in self.campaign.runs]
+        raise ConfigurationError(f"no planned run {label!r}; campaign has "
+                                 f"{labels}")
+
+    def values(self) -> List[Dict[str, List[float]]]:
+        """Per-run value mappings, in plan order (the determinism payload)."""
+        return [result.values for result in self.results]
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able provenance: geometry, executors, cache economics."""
+        executors = sorted({result.provenance.executor
+                            for result in self.results})
+        persistent_hits = sum(getattr(result.provenance, "persistent_hits", 0)
+                              for result in self.results)
+        persistent_misses = sum(
+            getattr(result.provenance, "persistent_misses", 0)
+            for result in self.results)
+        return {
+            **self.campaign.describe(),
+            "evaluated_points": self.point_count,
+            "executors": executors,
+            "persistent_hits": persistent_hits,
+            "persistent_misses": persistent_misses,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+def run_campaign(campaign: CompiledCampaign, session,
+                 runs: Optional[Sequence[PlannedRun]] = None
+                 ) -> CampaignResult:
+    """Execute *campaign* on *session*; results come back in plan order.
+
+    All runs are submitted up front — the session's thread pool overlaps
+    them up to its ``max_inflight`` bound, and with a distrib backend the
+    shards of different runs interleave across the fleet — then gathered
+    in declaration order so the result list always aligns with
+    ``campaign.runs`` regardless of completion order.
+    """
+    chosen = campaign.runs if runs is None else tuple(runs)
+    started = time.perf_counter()
+    handles = [session.submit(run.plan, run.quantities) for run in chosen]
+    results = session.gather(*handles)
+    wall = time.perf_counter() - started
+    return CampaignResult(campaign=campaign, results=tuple(results),
+                          wall_time_s=wall)

@@ -1,0 +1,285 @@
+"""The seeded scenario fuzzer and its replayable violation corpus.
+
+:func:`fuzz` walks a seed budget: index *i* of a run with campaign seed
+*s* draws its parameters from ``default_rng(SeedSequence((s, i)))`` and
+evaluates one invariant (round-robin over the registry), so any single
+index can be re-drawn — and any violation re-evaluated — without running
+the indices before it.  Every violation is shrunk toward a minimal
+parameter set that still violates, then persisted as a JSON case under
+the corpus directory; :func:`reproduce` re-runs a case from its recorded
+parameters and demands the byte-for-byte identical violation messages,
+which is what ``python -m repro campaign repro CASE_ID`` checks.
+
+Exceptions during a check are folded into the violation protocol rather
+than crashing the run: a :class:`~repro.errors.ConfigurationError` means
+the draw left the model envelope (counted as a rejection, not a bug),
+any other exception *is* the finding (a fuzzer that dies on the first
+crash cannot report it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from numpy.random import SeedSequence, default_rng
+
+from repro.analysis.campaign.invariants import DEFAULT_INVARIANTS, Invariant
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz",
+    "load_case",
+    "reproduce",
+]
+
+#: Where violation cases land unless the caller says otherwise.
+DEFAULT_CORPUS_DIR = ".repro_fuzz"
+
+#: Format version stamped into every persisted case.
+_CASE_VERSION = 1
+
+#: Upper bound on check evaluations one shrink pass may spend.
+_SHRINK_BUDGET = 64
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One persisted violation: everything needed to replay it."""
+
+    case_id: str
+    invariant: str
+    seed: int
+    index: int
+    params: Dict
+    violations: Tuple[str, ...]
+    crash: bool = False
+
+    def as_dict(self) -> Dict:
+        return {
+            "version": _CASE_VERSION,
+            "case_id": self.case_id,
+            "invariant": self.invariant,
+            "seed": self.seed,
+            "index": self.index,
+            "params": self.params,
+            "violations": list(self.violations),
+            "crash": self.crash,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run did: budget spent, rejections, cases found."""
+
+    seed: int
+    budget: int
+    evaluated: int = 0
+    rejected: int = 0
+    cases: List[FuzzCase] = field(default_factory=list)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.cases)
+
+
+def _canonical_json(payload: Mapping) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _case_id(invariant: str, seed: int, index: int, params: Mapping) -> str:
+    digest = hashlib.sha256(_canonical_json({
+        "invariant": invariant, "seed": seed, "index": index,
+        "params": params}).encode())
+    return digest.hexdigest()[:12]
+
+
+def _evaluate(invariant: Invariant, params: Mapping
+              ) -> Tuple[List[str], bool]:
+    """Run one check; returns ``(violations, crashed)``.
+
+    ``ConfigurationError`` propagates — the draw (or a shrink candidate)
+    left the model envelope.  Every other exception becomes the
+    violation: a crash is a finding, and folding it into the message
+    protocol keeps crash cases shrinkable and replayable like any other.
+    """
+    try:
+        return list(invariant.check(params)), False
+    except ConfigurationError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - crashes are findings
+        return [f"crash: {type(exc).__name__}: {exc}"], True
+
+
+def _round_trip(params: Mapping) -> Dict:
+    """The params exactly as a persisted case will replay them."""
+    return json.loads(_canonical_json(params))
+
+
+def _still_violates(invariant: Invariant, params: Mapping) -> bool:
+    try:
+        violations, _ = _evaluate(invariant, _round_trip(params))
+    except ConfigurationError:
+        return False
+    return bool(violations)
+
+
+def _shrink(invariant: Invariant, params: Dict) -> Dict:
+    """Deterministically simplify *params* while the violation persists.
+
+    Two moves, bounded by :data:`_SHRINK_BUDGET` check evaluations:
+    list-valued parameters truncate (first half, then first element), and
+    numeric parameters named in ``invariant.shrink_floors`` bisect toward
+    their declared floor.  Every accepted candidate must still violate
+    after a JSON round-trip, so shrinking can never walk a case out of
+    replayability.
+    """
+    current = dict(params)
+    spent = 0
+
+    def attempt(candidate: Dict) -> bool:
+        nonlocal current, spent
+        if spent >= _SHRINK_BUDGET:
+            return False
+        spent += 1
+        if _still_violates(invariant, candidate):
+            current = candidate
+            return True
+        return False
+
+    for name in sorted(current):
+        value = current[name]
+        if isinstance(value, list) and len(value) > 1:
+            while len(current[name]) > 1 and spent < _SHRINK_BUDGET:
+                half = current[name][:max(1, len(current[name]) // 2)]
+                if not attempt(dict(current, **{name: half})):
+                    break
+    floors = dict(invariant.shrink_floors)
+    for name, floor in sorted(floors.items()):
+        if name not in current:
+            continue
+        is_int = isinstance(current[name], int) \
+            and not isinstance(current[name], bool)
+        for _ in range(12):
+            if spent >= _SHRINK_BUDGET:
+                break
+            value = current[name]
+            midpoint = (value + floor) / 2.0
+            candidate = int(round(midpoint)) if is_int else float(midpoint)
+            if candidate == value:
+                break
+            if not attempt(dict(current, **{name: candidate})):
+                break
+    return current
+
+
+def _write_case(case: FuzzCase, corpus_dir: Path) -> Path:
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{case.case_id}.json"
+    path.write_text(json.dumps(case.as_dict(), sort_keys=True, indent=2)
+                    + "\n")
+    return path
+
+
+def fuzz(seed: int, budget: int,
+         corpus_dir=DEFAULT_CORPUS_DIR,
+         invariants: Optional[Mapping[str, Invariant]] = None,
+         names: Optional[Sequence[str]] = None,
+         progress=None) -> FuzzReport:
+    """Spend *budget* seeded draws across the invariant registry.
+
+    Invariants round-robin in sorted-name order; index *i* draws from
+    ``SeedSequence((seed, i))``, making every index independently
+    re-drawable.  Violations (and crashes) are shrunk and persisted under
+    *corpus_dir*; rejections (draws the model envelope refused via
+    ``ConfigurationError``) are counted but not fatal.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"fuzz budget must be >= 1, got {budget!r}")
+    table = DEFAULT_INVARIANTS if invariants is None else dict(invariants)
+    if names:
+        unknown = [n for n in names if n not in table]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown invariants {unknown}; available: {sorted(table)}")
+        table = {name: table[name] for name in names}
+    if not table:
+        raise ConfigurationError("no invariants to fuzz")
+    ordered = [table[name] for name in sorted(table)]
+    corpus = Path(corpus_dir)
+    report = FuzzReport(seed=seed, budget=budget)
+    for index in range(budget):
+        invariant = ordered[index % len(ordered)]
+        rng = default_rng(SeedSequence((seed, index)))
+        params = _round_trip(invariant.draw(rng))
+        try:
+            violations, crashed = _evaluate(invariant, params)
+        except ConfigurationError:
+            report.rejected += 1
+            continue
+        report.evaluated += 1
+        if not violations:
+            continue
+        shrunk = _shrink(invariant, params)
+        final_violations, crashed = _evaluate(invariant, _round_trip(shrunk))
+        case = FuzzCase(
+            case_id=_case_id(invariant.name, seed, index, shrunk),
+            invariant=invariant.name, seed=seed, index=index,
+            params=_round_trip(shrunk),
+            violations=tuple(final_violations), crash=crashed)
+        _write_case(case, corpus)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    return report
+
+
+def load_case(case_id: str, corpus_dir=DEFAULT_CORPUS_DIR) -> FuzzCase:
+    """Read one persisted case back; unknown IDs raise a clear error."""
+    corpus = Path(corpus_dir)
+    path = corpus / f"{case_id}.json"
+    if not path.exists():
+        known = sorted(p.stem for p in corpus.glob("*.json")) \
+            if corpus.is_dir() else []
+        raise ConfigurationError(
+            f"no fuzz case {case_id!r} under {corpus}; corpus holds "
+            f"{known}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"corrupt fuzz case {path}: {exc}") from exc
+    for key in ("case_id", "invariant", "seed", "index", "params",
+                "violations"):
+        if key not in data:
+            raise ConfigurationError(f"fuzz case {path} is missing {key!r}")
+    return FuzzCase(
+        case_id=str(data["case_id"]), invariant=str(data["invariant"]),
+        seed=int(data["seed"]), index=int(data["index"]),
+        params=data["params"], violations=tuple(data["violations"]),
+        crash=bool(data.get("crash", False)))
+
+
+def reproduce(case: FuzzCase,
+              invariants: Optional[Mapping[str, Invariant]] = None
+              ) -> Tuple[bool, List[str]]:
+    """Replay *case* from its recorded parameters.
+
+    Returns ``(identical, violations)``: *identical* is True only when
+    the re-run produces exactly the recorded violation messages,
+    byte-for-byte — the determinism contract of the whole corpus.
+    """
+    table = DEFAULT_INVARIANTS if invariants is None else invariants
+    if case.invariant not in table:
+        raise ConfigurationError(
+            f"case {case.case_id} checks unknown invariant "
+            f"{case.invariant!r}; available: {sorted(table)}")
+    invariant = table[case.invariant]
+    violations, _ = _evaluate(invariant, _round_trip(case.params))
+    return tuple(violations) == case.violations, violations

@@ -1,0 +1,411 @@
+"""Cross-layer invariants the scenario fuzzer exercises.
+
+An :class:`Invariant` couples a *draw* function — producing a
+JSON-primitive parameter dictionary from a seeded
+:class:`numpy.random.Generator` — with a *check* function mapping that
+dictionary to a list of human-readable violation messages (empty means
+the invariant held).  The parameter dictionaries are the whole contract:
+because every value is a Python ``float``/``int``/``str``/``bool``/list
+(never a live model object), a violating draw survives a JSON round-trip
+bit-exactly, which is what makes persisted fuzz cases replayable
+byte-for-byte (:mod:`~repro.analysis.campaign.fuzz`).
+
+The heavy lifting lives next to the models it checks — the domain layers
+export dedicated adapters
+(:func:`~repro.power.capacitor.charge_conservation_violations`,
+:func:`~repro.power.harvester.harvester_energy_violations`,
+:func:`~repro.sram.sram.latency_chain_violations`,
+:func:`~repro.selftimed.counter.dualrail_completion_violations`,
+:func:`~repro.sensors.charge_to_digital.conversion_violations`) — so the
+invariants here are thin, and a modelling change that breaks a contract
+fails close to home.
+
+Draw functions only produce parameters inside each model's documented
+envelope (supplies above ``vdd_min``, ascending sample times, stable and
+unstable queues alike); a check raising
+:class:`~repro.errors.ConfigurationError` therefore signals a bad draw,
+not a model bug, and the fuzzer counts it as a rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Invariant", "DEFAULT_INVARIANTS", "get_invariant"]
+
+
+_TECHNOLOGY_NAMES = ("cmos90", "cmos65", "cmos180")
+_GATE_NAMES = ("INVERTER", "BUFFER", "NAND2", "NOR2", "XOR2", "C_ELEMENT",
+               "TOGGLE")
+
+
+def _choose(rng, candidates):
+    return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def _vdd_window(rng, technology_name: str, margin: float = 0.05
+                ) -> Tuple[float, float]:
+    """A valid ``(vdd_low, vdd_high)`` pair above the functional minimum."""
+    from repro.models.technology import get_technology
+
+    floor = get_technology(technology_name).vdd_min + margin
+    low = float(rng.uniform(floor, 0.7))
+    high = float(rng.uniform(low + 0.05, 1.25))
+    return low, high
+
+
+# ---------------------------------------------------------------------------
+# charge conservation (power/capacitor)
+
+
+def _draw_charge_conservation(rng) -> Dict:
+    capacitance = float(10.0 ** rng.uniform(-12.0, -9.0))
+    initial_voltage = float(rng.uniform(0.2, 2.0))
+    budget = capacitance * initial_voltage
+    count = int(rng.integers(1, 9))
+    draws = [float(budget * rng.uniform(0.0, 0.4)) for _ in range(count)]
+    return {"capacitance": capacitance, "initial_voltage": initial_voltage,
+            "draws": draws}
+
+
+def _check_charge_conservation(params: Mapping) -> List[str]:
+    from repro.power.capacitor import charge_conservation_violations
+
+    return charge_conservation_violations(
+        float(params["capacitance"]), float(params["initial_voltage"]),
+        [float(d) for d in params["draws"]])
+
+
+# ---------------------------------------------------------------------------
+# harvester energy ledger (power/harvester)
+
+
+def _draw_harvester_energy(rng) -> Dict:
+    from repro.power.harvester import HARVESTER_KINDS
+
+    kind = _choose(rng, tuple(sorted(HARVESTER_KINDS)))
+    count = int(rng.integers(2, 7))
+    deltas = rng.uniform(0.01, 5.0, size=count)
+    times, total = [], 0.0
+    for delta in deltas:
+        total += float(delta)
+        times.append(total)
+    return {"kind": kind, "seed": int(rng.integers(0, 2 ** 31)),
+            "times": times, "voltage_scale": float(rng.uniform(0.5, 1.5))}
+
+
+def _check_harvester_energy(params: Mapping) -> List[str]:
+    from repro.power.harvester import harvester_energy_violations
+
+    return harvester_energy_violations(
+        str(params["kind"]), int(params["seed"]),
+        [float(t) for t in params["times"]],
+        voltage_scale=float(params["voltage_scale"]))
+
+
+# ---------------------------------------------------------------------------
+# SI SRAM latency-chain ordering (sram)
+
+
+def _draw_latency_chain(rng) -> Dict:
+    technology = _choose(rng, _TECHNOLOGY_NAMES)
+    low, high = _vdd_window(rng, technology)
+    return {"technology": technology, "vdd_low": low, "vdd_high": high}
+
+
+def _check_latency_chain(params: Mapping) -> List[str]:
+    from repro.models.technology import get_technology
+    from repro.sram.sram import latency_chain_violations
+
+    return latency_chain_violations(
+        get_technology(str(params["technology"])),
+        float(params["vdd_low"]), float(params["vdd_high"]))
+
+
+# ---------------------------------------------------------------------------
+# dual-rail completion (selftimed)
+
+
+def _draw_dualrail(rng) -> Dict:
+    from repro.models.technology import get_technology
+
+    technology = _choose(rng, _TECHNOLOGY_NAMES)
+    floor = get_technology(technology).vdd_min + 0.1
+    return {"technology": technology,
+            "vdd": float(rng.uniform(floor, 1.25)),
+            "steps": int(rng.integers(1, 7)),
+            "width": int(rng.integers(1, 4))}
+
+
+def _check_dualrail(params: Mapping) -> List[str]:
+    from repro.models.technology import get_technology
+    from repro.selftimed.counter import dualrail_completion_violations
+
+    return dualrail_completion_violations(
+        get_technology(str(params["technology"])), float(params["vdd"]),
+        steps=int(params["steps"]), width=int(params["width"]))
+
+
+# ---------------------------------------------------------------------------
+# charge-to-digital conversion ledger (sensors)
+
+
+def _draw_conversion(rng) -> Dict:
+    return {"technology": _choose(rng, _TECHNOLOGY_NAMES),
+            "voltage": float(rng.uniform(0.05, 1.5)),
+            "capacitance_pf": float(rng.uniform(5.0, 50.0)),
+            "counter_width": int(rng.integers(4, 13))}
+
+
+def _check_conversion(params: Mapping) -> List[str]:
+    from repro.models.technology import get_technology
+    from repro.sensors.charge_to_digital import conversion_violations
+
+    return conversion_violations(
+        get_technology(str(params["technology"])), float(params["voltage"]),
+        sampling_capacitance=float(params["capacitance_pf"]) * 1e-12,
+        counter_width=int(params["counter_width"]))
+
+
+# ---------------------------------------------------------------------------
+# gate positivity + Vdd-monotonicity (models)
+
+
+def _draw_gate_monotonic(rng) -> Dict:
+    technology = _choose(rng, _TECHNOLOGY_NAMES)
+    low, high = _vdd_window(rng, technology)
+    return {"technology": technology, "gate": _choose(rng, _GATE_NAMES),
+            "vdd_low": low, "vdd_high": high}
+
+
+def _check_gate_monotonic(params: Mapping) -> List[str]:
+    from repro.models.gate import GateModel, GateType
+    from repro.models.technology import get_technology
+
+    technology = get_technology(str(params["technology"]))
+    gate = GateModel(technology=technology,
+                     gate_type=GateType[str(params["gate"])])
+    low, high = float(params["vdd_low"]), float(params["vdd_high"])
+    violations: List[str] = []
+    for vdd in (low, high):
+        for name, value in (("delay", gate.delay(vdd)),
+                            ("transition energy",
+                             gate.transition_energy(vdd)),
+                            ("leakage power", gate.leakage_power(vdd)),
+                            ("frequency", gate.frequency(vdd))):
+            if not value > 0.0:
+                violations.append(
+                    f"{params['gate']} {name} not positive at "
+                    f"vdd={vdd!r} V: {value!r}")
+    if gate.delay(low) < gate.delay(high) * (1.0 - 1e-12):
+        violations.append(
+            f"{params['gate']} delay increased with Vdd: "
+            f"{gate.delay(low)!r} s at {low!r} V < "
+            f"{gate.delay(high)!r} s at {high!r} V")
+    if gate.frequency(high) < gate.frequency(low) * (1.0 - 1e-12):
+        violations.append(
+            f"{params['gate']} frequency decreased with Vdd: "
+            f"{gate.frequency(high)!r} Hz at {high!r} V < "
+            f"{gate.frequency(low)!r} Hz at {low!r} V")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# batched-vs-per-point bit-identity (analysis/models.batch)
+
+
+def _batch_gate_delay_kernel(technology_name: str, vdds):
+    from repro.models.batch import TechnologyBatch, gate_delay
+    from repro.models.technology import get_technology
+
+    return gate_delay(TechnologyBatch.of(get_technology(technology_name)),
+                      vdds)
+
+
+def _draw_batched_identity(rng) -> Dict:
+    technology = _choose(rng, _TECHNOLOGY_NAMES)
+    from repro.models.technology import get_technology
+
+    floor = get_technology(technology).vdd_min + 0.05
+    count = int(rng.integers(3, 9))
+    vdds = sorted(float(v) for v in rng.uniform(floor, 1.25, size=count))
+    return {"technology": technology, "vdds": vdds}
+
+
+def _check_batched_identity(params: Mapping) -> List[str]:
+    from repro.analysis.runner import Executor, ExperimentPlan, batched
+
+    quantity = batched(partial(_batch_gate_delay_kernel,
+                               str(params["technology"])))
+    plan = ExperimentPlan.sweep("vdd", [float(v) for v in params["vdds"]])
+    vectorised = Executor(workers=0, batch=True).run(
+        plan, {"delay": quantity})
+    per_point = Executor(workers=0, batch=False).run(
+        plan, {"delay": quantity})
+    violations: List[str] = []
+    if not vectorised.provenance.executor.startswith("batched["):
+        violations.append(
+            "vectorised executor did not engage: ran as "
+            f"{vectorised.provenance.executor!r}")
+    if vectorised.values != per_point.values:
+        diffs = [
+            f"vdd={x!r}: batched {a!r} != per-point {b!r}"
+            for x, a, b in zip(params["vdds"],
+                               vectorised.values["delay"],
+                               per_point.values["delay"])
+            if a != b]
+        violations.append(
+            "batched and per-point evaluation disagree bitwise: "
+            + "; ".join(diffs))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# M/M/c operating-point sanity (core/stochastic)
+
+
+def _draw_queueing(rng) -> Dict:
+    return {"arrival_rate": float(rng.uniform(50.0, 2000.0)),
+            "service_rate": float(rng.uniform(20.0, 500.0)),
+            "servers": int(rng.integers(1, 13))}
+
+
+def _check_queueing(params: Mapping) -> List[str]:
+    import math
+
+    from repro.core.stochastic import PowerLatencyModel
+
+    model = PowerLatencyModel(arrival_rate=float(params["arrival_rate"]),
+                              service_rate=float(params["service_rate"]))
+    servers = int(params["servers"])
+    point = model.operating_point(servers)
+    violations: List[str] = []
+    if point.stable:
+        if not 0.0 < point.utilisation < 1.0:
+            violations.append(
+                f"stable {servers}-server queue reports utilisation "
+                f"{point.utilisation!r} outside (0, 1)")
+        service_time = 1.0 / model.service_rate
+        if point.mean_latency < service_time * (1.0 - 1e-12):
+            violations.append(
+                f"mean latency {point.mean_latency!r} s undercuts the "
+                f"service time {service_time!r} s")
+        if not point.power > 0.0:
+            violations.append(f"power not positive: {point.power!r} W")
+        wider = model.operating_point(servers + 1)
+        if wider.stable and \
+                wider.mean_latency > point.mean_latency * (1.0 + 1e-9):
+            violations.append(
+                f"adding a server raised mean latency: {servers} -> "
+                f"{point.mean_latency!r} s, {servers + 1} -> "
+                f"{wider.mean_latency!r} s")
+    elif math.isfinite(point.mean_latency):
+        violations.append(
+            f"unstable {servers}-server queue reports finite latency "
+            f"{point.mean_latency!r} s")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One fuzzable cross-layer contract.
+
+    ``draw(rng)`` produces a JSON-primitive parameter dictionary inside
+    the model envelope; ``check(params)`` returns violation messages
+    (empty = held).  ``shrink_floors`` names the numeric parameters the
+    shrinker may bisect toward a floor value while preserving the
+    violation; list-valued parameters are always shrinkable by
+    truncation.
+    """
+
+    name: str
+    description: str
+    draw: Callable
+    check: Callable[[Mapping], List[str]]
+    shrink_floors: Tuple[Tuple[str, float], ...] = ()
+
+
+DEFAULT_INVARIANTS: Dict[str, Invariant] = {}
+
+
+def _register(invariant: Invariant) -> Invariant:
+    if invariant.name in DEFAULT_INVARIANTS:
+        raise ConfigurationError(f"duplicate invariant {invariant.name!r}")
+    DEFAULT_INVARIANTS[invariant.name] = invariant
+    return invariant
+
+
+_register(Invariant(
+    name="charge_conservation",
+    description="A capacitor never goes negative, never gains voltage "
+                "from a draw, and its ledger balances",
+    draw=_draw_charge_conservation, check=_check_charge_conservation,
+    shrink_floors=(("initial_voltage", 0.2), ("capacitance", 1e-12))))
+
+_register(Invariant(
+    name="harvester_energy",
+    description="Seeded harvesters stay inside their power envelope and "
+                "their energy ledger matches the integral",
+    draw=_draw_harvester_energy, check=_check_harvester_energy,
+    shrink_floors=(("voltage_scale", 1.0),)))
+
+_register(Invariant(
+    name="sram_latency_chain",
+    description="SI SRAM latencies dominate their slowest stage and "
+                "shrink with Vdd",
+    draw=_draw_latency_chain, check=_check_latency_chain,
+    shrink_floors=(("vdd_high", 1.25),)))
+
+_register(Invariant(
+    name="dualrail_completion",
+    description="A dual-rail counter on a healthy constant rail completes "
+                "every handshake in order",
+    draw=_draw_dualrail, check=_check_dualrail,
+    shrink_floors=(("steps", 1), ("width", 1))))
+
+_register(Invariant(
+    name="conversion_charge",
+    description="A charge-to-digital conversion only removes charge and "
+                "stays inside the counter range",
+    draw=_draw_conversion, check=_check_conversion,
+    shrink_floors=(("counter_width", 4), ("capacitance_pf", 5.0))))
+
+_register(Invariant(
+    name="gate_monotonic",
+    description="Gate delay/energy/leakage are positive and delay falls "
+                "(frequency rises) with Vdd",
+    draw=_draw_gate_monotonic, check=_check_gate_monotonic,
+    shrink_floors=(("vdd_high", 1.25),)))
+
+_register(Invariant(
+    name="batched_identity",
+    description="Vectorised batch kernels are bit-identical to the "
+                "per-point path",
+    draw=_draw_batched_identity, check=_check_batched_identity))
+
+_register(Invariant(
+    name="queueing_sanity",
+    description="M/M/c operating points respect stability, the service-"
+                "time floor and server monotonicity",
+    draw=_draw_queueing, check=_check_queueing,
+    shrink_floors=(("servers", 1),)))
+
+
+def get_invariant(name: str,
+                  registry: Mapping[str, Invariant] = None) -> Invariant:
+    """Look up an invariant; unknown names raise a clear error."""
+    table = DEFAULT_INVARIANTS if registry is None else registry
+    try:
+        return table[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown invariant {name!r}; available: {sorted(table)}"
+        ) from exc

@@ -1,0 +1,505 @@
+"""The catalogue of campaign point functions.
+
+A *point function* is the unit a campaign enumerates: a named adapter
+that evaluates one scenario point — a gate at a supply, an SI SRAM
+handshake, a dual-rail counter run, a charge-to-digital conversion, a
+seeded harvester instant, an M/M/c operating point, a Monte-Carlo
+variation sample — and reports a whole metric row for it.
+
+Every quantity a campaign hands to the executor is a
+:func:`functools.partial` of a *module-level* function over primitive
+arguments, which buys both halves of the execution stack at once:
+
+* **picklable** — pool workers and distrib fleet shards can import and
+  call it (closures and lambdas cannot cross that boundary);
+* **fingerprintable** — :func:`~repro.analysis.cache.callable_fingerprint`
+  hashes the frozen arguments, so two campaign points that differ only in
+  a parameter key different persistent-cache entries.
+
+Metrics of one point share a single scenario evaluation: the first
+quantity asked for a row computes and memoises it (bounded, in-process),
+the siblings read it back.  Pool workers inherit the empty cache at fork
+and fill their own copy; correctness never depends on the memo, only
+wall-time does.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.models.technology import Technology, get_technology
+
+__all__ = [
+    "PointFunction",
+    "REGISTRY",
+    "get_point_function",
+    "quantities_for",
+]
+
+
+# ---------------------------------------------------------------------------
+# The memoised scenario-row cache
+
+
+class _RowCache:
+    """Bounded in-process memo of scenario rows.
+
+    Execution state, not content: quantities referencing this object are
+    fingerprinted for the persistent cache, and the memo's (mutable,
+    thread-shared) entries must never leak into content keys — hence the
+    constant ``__cache_fingerprint__``, the same opt-out the executor
+    itself uses.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self._entries: "OrderedDict[tuple, Dict[str, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+
+    def get(self, key: tuple, compute: Callable[[], Dict[str, float]]
+            ) -> Dict[str, float]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        row = compute()
+        with self._lock:
+            self._entries[key] = row
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return row
+
+    def __cache_fingerprint__(self) -> str:
+        return type(self).__name__
+
+
+_ROWS = _RowCache()
+
+
+def _cached_row(key: tuple, compute: Callable[[], Dict[str, float]]
+                ) -> Dict[str, float]:
+    """One scenario row, computed once per process and shared by metrics."""
+    return _ROWS.get(key, compute)
+
+
+def _params_dict(params_items: Tuple[Tuple[str, object], ...]) -> Dict:
+    return {name: (list(value) if isinstance(value, tuple) else value)
+            for name, value in params_items}
+
+
+def _technology_for(name: str, params: Mapping) -> Technology:
+    technology = get_technology(name)
+    temperature = params.get("temperature_k")
+    if temperature is not None:
+        technology = technology.scaled(temperature_k=float(temperature))
+    return technology
+
+
+# ---------------------------------------------------------------------------
+# The two executor-facing entry points (module-level => picklable partials)
+
+
+def _point_value(point_name: str, metric: str, technology_name: str,
+                 params_items: Tuple[Tuple[str, object], ...],
+                 *coords: float) -> float:
+    """Sweep/grid quantity: evaluate (or recall) the row, return one metric."""
+    entry = get_point_function(point_name)
+    key = (point_name, technology_name, params_items, coords)
+    params = _params_dict(params_items)
+    technology = _technology_for(technology_name, params)
+    row = _cached_row(key, lambda: entry.evaluate(technology, params, coords))
+    try:
+        return row[metric]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"point function {point_name!r} reported no metric {metric!r}; "
+            f"it reports {sorted(row)}") from exc
+
+
+def _mc_point_value(point_name: str, metric: str,
+                    params_items: Tuple[Tuple[str, object], ...],
+                    technology: Technology) -> float:
+    """Monte-Carlo quantity: called with the perturbed technology."""
+    from repro.analysis.runner import _technology_key
+
+    entry = get_point_function(point_name)
+    key = (point_name, _technology_key(technology), params_items)
+    params = _params_dict(params_items)
+    row = _cached_row(key, lambda: entry.evaluate(technology, params, ()))
+    try:
+        return row[metric]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"point function {point_name!r} reported no metric {metric!r}; "
+            f"it reports {sorted(row)}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Per-entry evaluation functions: fn(technology, params, coords) -> row
+
+
+def _gate_model(technology: Technology, params: Mapping):
+    from repro.models.gate import GateModel, GateType
+
+    gate_name = str(params.get("gate", "INVERTER"))
+    try:
+        gate_type = GateType[gate_name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown gate type {gate_name!r}; choose from "
+            f"{[g.name for g in GateType]}") from exc
+    return GateModel(technology=technology, gate_type=gate_type)
+
+
+def _eval_gate_metrics(technology: Technology, params: Mapping,
+                       coords: tuple) -> Dict[str, float]:
+    gate = _gate_model(technology, params)
+    vdd = float(coords[0])
+    return {
+        "delay": gate.delay(vdd),
+        "energy": gate.transition_energy(vdd),
+        "leakage": gate.leakage_power(vdd),
+        "frequency": gate.frequency(vdd),
+    }
+
+
+def _eval_gate_thermal(technology: Technology, params: Mapping,
+                       coords: tuple) -> Dict[str, float]:
+    vdd, temperature_k = float(coords[0]), float(coords[1])
+    warm = technology.scaled(temperature_k=temperature_k)
+    gate = _gate_model(warm, params)
+    return {
+        "delay": gate.delay(vdd),
+        "leakage": gate.leakage_power(vdd),
+        "energy": gate.transition_energy(vdd),
+    }
+
+
+def _sram_config(technology: Technology, params: Mapping):
+    from repro.sram.sram import SRAMConfig
+
+    calibrate = params.get("calibrate")
+    if calibrate is None:
+        # The Fig. 5 bitline calibration probes a fixed sub-0.2 V supply;
+        # technologies with a higher functional minimum build uncalibrated.
+        calibrate = technology.vdd_min <= 0.19
+    return SRAMConfig(rows=int(params.get("rows", 16)),
+                      columns=int(params.get("columns", 8)),
+                      calibrate_to_fig5=bool(calibrate),
+                      calibrate_energy=bool(params.get("calibrate_energy",
+                                                       False)))
+
+
+def _sram_for(technology: Technology, params: Mapping):
+    """One SI SRAM per (technology, organisation), shared by all supplies."""
+    from repro.analysis.runner import _technology_key
+    from repro.sram.sram import SpeedIndependentSRAM
+
+    config = _sram_config(technology, params)
+    key = ("sram-instance", _technology_key(technology),
+           config.rows, config.columns, config.calibrate_to_fig5,
+           config.calibrate_energy)
+    return _cached_row(
+        key, lambda: {"sram": SpeedIndependentSRAM(technology, config)}
+    )["sram"]
+
+
+def _eval_sram_latency(technology: Technology, params: Mapping,
+                       coords: tuple) -> Dict[str, float]:
+    sram = _sram_for(technology, params)
+    vdd = float(coords[0])
+    return {
+        "read_latency": sram.read_latency(vdd),
+        "write_latency": sram.write_latency(vdd),
+        "read_energy": sram.read_energy(vdd),
+        "write_energy": sram.write_energy(vdd),
+        "leakage": sram.total_leakage_power(vdd),
+    }
+
+
+def _eval_sram_handshake(technology: Technology, params: Mapping,
+                         coords: tuple) -> Dict[str, float]:
+    from repro.sram.sram import operation_metrics, run_handshake_protocol
+
+    vdd = float(coords[0])
+    _, write_record, read_record = run_handshake_protocol(
+        technology, _sram_config(technology, params), vdd=vdd,
+        address=int(params.get("address", 3)),
+        value=int(params.get("value", 0b10110101)))
+    write = operation_metrics(write_record)
+    read = operation_metrics(read_record)
+    return {
+        "write_latency": write["latency"],
+        "write_energy": write["energy"],
+        "read_latency": read["latency"],
+        "read_energy": read["energy"],
+        "phases": write["phases"] + read["phases"],
+    }
+
+
+def _eval_dualrail_counter(technology: Technology, params: Mapping,
+                           coords: tuple) -> Dict[str, float]:
+    from repro.power.supply import ConstantSupply
+    from repro.selftimed.counter import run_dualrail_scenario
+
+    vdd = float(coords[0])
+    run = run_dualrail_scenario(technology, ConstantSupply(vdd),
+                                int(params.get("steps", 4)),
+                                width=int(params.get("width", 2)))
+    return run.metrics()
+
+
+def _eval_charge_to_digital(technology: Technology, params: Mapping,
+                            coords: tuple) -> Dict[str, float]:
+    from repro.sensors.charge_to_digital import (ChargeToDigitalConverter,
+                                                 conversion_metrics)
+
+    converter = ChargeToDigitalConverter(
+        technology,
+        sampling_capacitance=float(params.get("capacitance_pf", 20.0)) * 1e-12,
+        counter_width=int(params.get("counter_width", 10)))
+    row = conversion_metrics(converter, float(coords[0]))
+    if row["count"] == 0.0:
+        # 0/0 below threshold; NaN would poison bit-identity comparisons
+        # and strict-JSON campaign payloads.
+        row["charge_per_count"] = 0.0
+    return row
+
+
+def _eval_harvester_power(technology: Technology, params: Mapping,
+                          coords: tuple) -> Dict[str, float]:
+    from repro.power.harvester import make_harvester
+
+    kind = str(params.get("kind", "vibration"))
+    seed = int(params.get("seed", 7))
+    t = float(coords[0])
+    # Fresh instances per point: ``available_power`` advances the
+    # harvester's seeded random walk, so sharing one instance would make
+    # the row depend on evaluation order.
+    available = make_harvester(kind, seed=seed).available_power(t)
+    harvested = make_harvester(kind, seed=seed).harvest(0.0, t)
+    return {"available_power": available, "harvested_energy": harvested}
+
+
+def _eval_queueing_point(technology: Technology, params: Mapping,
+                         coords: tuple) -> Dict[str, float]:
+    from repro.core.stochastic import PowerLatencyModel, operating_point_metrics
+
+    model = PowerLatencyModel(
+        arrival_rate=float(params.get("arrival_rate", 900.0)),
+        service_rate=float(params.get("service_rate", 100.0)),
+        static_power_per_server=float(params.get("static_power", 1e-6)),
+        dynamic_power_per_server=float(params.get("dynamic_power", 10e-6)))
+    return operating_point_metrics(model, float(coords[0]))
+
+
+def _eval_adaptive_loop(technology: Technology, params: Mapping,
+                        coords: tuple) -> Dict[str, float]:
+    from repro.core.power_adaptive import loop_metrics, run_fig3_loop
+
+    controller = run_fig3_loop(
+        technology, bool(params.get("adaptive", True)),
+        run_seconds=float(coords[0]),
+        harvester_seed=int(params.get("harvester_seed", 21)))
+    return loop_metrics(controller)
+
+
+def _eval_mc_gate(technology: Technology, params: Mapping,
+                  coords: tuple) -> Dict[str, float]:
+    gate = _gate_model(technology, params)
+    vdd = float(params.get("vdd", 0.5))
+    return {
+        "delay": gate.delay(vdd),
+        "energy": gate.transition_energy(vdd),
+        "leakage": gate.leakage_power(vdd),
+    }
+
+
+def _eval_mc_sram_write(technology: Technology, params: Mapping,
+                        coords: tuple) -> Dict[str, float]:
+    from repro.sram.sram import SpeedIndependentSRAM, SRAMConfig
+
+    config = SRAMConfig(rows=int(params.get("rows", 8)),
+                        columns=int(params.get("columns", 4)),
+                        calibrate_to_fig5=False, calibrate_energy=False)
+    sram = SpeedIndependentSRAM(technology, config)
+    vdd = float(params.get("vdd", 0.5))
+    return {
+        "write_latency": sram.write_latency(vdd),
+        "write_energy": sram.write_energy(vdd),
+        "read_latency": sram.read_latency(vdd),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The registry
+
+
+@dataclass(frozen=True)
+class PointFunction:
+    """One named scenario-point evaluator the campaign layer can enumerate.
+
+    ``kind`` fixes the :class:`~repro.analysis.runner.ExperimentPlan`
+    constructor a scenario compiles to (``sweep``/``grid``/``montecarlo``)
+    and therefore the calling convention; ``axes`` names the plan axes in
+    order (Monte-Carlo entries have the synthetic ``sample`` axis);
+    ``metrics`` lists every column :attr:`evaluate` reports.
+    """
+
+    name: str
+    kind: str
+    axes: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    evaluate: Callable[[Technology, Mapping, tuple], Dict[str, float]]
+    description: str = ""
+    defaults: Tuple[Tuple[str, object], ...] = field(default=())
+
+
+REGISTRY: Dict[str, PointFunction] = {}
+
+
+def _register(entry: PointFunction) -> PointFunction:
+    if entry.name in REGISTRY:
+        raise ConfigurationError(f"duplicate point function {entry.name!r}")
+    if entry.kind not in ("sweep", "grid", "montecarlo"):
+        raise ConfigurationError(f"unknown plan kind {entry.kind!r}")
+    REGISTRY[entry.name] = entry
+    return entry
+
+
+_register(PointFunction(
+    name="gate_metrics", kind="sweep", axes=("vdd",),
+    metrics=("delay", "energy", "leakage", "frequency"),
+    evaluate=_eval_gate_metrics,
+    description="Single-gate delay/energy/leakage/frequency over Vdd "
+                "(Fig. 1/2 space)",
+    defaults=(("gate", "INVERTER"),)))
+
+_register(PointFunction(
+    name="gate_thermal", kind="grid", axes=("vdd", "temperature_k"),
+    metrics=("delay", "leakage", "energy"),
+    evaluate=_eval_gate_thermal,
+    description="Gate metrics over the Vdd x junction-temperature plane",
+    defaults=(("gate", "INVERTER"),)))
+
+_register(PointFunction(
+    name="sram_latency", kind="sweep", axes=("vdd",),
+    metrics=("read_latency", "write_latency", "read_energy",
+             "write_energy", "leakage"),
+    evaluate=_eval_sram_latency,
+    description="SI SRAM analytic latency/energy chain over Vdd (Fig. 5 "
+                "space)",
+    defaults=(("rows", 16), ("columns", 8))))
+
+_register(PointFunction(
+    name="sram_handshake", kind="sweep", axes=("vdd",),
+    metrics=("write_latency", "write_energy", "read_latency",
+             "read_energy", "phases"),
+    evaluate=_eval_sram_handshake,
+    description="Event-driven SI SRAM write+read handshake over Vdd "
+                "(Fig. 6 space)",
+    defaults=(("rows", 16), ("columns", 8))))
+
+_register(PointFunction(
+    name="dualrail_counter", kind="sweep", axes=("vdd",),
+    metrics=("steps_emitted", "sequence_correct", "stalls", "finish_time",
+             "energy"),
+    evaluate=_eval_dualrail_counter,
+    description="Dual-rail self-timed counter run on a constant rail "
+                "(Fig. 4 space)",
+    defaults=(("steps", 4), ("width", 2))))
+
+_register(PointFunction(
+    name="charge_to_digital", kind="sweep", axes=("voltage",),
+    metrics=("count", "charge_consumed", "charge_per_count",
+             "conversion_time", "final_voltage"),
+    evaluate=_eval_charge_to_digital,
+    description="Charge-to-digital conversion of a sampled rail voltage "
+                "(Fig. 9/11 space)",
+    defaults=(("capacitance_pf", 20.0), ("counter_width", 10))))
+
+_register(PointFunction(
+    name="harvester_power", kind="sweep", axes=("time_s",),
+    metrics=("available_power", "harvested_energy"),
+    evaluate=_eval_harvester_power,
+    description="Seeded harvester power/energy at an instant (Fig. 3 "
+                "input space)",
+    defaults=(("kind", "vibration"), ("seed", 7))))
+
+_register(PointFunction(
+    name="queueing_point", kind="sweep", axes=("servers",),
+    metrics=("utilisation", "mean_latency", "mean_queue_length", "power",
+             "power_latency_product", "stable"),
+    evaluate=_eval_queueing_point,
+    description="M/M/c power-latency operating point over concurrency "
+                "(EXT2 space)",
+    defaults=(("arrival_rate", 900.0), ("service_rate", 100.0))))
+
+_register(PointFunction(
+    name="adaptive_loop", kind="sweep", axes=("run_seconds",),
+    metrics=("operations", "energy_harvested", "energy_consumed",
+             "average_rail_voltage", "min_stored_energy"),
+    evaluate=_eval_adaptive_loop,
+    description="Closed power-adaptive control loop over run length "
+                "(Fig. 3 space; expensive per point)",
+    defaults=(("adaptive", True), ("harvester_seed", 21))))
+
+_register(PointFunction(
+    name="mc_gate", kind="montecarlo", axes=("sample",),
+    metrics=("delay", "energy", "leakage"),
+    evaluate=_eval_mc_gate,
+    description="Monte-Carlo process variation of one gate at a fixed Vdd "
+                "(Fig. 10 space)",
+    defaults=(("vdd", 0.5), ("gate", "INVERTER"))))
+
+_register(PointFunction(
+    name="mc_sram_write", kind="montecarlo", axes=("sample",),
+    metrics=("write_latency", "write_energy", "read_latency"),
+    evaluate=_eval_mc_sram_write,
+    description="Monte-Carlo process variation of SI SRAM operation "
+                "latency at a fixed Vdd",
+    defaults=(("vdd", 0.5), ("rows", 8), ("columns", 4))))
+
+
+def get_point_function(name: str) -> PointFunction:
+    """Look up a registry entry; unknown names raise a clear error."""
+    try:
+        return REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown point function {name!r}; the registry has "
+            f"{sorted(REGISTRY)}") from exc
+
+
+def quantities_for(entry: PointFunction, technology_name: str,
+                   params: Mapping, metrics: Optional[Tuple[str, ...]] = None
+                   ) -> Dict[str, Callable]:
+    """The executor-ready quantity mapping of one campaign point.
+
+    Each value is a picklable, fingerprintable partial over primitive
+    arguments; all metrics of the point share one memoised evaluation.
+    """
+    merged = dict(entry.defaults)
+    merged.update(params)
+    params_items = tuple(sorted(
+        (str(k), tuple(v) if isinstance(v, list) else v)
+        for k, v in merged.items()))
+    chosen = tuple(metrics) if metrics else entry.metrics
+    unknown = [m for m in chosen if m not in entry.metrics]
+    if unknown:
+        raise ConfigurationError(
+            f"point function {entry.name!r} has no metrics {unknown}; "
+            f"it reports {list(entry.metrics)}")
+    if entry.kind == "montecarlo":
+        return {metric: partial(_mc_point_value, entry.name, metric,
+                                params_items)
+                for metric in chosen}
+    return {metric: partial(_point_value, entry.name, metric,
+                            technology_name, params_items)
+            for metric in chosen}

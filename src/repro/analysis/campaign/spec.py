@@ -1,0 +1,392 @@
+"""Declarative campaign specifications and their compiler.
+
+A campaign is pure data: a seed plus a list of *scenarios*, each naming a
+registry point function and the cross-product to enumerate it over —
+technologies, axis ranges (explicit values or ``start``/``stop``/``count``
+ranges), a parameter matrix, and (for Monte-Carlo entries) sample counts
+and seed batches.  :func:`compile_campaign` expands the cross-products
+into concrete :class:`~repro.analysis.runner.ExperimentPlan`s with
+executor-ready quantity mappings; nothing here executes anything.
+
+The on-disk form is TOML (``campaigns/*.toml``), parsed with the same
+:mod:`tomllib` machinery the session layer uses for ``repro.toml`` —
+available from Python 3.11; older interpreters get a clear
+:class:`~repro.errors.ConfigurationError` instead of an import crash.
+
+Seeding: every Monte-Carlo plan's seed derives from
+``SeedSequence((campaign_seed, scenario, technology, variant, batch))``,
+so the full plan set — and through the runner's per-sample
+:func:`~repro.analysis.runner.sample_seed` streams, every drawn sample —
+is a pure function of the campaign seed and the spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on the 3.10 CI leg
+    tomllib = None
+
+from numpy.random import SeedSequence
+
+from repro.analysis.cache import result_key
+from repro.analysis.runner import ExperimentPlan
+from repro.analysis.campaign.registry import (PointFunction,
+                                              get_point_function,
+                                              quantities_for)
+from repro.errors import ConfigurationError
+from repro.models.technology import TECHNOLOGIES, get_technology
+
+__all__ = [
+    "AxisSpec",
+    "CampaignSpec",
+    "CompiledCampaign",
+    "PlannedRun",
+    "ScenarioSpec",
+    "builtin_campaign_path",
+    "compile_campaign",
+    "load_campaign",
+]
+
+#: Salt under which :meth:`CompiledCampaign.signature` keys its runs —
+#: explicit so signatures compare across processes of the same tree.
+SIGNATURE_SALT = "campaign-v1"
+
+
+def _linspace(start: float, stop: float, count: int) -> Tuple[float, ...]:
+    """Deterministic pure-Python linspace (no dtype surprises)."""
+    if count < 1:
+        raise ConfigurationError("axis count must be >= 1")
+    if count == 1:
+        return (float(start),)
+    step = (float(stop) - float(start)) / (count - 1)
+    return tuple(float(start) + step * i for i in range(count))
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One plan axis: a name and its exact point values."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+
+    @classmethod
+    def from_table(cls, name: str, table: Mapping) -> "AxisSpec":
+        """Parse a TOML axis table: ``values = [...]`` or start/stop/count."""
+        if "values" in table:
+            extra = set(table) - {"values"}
+            if extra:
+                raise ConfigurationError(
+                    f"axis {name!r}: 'values' excludes {sorted(extra)}")
+            return cls(name, tuple(float(v) for v in table["values"]))
+        missing = {"start", "stop", "count"} - set(table)
+        if missing:
+            raise ConfigurationError(
+                f"axis {name!r} needs 'values' or start/stop/count "
+                f"(missing {sorted(missing)})")
+        return cls(name, _linspace(table["start"], table["stop"],
+                                   int(table["count"])))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario: a point function times its enumeration cross-product."""
+
+    point: str
+    technologies: Tuple[str, ...]
+    axes: Tuple[AxisSpec, ...] = ()
+    matrix: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
+    metrics: Optional[Tuple[str, ...]] = None
+    samples: int = 0
+    seed_batches: int = 1
+
+    def variants(self) -> List[Dict[str, object]]:
+        """The parameter dictionaries of the matrix cross-product."""
+        combos: List[Dict[str, object]] = [dict(self.params)]
+        for name, candidates in self.matrix:
+            combos = [dict(combo, **{name: candidate})
+                      for combo in combos for candidate in candidates]
+        return combos
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, seeded list of scenarios — the whole declarative input."""
+
+    name: str
+    seed: int
+    scenarios: Tuple[ScenarioSpec, ...]
+    description: str = ""
+
+    def trimmed(self, max_axis_points: int = 3, max_samples: int = 4,
+                max_variants: int = 1) -> "CampaignSpec":
+        """A smoke-sized campaign: same scenarios, skeleton cross-products.
+
+        Axes keep at most *max_axis_points* spanning values (first,
+        middle, last), Monte-Carlo batches shrink to *max_samples* samples
+        in one seed batch, and each matrix dimension keeps its leading
+        *max_variants* candidates — enough to exercise every scenario's
+        code path in seconds.
+        """
+        def trim_axis(axis: AxisSpec) -> AxisSpec:
+            values = axis.values
+            if len(values) <= max_axis_points:
+                return axis
+            picks = {0, len(values) // 2, len(values) - 1}
+            return AxisSpec(axis.name,
+                            tuple(values[i] for i in sorted(picks)))
+
+        scenarios = tuple(
+            replace(scenario,
+                    axes=tuple(trim_axis(a) for a in scenario.axes),
+                    matrix=tuple((name, candidates[:max_variants])
+                                 for name, candidates in scenario.matrix),
+                    samples=min(scenario.samples, max_samples)
+                    if scenario.samples else 0,
+                    seed_batches=1)
+            for scenario in self.scenarios)
+        return replace(self, scenarios=scenarios)
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One compiled (plan, quantities) execution of a campaign."""
+
+    label: str
+    scenario_index: int
+    technology: str
+    params: Tuple[Tuple[str, object], ...]
+    plan: ExperimentPlan
+    quantities: Dict[str, Callable]
+
+
+@dataclass(frozen=True)
+class CompiledCampaign:
+    """The executable form: every cross-product member as a planned run."""
+
+    spec: CampaignSpec
+    runs: Tuple[PlannedRun, ...]
+
+    @property
+    def point_count(self) -> int:
+        """Total scenario points across every planned run."""
+        return sum(run.plan.point_count for run in self.runs)
+
+    def signature(self) -> str:
+        """Content identity of the whole campaign's execution set.
+
+        Hashes each run's :func:`~repro.analysis.cache.result_key` —
+        plan declaration plus quantity fingerprints — in order, under a
+        fixed salt.  Equal signatures mean "the same code would evaluate
+        the same functions at the same points in the same order", which
+        is what the determinism test pins across executors.
+        """
+        digest = hashlib.sha256()
+        for run in self.runs:
+            digest.update(result_key(run.plan, run.quantities,
+                                     salt=SIGNATURE_SALT).encode())
+        return digest.hexdigest()
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able summary: name, seed, geometry, per-scenario points."""
+        per_scenario: Dict[str, int] = {}
+        for run in self.runs:
+            name = self.spec.scenarios[run.scenario_index].point
+            per_scenario[name] = (per_scenario.get(name, 0)
+                                  + run.plan.point_count)
+        return {
+            "name": self.spec.name,
+            "seed": self.spec.seed,
+            "runs": len(self.runs),
+            "points": self.point_count,
+            "scenario_points": per_scenario,
+            "signature": self.signature(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+
+
+def _derived_seed(campaign_seed: int, scenario_index: int,
+                  technology_index: int, variant_index: int,
+                  batch: int) -> int:
+    """The Monte-Carlo plan seed of one (scenario, tech, variant, batch)."""
+    entropy = (campaign_seed, scenario_index, technology_index,
+               variant_index, batch)
+    return int(SeedSequence(entropy).generate_state(1)[0])
+
+
+def _compile_scenario(campaign: CampaignSpec, index: int,
+                      scenario: ScenarioSpec) -> List[PlannedRun]:
+    entry = get_point_function(scenario.point)
+    _validate_axes(entry, scenario)
+    runs: List[PlannedRun] = []
+    for tech_index, technology_name in enumerate(scenario.technologies):
+        get_technology(technology_name)  # unknown names fail at compile time
+        for variant_index, params in enumerate(scenario.variants()):
+            quantities = quantities_for(entry, technology_name, params,
+                                        scenario.metrics)
+            params_items = tuple(sorted(params.items()))
+            suffix = "" if len(scenario.variants()) == 1 \
+                else f"#{variant_index}"
+            label = f"{scenario.point}[{technology_name}]{suffix}"
+            if entry.kind == "montecarlo":
+                for batch in range(scenario.seed_batches):
+                    seed = _derived_seed(campaign.seed, index, tech_index,
+                                         variant_index, batch)
+                    plan = ExperimentPlan.monte_carlo(
+                        scenario.samples,
+                        technology=get_technology(technology_name),
+                        seed=seed)
+                    batch_label = label if scenario.seed_batches == 1 \
+                        else f"{label}@{batch}"
+                    runs.append(PlannedRun(batch_label, index,
+                                           technology_name, params_items,
+                                           plan, quantities))
+                continue
+            if entry.kind == "sweep":
+                axis = scenario.axes[0]
+                plan = ExperimentPlan.sweep(axis.name, axis.values)
+            else:
+                x, y = scenario.axes
+                plan = ExperimentPlan.grid(x.name, x.values,
+                                           y.name, y.values)
+            runs.append(PlannedRun(label, index, technology_name,
+                                   params_items, plan, quantities))
+    return runs
+
+
+def _validate_axes(entry: PointFunction, scenario: ScenarioSpec) -> None:
+    if entry.kind == "montecarlo":
+        if scenario.axes:
+            raise ConfigurationError(
+                f"{scenario.point!r} is a Monte-Carlo point function; "
+                "declare 'samples', not axes")
+        if scenario.samples < 1:
+            raise ConfigurationError(
+                f"{scenario.point!r} needs samples >= 1")
+        if scenario.seed_batches < 1:
+            raise ConfigurationError(
+                f"{scenario.point!r} needs seed_batches >= 1")
+        return
+    expected = entry.axes
+    got = tuple(axis.name for axis in scenario.axes)
+    if got != expected:
+        raise ConfigurationError(
+            f"{scenario.point!r} needs axes {list(expected)} in order, "
+            f"got {list(got)}")
+    if scenario.samples or scenario.seed_batches != 1:
+        raise ConfigurationError(
+            f"{scenario.point!r} is not Monte-Carlo; samples/seed_batches "
+            "do not apply")
+
+
+def compile_campaign(spec: CampaignSpec) -> CompiledCampaign:
+    """Expand every scenario cross-product into executable planned runs."""
+    if not spec.scenarios:
+        raise ConfigurationError(f"campaign {spec.name!r} has no scenarios")
+    runs: List[PlannedRun] = []
+    for index, scenario in enumerate(spec.scenarios):
+        runs.extend(_compile_scenario(spec, index, scenario))
+    return CompiledCampaign(spec=spec, runs=tuple(runs))
+
+
+# ---------------------------------------------------------------------------
+# TOML loading
+
+
+def _scenario_from_table(index: int, table: Mapping) -> ScenarioSpec:
+    where = f"[[scenario]] #{index}"
+    if "point" not in table:
+        raise ConfigurationError(f"{where}: missing 'point'")
+    point = str(table["point"])
+    entry = get_point_function(point)
+    known = {"point", "technologies", "axes", "matrix", "params", "metrics",
+             "samples", "seed_batches"}
+    extra = set(table) - known
+    if extra:
+        raise ConfigurationError(
+            f"{where}: unknown keys {sorted(extra)}; valid keys are "
+            f"{sorted(known)}")
+    technologies = tuple(str(t) for t in table.get("technologies", ())) \
+        or tuple(sorted(TECHNOLOGIES))
+    axes_table = table.get("axes", {})
+    axes = tuple(AxisSpec.from_table(name, axes_table[name])
+                 for name in entry.axes if name in axes_table)
+    unknown_axes = set(axes_table) - set(entry.axes)
+    if unknown_axes:
+        raise ConfigurationError(
+            f"{where}: {point!r} has no axes {sorted(unknown_axes)}; "
+            f"it sweeps {list(entry.axes)}")
+    matrix = tuple((str(name), tuple(values))
+                   for name, values in table.get("matrix", {}).items())
+    for name, values in matrix:
+        if not values:
+            raise ConfigurationError(
+                f"{where}: matrix dimension {name!r} has no candidates")
+    params = tuple(sorted((str(k), v)
+                          for k, v in table.get("params", {}).items()))
+    metrics = table.get("metrics")
+    return ScenarioSpec(
+        point=point,
+        technologies=technologies,
+        axes=axes,
+        matrix=matrix,
+        params=params,
+        metrics=tuple(str(m) for m in metrics) if metrics else None,
+        samples=int(table.get("samples", 0)),
+        seed_batches=int(table.get("seed_batches", 1)),
+    )
+
+
+def load_campaign(path) -> CampaignSpec:
+    """Parse one ``campaigns/*.toml`` file into a :class:`CampaignSpec`."""
+    if tomllib is None:
+        raise ConfigurationError(
+            "campaign TOML files need Python >= 3.11 (tomllib); build the "
+            "CampaignSpec dataclasses directly on older interpreters")
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read campaign file {path}: "
+                                 f"{exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+    header = data.get("campaign", {})
+    scenarios = data.get("scenario", [])
+    if not scenarios:
+        raise ConfigurationError(f"{path}: no [[scenario]] tables")
+    spec = CampaignSpec(
+        name=str(header.get("name", path.stem)),
+        seed=int(header.get("seed", 0)),
+        description=str(header.get("description", "")),
+        scenarios=tuple(_scenario_from_table(i, table)
+                        for i, table in enumerate(scenarios)),
+    )
+    compile_campaign(spec)  # schema errors surface at load time
+    return spec
+
+
+def builtin_campaign_path(name: str = "paper_space") -> Path:
+    """The path of a bundled ``campaigns/<name>.toml``."""
+    root = Path(__file__).resolve().parents[4] / "campaigns"
+    path = root / f"{name}.toml"
+    if not path.exists():
+        bundled = sorted(p.stem for p in root.glob("*.toml")) \
+            if root.is_dir() else []
+        raise ConfigurationError(
+            f"no bundled campaign {name!r}; available: {bundled}")
+    return path

@@ -934,8 +934,26 @@ def _load_plan_factory(spec: str):
     if not module_name or not attr:
         raise ConfigurationError(
             f"--plan needs MODULE:CALLABLE, got {spec!r}")
-    factory = getattr(importlib.import_module(module_name), attr)
-    built = factory() if callable(factory) else factory
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"--plan {spec!r}: cannot import module {module_name!r} "
+            f"({exc})") from exc
+    try:
+        factory = getattr(module, attr)
+    except AttributeError as exc:
+        raise ConfigurationError(
+            f"--plan {spec!r}: module {module_name!r} has no attribute "
+            f"{attr!r}") from exc
+    try:
+        built = factory() if callable(factory) else factory
+    except ConfigurationError:
+        raise
+    except Exception as exc:
+        raise ConfigurationError(
+            f"--plan {spec!r}: factory raised "
+            f"{type(exc).__name__}: {exc}") from exc
     try:
         plan, quantities = built
     except (TypeError, ValueError) as exc:

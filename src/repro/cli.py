@@ -8,6 +8,7 @@ stack::
     python -m repro distrib [...]                     # = repro.analysis.distrib
     python -m repro serve [--host H] [--port P]       # = objstore --serve
     python -m repro selftest [--backend {fs,obj}] [--only LIST]
+    python -m repro campaign {run,list,fuzz,repro}    # = analysis.campaign
 
 ``run`` resolves execution policy through the
 :class:`~repro.analysis.session.RunConfig` chain (flags > ``REPRO_*``
@@ -49,7 +50,14 @@ def _forward_distrib(rest: Sequence[str]) -> int:
     return distrib_main(list(rest))
 
 
-_FORWARDED = {"cache": _forward_cache, "distrib": _forward_distrib}
+def _forward_campaign(rest: Sequence[str]) -> int:
+    from repro.analysis.campaign.cli import main as campaign_main
+
+    return campaign_main(list(rest))
+
+
+_FORWARDED = {"cache": _forward_cache, "distrib": _forward_distrib,
+              "campaign": _forward_campaign}
 
 
 def _cmd_run(args) -> int:
@@ -191,6 +199,10 @@ def _build_parser():
         "distrib", add_help=False,
         help="fleet worker/submit/status/run "
              "(alias of python -m repro.analysis.distrib)")
+    commands.add_parser(
+        "campaign", add_help=False,
+        help="scenario campaigns and the invariant fuzzer "
+             "(alias of python -m repro.analysis.campaign)")
 
     serve_cmd = commands.add_parser(
         "serve", help="run the S3-style object-store server "
@@ -224,12 +236,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _FORWARDED[argv[0]](argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "selftest":
-        return _cmd_selftest(args)
+    from repro.errors import ConfigurationError
+
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "selftest":
+            return _cmd_selftest(args)
+    except ConfigurationError as exc:
+        # Misconfiguration is a user error: one clear line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser.print_help()
     return 2
 

@@ -216,3 +216,63 @@ class SamplingCapacitor(Capacitor):
     def hold(self) -> None:
         """Open the sampling switch (explicit for symmetry; sample() auto-holds)."""
         self._sampling = False
+
+
+# ---------------------------------------------------------------------------
+# Invariant adapter (the campaign fuzzer's charge-conservation probe)
+
+
+def charge_conservation_violations(capacitance, initial_voltage, draws,
+                                   capacitor_factory=None):
+    """Charge-conservation violations of one capacitor draw sequence.
+
+    The power layer's invariant adapter for
+    :mod:`repro.analysis.campaign.invariants`: build a capacitor of
+    *capacitance* farads starting at *initial_voltage* volts (through
+    *capacitor_factory*, which tests may substitute with a deliberately
+    broken model), apply the non-negative charge *draws* in order, and
+    return a list of human-readable violation messages — empty when the
+    capacitor conserved charge.  Checked invariants:
+
+    * the voltage never goes negative and never rises on a draw;
+    * the stored + delivered charge ledger never exceeds the initial
+      charge (checked only while the capacitor has not been driven to the
+      0 V clamp, where the ledger legitimately over-counts).
+
+    Deterministic: the only inputs are the arguments, so any reported
+    violation replays bit-for-bit from the same draw list.
+    """
+    factory = capacitor_factory if capacitor_factory is not None else Capacitor
+    cap = factory(capacitance=capacitance, initial_voltage=initial_voltage)
+    violations = []
+    initial_charge = capacitance * initial_voltage
+    tolerance = 1e-12 * max(1.0, initial_charge) + 1e-18
+    previous = cap.voltage(0.0)
+    if previous < 0.0:
+        violations.append(
+            f"initial voltage is negative: {previous!r} V")
+    clamped = False
+    for index, charge in enumerate(draws):
+        time = float(index + 1)
+        if previous <= 0.0:
+            break  # a fully drained ideal capacitor may refuse the draw
+        cap.draw_charge(float(charge), time)
+        current = cap.voltage(time)
+        if current < 0.0:
+            violations.append(
+                f"draw {index}: voltage went negative ({current!r} V)")
+        if current > previous + 1e-15:
+            violations.append(
+                f"draw {index}: voltage rose from {previous!r} to "
+                f"{current!r} V on a {charge!r} C draw")
+        if current == 0.0 and previous - charge / capacitance < 0.0:
+            clamped = True  # over-draw hit the 0 V clamp; ledger over-counts
+        previous = current
+    if not clamped:
+        final_time = float(len(draws) + 1)
+        ledger = cap.stored_charge(final_time) + cap.charge_delivered
+        if ledger > initial_charge + tolerance:
+            violations.append(
+                f"charge ledger created charge: stored + delivered = "
+                f"{ledger!r} C > initial {initial_charge!r} C")
+    return violations

@@ -239,3 +239,94 @@ class IntermittentHarvester(HarvesterModel):
         """Full peak power during a burst, zero otherwise."""
         self._advance_schedule(time)
         return self.peak_power if self._on else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Invariant adapter (the campaign fuzzer's harvester-energy probe)
+
+
+#: Harvester environments by registry name, for declarative scenarios and
+#: the fuzzer's draws.
+HARVESTER_KINDS = {
+    "vibration": VibrationHarvester,
+    "solar": SolarHarvester,
+    "thermal": ThermalHarvester,
+    "intermittent": IntermittentHarvester,
+}
+
+
+def make_harvester(kind: str, seed: Optional[int] = None,
+                   **overrides) -> HarvesterModel:
+    """Build the harvester registered under *kind* (seeded, overridable)."""
+    try:
+        factory = HARVESTER_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(HARVESTER_KINDS))
+        raise ConfigurationError(
+            f"unknown harvester kind {kind!r}; choose from {known}") from None
+    return factory(seed=seed, **overrides)
+
+
+def harvester_energy_violations(kind, seed, times, voltage_scale=1.0):
+    """Energy-bound violations of one harvester realisation.
+
+    The power layer's second invariant adapter: replay the seeded
+    environment *kind* at the (ascending) sample *times*, operating the
+    input at ``voltage_scale × v_mpp``, and report every point where the
+    model created energy.  Checked invariants:
+
+    * available power is non-negative and bounded by twice the peak
+      rating (the vibration amplitude walk is clamped at 2.0);
+    * extracted power is non-negative and never exceeds the available
+      power of the same environmental realisation;
+    * :meth:`HarvesterModel.harvest` integrates to a non-negative energy
+      bounded by the available-power bound times the duration.
+
+    Two twin harvesters with the same seed observe the identical random
+    environment (one is asked for available power, the other for
+    extracted power), so the comparison is between numbers drawn from one
+    realisation and the whole check replays deterministically.
+    """
+    observer = make_harvester(kind, seed=seed)
+    extractor = make_harvester(kind, seed=seed)
+    violations = []
+    power_bound = 2.0 * observer.peak_power * (1.0 + 1e-12)
+    previous_time = None
+    for index, time in enumerate(times):
+        time = float(time)
+        if previous_time is not None and time <= previous_time:
+            raise ConfigurationError("times must be strictly ascending")
+        previous_time = time
+        available = observer.available_power(time)
+        operating = extractor.v_mpp(time) * float(voltage_scale)
+        extracted = extractor.extracted_power(time, operating)
+        if available < 0.0:
+            violations.append(
+                f"t={time!r}: available power is negative ({available!r} W)")
+        if available > power_bound:
+            violations.append(
+                f"t={time!r}: available power {available!r} W exceeds "
+                f"2x the peak rating {observer.peak_power!r} W")
+        if extracted < 0.0:
+            violations.append(
+                f"t={time!r}: extracted power is negative ({extracted!r} W)")
+        if extracted > available + 1e-12 * max(1.0, available):
+            violations.append(
+                f"t={time!r}: extracted {extracted!r} W exceeds the "
+                f"available {available!r} W")
+    if times:
+        integrator = make_harvester(kind, seed=seed)
+        duration = float(times[-1]) + 1.0
+        energy = integrator.harvest(0.0, duration)
+        if energy < 0.0:
+            violations.append(f"harvest() returned negative energy "
+                              f"({energy!r} J)")
+        if energy > power_bound * duration:
+            violations.append(
+                f"harvest() over {duration!r} s returned {energy!r} J, "
+                f"more than the {power_bound * duration!r} J power bound")
+        if integrator.energy_harvested != energy:
+            violations.append(
+                "energy_harvested ledger disagrees with the harvest() "
+                f"return ({integrator.energy_harvested!r} != {energy!r})")
+    return violations

@@ -386,3 +386,49 @@ def run_dualrail_scenario(technology: Technology, supply, steps: int,
         finish_time=counter.ack.last_change_time,
         energy=counter.energy_consumed,
     )
+
+
+def dualrail_completion_violations(technology: Technology, vdd: float,
+                                   steps: int = 4, width: int = 2,
+                                   handshake_gap: float = 0.5e-9) -> List[str]:
+    """Dual-rail completion violations of one constant-supply counter run.
+
+    The self-timed layer's invariant adapter for
+    :mod:`repro.analysis.campaign.invariants`: at any supply above the
+    technology's functional minimum, a :func:`run_dualrail_scenario` run
+    must complete every requested handshake — the counter emits exactly
+    *steps* values, in the expected sequence, without stalling, in
+    positive time, and pays a positive energy bill for doing so.
+
+    Returns human-readable violation messages; empty means the run held.
+    """
+    from repro.power.supply import ConstantSupply
+
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps!r}")
+    if not vdd >= technology.vdd_min:
+        raise ConfigurationError(
+            f"vdd={vdd!r} V is below the functional minimum "
+            f"{technology.vdd_min!r} V of {technology.name}")
+    run = run_dualrail_scenario(technology, ConstantSupply(vdd), steps,
+                                width=width, handshake_gap=handshake_gap)
+    violations: List[str] = []
+    if len(run.values_emitted) != steps:
+        violations.append(
+            f"emitted {len(run.values_emitted)} of {steps} handshakes "
+            f"at vdd={vdd!r} V")
+    if not run.sequence_correct:
+        violations.append(
+            f"counter sequence wrong at vdd={vdd!r} V: emitted "
+            f"{run.values_emitted!r}, expected {run.expected!r}")
+    if run.stall_count:
+        violations.append(
+            f"{run.stall_count} stall(s) on a constant {vdd!r} V rail")
+    if not run.finish_time > 0.0:
+        violations.append(
+            f"finish time not positive ({run.finish_time!r} s)")
+    if not run.energy > 0.0:
+        violations.append(
+            f"completed {steps} handshakes for non-positive energy "
+            f"({run.energy!r} J)")
+    return violations

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SensorError
 from repro.models.gate import GateModel, GateType
@@ -302,3 +302,51 @@ def meter_rail(sensor: ChargeToDigitalConverter, chain) -> RailMeasurement:
     store_after = chain.store.stored_energy(0.0)
     return RailMeasurement(code=result.count, measured_voltage=measured,
                            store_energy_taken=store_before - store_after)
+
+
+def conversion_violations(technology: Technology, voltage: float,
+                          sampling_capacitance: float = 20e-12,
+                          counter_width: int = 10) -> List[str]:
+    """Charge-conservation violations of one charge-to-digital conversion.
+
+    The sensor layer's invariant adapter for
+    :mod:`repro.analysis.campaign.invariants`: one
+    :class:`ChargeToDigitalConverter` conversion against a constant
+    *voltage* rail can only count pulses by *removing* charge from the
+    sampling capacitor — the count stays inside the counter's range, the
+    charge drawn never exceeds what ``C·V`` stored, the capacitor never
+    ends above where it started, and counting takes time.
+
+    Returns human-readable violation messages; empty means the model held.
+    """
+    from repro.power.supply import ConstantSupply
+
+    if not voltage > 0.0:
+        raise ConfigurationError(f"voltage must be positive, got {voltage!r}")
+    converter = ChargeToDigitalConverter(
+        technology, sampling_capacitance=sampling_capacitance,
+        counter_width=counter_width)
+    result = converter.convert(ConstantSupply(voltage))
+    violations: List[str] = []
+    ceiling = (1 << counter_width) - 1
+    if not 0 <= result.count <= ceiling:
+        violations.append(
+            f"count {result.count!r} outside [0, {ceiling}] at "
+            f"{voltage!r} V")
+    budget = sampling_capacitance * result.sampled_voltage
+    if result.charge_consumed > budget * (1.0 + 1e-9):
+        violations.append(
+            f"drew {result.charge_consumed!r} C from a capacitor holding "
+            f"only {budget!r} C at {voltage!r} V")
+    if result.charge_consumed < 0.0:
+        violations.append(
+            f"negative charge consumed ({result.charge_consumed!r} C)")
+    if result.final_voltage > result.sampled_voltage * (1.0 + 1e-12):
+        violations.append(
+            f"capacitor voltage rose during conversion: sampled "
+            f"{result.sampled_voltage!r} V, finished {result.final_voltage!r} V")
+    if result.count > 0 and not result.conversion_time > 0.0:
+        violations.append(
+            f"counted {result.count} pulses in non-positive time "
+            f"({result.conversion_time!r} s)")
+    return violations

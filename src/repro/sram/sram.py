@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.errors import AddressError, ConfigurationError
+from repro.errors import AddressError, ConfigurationError, ModelError
 from repro.models.energy import EnergyModel
 from repro.models.gate import GateModel, GateType
 from repro.models.technology import Technology
@@ -556,3 +556,89 @@ def cell_tradeoff_metrics(technology: Technology, cell_type: CellType,
         "write_energy": sram.write_energy(vdd_write),
         "area_factor": cell_type.area_factor,
     }
+
+
+def latency_chain_violations(technology: Technology,
+                             vdd_low: float, vdd_high: float,
+                             config: Optional[SRAMConfig] = None) -> List[str]:
+    """Latency-chain-ordering violations of the analytic SI SRAM model.
+
+    The SRAM layer's invariant adapter for
+    :mod:`repro.analysis.campaign.invariants`: build one
+    :class:`SpeedIndependentSRAM` and check, at the two supplies
+    ``vdd_low < vdd_high``, the orderings the latency chain promises:
+
+    * read and write latency, energy and leakage are strictly positive;
+    * the chain total is at least as large as its slowest single stage
+      (a chained handshake cannot finish before one of its links);
+    * the write latency dominates the read latency minus the read buffer
+      (the write chain replaces the read buffer with the slower
+      read-before-write driver stage) — concretely, both latencies are
+      bounded below by the shared decoder + precharge + bitline spine;
+    * both latencies are non-increasing in Vdd.
+
+    Returns human-readable violation messages; empty means the model held.
+    """
+    if not vdd_low < vdd_high:
+        raise ConfigurationError("latency_chain_violations needs "
+                                 f"vdd_low < vdd_high, got {vdd_low!r} "
+                                 f">= {vdd_high!r}")
+    if vdd_low < technology.vdd_min:
+        raise ConfigurationError(
+            f"vdd_low={vdd_low!r} V is below the functional minimum "
+            f"{technology.vdd_min!r} V of {technology.name}")
+    if config is None:
+        # The Fig. 5 bitline calibration probes a fixed sub-0.2 V supply;
+        # technologies whose functional minimum sits above that probe
+        # (e.g. cmos180) can only be built uncalibrated.
+        config = SRAMConfig(calibrate_to_fig5=technology.vdd_min <= 0.19)
+    try:
+        sram = SpeedIndependentSRAM(technology, config)
+    except ModelError as exc:
+        # Construction failing for an out-of-envelope technology/config
+        # combination is invalid input, not a model violation.
+        raise ConfigurationError(
+            f"SI SRAM cannot be built for {technology.name} with "
+            f"{config!r}: {exc}") from exc
+    violations: List[str] = []
+    load = sram.completion.effective_load_factor()
+    for vdd in (vdd_low, vdd_high):
+        read = sram.read_latency(vdd)
+        write = sram.write_latency(vdd)
+        stages = {
+            "decoder": sram.decoder.delay(vdd),
+            "precharge": sram.precharge.delay(vdd),
+            "bitline": sram.bitline.discharge_delay(vdd) * load,
+            "completion": sram.completion.detection_delay(vdd),
+        }
+        for name, value in (("read latency", read),
+                            ("write latency", write),
+                            ("read energy", sram.read_energy(vdd)),
+                            ("write energy", sram.write_energy(vdd)),
+                            ("leakage power",
+                             sram.total_leakage_power(vdd))):
+            if not value > 0.0:
+                violations.append(
+                    f"vdd={vdd!r}: {name} is not positive ({value!r})")
+        slowest_name = max(stages, key=lambda name: stages[name])
+        slowest = stages[slowest_name]
+        spine = (stages["decoder"] + 2.0 * stages["precharge"]
+                 + stages["bitline"] + stages["completion"])
+        for name, total in (("read", read), ("write", write)):
+            if total < slowest * (1.0 - 1e-12):
+                violations.append(
+                    f"vdd={vdd!r}: {name} latency {total!r} s is shorter "
+                    f"than its slowest stage ({slowest_name}: {slowest!r} s)")
+            if total < spine * (1.0 - 1e-12):
+                violations.append(
+                    f"vdd={vdd!r}: {name} latency {total!r} s undercuts the "
+                    f"shared decoder/precharge/bitline/completion spine "
+                    f"({spine!r} s)")
+    for name, fn in (("read", sram.read_latency),
+                     ("write", sram.write_latency)):
+        low, high = fn(vdd_low), fn(vdd_high)
+        if low < high * (1.0 - 1e-12):
+            violations.append(
+                f"{name} latency increased with Vdd: {low!r} s at "
+                f"{vdd_low!r} V < {high!r} s at {vdd_high!r} V")
+    return violations
