@@ -1,0 +1,179 @@
+"""End-to-end smoke of the experiment service over a real subprocess.
+
+What the CI ``service`` job runs: start ``python -m repro serve start``
+as a real server process, drive it with two tenants submitting
+concurrently through :class:`~repro.analysis.serve.client.ServiceClient`,
+and assert the subsystem's three invariants from outside the process
+boundary:
+
+1. **Fair interleaving** — while a slow head plan pins the single
+   dispatcher, a burst tenant piles up 20 plans and a steady tenant 6;
+   under the VTC scheduler the steady tenant's completions land *among*
+   the burst tenant's, never behind all of them.
+2. **Byte-identical results** — every value served over the wire equals
+   a direct ``Session.run`` of the same plan factory, float for float.
+3. **Overload round (pinned seed)** — against a second server with a
+   tiny queue watermark, admissions past the watermark get 429 with a
+   positive retry hint, every admitted plan still completes, and the
+   gate reopens once the queue drains.
+
+Usage::
+
+    python scripts/service_smoke.py          # PYTHONPATH=src from repo root
+"""
+
+import subprocess
+import sys
+import threading
+
+from repro.analysis.serve import demo_plan, steady_plan
+from repro.analysis.serve.client import ServiceClient, ServiceOverloaded
+from repro.analysis.session import RunConfig, Session
+
+#: The slow head plan (0.05 s of sleep per point) that keeps the single
+#: dispatcher busy while both tenants stage their backlogs.
+HEAD_SPEC = "repro.analysis.distrib:selftest_plan"
+BURST_SPEC = "repro.analysis.serve:demo_plan"
+STEADY_SPEC = "repro.analysis.serve:steady_plan"
+BURST_N, STEADY_N = 20, 6
+
+_FAILURES = 0
+
+
+def check(label: str, ok: bool) -> None:
+    global _FAILURES
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}", flush=True)
+    if not ok:
+        _FAILURES += 1
+
+
+def start_server(*extra_args: str) -> "tuple[subprocess.Popen, str]":
+    """Spawn ``repro serve start`` and parse the URL it announces."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "start", "--port", "0",
+         "--dispatchers", "1", "--scheduler", "vtc", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = proc.stdout.readline()
+    if "experiment service on " not in line:
+        proc.terminate()
+        raise RuntimeError(f"server failed to announce itself: {line!r}")
+    url = line.split("experiment service on ", 1)[1].split()[0]
+    return proc, url
+
+
+def fairness_and_identity_round(url: str) -> None:
+    print(f"two-tenant round against {url}", flush=True)
+    head = ServiceClient(url)
+    head_id = head.submit_plan(HEAD_SPEC, tenant="burst")["id"]
+
+    burst_ids: "list[str]" = []
+    steady_ids: "list[str]" = []
+
+    def burst_tenant() -> None:
+        with ServiceClient(url) as client:
+            burst_ids.extend(client.submit_plan(BURST_SPEC,
+                                                tenant="burst")["id"]
+                             for _ in range(BURST_N))
+
+    def steady_tenant() -> None:
+        with ServiceClient(url) as client:
+            steady_ids.extend(client.submit_plan(STEADY_SPEC,
+                                                 tenant="steady")["id"]
+                              for _ in range(STEADY_N))
+
+    threads = [threading.Thread(target=burst_tenant),
+               threading.Thread(target=steady_tenant)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    check("both tenants submitted concurrently over the wire",
+          len(burst_ids) == BURST_N and len(steady_ids) == STEADY_N)
+
+    records = {pid: head.wait(pid, timeout_s=300)
+               for pid in [head_id] + burst_ids + steady_ids}
+    check("every admitted plan completed",
+          all(record["state"] == "done" for record in records.values()))
+
+    burst_seqs = sorted(records[pid]["completed_seq"] for pid in burst_ids)
+    steady_seqs = sorted(records[pid]["completed_seq"]
+                         for pid in steady_ids)
+    # The head plan ran first; the steady tenant's 6 cheap plans must
+    # then finish among the burst tenant's 20, not after them — and
+    # well inside the first half of the drain.
+    check("steady tenant interleaved with the burst (no starvation)",
+          burst_seqs[0] < steady_seqs[-1] < burst_seqs[-1]
+          and steady_seqs[-1] <= (BURST_N + STEADY_N) // 2 + 2)
+
+    status = head.status()
+    virtual = status["scheduler"]["virtual_time"]
+    check("virtual-time counters charged both tenants",
+          virtual.get("burst", 0) > virtual.get("steady", 0) > 0)
+
+    config = RunConfig.resolve()
+    with Session(config) as session:
+        expect_burst = session.run(*demo_plan()).values
+        expect_steady = session.run(*steady_plan()).values
+    sampled = burst_ids[:2] + burst_ids[-2:]
+    check("burst results byte-identical to direct Session.run",
+          all(head.result(pid)["values"] == expect_burst
+              for pid in sampled))
+    check("steady results byte-identical to direct Session.run",
+          all(head.result(pid)["values"] == expect_steady
+              for pid in steady_ids))
+
+
+def overload_round(url: str) -> None:
+    print(f"overload round against {url}", flush=True)
+    client = ServiceClient(url)
+    # The head plan is popped to the dispatcher immediately (so it never
+    # counts against the queue watermark); the next three fill the tiny
+    # queue while it sleeps.
+    admitted = [client.submit_plan(HEAD_SPEC, tenant="burst")["id"]]
+    admitted += [client.submit_plan(BURST_SPEC, tenant="burst")["id"]
+                 for _ in range(3)]
+    refused = None
+    try:
+        client.submit_plan(BURST_SPEC, tenant="burst")
+    except ServiceOverloaded as exc:
+        refused = exc
+    check("past the watermark, admission is refused with a retry hint",
+          refused is not None and refused.retry_after_s > 0)
+
+    finished = [client.wait(pid, timeout_s=300) for pid in admitted]
+    check("every admitted plan completed despite the overload",
+          all(record["state"] == "done" for record in finished))
+
+    reopened = client.submit_plan(BURST_SPEC, tenant="burst")
+    check("the gate reopened once the queue drained",
+          client.wait(reopened["id"], timeout_s=60)["state"] == "done")
+    check("the refusal landed in the admission counters",
+          client.status()["admission"]["rejected"] >= 1)
+
+
+def main() -> int:
+    print("service smoke", flush=True)
+    servers = []
+    try:
+        proc, url = start_server("--max-queue-depth", "256")
+        servers.append(proc)
+        fairness_and_identity_round(url)
+
+        overload_proc, overload_url = start_server("--max-queue-depth", "3")
+        servers.append(overload_proc)
+        overload_round(overload_url)
+    finally:
+        for proc in servers:
+            proc.terminate()
+        for proc in servers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    print("service smoke:", "PASS" if _FAILURES == 0
+          else f"{_FAILURES} FAILURES", flush=True)
+    return 0 if _FAILURES == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

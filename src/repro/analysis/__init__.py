@@ -34,6 +34,13 @@ benchmark harness uses to regenerate them:
   :class:`~repro.analysis.session.Session` facade that owns the
   executor/cache/distrib stack and adds an async
   ``submit()``/``gather()`` path (see also ``python -m repro``);
+* :mod:`repro.analysis.serve` — the multi-tenant experiment service
+  (``python -m repro serve``): an HTTP tier over one shared Session
+  where tenants POST plans (``MODULE:FACTORY`` specs or campaign
+  references), a fair-share VTC scheduler orders them so a burst tenant
+  cannot starve a steady one, and an admission gate sheds overload with
+  429 + retry hints without ever throttling plans in flight — results
+  bit-identical to a direct ``Session.run``;
 * :mod:`repro.analysis.campaign` — declarative scenario campaigns
   (``campaigns/*.toml`` cross-products compiled to plan batches run
   through the Session) and the seeded invariant fuzzer with its
@@ -81,6 +88,11 @@ _LAZY_EXPORTS = {
     "Session": "repro.analysis.session",
     "default_session": "repro.analysis.session",
     "reset_default_session": "repro.analysis.session",
+    "AdmissionGate": "repro.analysis.serve",
+    "ExperimentServer": "repro.analysis.serve",
+    "ExperimentService": "repro.analysis.serve",
+    "ServiceClient": "repro.analysis.serve",
+    "VTCScheduler": "repro.analysis.serve",
 }
 
 
@@ -93,6 +105,11 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AdmissionGate",
+    "ExperimentServer",
+    "ExperimentService",
+    "ServiceClient",
+    "VTCScheduler",
     "crossover_voltage",
     "energy_delay_product",
     "minimum_energy_point",

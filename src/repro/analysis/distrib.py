@@ -105,10 +105,12 @@ __all__ = [
     "ShardSpec",
     "UnpicklablePayload",
     "Worker",
+    "fleet_queue_stats",
     "job_status",
     "list_jobs",
     "list_workers",
     "merge_job",
+    "queue_summary",
     "selftest_plan",
     "shard_key",
     "submit",
@@ -382,6 +384,51 @@ def job_status(job: DistribJob,
         "merged": cache.has_result(job.key),
         "shards": shards,
     }
+
+
+def queue_summary(statuses: Sequence[Dict[str, object]],
+                  now: Optional[float] = None) -> Dict[str, object]:
+    """Fleet-level queue pressure, aggregated from :func:`job_status` dicts.
+
+    The one signal the experiment service's overload gate and future
+    fleet controllers share: ``queue_depth`` counts *claimable* shards
+    (``pending`` plus ``expired`` — an expired lease is work waiting for
+    a worker again), ``leased`` counts shards actively held, and
+    ``oldest_unclaimed_age_s`` is the age of the oldest job that still
+    has a claimable shard (``None`` when the queue is empty) — a queue
+    that is shallow but *old* means the fleet is missing, not merely
+    busy.
+    """
+    now = time.time() if now is None else now
+    depth = 0
+    leased = 0
+    oldest_created: Optional[float] = None
+    for status in statuses:
+        claimable = sum(1 for shard in status["shards"]
+                        if shard["state"] in ("pending", "expired"))
+        leased += sum(1 for shard in status["shards"]
+                      if shard["state"] == "leased")
+        if claimable:
+            depth += claimable
+            created = float(status["created"])
+            if oldest_created is None or created < oldest_created:
+                oldest_created = created
+    return {
+        "jobs": len(statuses),
+        "queue_depth": depth,
+        "leased": leased,
+        "oldest_unclaimed_age_s": (None if oldest_created is None
+                                   else max(0.0, now - oldest_created)),
+    }
+
+
+def fleet_queue_stats(root,
+                      store: Optional[CacheStore] = None,
+                      ) -> Dict[str, object]:
+    """:func:`queue_summary` over every job under *root* (one-call form)."""
+    store = store if store is not None else open_store(root)
+    return queue_summary([job_status(job)
+                          for job in list_jobs(root, store=store)])
 
 
 # ---------------------------------------------------------------------------
@@ -1227,9 +1274,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "status":
         jobs = [job_status(job) for job in list_jobs(args.root)]
         workers = list_workers(args.root)
+        queue = queue_summary(jobs)
         if args.json:
             print(json.dumps({"jobs": jobs, "workers": list(workers),
-                              "workers_skipped": workers.skipped},
+                              "workers_skipped": workers.skipped,
+                              "queue_depth": queue["queue_depth"],
+                              "leased": queue["leased"],
+                              "oldest_unclaimed_age_s":
+                                  queue["oldest_unclaimed_age_s"]},
                              indent=2, sort_keys=True))
             return 0
         if not jobs:
@@ -1244,6 +1296,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  shard {shard['index']:3d} "
                       f"[{shard['start']}, {shard['stop']}): "
                       f"{shard['state']}{owner}")
+        if queue["queue_depth"]:
+            print(f"queue: {queue['queue_depth']} unclaimed shard(s) "
+                  f"({queue['leased']} leased), oldest waiting "
+                  f"{queue['oldest_unclaimed_age_s']:.1f}s")
         if workers:
             print("workers:")
             for info in workers:

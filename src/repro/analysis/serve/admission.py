@@ -1,0 +1,148 @@
+"""Overload admission control for the experiment service (OIT-style).
+
+The service protects itself at exactly one point: *admission*.  Before a
+plan enters the scheduler queue, the gate compares the queue the plan
+would join against two watermarks — queue depth (plans waiting) and
+queued cost (estimated quantity evaluations waiting,
+:func:`~repro.analysis.serve.scheduler.estimate_cost`) — and refuses the
+whole submission when either would be exceeded.  A refusal is an HTTP
+429 with a ``retry_after_s`` hint derived from the observed drain rate.
+
+What the gate never does is throttle work already admitted: a plan that
+entered the queue runs to completion no matter how overloaded the
+service becomes afterwards — the OIT exemplar's invariant ("no
+mid-interaction throttling").  Dropping half-finished experiments wastes
+every point already evaluated and breaks the service's promise that an
+admitted plan's result is exactly a direct ``Session.run``; refusing new
+work costs the client one retry.
+
+Multi-plan submissions (a campaign reference expanding to N planned
+runs) are admitted atomically: all N tickets or a 429 — a half-admitted
+campaign would hand the client a result set it never asked for.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdmissionDecision", "AdmissionGate", "OverloadedError"]
+
+#: Fallback drain estimate (cost units / s) before anything completed.
+_BOOTSTRAP_RATE = 1000.0
+#: Smoothing of the drain-rate EMA (per completed plan).
+_RATE_ALPHA = 0.3
+#: Bounds of the retry hint handed to clients.
+_MIN_RETRY_S, _MAX_RETRY_S = 0.1, 60.0
+
+
+class OverloadedError(ConfigurationError):
+    """Raised by the service when the gate refuses a submission.
+
+    Carries the decision so the HTTP layer can answer 429 with the
+    retry hint in both the ``Retry-After`` header and the JSON body.
+    """
+
+    def __init__(self, decision: "AdmissionDecision") -> None:
+        super().__init__(decision.reason)
+        self.decision = decision
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One gate verdict: admitted, or refused with a retry hint."""
+
+    admitted: bool
+    reason: str = ""
+    #: Seconds the client should wait before retrying (refusals only).
+    retry_after_s: float = 0.0
+
+
+class AdmissionGate:
+    """Watermark gate over the scheduler queue.
+
+    Parameters
+    ----------
+    max_depth:
+        Plans the queue may hold before new submissions are refused.
+    max_cost:
+        Estimated queued cost (quantity evaluations) the queue may hold
+        before new submissions are refused.  ``None`` disables the cost
+        watermark.
+
+    The gate is its own small lock domain: :meth:`record_completion`
+    is called from dispatcher threads while :meth:`decide` runs under
+    the service's queue lock, and the drain-rate EMA must not require
+    the queue lock to update.
+    """
+
+    def __init__(self, max_depth: int = 64,
+                 max_cost: Optional[float] = 100_000.0) -> None:
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        if max_cost is not None and max_cost <= 0:
+            raise ConfigurationError("max_cost must be > 0 (or None)")
+        self.max_depth = max_depth
+        self.max_cost = max_cost
+        self._lock = threading.Lock()
+        self._rate = _BOOTSTRAP_RATE  # cost units drained per second
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- the verdict -------------------------------------------------------
+
+    def decide(self, new_plans: int, new_cost: float,
+               depth: int, queued_cost: float) -> AdmissionDecision:
+        """Admit *new_plans* tickets of *new_cost* total, or refuse.
+
+        *depth* and *queued_cost* describe the queue the plans would
+        join (in-flight plans are not counted — they are beyond the
+        gate's reach by design).  The submission is atomic: either every
+        ticket fits under both watermarks or none is admitted.
+        """
+        if depth + new_plans > self.max_depth:
+            return self._refuse(
+                f"queue depth watermark: {depth} queued + {new_plans} "
+                f"submitted > {self.max_depth}", queued_cost)
+        if self.max_cost is not None and queued_cost + new_cost > self.max_cost:
+            return self._refuse(
+                f"queued cost watermark: {queued_cost:g} queued + "
+                f"{new_cost:g} submitted > {self.max_cost:g}", queued_cost)
+        with self._lock:
+            self.admitted += new_plans
+        return AdmissionDecision(admitted=True)
+
+    def _refuse(self, reason: str, queued_cost: float) -> AdmissionDecision:
+        with self._lock:
+            self.rejected += 1
+            rate = self._rate
+        # How long until the backlog drains below the watermark, by the
+        # observed rate — the "come back when there is room" hint.
+        retry = min(max(queued_cost / max(rate, 1e-9), _MIN_RETRY_S),
+                    _MAX_RETRY_S)
+        return AdmissionDecision(admitted=False, reason=reason,
+                                 retry_after_s=retry)
+
+    # -- drain-rate feedback ----------------------------------------------
+
+    def record_completion(self, cost: float, wall_time_s: float) -> None:
+        """Fold one finished plan into the drain-rate EMA."""
+        if wall_time_s <= 0:
+            return
+        observed = cost / wall_time_s
+        with self._lock:
+            self._rate += _RATE_ALPHA * (observed - self._rate)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able gate state for ``GET /v1/status``."""
+        with self._lock:
+            return {
+                "max_depth": self.max_depth,
+                "max_cost": self.max_cost,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "drain_rate_cost_per_s": self._rate,
+            }

@@ -1,0 +1,236 @@
+"""Client for the experiment service (stdlib ``http.client``).
+
+:class:`ServiceClient` speaks the four ``/v1`` endpoints of
+:mod:`repro.analysis.serve.http` over one persistent keep-alive
+connection (re-opened transparently when the server idles it out),
+guarded by a lock so many submitting threads — the multi-tenant smoke
+tests drive one client per tenant from concurrent threads — can share
+an instance.
+
+Read-only GETs are retried once on transport failure; a POST is never
+replayed (a submission is not idempotent — a replay whose first copy was
+committed would enqueue the plan twice and charge the tenant's fair
+share twice).
+
+::
+
+    client = ServiceClient("http://127.0.0.1:9210")
+    plan = client.submit_plan("repro.analysis.distrib:selftest_plan",
+                              tenant="alice")
+    record = client.wait(plan["id"])          # long-polls until terminal
+    values = client.result(plan["id"])["values"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceOverloaded"]
+
+
+class ServiceError(OSError):
+    """The service misbehaved: unreachable, or an unexpected status."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission gate refused the submission (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(reason)
+        self.retry_after_s = retry_after_s
+
+
+class PlanFailed(ServiceError):
+    """The submitted plan's execution raised (HTTP 500 on ``/result``)."""
+
+
+class ServiceClient:
+    """One tenant-side handle on a running experiment service."""
+
+    def __init__(self, url: str, timeout_s: float = 70.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc \
+                or parsed.path.strip("/"):
+            raise ConfigurationError(
+                f"service URL must be http(s)://host:port, got {url!r}")
+        self.url = f"{parsed.scheme}://{parsed.netloc}"
+        self.timeout_s = timeout_s
+        self._scheme = parsed.scheme
+        self._netloc = parsed.netloc
+        self._lock = threading.Lock()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        conn_type = (http.client.HTTPSConnection
+                     if self._scheme == "https"
+                     else http.client.HTTPConnection)
+        return conn_type(self._netloc, timeout=self.timeout_s)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Tuple[int, Dict]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        with self._lock:
+            last_error: Optional[Exception] = None
+            for attempt in (0, 1):
+                sent = False
+                try:
+                    if self._conn is None:
+                        self._conn = self._connect()
+                    self._conn.request(method, path, body=payload,
+                                       headers=headers)
+                    sent = True
+                    response = self._conn.getresponse()
+                    data = response.read()
+                    break
+                except (http.client.HTTPException, OSError) as exc:
+                    last_error = exc
+                    if self._conn is not None:
+                        self._conn.close()
+                        self._conn = None
+                    # Replaying a GET is safe; a sent POST is not.
+                    if attempt or (sent and method != "GET"):
+                        raise ServiceError(
+                            f"experiment service {self.url} unreachable: "
+                            f"{exc}") from exc
+            else:  # pragma: no cover - loop always breaks or raises
+                raise ServiceError(
+                    f"experiment service {self.url} unreachable: "
+                    f"{last_error}")
+        try:
+            parsed = json.loads(data) if data else {}
+        except ValueError as exc:
+            raise ServiceError(
+                f"{method} {path}: malformed JSON response: {exc}") from exc
+        return response.status, parsed
+
+    def close(self) -> None:
+        """Drop the persistent connection (a new request reopens it)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(self, body: Dict[str, object]) -> List[Dict[str, object]]:
+        """POST a raw submission body; returns the created plan records."""
+        status, payload = self._request("POST", "/v1/plans", body=body)
+        if status == 429:
+            raise ServiceOverloaded(
+                str(payload.get("error", "overloaded")),
+                float(payload.get("retry_after_s", 1.0)))
+        if status == 400:
+            raise ConfigurationError(str(payload.get("error",
+                                                     "bad submission")))
+        if status != 201:
+            raise ServiceError(f"POST /v1/plans: unexpected status {status}")
+        return list(payload["plans"])
+
+    def submit_plan(self, spec: str, tenant: Optional[str] = None,
+                    ) -> Dict[str, object]:
+        """Submit one ``MODULE:FACTORY`` plan; returns its record."""
+        body: Dict[str, object] = {"plan": spec}
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self.submit(body)[0]
+
+    def submit_campaign(self, campaign: str, tenant: Optional[str] = None,
+                        smoke: bool = False,
+                        runs: Optional[Sequence[str]] = None,
+                        ) -> List[Dict[str, object]]:
+        """Submit a campaign reference; returns one record per run."""
+        body: Dict[str, object] = {"campaign": campaign}
+        if tenant is not None:
+            body["tenant"] = tenant
+        if smoke:
+            body["smoke"] = True
+        if runs is not None:
+            body["runs"] = list(runs)
+        return self.submit(body)
+
+    def plan(self, plan_id: str, wait_s: float = 0.0,
+             known_state: Optional[str] = None) -> Dict[str, object]:
+        """One plan's record; ``wait_s`` long-polls for a state change."""
+        query = {}
+        if wait_s > 0:
+            query["wait"] = f"{wait_s:g}"
+            if known_state is not None:
+                query["state"] = known_state
+        path = f"/v1/plans/{urllib.parse.quote(plan_id)}"
+        if query:
+            path += "?" + urllib.parse.urlencode(query)
+        status, payload = self._request("GET", path)
+        if status == 404:
+            raise ConfigurationError(str(payload.get("error",
+                                                     f"no plan {plan_id}")))
+        if status != 200:
+            raise ServiceError(
+                f"GET /v1/plans/{plan_id}: unexpected status {status}")
+        return dict(payload["plan"])
+
+    def wait(self, plan_id: str,
+             timeout_s: Optional[float] = None) -> Dict[str, object]:
+        """Long-poll until the plan reaches a terminal state.
+
+        Raises :class:`ServiceError` on timeout; returns the terminal
+        record (``done`` or ``failed``) otherwise.
+        """
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        record = self.plan(plan_id)
+        while record["state"] not in ("done", "failed"):
+            remaining = 30.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"plan {plan_id} still {record['state']} after "
+                        f"{timeout_s:g}s")
+            record = self.plan(plan_id, wait_s=min(remaining, 30.0),
+                               known_state=str(record["state"]))
+        return record
+
+    def result(self, plan_id: str) -> Dict[str, object]:
+        """Values + provenance of a finished plan.
+
+        202 (still queued/running) raises :class:`ServiceError`; a
+        failed plan raises :class:`PlanFailed` with the server's error.
+        """
+        path = f"/v1/plans/{urllib.parse.quote(plan_id)}/result"
+        status, payload = self._request("GET", path)
+        if status == 404:
+            raise ConfigurationError(str(payload.get("error",
+                                                     f"no plan {plan_id}")))
+        if status == 202:
+            state = payload.get("plan", {}).get("state", "pending")
+            raise ServiceError(f"plan {plan_id} is still {state}; "
+                               "wait() for it first")
+        if status == 500:
+            raise PlanFailed(str(payload.get("error", "plan failed")))
+        if status != 200:
+            raise ServiceError(
+                f"GET {path}: unexpected status {status}")
+        return payload
+
+    def status(self) -> Dict[str, object]:
+        """The service's ``/v1/status`` payload."""
+        status, payload = self._request("GET", "/v1/status")
+        if status != 200:
+            raise ServiceError(f"GET /v1/status: unexpected status {status}")
+        return payload

@@ -6,7 +6,9 @@ stack::
     python -m repro run --plan MODULE:FACTORY [...]   # execute a plan
     python -m repro cache [...]                       # = repro.analysis.cache
     python -m repro distrib [...]                     # = repro.analysis.distrib
-    python -m repro serve [--host H] [--port P]       # = objstore --serve
+    python -m repro serve start [...]                 # experiment service
+    python -m repro serve {submit,status,wait} [...]  # its tenant client
+    python -m repro serve objstore [...]              # = objstore --serve
     python -m repro selftest [--backend {fs,obj}] [--only LIST]
     python -m repro campaign {run,list,fuzz,repro}    # = analysis.campaign
 
@@ -15,6 +17,14 @@ stack::
 environment variables > ``repro.toml`` > defaults) and executes through a
 :class:`~repro.analysis.session.Session`, so the command line, the
 benchmark harness and library callers all share one wiring path.
+
+``serve`` fronts the multi-tenant experiment service
+(:mod:`repro.analysis.serve`): ``start`` runs it in the foreground,
+``submit``/``status``/``wait`` are its tenant client, and ``objstore``
+keeps the S3-style object-store server under the same roof.  A bare
+``serve [--host H] [--port P]`` — the spelling from before the
+experiment service took the name — still starts the object store, as a
+deprecated alias with a one-line warning.
 
 ``cache`` and ``distrib`` forward their arguments verbatim to the module
 mains, and ``serve``/``selftest`` call the same functions the module
@@ -28,14 +38,15 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 __all__ = ["main"]
 
 #: selftest suites in execution order (fast first).  ``objstore`` is the
 #: protocol check of the object-store backend; with ``--backend fs`` it
 #: is skipped unless explicitly requested through ``--only``.
-SELFTEST_SUITES = ("session", "runner", "objstore", "cache", "distrib")
+SELFTEST_SUITES = ("session", "runner", "objstore", "cache", "distrib",
+                   "serve")
 
 
 def _forward_cache(rest: Sequence[str]) -> int:
@@ -99,15 +110,233 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    from repro.analysis.objstore import main as objstore_main
+def _cmd_serve(rest: Sequence[str]) -> int:
+    """Dispatch ``serve`` — the experiment service and its clients.
 
-    forwarded: List[str] = ["--serve"]
-    if args.host is not None:
-        forwarded += ["--host", args.host]
-    if args.port is not None:
-        forwarded += ["--port", str(args.port)]
-    return objstore_main(forwarded)
+    Does its own parsing (like the forwarded subcommands) so the legacy
+    spelling ``serve [--host H] [--port P]`` can stay alive: anything
+    that is not a known subcommand or ``--selftest`` is the pre-service
+    object-store invocation, forwarded with a deprecation warning.
+    """
+    rest = list(rest)
+    if rest and rest[0] == "objstore":
+        from repro.analysis.objstore import main as objstore_main
+
+        return objstore_main(["--serve"] + rest[1:])
+    if rest and rest[0] == "--selftest":
+        from repro.analysis.serve import main as serve_main
+
+        return serve_main(rest)
+    if rest and rest[0] in ("--help", "-h"):
+        _build_serve_parser().print_help()
+        return 0
+    if not rest or rest[0] not in _SERVE_SUBCOMMANDS:
+        print("warning: bare 'repro serve' is deprecated; the name now "
+              "fronts the experiment service — use 'serve objstore' for "
+              "the object store or 'serve start' for the service",
+              file=sys.stderr)
+        from repro.analysis.objstore import main as objstore_main
+
+        return objstore_main(["--serve"] + rest)
+    args = _build_serve_parser().parse_args(rest)
+    return {"start": _serve_start, "submit": _serve_submit,
+            "status": _serve_status, "wait": _serve_wait}[args.subcommand](args)
+
+
+_SERVE_SUBCOMMANDS = ("start", "submit", "status", "wait", "objstore")
+
+
+def _build_serve_parser():
+    import argparse
+
+    from repro.analysis.serve.http import DEFAULT_PORT
+    from repro.analysis.serve.service import DEFAULT_DISPATCHERS
+
+    default_url = f"http://127.0.0.1:{DEFAULT_PORT}"
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="The multi-tenant experiment service: start it, or "
+                    "talk to a running one as a tenant.")
+    sub = parser.add_subparsers(dest="subcommand")
+
+    start_cmd = sub.add_parser(
+        "start", help="run the experiment service in the foreground")
+    start_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    start_cmd.add_argument("--port", type=int, default=DEFAULT_PORT,
+                           help=f"bind port (default: {DEFAULT_PORT}; "
+                                "0 picks a free one)")
+    start_cmd.add_argument("--scheduler", choices=("vtc", "fifo"),
+                           default="vtc",
+                           help="fair-share (vtc) or arrival-order (fifo) "
+                                "dispatch (default: vtc)")
+    start_cmd.add_argument("--dispatchers", type=int,
+                           default=DEFAULT_DISPATCHERS, metavar="N",
+                           help="dispatcher threads draining the queue "
+                                f"(default: {DEFAULT_DISPATCHERS})")
+    start_cmd.add_argument("--max-queue-depth", type=int, default=64,
+                           metavar="N",
+                           help="admission watermark: queued plans "
+                                "(default: 64)")
+    start_cmd.add_argument("--max-queued-cost", type=float,
+                           default=100_000.0, metavar="C",
+                           help="admission watermark: queued quantity "
+                                "evaluations; 0 disables (default: 100000)")
+    start_cmd.add_argument("--config", default=None, metavar="FILE",
+                           help="repro.toml the owned Session resolves "
+                                "from (default: $REPRO_CONFIG or "
+                                "./repro.toml)")
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a plan or campaign to a running service")
+    submit_cmd.add_argument("--url", default=default_url,
+                            help=f"service URL (default: {default_url})")
+    submit_cmd.add_argument("--plan", default=None, metavar="SPEC",
+                            help="MODULE:FACTORY returning "
+                                 "(plan, quantities) — same spec as "
+                                 "'repro run --plan'")
+    submit_cmd.add_argument("--campaign", default=None, metavar="NAME",
+                            help="bundled campaign name or TOML path; "
+                                 "expands to one plan per run")
+    submit_cmd.add_argument("--smoke", action="store_true",
+                            help="submit the campaign's smoke-trimmed form")
+    submit_cmd.add_argument("--runs", default=None, metavar="LIST",
+                            help="comma-separated campaign run labels "
+                                 "(default: all)")
+    submit_cmd.add_argument("--tenant", default=None,
+                            help="tenant the fair share charges "
+                                 "(default: anonymous)")
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="block until every submitted plan is "
+                                 "terminal")
+    submit_cmd.add_argument("--json", action="store_true",
+                            help="emit the plan records as JSON")
+
+    status_cmd = sub.add_parser(
+        "status", help="queue, tenants and admission state of a service")
+    status_cmd.add_argument("--url", default=default_url,
+                            help=f"service URL (default: {default_url})")
+    status_cmd.add_argument("--json", action="store_true",
+                            help="emit the raw /v1/status payload")
+
+    wait_cmd = sub.add_parser(
+        "wait", help="long-poll plans until they reach a terminal state")
+    wait_cmd.add_argument("plan_ids", nargs="+", metavar="PLAN_ID")
+    wait_cmd.add_argument("--url", default=default_url,
+                          help=f"service URL (default: {default_url})")
+    wait_cmd.add_argument("--timeout", type=float, default=None,
+                          metavar="S", help="give up after S seconds "
+                                            "(default: wait forever)")
+    wait_cmd.add_argument("--json", action="store_true",
+                          help="emit the terminal records as JSON")
+    return parser
+
+
+def _serve_start(args) -> int:
+    from repro.analysis.serve import ExperimentServer, ExperimentService
+    from repro.analysis.session import RunConfig
+
+    config = RunConfig.resolve(config_file=args.config)
+    service = ExperimentService(
+        config, scheduler=args.scheduler, dispatchers=args.dispatchers,
+        max_queue_depth=args.max_queue_depth,
+        max_queued_cost=(None if args.max_queued_cost <= 0
+                         else args.max_queued_cost))
+    server = ExperimentServer(service, host=args.host, port=args.port)
+    print(f"experiment service on {server.url} "
+          f"(scheduler={args.scheduler}, dispatchers={args.dispatchers}, "
+          f"max-queue-depth={args.max_queue_depth})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (in-flight plans complete)")
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
+def _serve_records(records, as_json: bool) -> int:
+    """Print plan records (the submit/wait output); 1 if any failed."""
+    if as_json:
+        print(json.dumps({"plans": records}, indent=2, sort_keys=True))
+    else:
+        for record in records:
+            line = (f"{record['id']}  {record['state']:<7}  "
+                    f"tenant={record['tenant']}  "
+                    f"{record['points']} point(s) [{record['kind']}]")
+            if record["label"]:
+                line += f"  run={record['label']}"
+            if record["error"]:
+                line += f"  error: {record['error']}"
+            print(line)
+    return 0 if all(record["state"] != "failed"
+                    for record in records) else 1
+
+
+def _serve_submit(args) -> int:
+    from repro.analysis.serve.client import ServiceClient, ServiceOverloaded
+    from repro.errors import ConfigurationError
+
+    if (args.plan is None) == (args.campaign is None):
+        raise ConfigurationError(
+            "submit needs exactly one of --plan or --campaign")
+    client = ServiceClient(args.url)
+    try:
+        if args.plan is not None:
+            records = [client.submit_plan(args.plan, tenant=args.tenant)]
+        else:
+            runs = ([label.strip() for label in args.runs.split(",")
+                     if label.strip()] if args.runs else None)
+            records = client.submit_campaign(args.campaign,
+                                             tenant=args.tenant,
+                                             smoke=args.smoke, runs=runs)
+    except ServiceOverloaded as exc:
+        print(f"error: {exc} — retry in {exc.retry_after_s:.1f}s",
+              file=sys.stderr)
+        return 3
+    if args.wait:
+        records = [client.wait(str(record["id"])) for record in records]
+    return _serve_records(records, args.json)
+
+
+def _serve_status(args) -> int:
+    from repro.analysis.serve.client import ServiceClient
+
+    payload = ServiceClient(args.url).status()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    scheduler = payload["scheduler"]
+    plans = payload["plans"]
+    admission = payload["admission"]
+    print(f"experiment service at {args.url}: "
+          f"up {payload['uptime_s']:.0f}s, "
+          f"{payload['dispatchers']} dispatcher(s), "
+          f"scheduler={scheduler['scheduler']}")
+    print(f"  plans: {plans['queued']} queued, {plans['running']} running, "
+          f"{plans['done']} done, {plans['failed']} failed")
+    print(f"  admission: {admission['admitted']} admitted, "
+          f"{admission['rejected']} rejected "
+          f"(watermarks: depth {admission['max_depth']}, "
+          f"cost {admission['max_cost']})")
+    virtual = scheduler.get("virtual_time", {})
+    for tenant, entry in sorted(payload["tenants"].items()):
+        line = (f"  tenant {tenant}: {entry['submitted']} submitted, "
+                f"{entry['completed']} completed, {entry['failed']} failed")
+        if tenant in virtual:
+            line += f", virtual time {virtual[tenant]:g}"
+        print(line)
+    return 0
+
+
+def _serve_wait(args) -> int:
+    from repro.analysis.serve.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    records = [client.wait(plan_id, timeout_s=args.timeout)
+               for plan_id in args.plan_ids]
+    return _serve_records(records, args.json)
 
 
 def _cmd_selftest(args) -> int:
@@ -144,6 +373,10 @@ def _cmd_selftest(args) -> int:
         elif suite == "distrib":
             failures += _forward_distrib(["--selftest", "--backend",
                                           args.backend])
+        elif suite == "serve":
+            from repro.analysis.serve import main as serve_main
+
+            failures += serve_main(["--selftest"])
     print("selftest matrix:", "PASS" if failures == 0
           else f"{failures} suite failure(s)")
     return 0 if failures == 0 else 1
@@ -204,17 +437,17 @@ def _build_parser():
         help="scenario campaigns and the invariant fuzzer "
              "(alias of python -m repro.analysis.campaign)")
 
-    serve_cmd = commands.add_parser(
-        "serve", help="run the S3-style object-store server "
-                      "(alias of python -m repro.analysis.objstore --serve)")
-    serve_cmd.add_argument("--host", default=None,
-                           help="bind address (default: 127.0.0.1)")
-    serve_cmd.add_argument("--port", type=int, default=None,
-                           help="bind port (default: 9199)")
+    # Like cache/distrib/campaign: registered for --help only, dispatch
+    # short-circuits to _cmd_serve's own parser.
+    commands.add_parser(
+        "serve", add_help=False,
+        help="experiment service: start/submit/status/wait, plus the "
+             "objstore server (bare 'serve' = deprecated objstore alias)")
 
     selftest_cmd = commands.add_parser(
         "selftest", help="run the module selftests "
-                         "(session, runner, cache, distrib[, objstore])")
+                         "(session, runner, cache, distrib, serve"
+                         "[, objstore])")
     selftest_cmd.add_argument("--backend", choices=("fs", "obj"),
                               default="fs",
                               help="storage backend for the cache/distrib "
@@ -234,15 +467,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # leading options.
     if argv and argv[0] in _FORWARDED:
         return _FORWARDED[argv[0]](argv[1:])
-    parser = _build_parser()
-    args = parser.parse_args(argv)
     from repro.errors import ConfigurationError
 
     try:
+        if argv and argv[0] == "serve":
+            # Like the forwarded subcommands, serve parses its own argv
+            # (it keeps the legacy flag spelling alive); the transport
+            # errors of its client subcommands are user-facing too.
+            from repro.analysis.serve.client import ServiceError
+
+            try:
+                return _cmd_serve(argv[1:])
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        parser = _build_parser()
+        args = parser.parse_args(argv)
         if args.command == "run":
             return _cmd_run(args)
-        if args.command == "serve":
-            return _cmd_serve(args)
         if args.command == "selftest":
             return _cmd_selftest(args)
     except ConfigurationError as exc:

@@ -26,11 +26,13 @@ from repro.analysis.distrib import (
     DistribTimeout,
     UnpicklablePayload,
     Worker,
+    fleet_queue_stats,
     job_status,
     list_jobs,
     list_workers,
     main as distrib_main,
     merge_job,
+    queue_summary,
     shard_key,
     submit,
     wait_for_job,
@@ -411,6 +413,66 @@ class TestExecutorBackend:
                                                                  quantities)
         assert replay.provenance.executor == "persistent-cache"
         assert not (tmp_path / "unused" / "jobs").exists()
+
+
+class TestQueueStats:
+    def test_queue_summary_counts_claimable_and_leased(self):
+        statuses = [
+            {"created": 100.0, "shards": [{"state": "pending"},
+                                          {"state": "leased"}]},
+            {"created": 50.0, "shards": [{"state": "done"},
+                                         {"state": "expired"}]},
+            {"created": 10.0, "shards": [{"state": "done"}]},
+        ]
+        stats = queue_summary(statuses, now=110.0)
+        assert stats["jobs"] == 3
+        # pending + expired are claimable; done jobs add nothing.
+        assert stats["queue_depth"] == 2
+        assert stats["leased"] == 1
+        # The oldest job *with claimable work* (created=50), not the
+        # oldest job overall (created=10, fully done).
+        assert stats["oldest_unclaimed_age_s"] == 60.0
+
+    def test_empty_queue_has_no_age(self):
+        stats = queue_summary([])
+        assert stats == {"jobs": 0, "queue_depth": 0, "leased": 0,
+                         "oldest_unclaimed_age_s": None}
+
+    def test_fleet_queue_stats_over_a_real_root(self, tmp_path, plan,
+                                                quantities):
+        job = submit(plan, quantities, root=tmp_path, shard_size=2)
+        cache = ResultCache(root=tmp_path, mode="rw", salt=job.salt)
+        assert cache.claim_lease(job.shards[0].key, "host:1", ttl=30.0)
+        stats = fleet_queue_stats(tmp_path)
+        assert stats["jobs"] == 1
+        assert stats["queue_depth"] == len(job.shards) - 1
+        assert stats["leased"] == 1
+        assert stats["oldest_unclaimed_age_s"] >= 0.0
+        # Drain the job: the queue empties and the age clears.
+        assert cache.release_lease(job.shards[0].key, "host:1")
+        Worker(root=tmp_path).run_once()
+        drained = fleet_queue_stats(tmp_path)
+        assert drained["queue_depth"] == 0
+        assert drained["leased"] == 0
+        assert drained["oldest_unclaimed_age_s"] is None
+
+    def test_status_cli_reports_queue_pressure(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path)
+        assert distrib_main(["submit", "--root", root, "--plan",
+                             "test_analysis_distrib:tiny_plan",
+                             "--shard-size", "2"]) == 0
+        capsys.readouterr()
+        assert distrib_main(["status", "--root", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        shards = sum(len(j["shards"]) for j in payload["jobs"])
+        assert payload["queue_depth"] == shards
+        assert payload["leased"] == 0
+        assert payload["oldest_unclaimed_age_s"] >= 0.0
+        assert distrib_main(["status", "--root", root]) == 0
+        text = capsys.readouterr().out
+        assert f"queue: {shards} unclaimed shard(s)" in text
 
 
 class TestCLI:

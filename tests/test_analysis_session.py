@@ -228,6 +228,76 @@ class TestSession:
             results = session.gather(handles)
         assert all(r.values == serial.values for r in results)
 
+    def test_many_tenant_threads_submit_bit_identical(self):
+        # The experiment service drives one shared Session from several
+        # dispatcher threads; many threads interleaving submit()/gather()
+        # must each get results bit-identical to the serial executor.
+        import threading
+
+        serial = Executor(workers=0).run(PLAN, QUANTITIES)
+        results = {}
+        errors = []
+        with Session(RunConfig.resolve(environ={}, workers=2)) as session:
+            def tenant(name):
+                try:
+                    handles = [session.submit(PLAN, QUANTITIES)
+                               for _ in range(2)]
+                    results[name] = session.gather(handles)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append((name, exc))
+
+            threads = [threading.Thread(target=tenant, args=(f"t{i}",))
+                       for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+        assert not errors
+        assert len(results) == 6
+        for gathered in results.values():
+            assert all(r.values == serial.values for r in gathered)
+
+    def test_technology_cache_is_consistent_under_contention(self, tech):
+        # Monte-Carlo submits from many threads hammer one shared
+        # TechnologyCache in-process (workers=0).  Contract under
+        # contention: identical values, first-insert-wins entries (one
+        # per perturbed sample), and no lost counter updates — every
+        # lookup lands in exactly one of hits/misses.
+        import threading
+
+        def mc_delay(technology):
+            from repro.models.gate import GateModel
+
+            return GateModel(technology=technology).delay(0.4)
+
+        mc = ExperimentPlan.monte_carlo(8, technology=tech, seed=3)
+        serial = Executor(workers=0).run(mc, {"delay": mc_delay})
+        n_threads, runs_each = 6, 2
+        errors = []
+        with Session(RunConfig.resolve(environ={})) as session:
+            def tenant():
+                try:
+                    handles = [session.submit(mc, delay=mc_delay)
+                               for _ in range(runs_each)]
+                    for result in session.gather(handles):
+                        assert result.values == serial.values
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=tenant)
+                       for _ in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not errors
+            lookups = n_threads * runs_each * mc.point_count
+            assert session.cache.hits + session.cache.misses == lookups
+            # Racing misses may build a sample twice, but the entry set
+            # converges to exactly one Technology per perturbed sample.
+            assert len(session.cache) == mc.point_count
+            assert session.cache.misses >= mc.point_count
+
     def test_gather_accepts_variadic_handles(self):
         with Session(RunConfig.resolve(environ={})) as session:
             h1 = session.submit(PLAN, delay=delay_fn)
