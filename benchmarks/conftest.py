@@ -44,7 +44,8 @@ session layer uses (:meth:`RunConfig.parse_root
 <repro.analysis.session.RunConfig.parse_root>`): ``fs`` (the default)
 keeps ``.repro_cache/`` on the local filesystem,
 ``obj:http://HOST:PORT/BUCKET`` aims it at an S3-style object store
-(``python -m repro serve`` runs the credential-free fake server) so
+(``python -m repro serve objstore`` runs the credential-free fake
+server) so
 shared-nothing fleet machines replay one another's results.
 """
 

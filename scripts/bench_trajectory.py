@@ -1,0 +1,31 @@
+"""Append a pytest-benchmark snapshot to the committed perf trajectory.
+
+Ingests a pytest-benchmark JSON file (the CI ``BENCH_ci.json``
+artifact): one ``BENCH_history.jsonl`` line per benchmark, carrying the
+median wall time, the ``extra_info`` (batched speedups, service
+overheads), the git SHA and the run date.  The committed history is
+what ``scripts/check_bench_regression.py`` gates against and what the
+dashboard's trajectory sparklines plot.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --runner-cache off \\
+        --benchmark-json BENCH_ci.json
+    python scripts/bench_trajectory.py BENCH_ci.json
+    git add BENCH_history.jsonl   # the trajectory is a tracked file
+
+Thin wrapper over ``python -m repro obs append`` (see
+``repro.analysis.obs.trajectory`` and ``docs/observability.md``).
+"""
+
+import sys
+from pathlib import Path
+
+# Runnable from the repo root without an installed package: the source
+# tree sits next to scripts/.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.obs.trajectory import main_append  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main_append())

@@ -1,0 +1,31 @@
+"""The CI perf-regression gate over the committed trajectory.
+
+Compares every benchmark in a fresh pytest-benchmark JSON snapshot
+against its trailing-median baseline in the tracked
+``BENCH_history.jsonl`` and exits non-zero when any benchmark is more
+than 20% slower (``--threshold`` to tune).  A benchmark with no history
+is reported but never fails — new benchmarks enter the trajectory by
+being appended, not by being gated.
+
+Deliberate recalibrations use the escape hatch (mirroring the
+golden-figure policy: slowdowns must be *chosen*, never silent)::
+
+    python scripts/check_bench_regression.py BENCH_ci.json \\
+        --allow test_fig03_power_adaptive_loop
+
+Thin wrapper over ``python -m repro obs check`` (see
+``repro.analysis.obs.trajectory`` and ``docs/observability.md`` for the
+full policy).
+"""
+
+import sys
+from pathlib import Path
+
+# Runnable from the repo root without an installed package: the source
+# tree sits next to scripts/.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.obs.trajectory import main_check  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main_check())

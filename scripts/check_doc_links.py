@@ -1,0 +1,127 @@
+"""Link checker for the repo docs: every relative link must resolve.
+
+Scans Markdown files (by default ``README.md`` and everything under
+``docs/``) for inline links and checks, with nothing beyond the
+standard library:
+
+* **relative file links** (``[text](docs/observability.md)``,
+  ``[text](../README.md)``) point at files that exist in the checkout;
+* **anchor links** (``#section``, ``file.md#section``) name a heading
+  that actually slugifies to that anchor (GitHub slug rules: lowercase,
+  punctuation stripped, spaces to hyphens, duplicates numbered);
+* absolute ``http(s)://`` / ``mailto:`` links are skipped — CI must not
+  fail on someone else's outage.
+
+Fenced code blocks are ignored, so shell snippets that merely *look*
+like links cannot fail the build.  Exit status 1 when any link is
+broken; run by the CI ``docs`` job next to the figure→benchmark
+freshness test.
+
+Usage::
+
+    python scripts/check_doc_links.py [FILES...]
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown link: [text](target) — target split off any title.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks (keep line count for messages)."""
+    out: List[str] = []
+    fenced = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """One heading's anchor, GitHub-style, numbering duplicates."""
+    text = heading.strip().lower()
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[^\w\- ]", "", text)
+    # Each space becomes a hyphen (GitHub does not collapse runs, which
+    # is how "a & b" slugs to "a--b").
+    slug = text.strip().replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> List[str]:
+    seen: Dict[str, int] = {}
+    anchors = []
+    for line in _strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.append(github_slug(match.group(2), seen))
+    return anchors
+
+
+def check_file(path: Path) -> List[str]:
+    """All broken-link messages for one Markdown file."""
+    problems = []
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("<"):
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                problems.append(f"{path}: broken anchor -> "
+                                f"{target or path.name}#{anchor}")
+    return problems
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="Markdown files (default: README.md + docs/)")
+    args = parser.parse_args(argv)
+    files: Iterable[Path] = args.files or default_files()
+    problems: List[str] = []
+    checked: List[Tuple[Path, int]] = []
+    for path in files:
+        broken = check_file(path)
+        problems.extend(broken)
+        checked.append((path, len(broken)))
+    for path, broken in checked:
+        print(f"{'FAIL' if broken else 'ok  '} {path} "
+              f"({broken} broken)" if broken else f"ok   {path}")
+    for problem in problems:
+        print(problem)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

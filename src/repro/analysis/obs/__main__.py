@@ -1,0 +1,11 @@
+"""``python -m repro.analysis.obs`` — thin alias of the package CLI."""
+
+import sys
+
+# Under ``python -m`` the package executes as ``__main__`` while imports
+# resolve to ``repro.analysis.obs``; dispatch to the canonical copy,
+# matching the package's other CLIs.
+from repro.analysis.obs import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,12 @@ endpoints::
     GET  /v1/status              scheduler queue, per-tenant virtual
                                  time, admission counters, cache and
                                  distrib fleet stats
+    GET  /v1/dashboard           the same state as a live, auto-
+                                 refreshing HTML page (rendered by
+                                 :mod:`repro.analysis.obs.dashboard`,
+                                 with the committed bench trajectory
+                                 as inline sparklines when the history
+                                 file is present)
 
 Request handling threads only ever *enqueue* work and read records —
 execution stays on the service's dispatcher threads — so a slow client
@@ -112,6 +118,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if path == "/v1/status":
             self._reply(200, self._service.status())
             return
+        if path == "/v1/dashboard":
+            self._get_dashboard()
+            return
         if path.startswith("/v1/plans/"):
             rest = path[len("/v1/plans/"):]
             plan_id, _, tail = rest.partition("/")
@@ -144,6 +153,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         self._reply(200, {"plan": record})
 
+    def _get_dashboard(self) -> None:
+        """``GET /v1/dashboard`` — the status payload as a live page."""
+        from repro.analysis.obs.dashboard import render_dashboard
+        from repro.analysis.obs.trajectory import load_history
+
+        history_path = getattr(self.server, "history_path", None)
+        trajectory = load_history(history_path) if history_path else None
+        page = render_dashboard(service=self._service.status(),
+                                trajectory=trajectory or None,
+                                title="repro experiment service").encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(page)))
+        self.end_headers()
+        self.wfile.write(page)
+
     def _get_result(self, plan_id: str) -> None:
         record = self._service.record(plan_id, with_values=True)
         if record is None:
@@ -175,11 +200,15 @@ class ExperimentServer:
     """
 
     def __init__(self, service: ExperimentService,
-                 host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 history_path: Optional[str] = None) -> None:
         self.service = service
         self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
         self._httpd.daemon_threads = True
         self._httpd.service = service  # type: ignore[attr-defined]
+        # The committed bench trajectory the dashboard plots; None keeps
+        # /v1/dashboard alive with the trajectory section marked dark.
+        self._httpd.history_path = history_path  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

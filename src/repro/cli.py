@@ -11,6 +11,7 @@ stack::
     python -m repro serve objstore [...]              # = objstore --serve
     python -m repro selftest [--backend {fs,obj}] [--only LIST]
     python -m repro campaign {run,list,fuzz,repro}    # = analysis.campaign
+    python -m repro obs {append,check,dashboard}      # = analysis.obs
 
 ``run`` resolves execution policy through the
 :class:`~repro.analysis.session.RunConfig` chain (flags > ``REPRO_*``
@@ -45,8 +46,8 @@ __all__ = ["main"]
 #: selftest suites in execution order (fast first).  ``objstore`` is the
 #: protocol check of the object-store backend; with ``--backend fs`` it
 #: is skipped unless explicitly requested through ``--only``.
-SELFTEST_SUITES = ("session", "runner", "objstore", "cache", "distrib",
-                   "serve")
+SELFTEST_SUITES = ("session", "obs", "runner", "objstore", "cache",
+                   "distrib", "serve")
 
 
 def _forward_cache(rest: Sequence[str]) -> int:
@@ -67,8 +68,14 @@ def _forward_campaign(rest: Sequence[str]) -> int:
     return campaign_main(list(rest))
 
 
+def _forward_obs(rest: Sequence[str]) -> int:
+    from repro.analysis.obs import main as obs_main
+
+    return obs_main(list(rest))
+
+
 _FORWARDED = {"cache": _forward_cache, "distrib": _forward_distrib,
-              "campaign": _forward_campaign}
+              "campaign": _forward_campaign, "obs": _forward_obs}
 
 
 def _cmd_run(args) -> int:
@@ -186,6 +193,12 @@ def _build_serve_parser():
                            help="repro.toml the owned Session resolves "
                                 "from (default: $REPRO_CONFIG or "
                                 "./repro.toml)")
+    start_cmd.add_argument("--history", default="BENCH_history.jsonl",
+                           metavar="FILE",
+                           help="bench trajectory the /v1/dashboard "
+                                "sparklines plot (default: "
+                                "BENCH_history.jsonl; missing file just "
+                                "darkens that section)")
 
     submit_cmd = sub.add_parser(
         "submit", help="submit a plan or campaign to a running service")
@@ -242,10 +255,12 @@ def _serve_start(args) -> int:
         max_queue_depth=args.max_queue_depth,
         max_queued_cost=(None if args.max_queued_cost <= 0
                          else args.max_queued_cost))
-    server = ExperimentServer(service, host=args.host, port=args.port)
+    server = ExperimentServer(service, host=args.host, port=args.port,
+                              history_path=args.history)
     print(f"experiment service on {server.url} "
           f"(scheduler={args.scheduler}, dispatchers={args.dispatchers}, "
-          f"max-queue-depth={args.max_queue_depth})", flush=True)
+          f"max-queue-depth={args.max_queue_depth}; live dashboard at "
+          f"{server.url}/v1/dashboard)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -359,6 +374,10 @@ def _cmd_selftest(args) -> int:
             from repro.analysis.session import main as session_main
 
             failures += session_main(["--selftest"])
+        elif suite == "obs":
+            from repro.analysis.obs import main as obs_main
+
+            failures += obs_main(["--selftest"])
         elif suite == "runner":
             from repro.analysis.runner import main as runner_main
 
@@ -436,6 +455,10 @@ def _build_parser():
         "campaign", add_help=False,
         help="scenario campaigns and the invariant fuzzer "
              "(alias of python -m repro.analysis.campaign)")
+    commands.add_parser(
+        "obs", add_help=False,
+        help="observability: perf-trajectory append/check and the live "
+             "fleet dashboard (alias of python -m repro.analysis.obs)")
 
     # Like cache/distrib/campaign: registered for --help only, dispatch
     # short-circuits to _cmd_serve's own parser.

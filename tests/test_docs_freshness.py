@@ -1,0 +1,62 @@
+"""Docs freshness: the README map and the doc links cannot rot silently.
+
+Two checks, both also run by the CI ``docs`` job:
+
+* every ``benchmarks/test_*.py`` file appears in the README's
+  figure → benchmark → module map table (and every file the table
+  names exists), so a new benchmark cannot land undocumented and a
+  renamed one cannot leave a stale row behind;
+* every relative link and anchor in ``README.md`` and ``docs/*.md``
+  resolves (``scripts/check_doc_links.py``).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+
+def readme_benchmark_references():
+    """Every ``benchmarks/...py`` path the README mentions."""
+    return set(re.findall(r"benchmarks/test_\w+\.py", README.read_text()))
+
+
+def benchmark_files():
+    return {f"benchmarks/{path.name}"
+            for path in (REPO_ROOT / "benchmarks").glob("test_*.py")}
+
+
+def test_every_benchmark_is_in_the_readme_map():
+    missing = benchmark_files() - readme_benchmark_references()
+    assert not missing, (
+        "benchmark file(s) missing from README's "
+        f"figure → benchmark → module map: {sorted(missing)} — add a row "
+        "for each so the docs stay a complete inventory")
+
+
+def test_every_readme_benchmark_reference_exists():
+    stale = readme_benchmark_references() - benchmark_files()
+    assert not stale, (
+        f"README references benchmark file(s) that do not exist: "
+        f"{sorted(stale)} — a rename or removal left stale docs behind")
+
+
+def test_doc_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts/check_doc_links.py")],
+        capture_output=True, text=True, cwd=REPO_ROOT, timeout=60)
+    assert result.returncode == 0, (
+        f"broken doc links:\n{result.stdout}{result.stderr}")
+
+
+def test_observability_doc_covers_every_feed():
+    """docs/observability.md documents each feed the dashboard renders."""
+    doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+    for needle in ("GET /v1/status", "GET /v1/dashboard",
+                   "distrib status --json", "cache --stats --json",
+                   "BENCH_history.jsonl", "--allow",
+                   "check_bench_regression.py", "bench_trajectory.py"):
+        assert needle in doc, f"docs/observability.md lost {needle!r}"
