@@ -135,6 +135,7 @@ def _salt_of_package_dir(package_dir: str) -> str:
     for path in sorted(Path(package_dir).rglob("*.py")):
         digest.update(str(path.relative_to(package_dir)).encode())
         digest.update(b"\0")
+        # repro: allow[R2] -- code-version salt hashes source files, not store bytes
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
@@ -881,6 +882,7 @@ class ResultCache:
             return ({"owner": "?", "heartbeat": 0.0, "ttl": 0.0,
                      "expired": True}, obj.etag)
         now_mono = time.monotonic()
+        # repro: allow[R3] -- documented pre-first-advance fallback only
         wall_age = time.time() - heartbeat
         seen = self._lease_seen.get(key)
         if seen is not None and seen[0] == heartbeat:
@@ -932,6 +934,7 @@ class ResultCache:
         info, etag = self._lease_state(key)
         if info is not None and not info["expired"]:
             return info["owner"] == owner
+        # repro: allow[R3] -- advisory payload timestamp; expiry is monotonic
         now = time.time()
         payload = json.dumps({"owner": owner, "ttl": ttl,
                               "heartbeat": now, "claimed": now}).encode()
@@ -966,6 +969,7 @@ class ResultCache:
         if info is None or info["owner"] != owner:
             return False
         payload = json.dumps({"owner": owner, "ttl": info["ttl"],
+                              # repro: allow[R3] -- advisory payload timestamp
                               "heartbeat": time.time()}).encode()
         return self.store.put_if_match(self._lease_obj(key), payload,
                                        etag) is not None

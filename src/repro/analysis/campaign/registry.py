@@ -78,6 +78,15 @@ class _RowCache:
     def __cache_fingerprint__(self) -> str:
         return type(self).__name__
 
+    def __getstate__(self):
+        # A quantity closure may drag this memo into a pickled executor
+        # payload; locks do not pickle, and the entries are per-process
+        # execution state — ship the configuration only.
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state) -> None:
+        self.__init__(max_entries=state["max_entries"])
+
 
 _ROWS = _RowCache()
 

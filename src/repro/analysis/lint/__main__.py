@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.lint`` — alias of ``python -m repro check``."""
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Shared AST plumbing for the invariant rules.
+
+Three things every rule needs and none should reimplement:
+
+* :class:`ImportMap` — resolve a ``Call``'s dotted callee back to its
+  *canonical* module path (``np.random.default_rng`` →
+  ``numpy.random.default_rng``; ``from time import time as t; t()`` →
+  ``time.time``), so rules match on what is actually called rather than
+  on whatever the file aliased it to;
+* :func:`dotted_name` — the literal dotted chain of a
+  ``Name``/``Attribute`` expression (``a.b.c``), or ``None`` for
+  anything dynamic (subscripts, calls, lambdas);
+* :func:`enclosing_scopes` / :func:`attach_parents` — lexical context:
+  which class and function a node sits in, whether it sits under a
+  ``with self._lock:`` block.
+
+Everything here is pure ``ast`` — no imports of the checked code, so
+the linter can never be confused (or crashed) by side effects of the
+modules it reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ImportMap",
+    "attach_parents",
+    "dotted_name",
+    "enclosing_class",
+    "enclosing_function_chain",
+    "iter_calls",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` if any link is dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local name → canonical dotted module/object path for one module.
+
+    Built from every ``import``/``from ... import`` in the tree
+    (wherever it appears — function-local imports count, which matters
+    because this codebase lazy-imports heavily in CLI paths).  A name
+    bound by two different imports keeps the *last* binding, matching
+    runtime semantics closely enough for invariant matching.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._alias: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # ``import a.b`` binds ``a`` to package ``a``;
+                    # ``import a.b as c`` binds ``c`` to ``a.b``.
+                    target = alias.name if alias.asname else local
+                    self._alias[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative imports stay project-local
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._alias[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted path of a callee expression, if static.
+
+        The chain root is looked up in the alias table; an unknown root
+        (a local variable, ``self``, a builtin) passes through verbatim,
+        so ``open`` resolves to ``open`` and ``self._lock`` to
+        ``self._lock``.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        root, _, rest = name.partition(".")
+        target = self._alias.get(root, root)
+        return f"{target}.{rest}" if rest else target
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with ``._lint_parent`` (one linear pass)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+
+
+def _parents(node: ast.AST) -> Iterator[ast.AST]:
+    current = getattr(node, "_lint_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_lint_parent", None)
+
+
+def enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    """The innermost class lexically containing *node* (after attach_parents)."""
+    for parent in _parents(node):
+        if isinstance(parent, ast.ClassDef):
+            return parent
+    return None
+
+
+def enclosing_function_chain(node: ast.AST) -> Tuple[str, ...]:
+    """Names of every enclosing function, outermost first."""
+    chain: List[str] = []
+    for parent in _parents(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            chain.append(parent.name)
+    return tuple(reversed(chain))
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

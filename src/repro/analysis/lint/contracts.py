@@ -1,0 +1,117 @@
+"""R5 — cache-key hygiene for batched kernels.
+
+The batched-quantity protocol promises that a plan evaluated through a
+``batched`` kernel and the same plan evaluated per-point answer from
+the *same* persistent-cache entry.  Bare ``batched(kernel)`` gets this
+for free — the per-point path is derived from the batch kernel, so the
+composed fingerprint is shared by construction.  The moment a caller
+supplies an explicit per-point twin (``batched(kernel, point=fn)``),
+the two callables must share a ``__cache_fingerprint__``; otherwise the
+batched and per-point runs silently fork cache keys and every warm
+replay misses.
+
+Statically checkable contract, enforced here:
+
+* ``batched(kernel, point=fn)`` — both *kernel* and *fn* must be plain
+  module-level names whose ``__cache_fingerprint__`` is assigned in the
+  same module, with the *identical* expression on both assignments
+  (textual AST equality — the one pattern that provably shares a key);
+* constructing ``BatchedQuantity(...)`` anywhere outside
+  ``analysis/runner.py`` — the class is the protocol's internals; going
+  around :func:`~repro.analysis.runner.batched` skips the derived
+  per-point path and with it the shared-key guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.lint.engine import SourceFile
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["RULES", "BatchedContractRule"]
+
+_BATCHED_NAMES = frozenset({
+    "batched", "repro.analysis.runner.batched", "runner.batched",
+})
+_QUANTITY_NAMES = frozenset({
+    "BatchedQuantity", "repro.analysis.runner.BatchedQuantity",
+    "runner.BatchedQuantity",
+})
+
+
+def _fingerprint_assignments(tree: ast.Module) -> Dict[str, str]:
+    """name → dumped RHS for every ``name.__cache_fingerprint__ = ...``."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and target.attr == "__cache_fingerprint__"
+                    and isinstance(target.value, ast.Name)):
+                table[target.value.id] = ast.dump(node.value)
+    return table
+
+
+class BatchedContractRule:
+    id = "R5"
+    summary = ("an explicit batched/per-point kernel pair must share one "
+               "__cache_fingerprint__")
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        fingerprints = None
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canon = sf.imports.canonical(node.func)
+            if canon in _QUANTITY_NAMES \
+                    and sf.module_key != "analysis/runner.py":
+                yield sf.finding(
+                    "R5", node.lineno,
+                    "direct BatchedQuantity construction bypasses "
+                    "batched() and its derived per-point path",
+                    "declare the kernel with "
+                    "repro.analysis.runner.batched() so batched and "
+                    "per-point runs share one cache key")
+                continue
+            if canon not in _BATCHED_NAMES:
+                continue
+            point = next((kw.value for kw in node.keywords
+                          if kw.arg == "point"), None)
+            if point is None:
+                continue        # bare batched(): shared key by construction
+            if fingerprints is None:
+                fingerprints = _fingerprint_assignments(sf.tree)
+            problem = self._pairing_problem(node, point, fingerprints)
+            if problem is not None:
+                yield sf.finding(
+                    "R5", node.lineno, problem,
+                    "assign the same __cache_fingerprint__ expression to "
+                    "both kernels in this module, or drop point= and let "
+                    "batched() derive the per-point path")
+
+    @staticmethod
+    def _pairing_problem(node: ast.Call, point: ast.AST,
+                         fingerprints: Dict[str, str]) -> Optional[str]:
+        batch = node.args[0] if node.args else None
+        if not isinstance(batch, ast.Name) or not isinstance(point, ast.Name):
+            return ("batched(..., point=...) with non-name kernels — the "
+                    "shared __cache_fingerprint__ cannot be verified")
+        batch_fp = fingerprints.get(batch.id)
+        point_fp = fingerprints.get(point.id)
+        if batch_fp is None or point_fp is None:
+            missing = [name.id for name, fp in
+                       ((batch, batch_fp), (point, point_fp)) if fp is None]
+            return (f"explicit per-point twin but no __cache_fingerprint__ "
+                    f"assignment for {', '.join(missing)} — batched and "
+                    "per-point runs would fork cache keys")
+        if batch_fp != point_fp:
+            return (f"'{batch.id}' and '{point.id}' assign different "
+                    "__cache_fingerprint__ expressions — the pair forks "
+                    "cache keys")
+        return None
+
+
+RULES = (BatchedContractRule(),)

@@ -1,0 +1,123 @@
+"""R1 — determinism: the model layer may not read clocks or global RNGs.
+
+The stack's headline guarantee is that results are bit-identical across
+every executor (serial / pool / batched / distrib / service) and that
+Monte-Carlo sample *i* always draws from its own
+``SeedSequence((seed, i))`` stream.  Both die the moment a point
+function, quantity kernel or fuzzer invariant reads a wall clock or the
+*global* random state: the value then depends on which process, at
+which moment, happened to evaluate the point.
+
+Scope — the deterministic domain, by module path below ``repro/``:
+
+* the physics/model packages (``models``, ``sram``, ``sensors``,
+  ``core``, ``power``, ``selftimed``, ``sim``) and ``units.py``;
+* the campaign point functions and fuzzer invariants
+  (``analysis/campaign/registry.py``,
+  ``analysis/campaign/invariants.py``).
+
+The execution layers (runner, cache, distrib, serve, obs) are *not* in
+R1 scope — they measure wall time on purpose — and are covered by the
+layering and clock rules instead.
+
+Forbidden: every ``time.*`` clock, naive ``datetime``/``date``
+constructors (``now``/``utcnow``/``today``), ``os.urandom``,
+``uuid.uuid1``/``uuid.uuid4``, any call on the stdlib ``random``
+module, and any ``numpy.random.*`` call that touches the global state.
+Allowed: constructing seeded generators — ``SeedSequence``,
+``Generator``, the bit generators, and ``default_rng(seed)`` *with* an
+explicit seed argument (a bare ``default_rng()`` seeds from the OS and
+is flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import SourceFile
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["RULES", "DeterminismRule"]
+
+#: Module-path prefixes (below ``repro/``) forming the deterministic domain.
+DETERMINISTIC_PREFIXES = (
+    "models/", "sram/", "sensors/", "core/", "power/", "selftimed/", "sim/",
+)
+DETERMINISTIC_FILES = (
+    "units.py",
+    "analysis/campaign/registry.py",
+    "analysis/campaign/invariants.py",
+)
+
+_CLOCKS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.thread_time", "time.thread_time_ns",
+})
+_NAIVE_DATETIME = frozenset({
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+_ENTROPY = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: numpy.random members that *construct* seeded streams — the blessed path.
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def in_scope(module_key: str) -> bool:
+    return (module_key in DETERMINISTIC_FILES
+            or module_key.startswith(DETERMINISTIC_PREFIXES))
+
+
+class DeterminismRule:
+    id = "R1"
+    summary = ("model layer and point functions must not read clocks or "
+               "global RNG state")
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not in_scope(sf.module_key):
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canon = sf.imports.canonical(node.func)
+            if canon is None:
+                continue
+            verdict = self._verdict(canon, node)
+            if verdict is not None:
+                yield sf.finding("R1", node.lineno, verdict,
+                                 "thread a seeded Generator "
+                                 "(SeedSequence((seed, i))) or an injected "
+                                 "clock through the call instead")
+
+    @staticmethod
+    def _verdict(canon: str, node: ast.Call):
+        if canon in _CLOCKS:
+            return (f"wall/CPU clock '{canon}' in deterministic code — "
+                    "results would depend on when they run")
+        if canon in _NAIVE_DATETIME:
+            return (f"'{canon}' in deterministic code — results would "
+                    "depend on when they run")
+        if canon in _ENTROPY:
+            return (f"OS entropy '{canon}' in deterministic code — "
+                    "results would never replay")
+        if canon.startswith("random.") and canon.count(".") == 1:
+            return (f"stdlib global RNG '{canon}' — shared mutable state "
+                    "makes results depend on evaluation order")
+        if canon.startswith("numpy.random."):
+            member = canon.split(".", 2)[2]
+            if "." in member or member not in _NP_RANDOM_OK:
+                return (f"global numpy RNG '{canon}' — shared state breaks "
+                        "per-sample stream isolation")
+            if member == "default_rng" and not node.args \
+                    and not node.keywords:
+                return ("'default_rng()' with no seed draws from the OS — "
+                        "results would never replay")
+        return None
+
+
+RULES = (DeterminismRule(),)

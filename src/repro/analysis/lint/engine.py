@@ -1,0 +1,173 @@
+"""The rule engine: walk files, parse, dispatch rules, apply allows.
+
+One :class:`SourceFile` per checked file carries everything a rule may
+need — the parsed tree (with parent links), the import alias map, the
+suppression table and the *module key*.  The module key is the file's
+path relative to the innermost directory named ``repro`` on its path
+(``src/repro/analysis/cache.py`` → ``analysis/cache.py``), which is how
+rules decide scope: the fixture corpus under ``tests/lint_fixtures/``
+recreates a miniature ``repro/`` tree and is scoped exactly like the
+real one, so known-bad fixtures exercise the same code paths CI runs.
+
+Rules register themselves in :data:`RULES` at import; adding a rule is
+one module with an object exposing ``id`` / ``summary`` / ``check``
+plus a line in the docs catalogue (``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.astutil import ImportMap, attach_parents
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.suppress import Suppressions, parse_suppressions
+
+__all__ = ["RULES", "SourceFile", "check_paths", "default_root",
+           "iter_python_files"]
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus the context every rule needs."""
+
+    path: Path          #: resolved filesystem path
+    display: str        #: path as reported in findings
+    module_key: str     #: path below the innermost ``repro/`` dir, or ""
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    suppressions: Suppressions
+
+    def finding(self, rule: str, line: int, message: str,
+                hint: str) -> Finding:
+        return Finding(path=self.display, line=line, rule=rule,
+                       message=message, hint=hint)
+
+
+def _module_key(path: Path) -> str:
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and index < len(parts) - 1:
+            return "/".join(parts[index + 1:])
+    return ""
+
+
+def _display(path: Path) -> str:
+    try:
+        return os.path.relpath(path)
+    except ValueError:      # different drive (windows) — keep absolute
+        return str(path)
+
+
+def load_source_file(path: Path) -> Tuple[Optional[SourceFile],
+                                          Optional[Finding]]:
+    """Parse one file; a syntax error becomes an (unsuppressible) finding."""
+    source = path.read_text(encoding="utf-8")
+    display = _display(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            path=display, line=exc.lineno or 1, rule="R0",
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; unparseable files cannot be "
+                 "checked for invariants")
+    attach_parents(tree)
+    return SourceFile(path=path, display=display,
+                      module_key=_module_key(path), source=source,
+                      tree=tree, imports=ImportMap(tree),
+                      suppressions=parse_suppressions(source)), None
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` under *paths* (files taken verbatim), sorted, deduped."""
+    files = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(candidate for candidate in path.rglob("*.py")
+                         if "__pycache__" not in candidate.parts)
+        else:
+            files.append(path)
+    return sorted(set(path.resolve() for path in files))
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package — what a bare ``repro check`` scans."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _registry() -> Dict[str, object]:
+    # Imported here (not at module top) so engine <-> rule-module imports
+    # can never cycle: rule modules import engine's SourceFile freely.
+    from repro.analysis.lint import contracts, determinism, layering, locks
+
+    rules = {}
+    for module in (determinism, layering, locks, contracts):
+        for rule in module.RULES:
+            rules[rule.id] = rule
+    return rules
+
+
+#: rule id → rule object; populated lazily on first use.
+RULES: Dict[str, object] = {}
+
+
+def _rules() -> Dict[str, object]:
+    if not RULES:
+        RULES.update(_registry())
+    return RULES
+
+
+def known_rule_ids() -> Tuple[str, ...]:
+    """Every selectable rule id, plus the meta rule ``R0``."""
+    return ("R0",) + tuple(sorted(_rules()))
+
+
+def check_paths(paths: Sequence[Path], *,
+                select: Optional[Iterable[str]] = None,
+                ignore: Optional[Iterable[str]] = None,
+                ) -> Tuple[List[Finding], int, int]:
+    """Run the enabled rules over *paths*.
+
+    Returns ``(findings, files_checked, suppressed_count)``.  *select*
+    restricts to the named rules, *ignore* drops rules from that set;
+    the meta rule ``R0`` (suppression hygiene, parse errors) always
+    runs and is never suppressible.
+    """
+    rules = _rules()
+    enabled = set(select) if select else set(rules)
+    enabled -= set(ignore or ())
+    unknown = (set(select or ()) | set(ignore or ())) - set(rules) - {"R0"}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    findings: List[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        source_file, parse_finding = load_source_file(path)
+        if parse_finding is not None:
+            findings.append(parse_finding)
+            continue
+        assert source_file is not None
+        raw: List[Finding] = []
+        for rule_id in sorted(enabled):
+            raw.extend(rules[rule_id].check(source_file))
+        for finding in raw:
+            if source_file.suppressions.covers(finding.line, finding.rule):
+                suppressed += 1
+            else:
+                findings.append(finding)
+        if "R0" not in (ignore or ()):
+            for line, message in source_file.suppressions.hygiene_problems(
+                    known_rule_ids()):
+                findings.append(source_file.finding(
+                    "R0", line, message,
+                    "write '# repro: allow[RULE] -- reason' with a real "
+                    "rule id and a one-line justification"))
+    return findings, len(files), suppressed

@@ -1,0 +1,82 @@
+"""The finding model and the stable ``--json`` report schema.
+
+A :class:`Finding` is one invariant violation: rule id, repo path,
+line, a one-line message and a one-line fix hint.  The JSON document
+(:func:`report_json`) is the machine contract the CI gate and the
+dashboard consume — its field set is versioned and append-only:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files": 97,
+      "findings": [
+        {"rule": "R1", "path": "src/repro/models/gate.py", "line": 12,
+         "message": "...", "hint": "..."}
+      ],
+      "counts": {"R1": 1},
+      "suppressed": 3
+    }
+
+``findings`` is sorted by ``(path, line, rule)``; ``suppressed`` counts
+violations silenced by ``# repro: allow[...]`` comments; ``counts``
+only carries rules with at least one finding.  Existing fields never
+change meaning; new fields may be added (consumers must ignore
+unknowns) — the same evolution policy as the ``/v1/status`` feeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["Finding", "SCHEMA_VERSION", "report_json", "report_text"]
+
+#: Bumped only on a breaking change to the JSON document shape.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at one source location."""
+
+    path: str       #: path as given to the checker (repo-relative in CI)
+    line: int       #: 1-based line of the offending node
+    rule: str       #: rule id, e.g. ``"R1"``
+    message: str    #: what is wrong, one line
+    hint: str       #: how to fix it, one line
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "hint": self.hint}
+
+
+def report_json(findings: Sequence[Finding], *, files: int,
+                suppressed: int) -> str:
+    """The versioned JSON report document (see module docstring)."""
+    ordered = sorted(findings)
+    counts: Dict[str, int] = {}
+    for finding in ordered:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps({
+        "version": SCHEMA_VERSION,
+        "files": files,
+        "findings": [finding.as_dict() for finding in ordered],
+        "counts": counts,
+        "suppressed": suppressed,
+    }, indent=2, sort_keys=True)
+
+
+def report_text(findings: Sequence[Finding], *, files: int,
+                suppressed: int) -> List[str]:
+    """Human-facing report lines: one per finding plus a summary line."""
+    lines = [f"{finding.path}:{finding.line}: {finding.rule} "
+             f"{finding.message}\n    hint: {finding.hint}"
+             for finding in sorted(findings)]
+    summary = (f"{len(findings)} finding(s) in {files} file(s)"
+               if findings else f"clean: {files} file(s)")
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    lines.append(summary)
+    return lines

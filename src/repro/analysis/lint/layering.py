@@ -1,0 +1,148 @@
+"""R2 — store layering, and R3 — clock discipline in lease logic.
+
+**R2** guards the PR 4 architecture: every byte the cache/distrib/serve
+stack persists flows through the :class:`~repro.analysis.cache.CacheStore`
+interface, so the filesystem and object-store backends stay
+byte-compatible and fault-injection tests wrap one seam.  Raw
+``open``/``os.replace``/pathlib I/O inside ``analysis/cache.py``,
+``analysis/distrib.py``, ``analysis/objstore.py`` or ``analysis/serve/``
+is therefore a finding — except inside the named allowlist scopes that
+*are* the backends (``LocalFSStore``, the object-store fake server),
+where raw I/O is the whole job.
+
+**R3** guards the PR 6 skew fix: whether a lease is stale is decided by
+a per-reader *monotonic* stopwatch, never by comparing another
+machine's wall clock against ours.  Inside lease/staleness functions
+(name contains ``lease`` or ``stale`` in the store layers) any
+``time.time``/``datetime`` read is a finding.  The three deliberate
+wall-clock touch points that survive — advisory heartbeat timestamps
+in lease payloads and the documented pre-first-advance fallback —
+carry ``repro: allow`` annotations explaining exactly why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.astutil import (dotted_name, enclosing_class,
+                                         enclosing_function_chain)
+from repro.analysis.lint.engine import SourceFile
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["RULES", "StoreLayeringRule", "ClockDisciplineRule"]
+
+#: Module keys (below ``repro/``) whose bytes must flow through CacheStore.
+STORE_LAYER_FILES = ("analysis/cache.py", "analysis/distrib.py",
+                     "analysis/objstore.py")
+STORE_LAYER_PREFIXES = ("analysis/serve/",)
+
+#: (module key, class name) scopes where raw I/O *is* the backend.
+STORE_ALLOWLIST = frozenset({
+    ("analysis/cache.py", "LocalFSStore"),
+    ("analysis/objstore.py", "FakeObjectServer"),
+    ("analysis/objstore.py", "_ObjectStoreHandler"),
+})
+
+_OS_FILE_OPS = frozenset({
+    "os.replace", "os.rename", "os.link", "os.symlink", "os.unlink",
+    "os.remove", "os.mkdir", "os.makedirs", "os.rmdir", "os.removedirs",
+    "os.truncate", "os.open",
+})
+_PATHLIB_METHODS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes", "unlink",
+    "mkdir", "rmdir", "touch", "symlink_to", "hardlink_to", "link_to",
+})
+#: Flagged only in their one-positional-argument pathlib form —
+#: ``str.replace(old, new)`` takes two, ``Path.replace(target)`` one.
+_PATHLIB_UNARY_METHODS = frozenset({"rename", "replace"})
+
+_WALL_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _in_store_layer(module_key: str) -> bool:
+    return (module_key in STORE_LAYER_FILES
+            or module_key.startswith(STORE_LAYER_PREFIXES))
+
+
+class StoreLayeringRule:
+    id = "R2"
+    summary = ("cache/distrib/serve I/O must flow through CacheStore, "
+               "not raw open()/os/pathlib calls")
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not _in_store_layer(sf.module_key):
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offence = self._offence(sf, node)
+            if offence is None:
+                continue
+            owner = enclosing_class(node)
+            if owner is not None and (sf.module_key,
+                                      owner.name) in STORE_ALLOWLIST:
+                continue
+            yield sf.finding("R2", node.lineno, offence,
+                             "route the bytes through the CacheStore "
+                             "interface (store.get/put_atomic/"
+                             "put_if_absent/delete) or move the code "
+                             "behind the backend allowlist")
+
+    @staticmethod
+    def _offence(sf: SourceFile, node: ast.Call) -> Optional[str]:
+        canon = sf.imports.canonical(node.func)
+        if canon == "open":
+            return "raw builtin open() in a store-layer module"
+        if canon is not None:
+            if canon in _OS_FILE_OPS:
+                return f"raw file operation '{canon}' in a store-layer module"
+            if canon.startswith("shutil."):
+                return f"'{canon}' bypasses the CacheStore interface"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            unary_form = (attr in _PATHLIB_UNARY_METHODS
+                          and len(node.args) == 1 and not node.keywords)
+            if attr in _PATHLIB_METHODS or unary_form:
+                receiver = dotted_name(node.func.value) or "<expr>"
+                return (f"pathlib-style call '{receiver}.{attr}()' "
+                        "in a store-layer module")
+        return None
+
+
+class ClockDisciplineRule:
+    id = "R3"
+    summary = ("lease/staleness logic may only consume time.monotonic — "
+               "wall clocks reintroduce cross-machine skew")
+
+    #: Function-name fragments that mark lease/staleness logic.
+    NAME_FRAGMENTS = ("lease", "stale")
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not _in_store_layer(sf.module_key):
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canon = sf.imports.canonical(node.func)
+            if canon not in _WALL_CLOCKS:
+                continue
+            chain = enclosing_function_chain(node)
+            if not any(fragment in name.lower()
+                       for name in chain
+                       for fragment in self.NAME_FRAGMENTS):
+                continue
+            yield sf.finding(
+                "R3", node.lineno,
+                f"wall clock '{canon}' inside lease/staleness logic "
+                f"('{chain[-1]}') — another machine's heartbeat compared "
+                "against this clock skews",
+                "judge staleness with the per-reader time.monotonic() "
+                "stopwatch; keep wall-clock timestamps advisory")
+
+
+RULES = (StoreLayeringRule(), ClockDisciplineRule())

@@ -1,0 +1,265 @@
+"""R4 — lock discipline in the serve layer and across pickle boundaries.
+
+Two checks, both born from PR 8's threaded dispatchers:
+
+**R4 shared-state escape analysis** (scope: ``analysis/serve/``).  For
+every class that arms a ``threading.Lock``/``Condition`` in
+``__init__``, any instance attribute *written* by a method after
+construction is "guarded", and every access to a guarded attribute —
+read or write — must sit lexically inside a ``with self._lock:`` /
+``with self._cond:`` block.  The analysis is intra-class and lexical
+(the "simple escape analysis" of the issue): it additionally treats a
+private method as lock-held when every one of its call sites inside
+the class is itself under the lock, which is how ``_refuse``-style
+helpers avoid false positives without annotations.
+
+**R4 payload reachability** (scope: everywhere).  A class that owns a
+raw threading lock *and* participates in the payload/caching protocol
+(defines ``__cache_fingerprint__``) is exactly the kind of object a
+quantity closure can drag into a pickled executor payload — so it must
+define ``__getstate__`` (or ``__reduce__``) that drops the lock, the
+way :class:`~repro.analysis.runner.TechnologyCache` does.  Classes
+that should *never* cross (a live ``Session``, an ``ObjectStore`` with
+its HTTP state) keep their loud pickle failure and carry an annotated
+allow instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.lint.astutil import dotted_name
+from repro.analysis.lint.engine import SourceFile
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["RULES", "LockDisciplineRule", "PayloadLockRule"]
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+})
+
+#: Methods that run before/after the object is shared across threads.
+_EXEMPT_METHODS = frozenset({
+    "__init__", "__new__", "__getstate__", "__setstate__", "__del__",
+})
+
+#: Container-mutator method names counted as writes to the receiver attr.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "update", "pop",
+    "popleft", "popitem", "remove", "discard", "clear", "setdefault",
+    "move_to_end", "sort", "reverse",
+})
+
+
+def _lock_attrs(cls: ast.ClassDef, sf: SourceFile) -> Set[str]:
+    """Instance attrs assigned a threading lock/condition in __init__."""
+    attrs: Set[str] = set()
+    for stmt in cls.body:
+        if not (isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__init__"):
+            continue
+        for node in ast.walk(stmt):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            if sf.imports.canonical(node.value.func) not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def _method_names(cls: ast.ClassDef) -> Set[str]:
+    return {stmt.name for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+class _Access:
+    __slots__ = ("attr", "method", "locked", "write", "line")
+
+    def __init__(self, attr: str, method: str, locked: bool, write: bool,
+                 line: int) -> None:
+        self.attr, self.method = attr, method
+        self.locked, self.write, self.line = locked, write, line
+
+
+def _is_lock_with(item: ast.withitem, lock_attrs: Set[str]) -> bool:
+    expr = item.context_expr
+    name = dotted_name(expr)
+    return (name is not None and name.startswith("self.")
+            and name.split(".", 1)[1] in lock_attrs)
+
+
+def _scan_method(method: ast.FunctionDef, lock_attrs: Set[str],
+                 methods: Set[str]) -> Tuple[List[_Access],
+                                             List[Tuple[str, bool]]]:
+    """(attribute accesses, intra-class ``self.M()`` call sites) of one body."""
+    accesses: List[_Access] = []
+    calls: List[Tuple[str, bool]] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = locked or any(_is_lock_with(item, lock_attrs)
+                                  for item in node.items)
+            for item in node.items:
+                visit(item, locked)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not method:
+            # Nested defs run later, possibly without the lock; their
+            # bodies are conservatively treated as unlocked.
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "self" \
+                and node.func.attr in methods:
+            calls.append((node.func.attr, locked))
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" \
+                and node.attr not in lock_attrs \
+                and node.attr not in methods:
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            parent = getattr(node, "_lint_parent", None)
+            if isinstance(parent, ast.Subscript) and parent.value is node \
+                    and isinstance(parent.ctx, (ast.Store, ast.Del)):
+                write = True
+            if isinstance(parent, ast.Attribute) \
+                    and parent.value is node \
+                    and parent.attr in _MUTATORS:
+                grand = getattr(parent, "_lint_parent", None)
+                if isinstance(grand, ast.Call) and grand.func is parent:
+                    write = True
+            accesses.append(_Access(node.attr, method.name, locked, write,
+                                    node.lineno))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for stmt in method.body:
+        visit(stmt, False)
+    return accesses, calls
+
+
+class LockDisciplineRule:
+    id = "R4"
+    summary = ("serve-layer shared state must be accessed under "
+               "self._lock; payload classes must not pickle locks")
+
+    SCOPE_PREFIXES = ("analysis/serve/",)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.module_key.startswith(self.SCOPE_PREFIXES):
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(sf, node)
+
+    def _check_class(self, sf: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = _lock_attrs(cls, sf)
+        if not lock_attrs:
+            return
+        methods = _method_names(cls)
+        per_method: Dict[str, List[_Access]] = {}
+        call_records: List[Tuple[str, bool, str]] = []  # callee, locked, by
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            accesses, calls = _scan_method(stmt, lock_attrs, methods)
+            per_method[stmt.name] = accesses
+            for callee, locked in calls:
+                call_records.append((callee, locked, stmt.name))
+        # A method whose every intra-class call site holds the lock is
+        # treated as lock-held (iterate so helper->helper chains settle).
+        held: Set[str] = set()
+        for _ in range(len(per_method) + 1):
+            grown = set()
+            for name in per_method:
+                sites = [(locked, caller) for callee, locked, caller
+                         in call_records if callee == name]
+                if sites and all(locked or caller in held
+                                 for locked, caller in sites):
+                    grown.add(name)
+            if grown == held:
+                break
+            held = grown
+        guarded = {
+            access.attr
+            for name, accesses in per_method.items()
+            if name not in _EXEMPT_METHODS
+            for access in accesses if access.write
+        }
+        for name, accesses in per_method.items():
+            if name in _EXEMPT_METHODS or name in held:
+                continue
+            for access in accesses:
+                if access.attr in guarded and not access.locked:
+                    kind = "write to" if access.write else "read of"
+                    yield sf.finding(
+                        "R4", access.line,
+                        f"{kind} dispatcher-shared attribute "
+                        f"'self.{access.attr}' outside "
+                        f"'with self.{sorted(lock_attrs)[0]}' "
+                        f"({cls.name}.{name})",
+                        "wrap the access in the owning lock, or allow it "
+                        "with the reason the caller already holds it")
+
+
+class PayloadLockRule:
+    id = "R4"  # same family; engine dedupes by object, not id
+    summary = "payload-protocol classes must drop locks in __getstate__"
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _lock_attrs(node, sf):
+                continue
+            names = _method_names(node)
+            has_fingerprint = ("__cache_fingerprint__" in names
+                               or any(isinstance(stmt, ast.Assign)
+                                      and any(isinstance(t, ast.Name)
+                                              and t.id
+                                              == "__cache_fingerprint__"
+                                              for t in stmt.targets)
+                                      for stmt in node.body))
+            if not has_fingerprint:
+                continue
+            if names & {"__getstate__", "__reduce__", "__reduce_ex__"}:
+                continue
+            yield sf.finding(
+                "R4", node.lineno,
+                f"class '{node.name}' owns a threading lock and a "
+                "__cache_fingerprint__ (payload protocol) but no "
+                "__getstate__ — pickling into an executor payload "
+                "would fail on the lock",
+                "define __getstate__/__setstate__ that drop and re-arm "
+                "the lock (see TechnologyCache), or allow with the "
+                "reason the class must never cross a process boundary")
+
+
+class _CombinedR4:
+    """One registry entry running both R4 checks."""
+
+    id = "R4"
+    summary = LockDisciplineRule.summary
+
+    def __init__(self) -> None:
+        self._escape = LockDisciplineRule()
+        self._payload = PayloadLockRule()
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        yield from self._escape.check(sf)
+        yield from self._payload.check(sf)
+
+
+RULES = (_CombinedR4(),)

@@ -1,0 +1,113 @@
+"""Inline suppressions: ``# repro: allow[RULE] -- reason``.
+
+A finding is silenced when an allow comment naming its rule sits on the
+finding's line, or in the block of comment-only lines directly above it
+(so a justification too long for the 100-column budget can wrap onto
+several comment lines).  Several rules may share one comment:
+``# repro: allow[R2,R3] -- selftest scaffolding``.
+
+The reason is not decoration — it is the *point*.  A suppression is a
+recorded design decision ("this wall-clock read is the documented
+pre-first-advance fallback"), so an allow with no reason, or one naming
+a rule that does not exist, is itself a finding (rule ``R0``), and
+``R0`` cannot be suppressed.  The suppressed count is surfaced in every
+report so a quietly growing pile of allows is visible in CI.
+
+Comments are read with :mod:`tokenize`, not a regex over raw lines, so
+string literals that merely *look* like allow comments cannot silence
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["ALLOW_RE", "Suppressions", "parse_suppressions"]
+
+#: ``# repro: allow[R1]`` or ``# repro: allow[R2,R3] -- reason text``.
+ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$")
+
+
+@dataclass(frozen=True)
+class _Allow:
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    comment_only_line: bool  #: nothing but the comment on its line
+
+
+class Suppressions:
+    """The parsed allow comments of one file."""
+
+    def __init__(self, allows: List[_Allow],
+                 comment_only_lines: frozenset = frozenset()) -> None:
+        self._by_line: Dict[int, _Allow] = {a.line: a for a in allows}
+        self._allows = allows
+        self._comment_only = comment_only_lines
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Whether a finding of *rule* on *line* is suppressed."""
+        if rule == "R0":        # suppression hygiene is not suppressible
+            return False
+        allow = self._by_line.get(line)
+        if allow is not None and rule in allow.rules:
+            return True
+        # Walk the block of comment-only lines directly above the
+        # finding: a wrapped justification keeps its allow in force.
+        above = line - 1
+        while above in self._comment_only:
+            allow = self._by_line.get(above)
+            if allow is not None and rule in allow.rules:
+                return True
+            above -= 1
+        return False
+
+    def hygiene_problems(self, known_rules) -> List[Tuple[int, str]]:
+        """``(line, message)`` pairs for malformed allows (rule R0)."""
+        problems = []
+        for allow in self._allows:
+            if not allow.reason:
+                problems.append((
+                    allow.line,
+                    "bare 'repro: allow' with no reason — a suppression "
+                    "is a recorded design decision, not a mute button"))
+            unknown = [rule for rule in allow.rules
+                       if rule not in known_rules]
+            if unknown or not allow.rules:
+                problems.append((
+                    allow.line,
+                    f"allow names unknown rule(s) "
+                    f"{', '.join(unknown) or '(none)'}"))
+        return problems
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """All ``repro: allow`` comments of *source* (empty on tokenize errors)."""
+    allows: List[_Allow] = []
+    comment_only = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions([])
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        only = token.line.strip() == token.string.strip()
+        if only:
+            comment_only.add(token.start[0])
+        match = ALLOW_RE.match(token.string)
+        if match is None:
+            continue
+        rules = tuple(rule.strip() for rule in
+                      match.group("rules").split(",") if rule.strip())
+        allows.append(_Allow(
+            line=token.start[0],
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+            comment_only_line=only))
+    return Suppressions(allows, frozenset(comment_only))

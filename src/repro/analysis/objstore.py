@@ -93,6 +93,8 @@ class ObjectStoreError(OSError):
     """
 
 
+# repro: allow[R4] -- must never ride a payload: workers rebuild stores
+# from the root URL, and the lock makes accidental capture fail loudly
 class ObjectStore(CacheStore):
     """A :class:`~repro.analysis.cache.CacheStore` over the HTTP protocol
     above.

@@ -213,9 +213,12 @@ class ExperimentService:
         with self._cond:
             self._stop = True
             self._cond.notify_all()
-        for thread in self._threads:
+            # Detach the thread list under the lock (start() appends under
+            # it), then join outside it — joining while holding the lock
+            # would deadlock dispatchers draining their last plan.
+            threads, self._threads = self._threads, []
+        for thread in threads:
             thread.join(timeout=60)
-        self._threads.clear()
         if self._owns_session:
             self.session.close()
 

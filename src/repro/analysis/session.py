@@ -439,6 +439,8 @@ class RunHandle:
                 f"quantities, {state})")
 
 
+# repro: allow[R4] -- a live Session (executor pool, caches) must never
+# cross a process boundary; pickling fails loudly at submit()
 class Session:
     """The facade owning one resolved config's execution stack.
 

@@ -12,6 +12,7 @@ stack::
     python -m repro selftest [--backend {fs,obj}] [--only LIST]
     python -m repro campaign {run,list,fuzz,repro}    # = analysis.campaign
     python -m repro obs {append,check,dashboard}      # = analysis.obs
+    python -m repro check [PATHS] [--json] [--rule ID] # invariant linter
 
 ``run`` resolves execution policy through the
 :class:`~repro.analysis.session.RunConfig` chain (flags > ``REPRO_*``
@@ -46,7 +47,7 @@ __all__ = ["main"]
 #: selftest suites in execution order (fast first).  ``objstore`` is the
 #: protocol check of the object-store backend; with ``--backend fs`` it
 #: is skipped unless explicitly requested through ``--only``.
-SELFTEST_SUITES = ("session", "obs", "runner", "objstore", "cache",
+SELFTEST_SUITES = ("lint", "session", "obs", "runner", "objstore", "cache",
                    "distrib", "serve")
 
 
@@ -74,8 +75,15 @@ def _forward_obs(rest: Sequence[str]) -> int:
     return obs_main(list(rest))
 
 
+def _forward_check(rest: Sequence[str]) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(list(rest))
+
+
 _FORWARDED = {"cache": _forward_cache, "distrib": _forward_distrib,
-              "campaign": _forward_campaign, "obs": _forward_obs}
+              "campaign": _forward_campaign, "obs": _forward_obs,
+              "check": _forward_check}
 
 
 def _cmd_run(args) -> int:
@@ -370,7 +378,11 @@ def _cmd_selftest(args) -> int:
     failures = 0
     for suite in suites:
         print(f"=== {suite} ===", flush=True)
-        if suite == "session":
+        if suite == "lint":
+            from repro.analysis.lint import main as lint_main
+
+            failures += lint_main(["--selftest"])
+        elif suite == "session":
             from repro.analysis.session import main as session_main
 
             failures += session_main(["--selftest"])
@@ -459,6 +471,11 @@ def _build_parser():
         "obs", add_help=False,
         help="observability: perf-trajectory append/check and the live "
              "fleet dashboard (alias of python -m repro.analysis.obs)")
+    commands.add_parser(
+        "check", add_help=False,
+        help="project-invariant static analysis over src/ — determinism, "
+             "store layering, clock/lock discipline, batched cache keys "
+             "(alias of python -m repro.analysis.lint)")
 
     # Like cache/distrib/campaign: registered for --help only, dispatch
     # short-circuits to _cmd_serve's own parser.

@@ -1,0 +1,32 @@
+"""R5 known-bad: batched/per-point pairs that fork cache keys."""
+
+from repro.analysis.runner import BatchedQuantity, batched
+
+
+def unpaired_kernel(technology, xs):
+    return xs
+
+
+def unpaired_point(technology, x):
+    return x
+
+
+def mismatched_kernel(technology, xs):
+    return xs
+
+
+def mismatched_point(technology, x):
+    return x
+
+
+mismatched_kernel.__cache_fingerprint__ = "kernel-v1"
+mismatched_point.__cache_fingerprint__ = "point-v1"
+
+# R5: explicit twin with no shared fingerprint assignments.
+unpaired = batched(unpaired_kernel, point=unpaired_point)
+
+# R5: both carry fingerprints, but different ones.
+mismatched = batched(mismatched_kernel, point=mismatched_point)
+
+# R5: going around batched() skips the derived per-point path.
+direct = BatchedQuantity(unpaired_kernel)

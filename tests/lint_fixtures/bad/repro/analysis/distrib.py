@@ -1,0 +1,11 @@
+"""R3 known-bad: lease staleness judged from a wall clock."""
+
+import time
+
+
+def lease_expired(heartbeat, ttl):
+    return time.time() - heartbeat > ttl    # R3: cross-machine skew
+
+
+def stale_worker_age(last_seen):
+    return time.time() - last_seen          # R3: staleness via wall clock

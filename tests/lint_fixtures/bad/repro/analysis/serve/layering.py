@@ -1,0 +1,22 @@
+"""R2 known-bad: raw I/O in a serve-layer module."""
+
+import os
+import shutil
+from pathlib import Path
+
+
+def save_result(path, data):
+    with open(path, "w") as handle:     # R2: raw builtin open
+        handle.write(data)
+
+
+def publish(tmp, target):
+    os.replace(tmp, target)             # R2: raw os file op
+
+
+def scribble(root):
+    Path(root).write_text("x")          # R2: pathlib write
+
+
+def wipe(root):
+    shutil.rmtree(root)                 # R2: shutil bypasses the store

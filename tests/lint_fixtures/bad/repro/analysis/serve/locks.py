@@ -1,0 +1,36 @@
+"""R4 known-bad: unlocked shared state, and a pickled-lock payload class."""
+
+import threading
+
+
+class LeakyService:
+    """Dispatcher-shared counters touched outside the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._completed = 0
+        self._records = {}
+
+    def finish(self, record_id):
+        self._completed += 1                # R4: write outside the lock
+        self._records[record_id] = "done"   # R4: write outside the lock
+
+    def snapshot(self):
+        with self._lock:
+            done = self._completed
+        return done, dict(self._records)    # R4: read outside the lock
+
+
+class PayloadMemo:
+    """Payload-protocol class whose lock would hit the pickler."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def __cache_fingerprint__(self):
+        return type(self).__name__
+
+    def put(self, key, value):
+        with self._lock:
+            self.entries[key] = value

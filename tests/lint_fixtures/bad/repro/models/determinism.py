@@ -1,0 +1,28 @@
+"""R1 known-bad: clocks and global RNG state in model-layer code."""
+
+import random
+import time
+import uuid
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def wall_clock_point(x):
+    return x * time.time()          # R1: wall clock
+
+
+def global_numpy_draw(x):
+    return x + np.random.normal()   # R1: global numpy RNG
+
+
+def stdlib_random_draw(x):
+    return x + random.random()      # R1: stdlib global RNG
+
+
+def unseeded_stream():
+    return default_rng()            # R1: OS-seeded generator
+
+
+def entropy_tag():
+    return uuid.uuid4().hex         # R1: OS entropy

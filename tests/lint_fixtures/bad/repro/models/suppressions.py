@@ -1,0 +1,11 @@
+"""R0 known-bad: suppressions that do not carry their weight."""
+
+import time
+
+
+def stamped(x):
+    return x + time.time()  # repro: allow[R1]
+
+
+def tagged(x):
+    return x  # repro: allow[R9] -- there is no rule R9

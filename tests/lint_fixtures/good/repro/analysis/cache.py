@@ -1,0 +1,26 @@
+"""R2 known-good: raw I/O only inside the backend allowlist scope."""
+
+import os
+
+
+class LocalFSStore:
+    """The one place raw filesystem bytes are the job, not a leak."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def put_atomic(self, key, data):
+        target = self.root / key
+        tmp = target.with_suffix(".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+
+    def get(self, key):
+        try:
+            return (self.root / key).read_bytes()
+        except OSError:
+            return None
+
+
+def store_result(store, key, data):
+    store.put_atomic(key, data)

@@ -1,0 +1,25 @@
+"""R5 known-good: shared fingerprints, or the derived per-point path."""
+
+from repro.analysis.runner import batched
+
+
+def bare_kernel(technology, xs):
+    return xs
+
+
+def paired_kernel(technology, xs):
+    return xs
+
+
+def paired_point(technology, x):
+    return x
+
+
+paired_kernel.__cache_fingerprint__ = "gate-delay-v2"
+paired_point.__cache_fingerprint__ = "gate-delay-v2"
+
+# Bare batched(): the per-point path is derived, keys shared by design.
+bare = batched(bare_kernel)
+
+# Explicit twin, identical fingerprint expressions: one cache key.
+paired = batched(paired_kernel, point=paired_point)

@@ -1,0 +1,17 @@
+"""R3 known-good: monotonic staleness; wall clocks only outside leases."""
+
+import time
+
+
+def lease_expired(first_seen_mono, ttl):
+    return time.monotonic() - first_seen_mono > ttl
+
+
+def presence_timestamp():
+    # Not lease logic: advisory wall-clock heartbeat for humans/status.
+    return time.time()
+
+
+def sanitize_worker_id(wid):
+    # str.replace is not Path.replace — pinned false-positive regression.
+    return wid.replace(":", "-").replace("/", "_")

@@ -1,0 +1,51 @@
+"""R4 known-good: disciplined locking and a pickle-safe payload class."""
+
+import threading
+
+
+class DisciplinedService:
+    """Every shared access under the lock; helpers called lock-held."""
+
+    def __init__(self, max_depth):
+        self._lock = threading.Lock()
+        self.max_depth = max_depth      # immutable config: free to read
+        self._completed = 0
+        self._records = {}
+
+    def finish(self, record_id):
+        with self._lock:
+            self._record_done(record_id)
+
+    def _record_done(self, record_id):
+        # Only ever called under self._lock — the escape analysis must
+        # treat this body as lock-held, not flag it.
+        self._completed += 1
+        self._records[record_id] = "done"
+
+    def snapshot(self):
+        with self._lock:
+            return self._completed, dict(self._records)
+
+    def depth_headroom(self, queued):
+        return self.max_depth - queued
+
+
+class PicklableMemo:
+    """Payload-protocol class that drops its lock for the pickler."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def __cache_fingerprint__(self):
+        return type(self).__name__
+
+    def __getstate__(self):
+        return {}
+
+    def __setstate__(self, state):
+        self.__init__()
+
+    def put(self, key, value):
+        with self._lock:
+            self.entries[key] = value

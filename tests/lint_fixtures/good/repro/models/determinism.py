@@ -1,0 +1,17 @@
+"""R1 known-good: every draw flows through a seeded per-sample stream."""
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def sample_draw(seed, index):
+    rng = default_rng(SeedSequence((seed, index)))
+    return rng.normal()
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def injected_clock(now_s, offset_s):
+    return now_s + offset_s

@@ -1,0 +1,8 @@
+"""R0 known-good: a reasoned allow silencing a deliberate violation."""
+
+import time
+
+
+def stamp(x):
+    # repro: allow[R1] -- corpus fixture: wall time IS the quantity here
+    return x + time.time()

@@ -212,6 +212,36 @@ class TestCampaignDeterminism:
         assert campaign.signature() == before
 
 
+class TestRowCachePickle:
+    """Regression: the scenario-row memo used to break executor payloads.
+
+    A quantity closure can drag the module-level ``_ROWS`` memo into a
+    pickled submission; its ``threading.Lock`` made that a ``TypeError``
+    until ``__getstate__`` learned to ship the configuration only.
+    """
+
+    def test_row_cache_survives_a_pickle_round_trip(self):
+        import pickle
+
+        from repro.analysis.campaign.registry import _RowCache
+
+        memo = _RowCache(max_entries=3)
+        memo.get(("k",), lambda: {"v": 1.0})
+        clone = pickle.loads(pickle.dumps(memo))
+        # Configuration travels; per-process execution state does not.
+        assert clone.max_entries == 3
+        assert clone._entries == {}
+        # The clone's lock is re-armed and functional.
+        assert clone.get(("k",), lambda: {"v": 2.0}) == {"v": 2.0}
+
+    def test_module_level_memo_is_picklable(self):
+        import pickle
+
+        from repro.analysis.campaign import registry
+
+        assert pickle.loads(pickle.dumps(registry._ROWS)) is not None
+
+
 # ---------------------------------------------------------------------------
 # The fuzzer and its replayable corpus
 

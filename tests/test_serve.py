@@ -255,6 +255,26 @@ class TestServiceSubmission:
         with pytest.raises(ConfigurationError, match="closed"):
             service.start()
 
+    def test_concurrent_close_joins_every_dispatcher(self):
+        # Regression: close() used to walk self._threads outside the
+        # lock, racing start()'s appends and a second closer's clear().
+        import threading
+
+        service = ExperimentService(hermetic_config(), dispatchers=2)
+        [record] = service.submit(
+            {"plan": "repro.analysis.serve:demo_plan"})
+        assert service.wait_for(record["id"], timeout_s=60)["state"] == "done"
+        threads = list(service._threads)
+        closers = [threading.Thread(target=service.close) for _ in range(3)]
+        for closer in closers:
+            closer.start()
+        for closer in closers:
+            closer.join(timeout=60)
+        assert not any(closer.is_alive() for closer in closers)
+        assert all(not t.is_alive() for t in threads)
+        assert service._threads == []
+        service.close()  # idempotent after the race
+
     def test_unstarted_service_queues_without_executing(self):
         with ExperimentService(hermetic_config(), dispatchers=1,
                                start=False) as service:
